@@ -1,0 +1,37 @@
+//! Criterion end-to-end benchmark: how fast the whole-system simulation
+//! itself runs (simulated I/Os per wall-clock second), per virtualization
+//! path. This is the number a user cares about when sizing experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nesc_core::NescConfig;
+use nesc_hypervisor::{DiskKind, SoftwareCosts, System};
+use nesc_storage::BlockOp;
+use nesc_workloads::{Dd, DdMode};
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_dd_64ops");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(64));
+    for (kind, name) in [
+        (DiskKind::NescDirect, "nesc"),
+        (DiskKind::Virtio, "virtio"),
+        (DiskKind::Emulated, "emulated"),
+        (DiskKind::HostRaw, "host"),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut cfg = NescConfig::prototype();
+                cfg.capacity_blocks = 64 * 1024;
+                let mut sys = System::new(cfg, SoftwareCosts::calibrated());
+                let (_vm, disk) = sys.quick_disk(kind, "bench.img", 16 << 20);
+                std::hint::black_box(
+                    Dd::new(BlockOp::Write, 4096, 64, DdMode::Sync).run(&mut sys, disk),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablation — BTLB size (design choice, paper §V-B).
+//!
+//! The prototype caches the last 8 extents "so the BTLB can maintain at
+//! least the last mapping for each of the last 8 VFs it serviced". This
+//! sweep varies the entry count with 8 concurrently-active VFs reading
+//! fragmented files, showing why 8 entries is the knee: fewer entries
+//! thrash across VFs (every block pays a walk), more buys little.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nesc_bench::{emit_json, fmt, print_table};
+use nesc_core::{NescConfig, NescDevice, NescOutput};
+use nesc_extent::{ExtentMapping, ExtentTree, Plba, Vlba};
+use nesc_pcie::HostMemory;
+use nesc_sim::SimTime;
+use nesc_storage::{BlockOp, BlockRequest, RequestId};
+
+const VFS: u64 = 8;
+const OPS_PER_VF: u64 = 200;
+const HORIZON: SimTime = SimTime::from_nanos(u64::MAX / 4);
+
+/// A fragmented file: every extent is 32 blocks, physically interleaved
+/// with other files' extents so nothing coalesces.
+fn fragmented_tree(vf: u64, extents: u64) -> ExtentTree {
+    (0..extents)
+        .map(|i| ExtentMapping::new(Vlba(i * 32), Plba((i * VFS + vf) * 32), 32))
+        .collect()
+}
+
+fn run(btlb_entries: usize) -> (f64, f64) {
+    let mem = Rc::new(RefCell::new(HostMemory::new()));
+    let mut cfg = NescConfig::prototype();
+    cfg.btlb_entries = btlb_entries;
+    cfg.capacity_blocks = 256 * 1024;
+    let mut dev = NescDevice::new(cfg, Rc::clone(&mem));
+    let extents_per_vf = 64;
+    let vfs: Vec<_> = (0..VFS)
+        .map(|v| {
+            let tree = fragmented_tree(v, extents_per_vf);
+            let root = tree.serialize(&mut mem.borrow_mut());
+            dev.create_vf(root, extents_per_vf * 32).unwrap()
+        })
+        .collect();
+    let buf = mem.borrow_mut().alloc(4096, 4096);
+    // Each VF streams its file sequentially in 4 KiB reads while the
+    // multiplexer round-robins across all eight — the access pattern the
+    // prototype's "one entry per recent VF" sizing targets: a VF's next
+    // request reuses its previous extent only if the BTLB can hold one
+    // entry per concurrently-active VF.
+    let mut id = 0u64;
+    for op in 0..OPS_PER_VF {
+        for &vf in &vfs {
+            let lba = (op * 4) % (extents_per_vf * 32 - 4);
+            id += 1;
+            dev.submit(
+                SimTime::ZERO,
+                vf,
+                BlockRequest::new(RequestId(id), BlockOp::Read, lba, 4),
+                buf,
+            );
+        }
+    }
+    let outs = dev.advance(HORIZON);
+    let makespan = outs
+        .iter()
+        .map(NescOutput::at)
+        .max()
+        .expect("requests completed");
+    let total_ops = OPS_PER_VF * VFS;
+    let mean_us = makespan.as_micros_f64() / total_ops as f64;
+    (dev.btlb().hit_rate() * 100.0, mean_us)
+}
+
+fn main() {
+    println!("Ablation: BTLB entries vs hit rate and translation cost");
+    println!("(8 VFs, fragmented 8-block extents, random 4KB reads)");
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for entries in [0usize, 1, 2, 4, 8, 16, 32] {
+        let (hit_rate, mean_us) = run(entries);
+        rows.push(vec![
+            entries.to_string(),
+            format!("{hit_rate:.1}"),
+            fmt(mean_us),
+        ]);
+        json.push(serde_json::json!({
+            "entries": entries,
+            "hit_rate_pct": hit_rate,
+            "mean_service_us": mean_us,
+        }));
+    }
+    print_table(
+        "BTLB sweep",
+        &["entries", "hit rate %", "mean service us"],
+        &rows,
+    );
+    println!("\nexpected: hit rate collapses below 8 entries (one per active VF)");
+    println!("and the prototype's 8-entry choice sits at the knee.");
+    emit_json("ablation_btlb", &serde_json::json!({ "points": json }));
+}

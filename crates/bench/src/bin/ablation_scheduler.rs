@@ -1,0 +1,143 @@
+//! Ablation — round-robin multiplexer fairness (paper §V-A).
+//!
+//! "NeSC dequeues client requests in a round-robin manner in order to
+//! prevent client starvation." This harness runs an asymmetric pair of
+//! tenants — a bandwidth hog issuing 256 KiB requests and a
+//! latency-sensitive client issuing 4 KiB requests — and reports the
+//! small client's latency alone vs. sharing the device, plus the Jain
+//! fairness index of the two tenants' delivered bandwidth shares.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nesc_bench::{emit_json, fmt, print_table};
+use nesc_core::{FuncId, NescConfig, NescDevice, NescOutput};
+use nesc_extent::{ExtentMapping, ExtentTree, Plba, Vlba};
+use nesc_pcie::HostMemory;
+use nesc_sim::{SimDuration, SimTime};
+use nesc_storage::{BlockOp, BlockRequest, RequestId};
+
+const HORIZON: SimTime = SimTime::from_nanos(u64::MAX / 4);
+const SMALL_OPS: u64 = 64;
+const HOG_OPS: u64 = 64;
+
+fn setup(with_hog: bool) -> (NescDevice, FuncId, Option<FuncId>, u64) {
+    let mem = Rc::new(RefCell::new(HostMemory::new()));
+    let mut cfg = NescConfig::prototype();
+    cfg.capacity_blocks = 512 * 1024;
+    let mut dev = NescDevice::new(cfg, Rc::clone(&mem));
+    let make = |dev: &mut NescDevice, mem: &Rc<RefCell<HostMemory>>, base: u64| {
+        let tree: ExtentTree = [ExtentMapping::new(Vlba(0), Plba(base), 128 * 1024)]
+            .into_iter()
+            .collect();
+        let root = tree.serialize(&mut mem.borrow_mut());
+        dev.create_vf(root, 128 * 1024).unwrap()
+    };
+    let small = make(&mut dev, &mem, 0);
+    let hog = with_hog.then(|| make(&mut dev, &mem, 128 * 1024));
+    let buf = mem.borrow_mut().alloc(256 * 1024, 4096);
+    (dev, small, hog, buf)
+}
+
+/// Returns (small client's mean latency in µs, small MB/s, hog MB/s).
+fn run(with_hog: bool) -> (f64, f64, f64) {
+    let (mut dev, small, hog, buf) = setup(with_hog);
+    // The small client issues 4 KiB reads paced 20 µs apart; the hog
+    // floods 256 KiB reads back to back from t=0.
+    let mut id = 0u64;
+    if let Some(h) = hog {
+        for i in 0..HOG_OPS {
+            id += 1;
+            dev.submit(
+                SimTime::ZERO,
+                h,
+                BlockRequest::new(RequestId(1_000 + id), BlockOp::Read, i * 256, 256),
+                buf,
+            );
+        }
+    }
+    let mut issue_times = Vec::new();
+    for i in 0..SMALL_OPS {
+        let t = SimTime::ZERO + SimDuration::from_micros(20) * i;
+        issue_times.push((RequestId(i + 1), t));
+        dev.submit(
+            t,
+            small,
+            BlockRequest::new(RequestId(i + 1), BlockOp::Read, i * 4, 4),
+            buf,
+        );
+    }
+    let outs = dev.advance(HORIZON);
+    let mut small_lat = 0.0;
+    let mut small_done = SimTime::ZERO;
+    let mut hog_done = SimTime::ZERO;
+    for o in &outs {
+        if let NescOutput::Completion { at, id, .. } = o {
+            if id.0 <= SMALL_OPS {
+                let issued = issue_times[(id.0 - 1) as usize].1;
+                small_lat += at.saturating_since(issued).as_micros_f64();
+                small_done = small_done.max(*at);
+            } else {
+                hog_done = hog_done.max(*at);
+            }
+        }
+    }
+    let small_mbps =
+        (SMALL_OPS * 4 * 1024) as f64 / 1e6 / small_done.as_secs_f64().max(1e-12);
+    let hog_mbps = if with_hog {
+        (HOG_OPS * 256 * 1024) as f64 / 1e6 / hog_done.as_secs_f64().max(1e-12)
+    } else {
+        0.0
+    };
+    (small_lat / SMALL_OPS as f64, small_mbps, hog_mbps)
+}
+
+fn jain(shares: &[f64]) -> f64 {
+    let sum: f64 = shares.iter().sum();
+    let sq: f64 = shares.iter().map(|s| s * s).sum();
+    sum * sum / (shares.len() as f64 * sq)
+}
+
+fn main() {
+    println!("Ablation: round-robin VF scheduling under asymmetric tenants");
+    let (alone_lat, alone_mbps, _) = run(false);
+    let (shared_lat, shared_mbps, hog_mbps) = run(true);
+    let rows = vec![
+        vec![
+            "small client alone".into(),
+            fmt(alone_lat),
+            fmt(alone_mbps),
+            "-".into(),
+        ],
+        vec![
+            "small + 256KB hog".into(),
+            fmt(shared_lat),
+            fmt(shared_mbps),
+            fmt(hog_mbps),
+        ],
+    ];
+    print_table(
+        "Fairness",
+        &["scenario", "small mean lat us", "small MB/s", "hog MB/s"],
+        &rows,
+    );
+    let slowdown = shared_lat / alone_lat;
+    // Shares normalized by demand: the small client asks for 1/64th of the
+    // hog's bytes; fairness is over per-request service opportunity.
+    let fairness = jain(&[shared_mbps * 64.0, hog_mbps]);
+    println!("\nsmall-client slowdown next to the hog: {slowdown:.1}x");
+    println!("Jain fairness of demand-normalized shares: {fairness:.3} (1.0 = perfectly fair)");
+    println!("round-robin bounds the hog's impact: the small client is delayed by at most");
+    println!("one in-flight hog request per turn, not starved behind the whole hog queue.");
+    emit_json(
+        "ablation_scheduler",
+        &serde_json::json!({
+            "alone_latency_us": alone_lat,
+            "shared_latency_us": shared_lat,
+            "slowdown": slowdown,
+            "jain_fairness": fairness,
+            "small_mbps_shared": shared_mbps,
+            "hog_mbps": hog_mbps,
+        }),
+    );
+}

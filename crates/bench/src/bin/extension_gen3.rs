@@ -1,0 +1,68 @@
+//! Extension study — the commercial projection.
+//!
+//! The paper closes its abstract with: "We further show that these
+//! performance benefits are limited only by the bandwidth provided by our
+//! academic prototype. We expect that NeSC will greatly benefit commercial
+//! PCIe SSDs capable of delivering multi-GB/s of bandwidth." This harness
+//! quantifies the claim: the same system with a gen3 link and a DMA engine
+//! that keeps up, against the same virtio stack.
+
+use nesc_bench::{emit_json, fmt, print_table};
+use nesc_core::NescConfig;
+use nesc_hypervisor::{DiskKind, SoftwareCosts, System};
+use nesc_storage::BlockOp;
+use nesc_workloads::{Dd, DdMode};
+
+const IMAGE_BYTES: u64 = 256 << 20;
+
+fn run(cfg: NescConfig, kind: DiskKind, bs: u64, qd: usize) -> f64 {
+    let mut sys = System::new(cfg, SoftwareCosts::calibrated());
+    let (_vm, disk) = sys.quick_disk(kind, "g3.img", IMAGE_BYTES);
+    Dd::new(BlockOp::Read, bs, (32 << 20) / bs, DdMode::Pipelined { qd })
+        .run(&mut sys, disk)
+        .mbps()
+}
+
+fn main() {
+    println!("Extension: prototype (gen2, ~800MB/s engine) vs commercial (gen3) NeSC");
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (bs, qd) in [(4096u64, 16usize), (32768, 16), (262144, 8)] {
+        let proto_nesc = run(NescConfig::prototype(), DiskKind::NescDirect, bs, qd);
+        let proto_virtio = run(NescConfig::prototype(), DiskKind::Virtio, bs, qd);
+        let gen3_nesc = run(NescConfig::gen3(), DiskKind::NescDirect, bs, qd);
+        let gen3_virtio = run(NescConfig::gen3(), DiskKind::Virtio, bs, qd);
+        rows.push(vec![
+            format!("{}", bs / 1024),
+            fmt(proto_nesc),
+            fmt(gen3_nesc),
+            format!("{:.2}", gen3_nesc / proto_nesc),
+            format!("{:.2}", proto_nesc / proto_virtio),
+            format!("{:.2}", gen3_nesc / gen3_virtio),
+        ]);
+        json.push(serde_json::json!({
+            "block_kb": bs / 1024,
+            "prototype_nesc_mbps": proto_nesc,
+            "gen3_nesc_mbps": gen3_nesc,
+            "gen3_vs_prototype": gen3_nesc / proto_nesc,
+            "prototype_speedup_vs_virtio": proto_nesc / proto_virtio,
+            "gen3_speedup_vs_virtio": gen3_nesc / gen3_virtio,
+        }));
+    }
+    print_table(
+        "Pipelined read bandwidth (MB/s)",
+        &[
+            "KB",
+            "proto NeSC",
+            "gen3 NeSC",
+            "gen3/proto",
+            "proto vs virtio",
+            "gen3 vs virtio",
+        ],
+        &rows,
+    );
+    println!("\nheadline: on a commercial-class device the NeSC advantage *grows*,");
+    println!("because the fixed software overheads it removes are an ever larger");
+    println!("fraction of each request — the paper's closing argument.");
+    emit_json("extension_gen3", &serde_json::json!({ "points": json }));
+}

@@ -1,0 +1,114 @@
+//! Fig. 10 — raw bandwidth for reads (top) and writes (bottom) across
+//! block sizes, on all four paths.
+//!
+//! Paper results being reproduced: "for reads smaller than 16KB, NeSC
+//! obtained bandwidth close to that of the baseline and outperforms virtio
+//! by over 2.5×"; "NeSC's write bandwidth is consistently and
+//! substantially better than virtio and emulation, peaking at over 3× for
+//! 32KB block sizes"; "for very large block sizes (over 2MB), the
+//! bandwidths delivered by NeSC and virtio converge".
+//!
+//! The sweep therefore covers the figure's 512 B – 32 KiB range plus
+//! 256 KiB and 2 MiB rows for the convergence claim. dd runs O_DIRECT
+//! style (one request outstanding), as in the paper's raw-device
+//! measurement.
+
+use nesc_bench::{all_paths, emit_json, fmt, paper_block_sizes, print_table, standard_system};
+use nesc_storage::BlockOp;
+use nesc_workloads::{Dd, DdMode};
+
+const IMAGE_BYTES: u64 = 256 << 20;
+const TOTAL_PER_POINT: u64 = 8 << 20; // bytes moved per measured point
+
+fn sweep_sizes() -> Vec<u64> {
+    let mut v = paper_block_sizes();
+    v.push(256 * 1024);
+    v.push(2 * 1024 * 1024);
+    v
+}
+
+fn measure(op: BlockOp) -> Vec<Vec<f64>> {
+    let sizes = sweep_sizes();
+    let mut per_path = Vec::new();
+    for (kind, _) in all_paths() {
+        let (mut sys, _vm, disk) = standard_system(kind, IMAGE_BYTES);
+        let mut mbps = Vec::new();
+        for &bs in &sizes {
+            let count = (TOTAL_PER_POINT / bs).max(4);
+            let rep = Dd::new(op, bs, count, DdMode::Sync).run(&mut sys, disk);
+            mbps.push(rep.mbps());
+        }
+        per_path.push(mbps);
+    }
+    per_path
+}
+
+fn rows_for(sizes: &[u64], per_path: &[Vec<f64>]) -> Vec<Vec<String>> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &bs)| {
+            let label = if bs < 1024 {
+                format!("{:.1}", bs as f64 / 1024.0)
+            } else {
+                format!("{}", bs / 1024)
+            };
+            let mut row = vec![label];
+            for p in per_path {
+                row.push(fmt(p[i]));
+            }
+            row
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Fig. 10 reproduction: raw bandwidth (MB/s) vs block size (KB)");
+    let sizes = sweep_sizes();
+    let labels: Vec<&str> = all_paths().iter().map(|&(_, l)| l).collect();
+    let mut headers = vec!["KB"];
+    headers.extend(&labels);
+
+    let read = measure(BlockOp::Read);
+    print_table("Read bandwidth [MB/s]", &headers, &rows_for(&sizes, &read));
+    let write = measure(BlockOp::Write);
+    print_table("Write bandwidth [MB/s]", &headers, &rows_for(&sizes, &write));
+
+    // Headline claims. Column order matches all_paths(): NeSC, virtio,
+    // Emulation, Host.
+    let at = |data: &[Vec<f64>], bs: u64, path: usize| {
+        let i = sizes.iter().position(|&s| s == bs).unwrap();
+        data[path][i]
+    };
+    println!("\nheadline:");
+    println!(
+        "  read 8KB   NeSC/virtio: {:.2}x (paper: >2.5x below 16KB)",
+        at(&read, 8192, 0) / at(&read, 8192, 1)
+    );
+    println!(
+        "  write 32KB NeSC/virtio: {:.2}x (paper: ~3x peak)",
+        at(&write, 32768, 0) / at(&write, 32768, 1)
+    );
+    println!(
+        "  write 32KB NeSC/emulation: {:.2}x (paper: ~6x)",
+        at(&write, 32768, 0) / at(&write, 32768, 2)
+    );
+    println!(
+        "  read 2MB   NeSC/virtio: {:.2}x (paper: converged ~1x)",
+        at(&read, 2 * 1024 * 1024, 0) / at(&read, 2 * 1024 * 1024, 1)
+    );
+    println!(
+        "  read 32KB  NeSC/host: {:.2}x (paper: ~0.9x)",
+        at(&read, 32768, 0) / at(&read, 32768, 3)
+    );
+
+    emit_json(
+        "fig10_bandwidth",
+        &serde_json::json!({
+            "block_sizes": sizes,
+            "paths": labels,
+            "read_mbps": read,
+            "write_mbps": write,
+        }),
+    );
+}

@@ -1,0 +1,82 @@
+//! Fig. 2 — the motivating experiment: raw write speedup of direct device
+//! assignment over virtio as a function of device bandwidth.
+//!
+//! Paper methodology (§II): "We have emulated such devices by throttling
+//! the bandwidth of an in-memory storage device (ramdisk). Notably, due to
+//! OS overhead incurred by its software layers, the ramdisk bandwidth
+//! peaks at 3.6GB/s." The figure shows the speedup rising from ~1× on slow
+//! devices to roughly 2× for multi-GB/s devices.
+//!
+//! Reproduction: a fast-device configuration (gen3 link, ramdisk-class DMA
+//! engine) whose *medium* is throttled to the target bandwidth, written
+//! sequentially with page-cache-style merged 512 KiB requests and a small
+//! queue depth — buffered `dd` behaviour. The direct path's ceiling
+//! emerges from the guest software stack's per-page cost (the "ramdisk
+//! peaks at 3.6 GB/s" effect), the virtio path's from the host backend
+//! thread.
+
+use nesc_bench::{emit_json, fmt, print_table};
+use nesc_core::NescConfig;
+use nesc_hypervisor::{DiskKind, SoftwareCosts, System};
+use nesc_storage::BlockOp;
+
+const IMAGE_BYTES: u64 = 256 << 20;
+const REQ_BYTES: u64 = 512 * 1024; // elevator-merged buffered writes
+const QD: usize = 4;
+const TOTAL: u64 = 64 << 20;
+
+/// A "future fast device": gen3 link, DMA engines that keep up, DRAM
+/// medium throttled per sweep point.
+fn fast_device() -> NescConfig {
+    let mut cfg = NescConfig::gen3();
+    cfg.capacity_blocks = (IMAGE_BYTES * 2) / 1024;
+    cfg
+}
+
+fn run(kind: DiskKind, throttle: u64) -> f64 {
+    let mut sys = System::new(fast_device(), SoftwareCosts::calibrated());
+    let (_vm, disk) = sys.quick_disk(kind, "fig2.img", IMAGE_BYTES);
+    sys.device_mut().set_media_throttle(Some(throttle));
+    let res = sys.stream(disk, BlockOp::Write, 0, TOTAL, REQ_BYTES, QD);
+    res.mbps
+}
+
+fn main() {
+    println!("Fig. 2 reproduction: direct-assignment speedup over virtio vs device bandwidth");
+    let points_mb: Vec<u64> = vec![500, 1000, 1500, 2000, 2500, 3000, 3600, 4500, 6000];
+    let mut rows = Vec::new();
+    let mut json_points = Vec::new();
+    for &mb in &points_mb {
+        let direct = run(DiskKind::NescDirect, mb * 1_000_000);
+        let virtio = run(DiskKind::Virtio, mb * 1_000_000);
+        let speedup = direct / virtio;
+        rows.push(vec![
+            format!("{mb}"),
+            fmt(direct),
+            fmt(virtio),
+            format!("{speedup:.2}"),
+        ]);
+        json_points.push(serde_json::json!({
+            "device_mbps": mb,
+            "direct_mbps": direct,
+            "virtio_mbps": virtio,
+            "speedup": speedup,
+        }));
+    }
+    print_table(
+        "Sequential write throughput",
+        &["device MB/s", "direct MB/s", "virtio MB/s", "speedup"],
+        &rows,
+    );
+    let first: f64 = rows.first().unwrap()[3].parse().unwrap();
+    let last: f64 = rows.last().unwrap()[3].parse().unwrap();
+    println!("\nheadline: speedup grows {first:.2}x -> {last:.2}x across the sweep");
+    println!("          (paper: ~1x on slow devices, ~2x for multi-GB/s devices)");
+    let direct_peak: f64 = rows.last().unwrap()[1].parse().unwrap();
+    println!(
+        "          direct-path software ceiling: {:.1} GB/s (paper ramdisk: 3.6 GB/s)",
+        direct_peak / 1000.0
+    );
+
+    emit_json("fig2_direct_speedup", &serde_json::json!({ "points": json_points }));
+}

@@ -1,0 +1,133 @@
+#![warn(missing_docs)]
+
+//! Shared helpers for the figure-regeneration harnesses.
+//!
+//! Every table and figure in the NeSC paper's evaluation (§VII) has a
+//! binary in `src/bin/` that regenerates it against the simulated system:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig2_direct_speedup` | Fig. 2 — direct-assignment speedup over virtio vs. device bandwidth |
+//! | `fig9_latency` | Fig. 9 — raw access latency vs. block size, all paths |
+//! | `fig10_bandwidth` | Fig. 10 — raw bandwidth vs. block size, all paths |
+//! | `fig11_fs_overhead` | Fig. 11 — filesystem overhead on write latency |
+//! | `fig12_apps` | Fig. 12a/b — application speedups |
+//! | `table1_platform` | Table I — experimental platform |
+//! | `table2_benchmarks` | Table II — benchmark list |
+//! | `ablation_btlb` | BTLB size sweep (design choice, §V-B) |
+//! | `ablation_walk_overlap` | walk-unit overlap on/off (§V-B) |
+//! | `ablation_tree_depth` | extent-tree depth vs. translation cost (§IV-B) |
+//! | `ablation_scheduler` | round-robin fairness across VFs (§V-A) |
+//!
+//! Each binary prints a human-readable table and writes machine-readable
+//! JSON under `results/`.
+
+use std::fs;
+use std::path::Path;
+
+use nesc_core::NescConfig;
+use nesc_hypervisor::{DiskId, DiskKind, SoftwareCosts, System, VmId};
+
+/// Builds the standard experimental system: the VC707-calibrated device
+/// (with the prototype's trampoline-copy pessimism, as measured in the
+/// paper) and one disk of `size_bytes` on the requested path.
+pub fn standard_system(kind: DiskKind, size_bytes: u64) -> (System, VmId, DiskId) {
+    let cfg = NescConfig::prototype();
+    let mut sys = System::new(cfg, SoftwareCosts::calibrated_with_trampoline());
+    let (vm, disk) = sys.quick_disk(kind, "bench.img", size_bytes);
+    (sys, vm, disk)
+}
+
+/// The four paths the paper compares, with its labels.
+pub fn all_paths() -> [(DiskKind, &'static str); 4] {
+    [
+        (DiskKind::NescDirect, "NeSC"),
+        (DiskKind::Virtio, "virtio"),
+        (DiskKind::Emulated, "Emulation"),
+        (DiskKind::HostRaw, "Host"),
+    ]
+}
+
+/// The block sizes of the paper's Figs. 9–11 sweeps (512 B – 32 KiB).
+pub fn paper_block_sizes() -> Vec<u64> {
+    vec![512, 1024, 2048, 4096, 8192, 16384, 32768]
+}
+
+/// Prints a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map(String::len).unwrap_or(0))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for r in rows {
+        line(r.clone());
+    }
+}
+
+/// Writes a JSON document under `results/<name>.json`.
+pub fn emit_json(name: &str, value: &serde_json::Value) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if let Ok(s) = serde_json::to_string_pretty(value) {
+            let _ = fs::write(&path, s);
+            println!("\n[results written to {}]", path.display());
+        }
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_system_builds_every_path() {
+        for (kind, _) in all_paths() {
+            let (sys, _, disk) = standard_system(kind, 4 << 20);
+            assert_eq!(sys.disk_kind(disk), kind);
+        }
+    }
+
+    #[test]
+    fn block_sizes_match_paper_range() {
+        let sizes = paper_block_sizes();
+        assert_eq!(*sizes.first().unwrap(), 512);
+        assert_eq!(*sizes.last().unwrap(), 32768);
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(123.456), "123");
+        assert_eq!(fmt(12.34), "12.3");
+        assert_eq!(fmt(1.234), "1.23");
+    }
+}

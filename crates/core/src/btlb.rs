@@ -1,0 +1,234 @@
+//! The block translation lookaside buffer.
+//!
+//! "Given that storage access exhibits spatial locality, and extents
+//! typically span more than one block, the translation unit maintains a
+//! small cache of the last 8 extents used in translation" (paper §V-B).
+//! Entries are whole *extents*, not single blocks, so one entry covers an
+//! arbitrarily long sequential stream; eviction is FIFO ("evicting the
+//! oldest entry").
+//!
+//! The PF can flush the BTLB "to preserve meta-data consistency" when the
+//! hypervisor rewrites mappings (e.g. block deduplication); the device
+//! model also flushes a single function's entries when its tree root is
+//! replaced.
+
+use nesc_extent::{ExtentMapping, Plba, Vlba};
+
+/// A cached translation, tagged by the owning function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BtlbEntry {
+    func: u16,
+    extent: ExtentMapping,
+}
+
+/// Fixed-capacity, FIFO-evicting extent cache.
+///
+/// # Example
+///
+/// ```
+/// use nesc_core::Btlb;
+/// use nesc_extent::{ExtentMapping, Vlba, Plba};
+///
+/// let mut btlb = Btlb::new(2);
+/// btlb.insert(0, ExtentMapping::new(Vlba(0), Plba(100), 8));
+/// assert_eq!(btlb.lookup(0, Vlba(5)), Some(Plba(105)));
+/// assert_eq!(btlb.lookup(1, Vlba(5)), None); // other functions never hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btlb {
+    entries: Vec<BtlbEntry>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Btlb {
+    /// Creates a BTLB with `capacity` entries. A capacity of zero is
+    /// allowed (the BTLB-ablation configuration: every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        Btlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `vlba` for function `func`; returns the physical block on a
+    /// hit and records hit/miss statistics.
+    pub fn lookup(&mut self, func: u16, vlba: Vlba) -> Option<Plba> {
+        match self
+            .entries
+            .iter()
+            .find(|e| e.func == func && e.extent.contains(vlba))
+        {
+            Some(e) => {
+                self.hits += 1;
+                e.extent.translate(vlba)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly walked extent, evicting the oldest entry when
+    /// full. Duplicate coverage is not inserted twice.
+    pub fn insert(&mut self, func: u16, extent: ExtentMapping) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self
+            .entries
+            .iter()
+            .any(|e| e.func == func && e.extent == extent)
+        {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(BtlbEntry { func, extent });
+    }
+
+    /// Drops every entry (the PF-initiated global flush).
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Drops one function's entries (tree-root replacement).
+    pub fn flush_func(&mut self, func: u16) {
+        self.entries.retain(|e| e.func != func);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit fraction over all lookups (0 if none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ext(l: u64, p: u64, n: u64) -> ExtentMapping {
+        ExtentMapping::new(Vlba(l), Plba(p), n)
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut b = Btlb::new(2);
+        b.insert(0, ext(0, 100, 1));
+        b.insert(0, ext(10, 200, 1));
+        b.insert(0, ext(20, 300, 1)); // evicts the (0,100) entry
+        assert_eq!(b.lookup(0, Vlba(0)), None);
+        assert_eq!(b.lookup(0, Vlba(10)), Some(Plba(200)));
+        assert_eq!(b.lookup(0, Vlba(20)), Some(Plba(300)));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn per_function_isolation() {
+        let mut b = Btlb::new(8);
+        b.insert(3, ext(0, 500, 4));
+        assert_eq!(b.lookup(3, Vlba(2)), Some(Plba(502)));
+        assert_eq!(b.lookup(4, Vlba(2)), None);
+        b.flush_func(3);
+        assert_eq!(b.lookup(3, Vlba(2)), None);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn flush_all_clears() {
+        let mut b = Btlb::new(8);
+        b.insert(0, ext(0, 1, 1));
+        b.insert(1, ext(0, 2, 1));
+        b.flush_all();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut b = Btlb::new(0);
+        b.insert(0, ext(0, 1, 100));
+        assert_eq!(b.lookup(0, Vlba(0)), None);
+        assert_eq!(b.hits(), 0);
+        assert_eq!(b.misses(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_ignored() {
+        let mut b = Btlb::new(4);
+        b.insert(0, ext(0, 1, 4));
+        b.insert(0, ext(0, 1, 4));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn hit_rate_accounting() {
+        let mut b = Btlb::new(4);
+        assert_eq!(b.hit_rate(), 0.0);
+        b.insert(0, ext(0, 10, 2));
+        b.lookup(0, Vlba(0)); // hit
+        b.lookup(0, Vlba(1)); // hit
+        b.lookup(0, Vlba(2)); // miss
+        assert_eq!(b.hits(), 2);
+        assert_eq!(b.misses(), 1);
+        assert!((b.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// The BTLB never returns a translation that differs from the
+        /// extent it was given — a cache can go stale only by explicit
+        /// invalidation bugs, never corrupt.
+        #[test]
+        fn prop_translations_faithful(
+            inserts in proptest::collection::vec((0u16..4, 0u64..1000, 0u64..1000, 1u64..64), 1..40),
+            probes in proptest::collection::vec((0u16..4, 0u64..1100), 1..60),
+        ) {
+            let mut b = Btlb::new(8);
+            let mut reference: Vec<(u16, ExtentMapping)> = Vec::new();
+            for &(f, l, p, n) in &inserts {
+                let e = ext(l, p, n);
+                b.insert(f, e);
+                reference.push((f, e));
+            }
+            for &(f, v) in &probes {
+                if let Some(plba) = b.lookup(f, Vlba(v)) {
+                    // Some inserted extent for this function justifies it.
+                    let justified = reference
+                        .iter()
+                        .any(|&(rf, re)| rf == f && re.translate(Vlba(v)) == Some(plba));
+                    prop_assert!(justified, "unjustified hit {:?} for func {}", plba, f);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-function control registers.
+//!
+//! Each function (PF and VFs alike) exposes a 2048-byte register window in
+//! its BAR, backed by one shared SRAM array in the device (paper §V: "the
+//! prototype uses a single 130KB SRAM array (2048B per function)"). The
+//! NeSC-specific registers and their offsets:
+//!
+//! | offset | size | register        |
+//! |--------|------|-----------------|
+//! | 0x00   | 8    | `ExtentTreeRoot` — host address of the VF's tree root |
+//! | 0x08   | 8    | `MissAddress`    — vLBA (bytes) of a stalled write miss |
+//! | 0x10   | 4    | `MissSize`       — bytes the host must allocate |
+//! | 0x14   | 4    | `RewalkTree`     — host writes 1 to un-stall the VF |
+//! | 0x18   | 8    | `DeviceSize`     — virtual device size in blocks |
+//! | 0x20   | 8    | `RingBase`       — host address of the command ring |
+//! | 0x28   | 4    | `RingEntries`    — ring slots (power of two) |
+//! | 0x2C   | 4    | `RingTail`       — doorbell: producer index |
+//!
+//! MMIO access is offset-based so the hypervisor/guest drivers in the
+//! `nesc-hypervisor` crate interact with the device exactly like a real
+//! driver pokes a BAR.
+
+/// Byte size of one function's register window.
+pub const REG_WINDOW_BYTES: u64 = 2048;
+
+/// Register offsets within a function's window.
+pub mod offsets {
+    /// `ExtentTreeRoot` (8 bytes).
+    pub const EXTENT_TREE_ROOT: u64 = 0x00;
+    /// `MissAddress` (8 bytes).
+    pub const MISS_ADDRESS: u64 = 0x08;
+    /// `MissSize` (4 bytes).
+    pub const MISS_SIZE: u64 = 0x10;
+    /// `RewalkTree` (4 bytes).
+    pub const REWALK_TREE: u64 = 0x14;
+    /// `DeviceSize` in blocks (8 bytes).
+    pub const DEVICE_SIZE: u64 = 0x18;
+    /// `RingBase` (8 bytes): host address of the command ring.
+    pub const RING_BASE: u64 = 0x20;
+    /// `RingEntries` (4 bytes): descriptor slots, power of two.
+    pub const RING_ENTRIES: u64 = 0x28;
+    /// `RingTail` (4 bytes): doorbell — the driver's producer index.
+    pub const RING_TAIL: u64 = 0x2C;
+}
+
+/// The register file of one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FunctionRegisters {
+    /// Host address of the extent tree root (set by the hypervisor at VF
+    /// creation, updated on tree rebuilds).
+    pub extent_tree_root: u64,
+    /// vLBA byte address of the access that missed (device-set).
+    pub miss_address: u64,
+    /// Bytes of unmapped space starting at `miss_address` (device-set).
+    pub miss_size: u32,
+    /// Host writes 1 to re-issue stalled requests to the walk unit.
+    pub rewalk_tree: u32,
+    /// Virtual device size in 1 KiB blocks.
+    pub device_size_blocks: u64,
+    /// Host address of the command ring (0 = ring not configured).
+    pub ring_base: u64,
+    /// Command-ring slots (power of two).
+    pub ring_entries: u32,
+}
+
+impl FunctionRegisters {
+    /// Fresh register file for a new function.
+    pub fn new(extent_tree_root: u64, device_size_blocks: u64) -> Self {
+        FunctionRegisters {
+            extent_tree_root,
+            device_size_blocks,
+            ..Default::default()
+        }
+    }
+
+    /// MMIO read at a window offset. Unknown offsets read as zero (like
+    /// reserved PCIe register space).
+    pub fn mmio_read(&self, offset: u64) -> u64 {
+        match offset {
+            offsets::EXTENT_TREE_ROOT => self.extent_tree_root,
+            offsets::MISS_ADDRESS => self.miss_address,
+            offsets::MISS_SIZE => self.miss_size as u64,
+            offsets::REWALK_TREE => self.rewalk_tree as u64,
+            offsets::DEVICE_SIZE => self.device_size_blocks,
+            offsets::RING_BASE => self.ring_base,
+            offsets::RING_ENTRIES => self.ring_entries as u64,
+            _ => 0,
+        }
+    }
+
+    /// MMIO write at a window offset; returns `true` if the write hit the
+    /// `RewalkTree` trigger (the device acts on it). Device-owned registers
+    /// (`MissAddress`, `MissSize`) ignore host writes.
+    pub fn mmio_write(&mut self, offset: u64, value: u64) -> bool {
+        match offset {
+            offsets::EXTENT_TREE_ROOT => {
+                self.extent_tree_root = value;
+                false
+            }
+            offsets::REWALK_TREE => {
+                self.rewalk_tree = value as u32;
+                value == 1
+            }
+            offsets::DEVICE_SIZE => {
+                self.device_size_blocks = value;
+                false
+            }
+            offsets::RING_BASE => {
+                self.ring_base = value;
+                false
+            }
+            offsets::RING_ENTRIES => {
+                self.ring_entries = value as u32;
+                false
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_host_writable_registers() {
+        let mut r = FunctionRegisters::new(0x1000, 64);
+        assert_eq!(r.mmio_read(offsets::EXTENT_TREE_ROOT), 0x1000);
+        assert_eq!(r.mmio_read(offsets::DEVICE_SIZE), 64);
+        r.mmio_write(offsets::EXTENT_TREE_ROOT, 0x2000);
+        assert_eq!(r.extent_tree_root, 0x2000);
+        r.mmio_write(offsets::DEVICE_SIZE, 128);
+        assert_eq!(r.device_size_blocks, 128);
+    }
+
+    #[test]
+    fn rewalk_trigger_detected() {
+        let mut r = FunctionRegisters::default();
+        assert!(!r.mmio_write(offsets::REWALK_TREE, 0));
+        assert!(r.mmio_write(offsets::REWALK_TREE, 1));
+        assert_eq!(r.rewalk_tree, 1);
+    }
+
+    #[test]
+    fn device_owned_registers_ignore_writes() {
+        let mut r = FunctionRegisters {
+            miss_address: 0xAAAA,
+            miss_size: 4096,
+            ..Default::default()
+        };
+        assert!(!r.mmio_write(offsets::MISS_ADDRESS, 0));
+        assert!(!r.mmio_write(offsets::MISS_SIZE, 0));
+        assert_eq!(r.miss_address, 0xAAAA);
+        assert_eq!(r.miss_size, 4096);
+    }
+
+    #[test]
+    fn ring_registers_roundtrip() {
+        let mut r = FunctionRegisters::default();
+        r.mmio_write(offsets::RING_BASE, 0xB000);
+        r.mmio_write(offsets::RING_ENTRIES, 256);
+        assert_eq!(r.mmio_read(offsets::RING_BASE), 0xB000);
+        assert_eq!(r.mmio_read(offsets::RING_ENTRIES), 256);
+    }
+
+    #[test]
+    fn reserved_space_reads_zero() {
+        let r = FunctionRegisters::default();
+        assert_eq!(r.mmio_read(0x100), 0);
+        assert_eq!(r.mmio_read(REG_WINDOW_BYTES - 8), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Device statistics.
+//!
+//! Counters the benchmark harnesses and ablation studies read out:
+//! translation behaviour (walks, levels, BTLB hits), data movement, and
+//! miss-interrupt traffic.
+
+/// Cumulative counters of one [`NescDevice`][crate::NescDevice].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Requests completed successfully.
+    pub requests_completed: u64,
+    /// Requests completed with an error status.
+    pub requests_failed: u64,
+    /// 1 KiB blocks read from the medium.
+    pub blocks_read: u64,
+    /// 1 KiB blocks written to the medium.
+    pub blocks_written: u64,
+    /// Hole reads served by zero-fill DMA (no media access).
+    pub zero_fill_blocks: u64,
+    /// Block walks executed (BTLB misses that reached the walk unit).
+    pub walks: u64,
+    /// Total tree levels traversed across all walks (each level is one
+    /// host-memory DMA).
+    pub walk_levels: u64,
+    /// Write-miss / pruned-mapping interrupts raised to the hypervisor.
+    pub miss_interrupts: u64,
+    /// Requests the PF pushed through the out-of-band channel.
+    pub oob_requests: u64,
+}
+
+impl DeviceStats {
+    /// Mean levels per walk (0 if no walk happened) — the depth the
+    /// translation actually paid, used by the tree-depth ablation.
+    pub fn mean_walk_depth(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.walk_levels as f64 / self.walks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_walk_depth_handles_empty() {
+        assert_eq!(DeviceStats::default().mean_walk_depth(), 0.0);
+        let s = DeviceStats {
+            walks: 4,
+            walk_levels: 10,
+            ..Default::default()
+        };
+        assert!((s.mean_walk_depth() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Per-request pipeline traces.
+//!
+//! When tracing is enabled ([`NescDevice::set_tracing`]), the device
+//! records one [`RequestTrace`] per completed request: when it arrived,
+//! when the multiplexer dispatched it, when it completed, and how its
+//! translation went (BTLB hits vs walks, whether it stalled on a miss).
+//! This is the observability a driver developer gets from a real
+//! controller's debug counters, and what the tree-depth and BTLB
+//! harnesses use to attribute time.
+//!
+//! [`NescDevice::set_tracing`]: crate::NescDevice::set_tracing
+
+use nesc_sim::{SimDuration, SimTime};
+use nesc_storage::{BlockOp, RequestId};
+
+use crate::device::{CompletionStatus, FuncId};
+
+/// The recorded life of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// Request identity.
+    pub id: RequestId,
+    /// The function it was submitted to.
+    pub func: FuncId,
+    /// Read or write.
+    pub op: BlockOp,
+    /// First logical block.
+    pub lba: u64,
+    /// Blocks covered.
+    pub blocks: u64,
+    /// When the doorbell delivered it to the device.
+    pub arrived: SimTime,
+    /// When processing began (multiplexer dispatch / OOB accept).
+    pub dispatched: SimTime,
+    /// When the completion was signalled.
+    pub completed: SimTime,
+    /// Block walks this request triggered.
+    pub walks: u32,
+    /// BTLB hits this request enjoyed.
+    pub btlb_hits: u32,
+    /// Whether the request stalled on a translation miss at least once.
+    pub stalled: bool,
+    /// Final status.
+    pub status: CompletionStatus,
+}
+
+impl RequestTrace {
+    /// Total device-observed latency.
+    pub fn latency(&self) -> SimDuration {
+        self.completed.saturating_since(self.arrived)
+    }
+
+    /// Time spent queued before dispatch.
+    pub fn queueing(&self) -> SimDuration {
+        self.dispatched.saturating_since(self.arrived)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_durations() {
+        let t = RequestTrace {
+            id: RequestId(1),
+            func: FuncId(1),
+            op: BlockOp::Read,
+            lba: 0,
+            blocks: 4,
+            arrived: SimTime::from_nanos(100),
+            dispatched: SimTime::from_nanos(250),
+            completed: SimTime::from_nanos(1_100),
+            walks: 1,
+            btlb_hits: 3,
+            stalled: false,
+            status: CompletionStatus::Ok,
+        };
+        assert_eq!(t.latency().as_nanos(), 1_000);
+        assert_eq!(t.queueing().as_nanos(), 150);
+    }
+}

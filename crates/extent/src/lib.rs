@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Extent trees: the vLBA→pLBA mapping structure at the heart of NeSC.
+//!
+//! NeSC associates every virtual function with a *software-defined,
+//! hardware-traversed* extent tree (paper §IV-B, Fig. 4). The hypervisor
+//! builds the tree in host memory from the host filesystem's own per-file
+//! extents; the device walks it with DMA reads to translate each client
+//! block address, enforcing isolation purely by construction — a VF simply
+//! has no way to name a physical block outside its tree.
+//!
+//! This crate implements both halves:
+//!
+//! * [`ExtentTree`] — the software (builder) representation the hypervisor
+//!   maintains: insert/lookup/merge of [`ExtentMapping`]s, hole semantics,
+//!   and serialization into the device-visible format.
+//! * [`walk()`] — the device's view: given only a root pointer and a
+//!   [`HostMemory`][nesc_pcie::HostMemory], traverse serialized nodes
+//!   exactly as the block-walk unit does, reporting how many levels (=DMA
+//!   round trips) the walk took, whether it hit a mapping, a hole, or a
+//!   pruned subtree.
+//!
+//! The serialized layout ([`layout`]) mirrors ext4's extent trees: fixed
+//! 512-byte nodes whose header says whether entries are node pointers or
+//! extent pointers; node-pointer entries carry `(first logical block,
+//! blocks covered, child pointer)` and a NULL child pointer marks a pruned
+//! subtree (paper: "the hypervisor can prune parts of the extent tree and
+//! mark the pruned sections by storing NULL in their respective Next Node
+//! Pointer").
+
+pub mod layout;
+pub mod tree;
+pub mod types;
+pub mod walk;
+
+pub use layout::{NodeKind, FANOUT, NODE_SIZE};
+pub use tree::{ExtentTree, InsertError};
+pub use types::{ExtentMapping, Plba, Vlba};
+pub use walk::{prune_covering, walk, WalkOutcome, WalkResult};

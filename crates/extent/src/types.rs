@@ -1,0 +1,198 @@
+//! Address and mapping types.
+//!
+//! The paper names three address spaces (§IV-B): *vLBA* — logical block
+//! addresses of a virtual device as seen by the client VM; *pLBA* — logical
+//! block addresses on the physical device; and the translation between them.
+//! Newtypes keep the two from ever being mixed up at compile time.
+
+use std::fmt;
+
+/// A virtual logical block address: an offset, in 1 KiB blocks, into a
+/// virtual device (equivalently, into the backing file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vlba(pub u64);
+
+/// A physical logical block address: a block on the physical device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Plba(pub u64);
+
+impl Vlba {
+    /// The address `n` blocks after this one.
+    pub fn offset(self, n: u64) -> Vlba {
+        Vlba(self.0 + n)
+    }
+
+    /// Blocks from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    pub fn distance_from(self, earlier: Vlba) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("vLBA distance underflow")
+    }
+}
+
+impl Plba {
+    /// The address `n` blocks after this one.
+    pub fn offset(self, n: u64) -> Plba {
+        Plba(self.0 + n)
+    }
+}
+
+impl fmt::Display for Vlba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Plba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One extent: `len` contiguous virtual blocks starting at `logical` mapped
+/// to contiguous physical blocks starting at `physical`.
+///
+/// # Example
+///
+/// ```
+/// use nesc_extent::{ExtentMapping, Vlba, Plba};
+/// let e = ExtentMapping::new(Vlba(100), Plba(5000), 16);
+/// assert!(e.contains(Vlba(100)) && e.contains(Vlba(115)));
+/// assert!(!e.contains(Vlba(116)));
+/// assert_eq!(e.translate(Vlba(103)), Some(Plba(5003)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExtentMapping {
+    /// First virtual block covered.
+    pub logical: Vlba,
+    /// First physical block of the extent.
+    pub physical: Plba,
+    /// Extent length in blocks.
+    pub len: u64,
+}
+
+impl ExtentMapping {
+    /// Creates an extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(logical: Vlba, physical: Plba, len: u64) -> Self {
+        assert!(len > 0, "extents cover at least one block");
+        ExtentMapping {
+            logical,
+            physical,
+            len,
+        }
+    }
+
+    /// One past the last virtual block covered.
+    pub fn end_logical(&self) -> Vlba {
+        self.logical.offset(self.len)
+    }
+
+    /// One past the last physical block covered.
+    pub fn end_physical(&self) -> Plba {
+        self.physical.offset(self.len)
+    }
+
+    /// Whether `v` falls inside this extent.
+    pub fn contains(&self, v: Vlba) -> bool {
+        v >= self.logical && v < self.end_logical()
+    }
+
+    /// Translates `v` to its physical block, if covered.
+    pub fn translate(&self, v: Vlba) -> Option<Plba> {
+        if self.contains(v) {
+            Some(self.physical.offset(v.distance_from(self.logical)))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `other` continues this extent exactly (logically and
+    /// physically adjacent), so the two can merge into one.
+    pub fn abuts(&self, other: &ExtentMapping) -> bool {
+        self.end_logical() == other.logical && self.end_physical() == other.physical
+    }
+
+    /// Whether the logical ranges of two extents overlap.
+    pub fn overlaps_logical(&self, other: &ExtentMapping) -> bool {
+        self.logical < other.end_logical() && other.logical < self.end_logical()
+    }
+}
+
+impl fmt::Display for ExtentMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}..{}) -> [{}..{})",
+            self.logical.0,
+            self.end_logical().0,
+            self.physical.0,
+            self.end_physical().0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn translate_offsets_correctly() {
+        let e = ExtentMapping::new(Vlba(10), Plba(90), 5);
+        assert_eq!(e.translate(Vlba(10)), Some(Plba(90)));
+        assert_eq!(e.translate(Vlba(14)), Some(Plba(94)));
+        assert_eq!(e.translate(Vlba(15)), None);
+        assert_eq!(e.translate(Vlba(9)), None);
+    }
+
+    #[test]
+    fn abutting_detection() {
+        let a = ExtentMapping::new(Vlba(0), Plba(100), 4);
+        let b = ExtentMapping::new(Vlba(4), Plba(104), 4);
+        let c = ExtentMapping::new(Vlba(4), Plba(200), 4); // logically adjacent only
+        assert!(a.abuts(&b));
+        assert!(!a.abuts(&c));
+        assert!(!b.abuts(&a));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = ExtentMapping::new(Vlba(0), Plba(0), 10);
+        let b = ExtentMapping::new(Vlba(9), Plba(100), 1);
+        let c = ExtentMapping::new(Vlba(10), Plba(100), 1);
+        assert!(a.overlaps_logical(&b));
+        assert!(!a.overlaps_logical(&c));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Vlba(3).to_string(), "v3");
+        assert_eq!(Plba(4).to_string(), "p4");
+        assert_eq!(
+            ExtentMapping::new(Vlba(0), Plba(8), 2).to_string(),
+            "[0..2) -> [8..10)"
+        );
+    }
+
+    proptest! {
+        /// translate() is a bijection between the logical and physical ranges.
+        #[test]
+        fn prop_translate_bijective(start in 0u64..1_000, phys in 0u64..1_000, len in 1u64..500) {
+            let e = ExtentMapping::new(Vlba(start), Plba(phys), len);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..len {
+                let p = e.translate(Vlba(start + i)).unwrap();
+                prop_assert!(seen.insert(p));
+                prop_assert!(p >= Plba(phys) && p < e.end_physical());
+            }
+        }
+    }
+}

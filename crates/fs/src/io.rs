@@ -1,0 +1,127 @@
+//! Block I/O abstraction.
+//!
+//! The filesystem reads and writes data through [`BlockIo`], so the same
+//! code serves two roles in the reproduction: the *hypervisor's* filesystem
+//! runs over the raw physical device, and a *guest's* filesystem runs over
+//! whatever virtual disk its VM was given. A blanket implementation is
+//! provided for [`BlockStore`].
+
+use nesc_storage::{BlockStore, BLOCK_SIZE};
+
+/// Error performing block I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// Access beyond the end of the device.
+    OutOfRange {
+        /// Offending block address.
+        lba: u64,
+        /// Device capacity in blocks.
+        capacity: u64,
+    },
+    /// The buffer length did not equal the block size.
+    BadLength {
+        /// Provided buffer length.
+        len: usize,
+    },
+    /// The backend refused the operation (e.g. a write failure signalled by
+    /// a storage controller out of space).
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::OutOfRange { lba, capacity } => {
+                write!(f, "block {lba} out of range (capacity {capacity})")
+            }
+            IoError::BadLength { len } => {
+                write!(f, "buffer is {len} bytes, expected {BLOCK_SIZE}")
+            }
+            IoError::Failed { reason } => write!(f, "I/O failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// A 1 KiB-block random-access device.
+pub trait BlockIo {
+    /// Device capacity in blocks.
+    fn capacity_blocks(&self) -> u64;
+
+    /// Reads one block.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::OutOfRange`] if `lba` is beyond the capacity.
+    fn read_block(&mut self, lba: u64) -> Result<Vec<u8>, IoError>;
+
+    /// Writes one block.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::OutOfRange`] / [`IoError::BadLength`] on bad arguments;
+    /// [`IoError::Failed`] if the backend rejects the write.
+    fn write_block(&mut self, lba: u64, data: &[u8]) -> Result<(), IoError>;
+}
+
+impl BlockIo for BlockStore {
+    fn capacity_blocks(&self) -> u64 {
+        BlockStore::capacity_blocks(self)
+    }
+
+    fn read_block(&mut self, lba: u64) -> Result<Vec<u8>, IoError> {
+        BlockStore::read_block(self, lba).map_err(|_| IoError::OutOfRange {
+            lba,
+            capacity: BlockStore::capacity_blocks(self),
+        })
+    }
+
+    fn write_block(&mut self, lba: u64, data: &[u8]) -> Result<(), IoError> {
+        if data.len() != BLOCK_SIZE as usize {
+            return Err(IoError::BadLength { len: data.len() });
+        }
+        BlockStore::write_block(self, lba, data).map_err(|_| IoError::OutOfRange {
+            lba,
+            capacity: BlockStore::capacity_blocks(self),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blockstore_impl_roundtrips() {
+        let mut store = BlockStore::new(8);
+        let data = vec![9u8; BLOCK_SIZE as usize];
+        BlockIo::write_block(&mut store, 2, &data).unwrap();
+        assert_eq!(BlockIo::read_block(&mut store, 2).unwrap(), data);
+        assert_eq!(BlockIo::capacity_blocks(&store), 8);
+    }
+
+    #[test]
+    fn blockstore_impl_surfaces_errors() {
+        let mut store = BlockStore::new(2);
+        assert!(matches!(
+            BlockIo::read_block(&mut store, 5),
+            Err(IoError::OutOfRange { lba: 5, .. })
+        ));
+        assert!(matches!(
+            BlockIo::write_block(&mut store, 0, &[1, 2]),
+            Err(IoError::BadLength { len: 2 })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = IoError::Failed {
+            reason: "quota".into(),
+        };
+        assert!(e.to_string().contains("quota"));
+    }
+}

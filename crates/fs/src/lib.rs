@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Host filesystem substrate for the NeSC reproduction.
+//!
+//! NeSC is *filesystem-agnostic*, but it consumes something only a real
+//! filesystem can produce: a per-file logical-to-physical extent mapping
+//! ("this stage typically consists of translating the filesystem's own
+//! per-file extent tree to the NeSC tree format", paper §IV-C). The
+//! evaluation also runs every benchmark "through an underlying ext4
+//! filesystem" on both the host and the guest.
+//!
+//! This crate is that substrate: an ext4-flavoured, extent-based filesystem
+//! with
+//!
+//! * a bitmap **block allocator** ([`alloc`]) that serves contiguous runs
+//!   with goal hints (so files are mostly-contiguous and extent trees stay
+//!   shallow, exactly the property NeSC exploits);
+//! * **inodes** whose file-offset→block mapping *is* an
+//!   [`ExtentTree`][nesc_extent::ExtentTree] — `fiemap()` hands the mapping
+//!   straight to the hypervisor for VF creation;
+//! * **lazy allocation** and POSIX hole semantics (unwritten ranges read as
+//!   zeros);
+//! * a **metadata journal** ([`journal`]) with commit/checkpoint/replay,
+//!   which both prices metadata updates for the timing model and lets the
+//!   test suite exercise crash recovery and the paper's *nested journaling*
+//!   discussion (§IV-D);
+//! * a minimal flat **namespace** (create/lookup/unlink).
+//!
+//! Data moves through the [`BlockIo`] trait so the same filesystem code
+//! runs over the raw device (hypervisor use) and over any virtual disk
+//! (guest use).
+
+pub mod alloc;
+pub mod dedup;
+pub mod fs;
+pub mod inode;
+pub mod io;
+pub mod journal;
+
+pub use alloc::BitmapAllocator;
+pub use dedup::DedupReport;
+pub use fs::{Filesystem, FsError, Ino};
+pub use inode::Inode;
+pub use io::{BlockIo, IoError};
+pub use journal::{CommitInfo, Journal, JournalRecord};

@@ -1,0 +1,161 @@
+//! Calibrated software-layer CPU costs.
+//!
+//! The paper's §II argument is that as devices reach multi-GB/s, the
+//! *software* layers — the guest's replicated I/O stack, the
+//! vmexit/vmenter traps, the hypervisor's own filesystem and block layers —
+//! become the bottleneck. This module prices those layers.
+//!
+//! Calibration anchors (from the paper's own measurements, §VII):
+//!
+//! * small-block latency: NeSC ≈ host; virtio ≈ 6× NeSC; emulation ≈ 20×
+//!   NeSC (Fig. 9) — sets the per-kick, per-trap and backend costs;
+//! * filesystem overhead: +40 µs on NeSC, +170 µs on virtio (Fig. 11) —
+//!   sets the guest journal/allocation costs and their amplification
+//!   through the paravirtual path;
+//! * the host ramdisk software ceiling of 3.6 GB/s (Fig. 2) — sets the
+//!   per-page stack cost (~1.1 µs per 4 KiB).
+
+use nesc_sim::SimDuration;
+
+/// Per-layer CPU costs of the virtualization stack.
+#[derive(Debug, Clone)]
+pub struct SoftwareCosts {
+    /// Guest I/O stack (VFS + block layer + IO scheduler + driver) fixed
+    /// cost to submit one request.
+    pub guest_stack_submit: SimDuration,
+    /// Guest-side completion handling (IRQ + block layer unwinding).
+    pub guest_stack_complete: SimDuration,
+    /// Guest per-4 KiB-page handling (page cache, sg-list assembly). This
+    /// is what caps a ramdisk around 3.6 GB/s in Fig. 2.
+    pub guest_per_page: SimDuration,
+
+    /// One virtqueue kick: vmexit + waking the host I/O thread.
+    pub vmexit_kick: SimDuration,
+    /// Host backend fixed cost per request (virtio parse, bio submit).
+    pub host_backend_request: SimDuration,
+    /// Host per-4 KiB-page handling along the paravirtual path.
+    pub host_per_page: SimDuration,
+    /// Host filesystem lookup to map an image-file offset (per request).
+    pub host_fs_map: SimDuration,
+    /// Extra host filesystem work on writes (allocation checks, ordered
+    /// metadata) along the paravirtual path.
+    pub host_fs_write_extra: SimDuration,
+    /// Guest↔host bounce-copy bandwidth.
+    pub memcpy_bytes_per_sec: u64,
+    /// Injecting a completion interrupt into the guest (vmenter).
+    pub interrupt_inject: SimDuration,
+
+    /// Cost of one trapped MMIO access under full emulation.
+    pub emulation_trap: SimDuration,
+    /// Trapped MMIO accesses per request under full emulation.
+    pub emulation_traps_per_request: u32,
+    /// QEMU device-model CPU per emulated request.
+    pub emulation_device_cpu: SimDuration,
+
+    /// Hypervisor's NeSC write-miss handler: query the filesystem,
+    /// allocate, rebuild the extent tree, poke `RewalkTree`.
+    pub miss_handler: SimDuration,
+    /// MSI delivery to a guest with direct assignment (posted interrupt).
+    pub direct_interrupt: SimDuration,
+
+    /// Guest filesystem CPU per metadata-journaling operation (Fig. 11's
+    /// in-guest component).
+    pub guest_fs_op_cpu: SimDuration,
+
+    /// The prototype's trampoline buffers (its FPGA's VFs are invisible to
+    /// the IOMMU, so VMs copy via a shared buffer, §VI): when set, direct
+    /// path transfers pay an extra copy at this bandwidth.
+    pub trampoline_bytes_per_sec: Option<u64>,
+}
+
+impl SoftwareCosts {
+    /// Costs calibrated to the paper's experimental platform (Sandy Bridge
+    /// Xeon, QEMU/KVM, Linux 3.13 guests).
+    pub fn calibrated() -> Self {
+        SoftwareCosts {
+            guest_stack_submit: SimDuration::from_nanos(2_000),
+            guest_stack_complete: SimDuration::from_nanos(1_000),
+            guest_per_page: SimDuration::from_nanos(1_200),
+            vmexit_kick: SimDuration::from_nanos(26_000),
+            host_backend_request: SimDuration::from_nanos(5_000),
+            host_per_page: SimDuration::from_nanos(2_000),
+            host_fs_map: SimDuration::from_nanos(4_000),
+            host_fs_write_extra: SimDuration::from_nanos(20_000),
+            memcpy_bytes_per_sec: 10_000_000_000,
+            interrupt_inject: SimDuration::from_nanos(6_000),
+            emulation_trap: SimDuration::from_nanos(20_000),
+            emulation_traps_per_request: 6,
+            emulation_device_cpu: SimDuration::from_nanos(30_000),
+            miss_handler: SimDuration::from_nanos(15_000),
+            direct_interrupt: SimDuration::from_nanos(1_000),
+            guest_fs_op_cpu: SimDuration::from_nanos(22_000),
+            trampoline_bytes_per_sec: None,
+        }
+    }
+
+    /// The calibrated costs plus the prototype's pessimistic trampoline
+    /// copies (what the paper actually measured on the VC707).
+    pub fn calibrated_with_trampoline() -> Self {
+        SoftwareCosts {
+            trampoline_bytes_per_sec: Some(8_000_000_000),
+            ..SoftwareCosts::calibrated()
+        }
+    }
+
+    /// Fixed (size-independent) extra latency of the virtio path over the
+    /// direct path — useful for sanity checks and documentation.
+    pub fn virtio_fixed_overhead(&self) -> SimDuration {
+        self.vmexit_kick + self.host_backend_request + self.host_fs_map + self.interrupt_inject
+    }
+
+    /// Fixed extra latency of the emulation path over the direct path.
+    pub fn emulation_fixed_overhead(&self) -> SimDuration {
+        self.emulation_trap * self.emulation_traps_per_request as u64
+            + self.emulation_device_cpu
+            + self.host_backend_request
+            + self.host_fs_map
+            + self.interrupt_inject
+    }
+}
+
+impl Default for SoftwareCosts {
+    fn default() -> Self {
+        SoftwareCosts::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_orders_the_paths() {
+        let c = SoftwareCosts::calibrated();
+        // Emulation must cost several times virtio, which must dwarf the
+        // direct path's couple of microseconds of guest stack.
+        assert!(c.emulation_fixed_overhead() > c.virtio_fixed_overhead() * 3);
+        assert!(c.virtio_fixed_overhead() > c.guest_stack_submit * 10);
+    }
+
+    #[test]
+    fn virtio_overhead_magnitude_matches_paper() {
+        // Fig. 9/11: virtio raw ≈ NeSC + ~40 µs for small blocks.
+        let c = SoftwareCosts::calibrated();
+        let us = c.virtio_fixed_overhead().as_micros_f64();
+        assert!((30.0..60.0).contains(&us), "virtio overhead {us} us");
+    }
+
+    #[test]
+    fn trampoline_preset_sets_bandwidth() {
+        assert!(SoftwareCosts::calibrated().trampoline_bytes_per_sec.is_none());
+        assert!(SoftwareCosts::calibrated_with_trampoline()
+            .trampoline_bytes_per_sec
+            .is_some());
+    }
+
+    #[test]
+    fn default_is_calibrated() {
+        let d = SoftwareCosts::default();
+        assert_eq!(d.vmexit_kick, SoftwareCosts::calibrated().vmexit_kick);
+    }
+}

@@ -1,0 +1,350 @@
+//! The guest's own filesystem on its virtual disk.
+//!
+//! Every benchmark in the paper "used the virtual device through an
+//! underlying ext4 filesystem" in the guest (§VI), and Fig. 11 measures
+//! precisely the overhead that guest filesystem adds on each path. This
+//! module runs the same extent-based filesystem the host uses (crate
+//! `nesc-fs`) *inside* the guest, over any attached virtual disk — the
+//! *nested filesystem* arrangement.
+//!
+//! Costs charged per operation:
+//!
+//! * guest filesystem CPU (allocation, journal bookkeeping) on the vCPU;
+//! * the data I/O itself, issued run-by-run to the virtual disk;
+//! * when metadata changed, a journal descriptor + commit-block write into
+//!   the disk's reserved metadata region — the writes whose cost gets
+//!   amplified ~4× when each of them has to cross the virtio path instead
+//!   of a directly-assigned VF (the heart of Fig. 11).
+//!
+//! The *nested journaling* remedy the paper discusses (§IV-D) is exposed
+//! as [`GuestFilesystem::set_journal_data`]: with data journaling on, data
+//! is written twice (journal + home location), which the nested-journaling
+//! ablation uses.
+
+use nesc_extent::Vlba;
+use nesc_fs::{Filesystem, FsError, Ino};
+use nesc_sim::SimDuration;
+use nesc_storage::BLOCK_SIZE;
+
+use crate::system::{DiskId, System, VmId};
+
+/// A guest-side filesystem mounted on a virtual disk.
+#[derive(Debug)]
+pub struct GuestFilesystem {
+    fs: Filesystem,
+    vm: VmId,
+    disk: DiskId,
+    /// Rotating cursor within the reserved metadata region for journal
+    /// writes.
+    journal_cursor: u64,
+    journal_area_blocks: u64,
+    /// If true, file data is also journaled (ext4 `data=journal`), the
+    /// doubly-logging configuration nested journaling warns about.
+    journal_data: bool,
+}
+
+impl GuestFilesystem {
+    /// Formats a filesystem over the whole virtual disk (`mkfs` in the
+    /// guest).
+    pub fn mkfs(system: &System, vm: VmId, disk: DiskId) -> Self {
+        let blocks = system.disk_size_blocks(disk);
+        let fs = Filesystem::format(blocks);
+        let journal_area_blocks = fs.metadata_blocks();
+        GuestFilesystem {
+            fs,
+            vm,
+            disk,
+            journal_cursor: 1,
+            journal_area_blocks,
+            journal_data: false,
+        }
+    }
+
+    /// Enables/disables guest data journaling (`data=journal` vs the
+    /// default `data=ordered`).
+    pub fn set_journal_data(&mut self, on: bool) {
+        self.journal_data = on;
+    }
+
+    /// The wrapped filesystem (metadata inspection in tests).
+    pub fn fs(&self) -> &Filesystem {
+        &self.fs
+    }
+
+    /// The VM this filesystem runs in.
+    pub fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    /// The virtual disk it is mounted on.
+    pub fn disk(&self) -> DiskId {
+        self.disk
+    }
+
+    /// Creates a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FsError`] (duplicate names).
+    pub fn create(&mut self, system: &mut System, name: &str) -> Result<Ino, FsError> {
+        let ino = self.fs.create(name)?;
+        system.charge_vcpu(self.vm, system.costs().guest_fs_op_cpu);
+        self.commit_journal(system, 64);
+        Ok(ino)
+    }
+
+    /// Removes a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FsError::NotFound`].
+    pub fn unlink(&mut self, system: &mut System, name: &str) -> Result<(), FsError> {
+        self.fs.unlink(name)?;
+        system.charge_vcpu(self.vm, system.costs().guest_fs_op_cpu);
+        self.commit_journal(system, 64);
+        Ok(())
+    }
+
+    /// Looks a file up.
+    pub fn lookup(&self, name: &str) -> Option<Ino> {
+        self.fs.lookup(name)
+    }
+
+    /// File size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadInode`] for stale inodes.
+    pub fn size_bytes(&self, ino: Ino) -> Result<u64, FsError> {
+        self.fs.size_bytes(ino)
+    }
+
+    /// Writes through the filesystem: allocation + data I/O + journal
+    /// commit. Returns the operation's total latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures ([`FsError::NoSpace`]).
+    pub fn write(
+        &mut self,
+        system: &mut System,
+        ino: Ino,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<SimDuration, FsError> {
+        let start = system.now();
+        // Filesystem CPU: mapping lookup, allocator, journal bookkeeping.
+        system.charge_vcpu(self.vm, system.costs().guest_fs_op_cpu);
+        // Allocate (lazily) the covering blocks inside the guest FS.
+        let first = offset / BLOCK_SIZE;
+        let last = (offset + data.len().max(1) as u64 - 1) / BLOCK_SIZE;
+        let stats = self.fs.allocate_range(ino, Vlba(first), last - first + 1)?;
+        // Grow the size when writing past EOF (journaled metadata).
+        let end = offset + data.len() as u64;
+        let mut journal_bytes = stats.journal_bytes;
+        if end > self.fs.size_bytes(ino)? {
+            journal_bytes += self.fs.truncate(ino, end)?.journal_bytes;
+        }
+        // Data I/O, one virtual-disk write per physically-contiguous run.
+        let mut cursor = 0usize;
+        while cursor < data.len() {
+            let file_block = (offset + cursor as u64) / BLOCK_SIZE;
+            let e = self
+                .fs
+                .extent_tree(ino)?
+                .lookup(Vlba(file_block))
+                .expect("range was just allocated");
+            let run_end_byte = e.end_logical().0 * BLOCK_SIZE;
+            let n = ((run_end_byte - (offset + cursor as u64)) as usize)
+                .min(data.len() - cursor);
+            let disk_byte = e
+                .translate(Vlba(file_block))
+                .expect("covered")
+                .0
+                * BLOCK_SIZE
+                + (offset + cursor as u64) % BLOCK_SIZE;
+            system.write(self.disk, disk_byte, &data[cursor..cursor + n]);
+            cursor += n;
+        }
+        // Data journaling doubles the data write.
+        if self.journal_data {
+            self.journal_write(system, data.len() as u64);
+        }
+        // Metadata journal: descriptor + commit block when anything
+        // changed.
+        if journal_bytes > 0 {
+            self.commit_journal(system, journal_bytes);
+        }
+        Ok(system.now() - start)
+    }
+
+    /// Reads through the filesystem; holes return zeros without touching
+    /// the disk. Returns `(data, latency)`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadInode`] for stale inodes.
+    pub fn read(
+        &mut self,
+        system: &mut System,
+        ino: Ino,
+        offset: u64,
+        len: usize,
+    ) -> Result<(Vec<u8>, SimDuration), FsError> {
+        let start = system.now();
+        system.charge_vcpu(self.vm, system.costs().guest_fs_op_cpu / 2);
+        let size = self.fs.size_bytes(ino)?;
+        if offset >= size {
+            return Ok((Vec::new(), system.now() - start));
+        }
+        let len = len.min((size - offset) as usize);
+        let mut out = vec![0u8; len];
+        let mut cursor = 0usize;
+        while cursor < len {
+            let file_block = (offset + cursor as u64) / BLOCK_SIZE;
+            match self.fs.extent_tree(ino)?.lookup(Vlba(file_block)) {
+                Some(e) => {
+                    let run_end_byte = e.end_logical().0 * BLOCK_SIZE;
+                    let n = ((run_end_byte - (offset + cursor as u64)) as usize)
+                        .min(len - cursor);
+                    let disk_byte = e.translate(Vlba(file_block)).expect("covered").0
+                        * BLOCK_SIZE
+                        + (offset + cursor as u64) % BLOCK_SIZE;
+                    system.read(self.disk, disk_byte, &mut out[cursor..cursor + n]);
+                    cursor += n;
+                }
+                None => {
+                    // Hole: zeros, no disk I/O.
+                    let hole_end = (file_block + 1) * BLOCK_SIZE;
+                    let n = ((hole_end - (offset + cursor as u64)) as usize)
+                        .min(len - cursor);
+                    cursor += n;
+                }
+            }
+        }
+        Ok((out, system.now() - start))
+    }
+
+    /// Journal commit: a descriptor write and a commit-block write into
+    /// the reserved metadata region.
+    fn commit_journal(&mut self, system: &mut System, bytes: u64) {
+        // One descriptor block per 4 KiB of records (almost always one),
+        // plus the commit block.
+        let blocks = bytes.div_ceil(4096).max(1) + 1;
+        for _ in 0..blocks {
+            let lba = 1 + (self.journal_cursor % (self.journal_area_blocks - 1));
+            self.journal_cursor += 1;
+            system.write(self.disk, lba * BLOCK_SIZE, &[0u8; BLOCK_SIZE as usize]);
+        }
+    }
+
+    /// Data-journal write of `bytes` into the journal region.
+    fn journal_write(&mut self, system: &mut System, bytes: u64) {
+        let blocks = bytes.div_ceil(BLOCK_SIZE).max(1);
+        for _ in 0..blocks {
+            let lba = 1 + (self.journal_cursor % (self.journal_area_blocks - 1));
+            self.journal_cursor += 1;
+            system.write(self.disk, lba * BLOCK_SIZE, &[0u8; BLOCK_SIZE as usize]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::SoftwareCosts;
+    use crate::system::DiskKind;
+    use nesc_core::NescConfig;
+
+    fn system() -> System {
+        let mut cfg = NescConfig::prototype();
+        cfg.capacity_blocks = 64 * 1024;
+        System::new(cfg, SoftwareCosts::calibrated())
+    }
+
+    #[test]
+    fn guest_fs_roundtrip_over_direct_disk() {
+        let mut sys = system();
+        let (vm, disk) = sys.quick_disk(DiskKind::NescDirect, "g.img", 8 << 20);
+        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+        let f = gfs.create(&mut sys, "hello.txt").unwrap();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        gfs.write(&mut sys, f, 123, &data).unwrap();
+        let (got, _) = gfs.read(&mut sys, f, 123, data.len()).unwrap();
+        assert_eq!(got, data);
+        assert_eq!(gfs.size_bytes(f).unwrap(), 123 + data.len() as u64);
+    }
+
+    #[test]
+    fn fs_overhead_smaller_on_direct_than_virtio() {
+        // The essence of Fig. 11: the same guest filesystem costs much
+        // more over virtio because its journal writes cross the slow path.
+        let mut overhead = Vec::new();
+        for (kind, name) in [(DiskKind::NescDirect, "d.img"), (DiskKind::Virtio, "v.img")] {
+            let mut sys = system();
+            let (vm, disk) = sys.quick_disk(kind, name, 8 << 20);
+            // Raw write latency (steady state).
+            sys.write(disk, 1 << 20, &[0u8; 4096]);
+            let raw = sys.write(disk, 1 << 20, &[1u8; 4096]);
+            // Filesystem write latency (allocating fresh blocks so the
+            // journal is active, as in the paper's measurement).
+            let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+            let f = gfs.create(&mut sys, "x").unwrap();
+            let fs_lat = gfs.write(&mut sys, f, 0, &[2u8; 4096]).unwrap();
+            overhead.push((fs_lat - raw.min(fs_lat)).as_micros_f64());
+        }
+        let (direct, virtio) = (overhead[0], overhead[1]);
+        assert!(
+            virtio > direct * 2.5,
+            "virtio FS overhead ({virtio:.0}us) must dwarf direct ({direct:.0}us)"
+        );
+        // Magnitudes in the Fig. 11 ballpark.
+        assert!((10.0..120.0).contains(&direct), "direct overhead {direct:.0}us");
+        assert!((80.0..400.0).contains(&virtio), "virtio overhead {virtio:.0}us");
+    }
+
+    #[test]
+    fn data_journaling_doubles_data_writes() {
+        let mut sys = system();
+        let (vm, disk) = sys.quick_disk(DiskKind::NescDirect, "j.img", 8 << 20);
+        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+        gfs.set_journal_data(true);
+        let f = gfs.create(&mut sys, "x").unwrap();
+        let with_dj = gfs.write(&mut sys, f, 0, &[0u8; 16384]).unwrap();
+
+        let mut sys2 = system();
+        let (vm2, disk2) = sys2.quick_disk(DiskKind::NescDirect, "j2.img", 8 << 20);
+        let mut gfs2 = GuestFilesystem::mkfs(&sys2, vm2, disk2);
+        let f2 = gfs2.create(&mut sys2, "x").unwrap();
+        let without = gfs2.write(&mut sys2, f2, 0, &[0u8; 16384]).unwrap();
+        assert!(
+            with_dj > without + SimDuration::from_micros(10),
+            "data journaling must cost extra ({with_dj} vs {without})"
+        );
+    }
+
+    #[test]
+    fn holes_read_zero_without_io() {
+        let mut sys = system();
+        let (vm, disk) = sys.quick_disk(DiskKind::NescDirect, "h.img", 8 << 20);
+        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+        let f = gfs.create(&mut sys, "sparse").unwrap();
+        gfs.write(&mut sys, f, 100 * BLOCK_SIZE, b"tail").unwrap();
+        let before = sys.device().stats().blocks_read;
+        let (got, _) = gfs.read(&mut sys, f, 0, 4096).unwrap();
+        assert!(got.iter().all(|&b| b == 0));
+        assert_eq!(sys.device().stats().blocks_read, before, "no device reads for holes");
+    }
+
+    #[test]
+    fn unlink_then_lookup_fails() {
+        let mut sys = system();
+        let (vm, disk) = sys.quick_disk(DiskKind::NescDirect, "u.img", 8 << 20);
+        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+        gfs.create(&mut sys, "a").unwrap();
+        assert!(gfs.lookup("a").is_some());
+        gfs.unlink(&mut sys, "a").unwrap();
+        assert!(gfs.lookup("a").is_none());
+        assert!(gfs.unlink(&mut sys, "a").is_err());
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Hypervisor, guest VMs, and the storage virtualization paths.
+//!
+//! This crate assembles the full evaluated system of the NeSC paper
+//! (Table I): a host whose filesystem lives on the NeSC physical function,
+//! guest VMs whose virtual disks are image files on that filesystem, and
+//! the four ways a guest (or the host itself) reaches storage that the
+//! evaluation compares (Fig. 1):
+//!
+//! | path | paper name | model |
+//! |------|------------|-------|
+//! | [`DiskKind::NescDirect`] | NeSC VF direct assignment | guest driver → doorbell → VF; misses handled by the hypervisor's allocate-and-`RewalkTree` interrupt handler |
+//! | [`DiskKind::Virtio`] | virtio | virtqueue kick → vmexit → host backend thread → host filesystem mapping → PF |
+//! | [`DiskKind::Emulated`] | full device emulation | several trapped MMIO accesses + QEMU device model per request, then the virtio host path |
+//! | [`DiskKind::HostRaw`] | Host (baseline) | the hypervisor's own stack straight to the PF |
+//!
+//! The CPU costs of every software layer are parameters ([`SoftwareCosts`])
+//! calibrated so the *relative* behaviour matches the paper's measurements
+//! (§VII): NeSC ≈ host, ~6× faster than virtio and ~20× faster than
+//! emulation at small blocks, 2.5–3× virtio's bandwidth at 32 KiB, and
+//! convergence at multi-megabyte requests.
+//!
+//! [`System`] exposes synchronous per-request I/O (latency experiments),
+//! pipelined streams (bandwidth experiments), and a guest-filesystem layer
+//! ([`GuestFilesystem`]) for the filesystem-overhead and application
+//! benchmarks.
+
+pub mod costs;
+pub mod guestfs;
+pub mod system;
+
+pub use costs::SoftwareCosts;
+pub use guestfs::GuestFilesystem;
+pub use system::{DiskId, DiskKind, StreamResult, StreamSpec, System, VmId};

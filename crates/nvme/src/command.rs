@@ -1,0 +1,259 @@
+//! Command and completion encodings.
+//!
+//! Entries are encoded to/from real bytes in host memory at NVMe's sizes
+//! (64-byte submission entries, 16-byte completion entries) with the key
+//! fields at their spec offsets:
+//!
+//! ```text
+//! SQE: [0]     opcode          CQE: [0..4]   command-specific
+//!      [2..4]  command id            [8..10]  SQ head
+//!      [4..8]  namespace id          [12..14] command id
+//!      [24..32] PRP1 (data)          [14..16] status | phase (bit 0)
+//!      [40..48] SLBA
+//!      [48..52] NLB (0-based)
+//! ```
+
+/// Supported opcodes (NVM command set subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NvmeOpcode {
+    /// `Flush` (0x00) — a barrier; completes once prior writes are durable.
+    Flush,
+    /// `Write` (0x01).
+    Write,
+    /// `Read` (0x02).
+    Read,
+}
+
+impl NvmeOpcode {
+    /// The wire opcode byte.
+    pub fn byte(self) -> u8 {
+        match self {
+            NvmeOpcode::Flush => 0x00,
+            NvmeOpcode::Write => 0x01,
+            NvmeOpcode::Read => 0x02,
+        }
+    }
+
+    /// Decodes a wire opcode.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0x00 => Some(NvmeOpcode::Flush),
+            0x01 => Some(NvmeOpcode::Write),
+            0x02 => Some(NvmeOpcode::Read),
+            _ => None,
+        }
+    }
+}
+
+/// Completion status codes (generic command set subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NvmeStatus {
+    /// Successful completion.
+    Success,
+    /// Invalid namespace or format.
+    InvalidNamespace,
+    /// LBA out of range.
+    LbaOutOfRange,
+    /// Invalid opcode field.
+    InvalidOpcode,
+    /// Capacity exceeded (thin-provisioned namespace could not allocate).
+    CapacityExceeded,
+    /// Internal device error.
+    InternalError,
+}
+
+impl NvmeStatus {
+    /// Status-field code (SC) value.
+    pub fn code(self) -> u16 {
+        match self {
+            NvmeStatus::Success => 0x00,
+            NvmeStatus::InvalidOpcode => 0x01,
+            NvmeStatus::InvalidNamespace => 0x0B,
+            NvmeStatus::LbaOutOfRange => 0x80,
+            NvmeStatus::CapacityExceeded => 0x81,
+            NvmeStatus::InternalError => 0x06,
+        }
+    }
+
+    /// Decodes a status code.
+    pub fn from_code(c: u16) -> Option<Self> {
+        match c {
+            0x00 => Some(NvmeStatus::Success),
+            0x01 => Some(NvmeStatus::InvalidOpcode),
+            0x0B => Some(NvmeStatus::InvalidNamespace),
+            0x80 => Some(NvmeStatus::LbaOutOfRange),
+            0x81 => Some(NvmeStatus::CapacityExceeded),
+            0x06 => Some(NvmeStatus::InternalError),
+            _ => None,
+        }
+    }
+
+    /// Whether the command succeeded.
+    pub fn is_success(self) -> bool {
+        self == NvmeStatus::Success
+    }
+}
+
+/// Size of a submission entry.
+pub const SQE_BYTES: u64 = 64;
+/// Size of a completion entry.
+pub const CQE_BYTES: u64 = 16;
+
+/// One submission-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmissionEntry {
+    /// Command opcode.
+    pub opcode: NvmeOpcode,
+    /// Command identifier, echoed in the completion.
+    pub cid: u16,
+    /// Target namespace (1-based, NVMe convention).
+    pub nsid: u32,
+    /// Data buffer (PRP1) in host memory.
+    pub prp1: u64,
+    /// Starting logical block (in the namespace's 1 KiB blocks).
+    pub slba: u64,
+    /// Number of logical blocks, **0-based** per the NVMe convention
+    /// (`0` means one block).
+    pub nlb: u32,
+}
+
+impl SubmissionEntry {
+    /// Number of blocks (1-based).
+    pub fn blocks(&self) -> u64 {
+        self.nlb as u64 + 1
+    }
+
+    /// Encodes into the 64-byte wire form.
+    pub fn encode(&self) -> [u8; SQE_BYTES as usize] {
+        let mut b = [0u8; SQE_BYTES as usize];
+        b[0] = self.opcode.byte();
+        b[2..4].copy_from_slice(&self.cid.to_le_bytes());
+        b[4..8].copy_from_slice(&self.nsid.to_le_bytes());
+        b[24..32].copy_from_slice(&self.prp1.to_le_bytes());
+        b[40..48].copy_from_slice(&self.slba.to_le_bytes());
+        b[48..52].copy_from_slice(&self.nlb.to_le_bytes());
+        b
+    }
+
+    /// Decodes the wire form; `None` for unknown opcodes.
+    pub fn decode(b: &[u8; SQE_BYTES as usize]) -> Option<Self> {
+        Some(SubmissionEntry {
+            opcode: NvmeOpcode::from_byte(b[0])?,
+            cid: u16::from_le_bytes([b[2], b[3]]),
+            nsid: u32::from_le_bytes(b[4..8].try_into().expect("4 bytes")),
+            prp1: u64::from_le_bytes(b[24..32].try_into().expect("8 bytes")),
+            slba: u64::from_le_bytes(b[40..48].try_into().expect("8 bytes")),
+            nlb: u32::from_le_bytes(b[48..52].try_into().expect("4 bytes")),
+        })
+    }
+}
+
+/// One completion-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionEntry {
+    /// Submission-queue head pointer at completion time.
+    pub sq_head: u16,
+    /// The completed command's identifier.
+    pub cid: u16,
+    /// Completion status.
+    pub status: NvmeStatus,
+    /// Phase tag — flips each time the queue wraps; the driver detects
+    /// new entries by watching it.
+    pub phase: bool,
+}
+
+impl CompletionEntry {
+    /// Encodes into the 16-byte wire form.
+    pub fn encode(&self) -> [u8; CQE_BYTES as usize] {
+        let mut b = [0u8; CQE_BYTES as usize];
+        b[8..10].copy_from_slice(&self.sq_head.to_le_bytes());
+        b[12..14].copy_from_slice(&self.cid.to_le_bytes());
+        let sf: u16 = (self.status.code() << 1) | self.phase as u16;
+        b[14..16].copy_from_slice(&sf.to_le_bytes());
+        b
+    }
+
+    /// Decodes the wire form; `None` for unknown status codes.
+    pub fn decode(b: &[u8; CQE_BYTES as usize]) -> Option<Self> {
+        let sf = u16::from_le_bytes([b[14], b[15]]);
+        Some(CompletionEntry {
+            sq_head: u16::from_le_bytes([b[8], b[9]]),
+            cid: u16::from_le_bytes([b[12], b[13]]),
+            status: NvmeStatus::from_code(sf >> 1)?,
+            phase: sf & 1 == 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for op in [NvmeOpcode::Flush, NvmeOpcode::Write, NvmeOpcode::Read] {
+            assert_eq!(NvmeOpcode::from_byte(op.byte()), Some(op));
+        }
+        assert_eq!(NvmeOpcode::from_byte(0x99), None);
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        for st in [
+            NvmeStatus::Success,
+            NvmeStatus::InvalidNamespace,
+            NvmeStatus::LbaOutOfRange,
+            NvmeStatus::InvalidOpcode,
+            NvmeStatus::CapacityExceeded,
+            NvmeStatus::InternalError,
+        ] {
+            assert_eq!(NvmeStatus::from_code(st.code()), Some(st));
+        }
+        assert!(NvmeStatus::Success.is_success());
+        assert!(!NvmeStatus::InternalError.is_success());
+    }
+
+    #[test]
+    fn nlb_is_zero_based() {
+        let sqe = SubmissionEntry {
+            opcode: NvmeOpcode::Read,
+            cid: 1,
+            nsid: 1,
+            prp1: 0,
+            slba: 0,
+            nlb: 0,
+        };
+        assert_eq!(sqe.blocks(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sqe_roundtrip(
+            cid in any::<u16>(),
+            nsid in 1u32..1000,
+            prp1 in any::<u64>(),
+            slba in any::<u64>(),
+            nlb in any::<u32>(),
+            op in 0u8..3,
+        ) {
+            let sqe = SubmissionEntry {
+                opcode: NvmeOpcode::from_byte(op).unwrap(),
+                cid,
+                nsid,
+                prp1,
+                slba,
+                nlb,
+            };
+            prop_assert_eq!(SubmissionEntry::decode(&sqe.encode()), Some(sqe));
+        }
+
+        #[test]
+        fn prop_cqe_roundtrip(sq_head in any::<u16>(), cid in any::<u16>(), phase in any::<bool>()) {
+            for status in [NvmeStatus::Success, NvmeStatus::LbaOutOfRange] {
+                let cqe = CompletionEntry { sq_head, cid, status, phase };
+                prop_assert_eq!(CompletionEntry::decode(&cqe.encode()), Some(cqe));
+            }
+        }
+    }
+}

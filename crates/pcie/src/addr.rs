@@ -1,0 +1,156 @@
+//! PCIe `bus:device.function` addressing.
+//!
+//! Every entity on the interconnect is identified by a BDF triplet (paper
+//! §V): 8-bit bus, 5-bit device, 3-bit function, packed into a 16-bit
+//! *routing ID*. SR-IOV virtual functions do not get their own config-space
+//! headers typed in by the OS; their routing IDs are computed from the
+//! physical function's routing ID plus the capability's `first_vf_offset`
+//! and `vf_stride`.
+//!
+//! The paper leans on the fact that "the BDF triplet is originated by the
+//! PCIe interface and is unforgeable by a virtual machine" — in this model,
+//! requests carry their `Bdf` as assigned by the interconnect, never chosen
+//! by the client.
+
+use std::fmt;
+
+/// A PCIe `bus:device.function` address.
+///
+/// # Example
+///
+/// ```
+/// use nesc_pcie::Bdf;
+/// let pf = Bdf::new(0x03, 0x00, 0);
+/// assert_eq!(pf.to_string(), "03:00.0");
+/// assert_eq!(pf.routing_id(), 0x0300);
+/// // SR-IOV: first VF at offset 1, stride 1:
+/// let vf0 = pf.offset_by(1);
+/// assert_eq!(vf0.to_string(), "03:00.1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bdf(u16);
+
+impl Bdf {
+    /// Constructs an address from its components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device >= 32` or `function >= 8`.
+    pub fn new(bus: u8, device: u8, function: u8) -> Self {
+        assert!(device < 32, "PCIe device number must be < 32");
+        assert!(function < 8, "PCIe function number must be < 8");
+        Bdf(((bus as u16) << 8) | ((device as u16) << 3) | function as u16)
+    }
+
+    /// Reconstructs an address from a 16-bit routing ID.
+    pub const fn from_routing_id(id: u16) -> Self {
+        Bdf(id)
+    }
+
+    /// The 16-bit routing ID (`bus << 8 | device << 3 | function`).
+    pub const fn routing_id(self) -> u16 {
+        self.0
+    }
+
+    /// Bus number.
+    pub const fn bus(self) -> u8 {
+        (self.0 >> 8) as u8
+    }
+
+    /// Device number (0–31).
+    pub const fn device(self) -> u8 {
+        ((self.0 >> 3) & 0x1F) as u8
+    }
+
+    /// Function number (0–7).
+    pub const fn function(self) -> u8 {
+        (self.0 & 0x7) as u8
+    }
+
+    /// Routing ID arithmetic used by SR-IOV: this address plus `offset`
+    /// routing-ID steps. VF *n* of a PF is
+    /// `pf.offset_by(first_vf_offset + n * vf_stride)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result overflows the 16-bit routing-ID space.
+    pub fn offset_by(self, offset: u16) -> Bdf {
+        Bdf(self
+            .0
+            .checked_add(offset)
+            .expect("SR-IOV routing id overflow"))
+    }
+}
+
+impl fmt::Display for Bdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}.{}",
+            self.bus(),
+            self.device(),
+            self.function()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn components_roundtrip() {
+        let bdf = Bdf::new(0xAB, 0x1F, 7);
+        assert_eq!(bdf.bus(), 0xAB);
+        assert_eq!(bdf.device(), 0x1F);
+        assert_eq!(bdf.function(), 7);
+        assert_eq!(Bdf::from_routing_id(bdf.routing_id()), bdf);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Bdf::new(0, 2, 3).to_string(), "00:02.3");
+    }
+
+    #[test]
+    #[should_panic(expected = "device number")]
+    fn rejects_bad_device() {
+        Bdf::new(0, 32, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "function number")]
+    fn rejects_bad_function() {
+        Bdf::new(0, 0, 8);
+    }
+
+    #[test]
+    fn vf_addresses_cross_function_boundary() {
+        // A PF at 03:00.0 with 64 VFs, offset 1, stride 1 spills into higher
+        // device numbers — exactly how real SR-IOV devices appear.
+        let pf = Bdf::new(3, 0, 0);
+        let vf7 = pf.offset_by(1 + 7);
+        assert_eq!(vf7.to_string(), "03:01.0");
+        let vf63 = pf.offset_by(1 + 63);
+        assert_eq!(vf63.to_string(), "03:08.0");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(bus in 0u8..=255, dev in 0u8..32, func in 0u8..8) {
+            let b = Bdf::new(bus, dev, func);
+            prop_assert_eq!(b.bus(), bus);
+            prop_assert_eq!(b.device(), dev);
+            prop_assert_eq!(b.function(), func);
+        }
+
+        #[test]
+        fn prop_offsets_distinct(off1 in 0u16..256, off2 in 0u16..256) {
+            let pf = Bdf::new(1, 0, 0);
+            if off1 != off2 {
+                prop_assert_ne!(pf.offset_by(off1), pf.offset_by(off2));
+            }
+        }
+    }
+}

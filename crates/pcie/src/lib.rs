@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! PCIe interconnect model for the NeSC reproduction.
+//!
+//! NeSC (MICRO 2016) is a PCIe storage controller that uses **SR-IOV** to
+//! expose one *physical function* (PF) plus many *virtual functions* (VFs),
+//! each with its own PCIe address, so that a hypervisor can map a VF straight
+//! into a guest VM. This crate provides the interconnect substrate that the
+//! controller model (crate `nesc-core`) plugs into:
+//!
+//! * [`Bdf`] — `bus:device.function` addressing, including the SR-IOV VF
+//!   routing-ID arithmetic.
+//! * [`HostMemory`] — the host's physical memory as a sparse page store; the
+//!   device reads extent-tree nodes and DMA buffers out of it *by content*,
+//!   exactly like the real device walks host-resident trees.
+//! * [`PcieLink`] — transaction-level timing: transfers are segmented into
+//!   TLPs with header overhead, serialized over the link's bandwidth, plus a
+//!   base round-trip latency for non-posted requests.
+//! * [`ConfigSpace`] / [`SriovCapability`] — enough configuration-space
+//!   structure for enumeration and VF enable/disable.
+//! * [`Interconnect`] — BAR address assignment and MMIO routing.
+//! * [`MsiVector`] — message-signalled interrupt identities.
+//!
+//! The model is deliberately transaction-level (not symbol-level): the
+//! paper's performance effects come from per-TLP overheads, link bandwidth,
+//! and round-trip latencies, all of which are captured here.
+
+pub mod addr;
+pub mod config;
+pub mod interconnect;
+pub mod link;
+pub mod memory;
+pub mod msi;
+
+pub use addr::Bdf;
+pub use config::{BarDesc, ConfigSpace, SriovCapability};
+pub use interconnect::{Interconnect, MmioRoute};
+pub use link::{DmaTiming, LinkGeneration, LinkParams, PcieLink};
+pub use memory::{HostAddr, HostMemory};
+pub use msi::MsiVector;

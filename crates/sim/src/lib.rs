@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation (DES) substrate for the NeSC
+//! reproduction.
+//!
+//! The NeSC paper evaluates a hardware storage controller attached to a real
+//! host. This crate provides the timing machinery used to model that system
+//! in software:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time.
+//! * [`EventQueue`] — a stable (FIFO-on-tie) min-heap of timed events; each
+//!   subsystem model drains its own typed queue, or a top-level glue loop
+//!   drains one queue of a system-wide event enum.
+//! * [`resource`] — *timeline resources*: bandwidth pipes and serial service
+//!   units that answer "if work arrives at `t`, when does it finish?" while
+//!   correctly accounting for busy periods. These model PCIe links, DMA
+//!   engines, storage media and CPU software layers.
+//! * [`stats`] — histograms, percentile summaries and throughput meters used
+//!   by the benchmark harnesses to regenerate the paper's figures.
+//! * [`rng`] — a small deterministic RNG facade plus the distributions the
+//!   workloads need (uniform, exponential, Zipf, Pareto).
+//! * [`sched`] — round-robin scheduling helpers used by the NeSC virtual
+//!   function multiplexer.
+//!
+//! Everything is single-threaded and deterministic given a seed: running the
+//! same experiment twice produces bit-identical results, which is what makes
+//! the figure-regeneration harnesses reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use nesc_sim::{EventQueue, SimTime, SimDuration};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::ZERO + SimDuration::from_micros(5), Ev::Pong);
+//! q.push(SimTime::ZERO + SimDuration::from_micros(1), Ev::Ping);
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, Ev::Ping);
+//! assert_eq!(t.as_nanos(), 1_000);
+//! ```
+
+pub mod queue;
+pub mod resource;
+pub mod rng;
+pub mod sched;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use resource::{Pipe, ServiceUnit};
+pub use rng::SimRng;
+pub use sched::RoundRobin;
+pub use stats::{Histogram, Summary, Throughput};
+pub use time::{SimDuration, SimTime};

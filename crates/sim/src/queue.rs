@@ -1,0 +1,198 @@
+//! Timed event queue.
+//!
+//! [`EventQueue`] is a min-heap keyed on [`SimTime`] with a monotonic
+//! sequence number as tie-breaker, so events scheduled for the same instant
+//! pop in FIFO order. Determinism of the whole simulation rests on this
+//! tie-breaking rule.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A deterministic min-heap of `(time, event)` pairs.
+///
+/// Ties on `time` are broken by insertion order (FIFO), which keeps runs
+/// reproducible regardless of heap internals.
+///
+/// # Example
+///
+/// ```
+/// use nesc_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(10), "late");
+/// q.push(SimTime::from_nanos(10), "later"); // same instant, FIFO after "late"
+/// q.push(SimTime::from_nanos(1), "early");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert_eq!(q.pop().unwrap().1, "later");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `now`. Useful for lock-step co-simulation of several queues.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(5), 5);
+        q.push(SimTime::from_nanos(1), 1);
+        q.push(SimTime::from_nanos(3), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_nanos(42), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), "a");
+        q.push(SimTime::from_nanos(20), "b");
+        assert!(q.pop_due(SimTime::from_nanos(5)).is_none());
+        assert_eq!(q.pop_due(SimTime::from_nanos(10)).unwrap().1, "a");
+        assert!(q.pop_due(SimTime::from_nanos(15)).is_none());
+        assert_eq!(q.pop_due(SimTime::from_nanos(25)).unwrap().1, "b");
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.peek_time().is_none());
+    }
+
+    proptest! {
+        /// Popping always yields a non-decreasing time sequence, and ties
+        /// preserve insertion order.
+        #[test]
+        fn prop_monotonic_pop(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(t), i);
+            }
+            let mut last_time = SimTime::ZERO;
+            let mut seen_at_time: Vec<usize> = Vec::new();
+            while let Some((t, idx)) = q.pop() {
+                prop_assert!(t >= last_time);
+                if t > last_time {
+                    seen_at_time.clear();
+                }
+                // FIFO tie-break: indices at the same timestamp are increasing.
+                if let Some(&prev) = seen_at_time.last() {
+                    prop_assert!(idx > prev);
+                }
+                seen_at_time.push(idx);
+                last_time = t;
+            }
+        }
+    }
+}

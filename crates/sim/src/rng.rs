@@ -1,0 +1,236 @@
+//! Deterministic randomness for workloads.
+//!
+//! [`SimRng`] wraps a small, fast PRNG seeded explicitly, so every experiment
+//! is reproducible. It also provides the handful of distributions the
+//! paper's workloads need — uniform, exponential (think-time / inter-arrival
+//! gaps), Zipf (OLTP key popularity) and bounded Pareto (Postmark file
+//! sizes) — implemented here to avoid extra dependencies.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random number generator for simulated workloads.
+///
+/// # Example
+///
+/// ```
+/// use nesc_sim::SimRng;
+/// let mut a = SimRng::seed(7);
+/// let mut b = SimRng::seed(7);
+/// assert_eq!(a.range(0, 100), b.range(0, 100)); // same seed, same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give each simulated
+    /// client its own stream so adding clients does not perturb others.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed(s)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u = 1.0 - self.unit(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Bounded Pareto sample in `[lo, hi]` with shape `alpha`; heavy-tailed
+    /// file sizes for the Postmark workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, `lo == 0`, or `alpha <= 0`.
+    pub fn bounded_pareto(&mut self, lo: u64, hi: u64, alpha: f64) -> u64 {
+        assert!(lo > 0 && lo < hi, "invalid pareto bounds [{lo}, {hi}]");
+        assert!(alpha > 0.0, "pareto shape must be positive");
+        let (l, h) = (lo as f64, hi as f64);
+        let u = self.unit();
+        let la = l.powf(alpha);
+        let ha = h.powf(alpha);
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha);
+        (x as u64).clamp(lo, hi)
+    }
+
+    /// Pre-computed Zipf sampler over `n` items with exponent `theta`.
+    pub fn zipf(n: u64, theta: f64) -> Zipf {
+        Zipf::new(n, theta)
+    }
+}
+
+/// Zipf-distributed item sampler (rank 0 is the most popular).
+///
+/// Uses the classic cumulative-probability inversion with a precomputed
+/// table; exact (no rejection), O(log n) per sample.
+///
+/// # Example
+///
+/// ```
+/// use nesc_sim::{SimRng, rng::Zipf};
+/// let zipf = Zipf::new(1000, 0.99);
+/// let mut rng = SimRng::seed(1);
+/// let mut hits0 = 0;
+/// for _ in 0..10_000 {
+///     if zipf.sample(&mut rng) == 0 { hits0 += 1; }
+/// }
+/// assert!(hits0 > 500); // rank 0 is heavily favored
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over ranks `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one item");
+        assert!(theta >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Whether the sampler is empty (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.unit();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i as u64,
+            Err(i) => (i as u64).min(self.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SimRng::seed(42);
+        let mut b = SimRng::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.range(0, 1_000_000), b.range(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let mut root = SimRng::seed(1);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let v1: Vec<u64> = (0..8).map(|_| c1.range(0, u64::MAX)).collect();
+        let v2: Vec<u64> = (0..8).map(|_| c2.range(0, u64::MAX)).collect();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = SimRng::seed(3);
+        let n = 50_000;
+        let mean = 10.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let est = sum / n as f64;
+        assert!((est - mean).abs() < 0.3, "estimated mean {est}");
+    }
+
+    #[test]
+    fn bounded_pareto_in_bounds() {
+        let mut rng = SimRng::seed(4);
+        for _ in 0..10_000 {
+            let v = rng.bounded_pareto(512, 1_048_576, 1.1);
+            assert!((512..=1_048_576).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_is_monotone_in_popularity() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = SimRng::seed(5);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = SimRng::seed(6);
+        let mut counts = vec![0u64; 10];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(7);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

@@ -1,0 +1,123 @@
+//! Scheduling helpers.
+//!
+//! The NeSC virtual-function multiplexer "dequeues client requests in a
+//! round-robin manner in order to prevent client starvation" (paper §V-A).
+//! [`RoundRobin`] implements that pointer: given which queues are currently
+//! non-empty, it picks the next one after the last-served position.
+
+/// A round-robin pointer over `n` slots.
+///
+/// # Example
+///
+/// ```
+/// use nesc_sim::RoundRobin;
+/// let mut rr = RoundRobin::new(3);
+/// // Only slots 0 and 2 are ready:
+/// assert_eq!(rr.next(|i| i != 1), Some(0));
+/// assert_eq!(rr.next(|i| i != 1), Some(2));
+/// assert_eq!(rr.next(|i| i != 1), Some(0)); // wraps, skipping 1
+/// assert_eq!(rr.next(|_| false), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    n: usize,
+    /// Index of the slot that will be *considered first* on the next call.
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a pointer over `n` slots, starting at slot 0.
+    pub fn new(n: usize) -> Self {
+        RoundRobin { n, cursor: 0 }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Grows the slot count (new virtual functions attach at the end).
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.n {
+            self.n = n;
+        }
+    }
+
+    /// Picks the next ready slot at or after the cursor, advancing the
+    /// cursor past it; returns `None` when no slot is ready.
+    pub fn next(&mut self, ready: impl Fn(usize) -> bool) -> Option<usize> {
+        if self.n == 0 {
+            return None;
+        }
+        for off in 0..self.n {
+            let i = (self.cursor + off) % self.n;
+            if ready(i) {
+                self.cursor = (i + 1) % self.n;
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cycles_fairly() {
+        let mut rr = RoundRobin::new(4);
+        let picks: Vec<usize> = (0..8).map(|_| rr.next(|_| true).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn skips_not_ready() {
+        let mut rr = RoundRobin::new(3);
+        assert_eq!(rr.next(|i| i == 2), Some(2));
+        assert_eq!(rr.next(|i| i == 2), Some(2));
+    }
+
+    #[test]
+    fn empty_and_grow() {
+        let mut rr = RoundRobin::new(0);
+        assert!(rr.is_empty());
+        assert_eq!(rr.next(|_| true), None);
+        rr.grow_to(2);
+        assert_eq!(rr.len(), 2);
+        assert_eq!(rr.next(|_| true), Some(0));
+        rr.grow_to(1); // shrinking is a no-op
+        assert_eq!(rr.len(), 2);
+    }
+
+    proptest! {
+        /// With all slots always ready, over n*k picks every slot is chosen
+        /// exactly k times — perfect fairness.
+        #[test]
+        fn prop_perfect_fairness(n in 1usize..20, k in 1usize..20) {
+            let mut rr = RoundRobin::new(n);
+            let mut counts = vec![0usize; n];
+            for _ in 0..n * k {
+                counts[rr.next(|_| true).unwrap()] += 1;
+            }
+            prop_assert!(counts.iter().all(|&c| c == k));
+        }
+
+        /// The pointer never returns a slot the readiness predicate rejects.
+        #[test]
+        fn prop_respects_readiness(n in 1usize..16, mask in 0u32..65536, picks in 1usize..50) {
+            let mut rr = RoundRobin::new(n);
+            for _ in 0..picks {
+                if let Some(i) = rr.next(|i| mask & (1 << i) != 0) {
+                    prop_assert!(mask & (1 << i) != 0);
+                }
+            }
+        }
+    }
+}

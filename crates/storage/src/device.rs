@@ -1,0 +1,209 @@
+//! The device's persistent contents.
+//!
+//! [`BlockStore`] holds real bytes at block granularity so that isolation
+//! and hole-semantics tests can verify actual data movement, not just
+//! timing. Like host memory, it is sparse: blocks read as zeros until first
+//! written, matching a freshly-initialized device.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::request::BLOCK_SIZE;
+
+/// Sparse block-granular storage contents with a fixed capacity.
+///
+/// # Example
+///
+/// ```
+/// use nesc_storage::{BlockStore, BLOCK_SIZE};
+/// let mut store = BlockStore::new(1024); // 1 MiB device
+/// store.write_block(5, &vec![0xAA; BLOCK_SIZE as usize]).unwrap();
+/// let data = store.read_block(5).unwrap();
+/// assert!(data.iter().all(|&b| b == 0xAA));
+/// assert!(store.read_block(9999).is_err()); // beyond capacity
+/// ```
+pub struct BlockStore {
+    blocks: HashMap<u64, Box<[u8]>>,
+    capacity_blocks: u64,
+}
+
+impl fmt::Debug for BlockStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BlockStore")
+            .field("capacity_blocks", &self.capacity_blocks)
+            .field("resident_blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+/// Error accessing the block store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// The address is at or beyond the device capacity.
+    OutOfRange {
+        /// Offending block address.
+        lba: u64,
+        /// Device capacity in blocks.
+        capacity: u64,
+    },
+    /// A write buffer was not exactly one block long.
+    BadLength {
+        /// Provided length in bytes.
+        len: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::OutOfRange { lba, capacity } => {
+                write!(f, "block {lba} out of range (capacity {capacity} blocks)")
+            }
+            StoreError::BadLength { len } => {
+                write!(f, "write buffer is {len} bytes, expected {BLOCK_SIZE}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl BlockStore {
+    /// Creates an empty store of `capacity_blocks` 1 KiB blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_blocks` is zero.
+    pub fn new(capacity_blocks: u64) -> Self {
+        assert!(capacity_blocks > 0, "device needs at least one block");
+        BlockStore {
+            blocks: HashMap::new(),
+            capacity_blocks,
+        }
+    }
+
+    /// Device capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_blocks * BLOCK_SIZE
+    }
+
+    /// Reads one block; unwritten blocks read as zeros.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfRange`] if `lba` is beyond capacity.
+    pub fn read_block(&self, lba: u64) -> Result<Vec<u8>, StoreError> {
+        self.check(lba)?;
+        Ok(match self.blocks.get(&lba) {
+            Some(b) => b.to_vec(),
+            None => vec![0u8; BLOCK_SIZE as usize],
+        })
+    }
+
+    /// Writes one block.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfRange`] if `lba` is beyond capacity;
+    /// [`StoreError::BadLength`] if `data` is not exactly one block.
+    pub fn write_block(&mut self, lba: u64, data: &[u8]) -> Result<(), StoreError> {
+        self.check(lba)?;
+        if data.len() != BLOCK_SIZE as usize {
+            return Err(StoreError::BadLength { len: data.len() });
+        }
+        self.blocks.insert(lba, data.into());
+        Ok(())
+    }
+
+    /// Whether a block has ever been written.
+    pub fn is_written(&self, lba: u64) -> bool {
+        self.blocks.contains_key(&lba)
+    }
+
+    /// Number of blocks that have been written at least once.
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn check(&self, lba: u64) -> Result<(), StoreError> {
+        if lba >= self.capacity_blocks {
+            Err(StoreError::OutOfRange {
+                lba,
+                capacity: self.capacity_blocks,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let store = BlockStore::new(16);
+        assert!(store.read_block(3).unwrap().iter().all(|&b| b == 0));
+        assert!(!store.is_written(3));
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut store = BlockStore::new(16);
+        let data = vec![7u8; BLOCK_SIZE as usize];
+        store.write_block(0, &data).unwrap();
+        assert_eq!(store.read_block(0).unwrap(), data);
+        assert_eq!(store.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut store = BlockStore::new(4);
+        assert_eq!(
+            store.read_block(4).unwrap_err(),
+            StoreError::OutOfRange {
+                lba: 4,
+                capacity: 4
+            }
+        );
+        assert!(store
+            .write_block(100, &vec![0; BLOCK_SIZE as usize])
+            .is_err());
+        assert_eq!(store.capacity_bytes(), 4 * BLOCK_SIZE);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let mut store = BlockStore::new(4);
+        let err = store.write_block(0, &[1, 2, 3]).unwrap_err();
+        assert_eq!(err, StoreError::BadLength { len: 3 });
+        assert!(err.to_string().contains("3 bytes"));
+    }
+
+    proptest! {
+        /// Blocks are independent: writing one never changes another.
+        #[test]
+        fn prop_blocks_independent(
+            writes in proptest::collection::vec((0u64..64, any::<u8>()), 1..50)
+        ) {
+            let mut store = BlockStore::new(64);
+            let mut reference: std::collections::HashMap<u64, u8> = Default::default();
+            for &(lba, byte) in &writes {
+                store.write_block(lba, &vec![byte; BLOCK_SIZE as usize]).unwrap();
+                reference.insert(lba, byte);
+            }
+            for lba in 0..64 {
+                let expect = reference.get(&lba).copied().unwrap_or(0);
+                let got = store.read_block(lba).unwrap();
+                prop_assert!(got.iter().all(|&b| b == expect));
+            }
+        }
+    }
+}

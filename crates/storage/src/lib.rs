@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Storage media models for the NeSC reproduction.
+//!
+//! The NeSC prototype stores data in the 1 GB of DDR3 on the VC707 board and
+//! "does not emulate a specific access latency technology ... we simply use
+//! direct DRAM read and write latencies" (paper §VI). The paper's Fig. 2
+//! additionally sweeps an *emulated* device bandwidth by throttling a
+//! ramdisk. This crate provides:
+//!
+//! * [`BlockStore`] — the device's persistent contents as real bytes, sparse
+//!   so multi-gigabyte devices cost only what is touched;
+//! * [`Media`] — timing models: [`RamMedia`] (DRAM, optionally throttled to
+//!   a target bandwidth for the Fig. 2 sweep) and [`FlashMedia`] (a
+//!   multi-channel NAND model used by the extension studies, since the paper
+//!   positions NeSC for multi-GB/s PCIe SSDs);
+//! * [`BlockRequest`] / [`BlockOp`] — the request vocabulary shared by every
+//!   storage path in the workspace.
+//!
+//! Block granularity follows the paper: NeSC translates at 1 KiB blocks
+//! ("the smallest block size supported by ext4").
+
+pub mod device;
+pub mod media;
+pub mod request;
+
+pub use device::BlockStore;
+pub use media::{FlashMedia, Media, RamMedia};
+pub use request::{BlockOp, BlockRequest, RequestId, BLOCK_SIZE};

@@ -1,0 +1,134 @@
+//! Block-request vocabulary shared by all storage paths.
+
+use std::fmt;
+
+/// NeSC's translation granularity: 1 KiB, "the smallest block size supported
+/// by ext4" (paper §IV-C).
+pub const BLOCK_SIZE: u64 = 1024;
+
+/// Direction of a block operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockOp {
+    /// Transfer blocks from the device to host memory.
+    Read,
+    /// Transfer blocks from host memory to the device.
+    Write,
+}
+
+impl BlockOp {
+    /// Whether this is a read.
+    pub fn is_read(self) -> bool {
+        matches!(self, BlockOp::Read)
+    }
+}
+
+impl fmt::Display for BlockOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockOp::Read => write!(f, "read"),
+            BlockOp::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// Monotonic request identifier, unique within one simulated system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// One block-granular storage request as seen by a device: operate on
+/// `block_count` blocks starting at logical block `lba` of whatever address
+/// space the target exposes (virtual blocks for a VF, physical for the PF).
+///
+/// # Example
+///
+/// ```
+/// use nesc_storage::{BlockRequest, BlockOp, RequestId, BLOCK_SIZE};
+/// let r = BlockRequest::new(RequestId(1), BlockOp::Read, 10, 4);
+/// assert_eq!(r.bytes(), 4 * BLOCK_SIZE);
+/// assert_eq!(r.end_lba(), 14);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRequest {
+    /// Request identity (for completion matching).
+    pub id: RequestId,
+    /// Read or write.
+    pub op: BlockOp,
+    /// First logical block.
+    pub lba: u64,
+    /// Number of contiguous blocks.
+    pub block_count: u64,
+}
+
+impl BlockRequest {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_count` is zero.
+    pub fn new(id: RequestId, op: BlockOp, lba: u64, block_count: u64) -> Self {
+        assert!(block_count > 0, "requests must cover at least one block");
+        BlockRequest {
+            id,
+            op,
+            lba,
+            block_count,
+        }
+    }
+
+    /// Size of the request in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.block_count * BLOCK_SIZE
+    }
+
+    /// One past the last block touched.
+    pub fn end_lba(&self) -> u64 {
+        self.lba + self.block_count
+    }
+
+    /// Splits the request into per-block sub-requests, the granularity at
+    /// which NeSC translates addresses.
+    pub fn split_blocks(&self) -> impl Iterator<Item = BlockRequest> + '_ {
+        let (id, op) = (self.id, self.op);
+        (self.lba..self.end_lba()).map(move |lba| BlockRequest {
+            id,
+            op,
+            lba,
+            block_count: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_range_exactly() {
+        let r = BlockRequest::new(RequestId(7), BlockOp::Write, 100, 5);
+        let parts: Vec<_> = r.split_blocks().collect();
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts[0].lba, 100);
+        assert_eq!(parts[4].lba, 104);
+        assert!(parts.iter().all(|p| p.block_count == 1 && p.id == r.id));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        BlockRequest::new(RequestId(0), BlockOp::Read, 0, 0);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(BlockOp::Read.to_string(), "read");
+        assert_eq!(RequestId(3).to_string(), "req#3");
+        assert!(BlockOp::Read.is_read());
+        assert!(!BlockOp::Write.is_read());
+    }
+}

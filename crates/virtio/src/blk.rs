@@ -1,0 +1,315 @@
+//! virtio-blk request encoding.
+//!
+//! A virtio-blk request is a three-part descriptor chain: a 16-byte header
+//! (`type`, reserved, `sector`), the data buffers, and a one-byte status
+//! the device writes last. [`BlkRequest::build_chain`] produces the chain a
+//! guest driver would publish, and [`BlkRequest::parse_chain`] is the
+//! backend-side decode, with real header bytes moving through
+//! [`HostMemory`].
+
+use nesc_pcie::{HostAddr, HostMemory};
+
+use crate::queue::Descriptor;
+
+/// virtio-blk command type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlkRequestType {
+    /// Device-to-driver data transfer (`VIRTIO_BLK_T_IN`).
+    In,
+    /// Driver-to-device data transfer (`VIRTIO_BLK_T_OUT`).
+    Out,
+    /// Flush volatile caches (`VIRTIO_BLK_T_FLUSH`).
+    Flush,
+}
+
+impl BlkRequestType {
+    fn code(self) -> u32 {
+        match self {
+            BlkRequestType::In => 0,
+            BlkRequestType::Out => 1,
+            BlkRequestType::Flush => 4,
+        }
+    }
+
+    fn from_code(c: u32) -> Option<Self> {
+        match c {
+            0 => Some(BlkRequestType::In),
+            1 => Some(BlkRequestType::Out),
+            4 => Some(BlkRequestType::Flush),
+            _ => None,
+        }
+    }
+}
+
+/// Completion status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlkStatus {
+    /// `VIRTIO_BLK_S_OK`
+    Ok,
+    /// `VIRTIO_BLK_S_IOERR`
+    IoErr,
+    /// `VIRTIO_BLK_S_UNSUPP`
+    Unsupported,
+}
+
+impl BlkStatus {
+    /// The wire byte.
+    pub fn byte(self) -> u8 {
+        match self {
+            BlkStatus::Ok => 0,
+            BlkStatus::IoErr => 1,
+            BlkStatus::Unsupported => 2,
+        }
+    }
+
+    /// Decodes a wire byte.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(BlkStatus::Ok),
+            1 => Some(BlkStatus::IoErr),
+            2 => Some(BlkStatus::Unsupported),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded virtio-blk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlkRequest {
+    /// Command.
+    pub rtype: BlkRequestType,
+    /// First 512-byte sector (virtio-blk addresses in sectors regardless of
+    /// the backing block size).
+    pub sector: u64,
+    /// Guest data buffer.
+    pub data: HostAddr,
+    /// Data length in bytes.
+    pub len: u32,
+    /// Where the device writes the status byte.
+    pub status: HostAddr,
+}
+
+/// Chain-decoding error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The chain did not have header + (data) + status layout.
+    BadLayout,
+    /// Unknown request type code.
+    BadType {
+        /// The code found in the header.
+        code: u32,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLayout => write!(f, "malformed virtio-blk descriptor chain"),
+            ParseError::BadType { code } => write!(f, "unknown virtio-blk type {code}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl BlkRequest {
+    /// Driver side: writes the 16-byte header into guest memory at
+    /// `header_addr` and returns the descriptor chain to publish.
+    ///
+    /// For `Flush`, `data`/`len` are ignored and the chain is header +
+    /// status only.
+    pub fn build_chain(
+        &self,
+        mem: &mut HostMemory,
+        header_addr: HostAddr,
+    ) -> Vec<Descriptor> {
+        let mut header = [0u8; 16];
+        header[0..4].copy_from_slice(&self.rtype.code().to_le_bytes());
+        header[8..16].copy_from_slice(&self.sector.to_le_bytes());
+        mem.write(header_addr, &header);
+        let mut chain = vec![Descriptor {
+            addr: header_addr,
+            len: 16,
+            device_writes: false,
+        }];
+        if self.rtype != BlkRequestType::Flush {
+            chain.push(Descriptor {
+                addr: self.data,
+                len: self.len,
+                device_writes: self.rtype == BlkRequestType::In,
+            });
+        }
+        chain.push(Descriptor {
+            addr: self.status,
+            len: 1,
+            device_writes: true,
+        });
+        chain
+    }
+
+    /// Backend side: decodes a popped chain back into a request, reading
+    /// the header bytes from guest memory.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] if the chain layout or type code is invalid.
+    pub fn parse_chain(
+        mem: &HostMemory,
+        descriptors: &[Descriptor],
+    ) -> Result<BlkRequest, ParseError> {
+        let (header, rest) = descriptors.split_first().ok_or(ParseError::BadLayout)?;
+        if header.len != 16 || header.device_writes {
+            return Err(ParseError::BadLayout);
+        }
+        let bytes = mem.read_vec(header.addr, 16);
+        let code = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        let sector = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let rtype = BlkRequestType::from_code(code).ok_or(ParseError::BadType { code })?;
+        match (rtype, rest) {
+            (BlkRequestType::Flush, [status]) if status.device_writes && status.len == 1 => {
+                Ok(BlkRequest {
+                    rtype,
+                    sector,
+                    data: 0,
+                    len: 0,
+                    status: status.addr,
+                })
+            }
+            (_, [data, status]) if status.device_writes && status.len == 1 => {
+                let expect_write = rtype == BlkRequestType::In;
+                if data.device_writes != expect_write {
+                    return Err(ParseError::BadLayout);
+                }
+                Ok(BlkRequest {
+                    rtype,
+                    sector,
+                    data: data.addr,
+                    len: data.len,
+                    status: status.addr,
+                })
+            }
+            _ => Err(ParseError::BadLayout),
+        }
+    }
+
+    /// Backend side: writes the completion status byte into guest memory.
+    pub fn complete(&self, mem: &mut HostMemory, status: BlkStatus) {
+        mem.write(self.status, &[status.byte()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_request_roundtrip() {
+        let mut mem = HostMemory::new();
+        let req = BlkRequest {
+            rtype: BlkRequestType::In,
+            sector: 128,
+            data: 0x4000,
+            len: 4096,
+            status: 0x5000,
+        };
+        let chain = req.build_chain(&mut mem, 0x3000);
+        assert_eq!(chain.len(), 3);
+        assert!(chain[1].device_writes, "IN data is device-written");
+        let parsed = BlkRequest::parse_chain(&mem, &chain).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn out_request_roundtrip() {
+        let mut mem = HostMemory::new();
+        let req = BlkRequest {
+            rtype: BlkRequestType::Out,
+            sector: 7,
+            data: 0x4000,
+            len: 512,
+            status: 0x5000,
+        };
+        let chain = req.build_chain(&mut mem, 0x3000);
+        assert!(!chain[1].device_writes, "OUT data is device-read");
+        assert_eq!(BlkRequest::parse_chain(&mem, &chain).unwrap(), req);
+    }
+
+    #[test]
+    fn flush_has_no_data_descriptor() {
+        let mut mem = HostMemory::new();
+        let req = BlkRequest {
+            rtype: BlkRequestType::Flush,
+            sector: 0,
+            data: 0,
+            len: 0,
+            status: 0x5000,
+        };
+        let chain = req.build_chain(&mut mem, 0x3000);
+        assert_eq!(chain.len(), 2);
+        let parsed = BlkRequest::parse_chain(&mem, &chain).unwrap();
+        assert_eq!(parsed.rtype, BlkRequestType::Flush);
+    }
+
+    #[test]
+    fn status_byte_lands_in_memory() {
+        let mut mem = HostMemory::new();
+        let req = BlkRequest {
+            rtype: BlkRequestType::Out,
+            sector: 0,
+            data: 0x4000,
+            len: 512,
+            status: 0x5000,
+        };
+        req.complete(&mut mem, BlkStatus::IoErr);
+        assert_eq!(
+            BlkStatus::from_byte(mem.read_vec(0x5000, 1)[0]),
+            Some(BlkStatus::IoErr)
+        );
+    }
+
+    #[test]
+    fn malformed_chains_rejected() {
+        let mem = HostMemory::new();
+        assert_eq!(
+            BlkRequest::parse_chain(&mem, &[]),
+            Err(ParseError::BadLayout)
+        );
+        // Header with the wrong size.
+        let bad = [Descriptor {
+            addr: 0,
+            len: 8,
+            device_writes: false,
+        }];
+        assert_eq!(
+            BlkRequest::parse_chain(&mem, &bad),
+            Err(ParseError::BadLayout)
+        );
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut mem = HostMemory::new();
+        mem.write_u32(0x3000, 99);
+        let chain = [
+            Descriptor {
+                addr: 0x3000,
+                len: 16,
+                device_writes: false,
+            },
+            Descriptor {
+                addr: 0x4000,
+                len: 512,
+                device_writes: false,
+            },
+            Descriptor {
+                addr: 0x5000,
+                len: 1,
+                device_writes: true,
+            },
+        ];
+        assert_eq!(
+            BlkRequest::parse_chain(&mem, &chain),
+            Err(ParseError::BadType { code: 99 })
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! GNU dd.
+//!
+//! "We first evaluated read/write performance metrics (e.g., bandwidth,
+//! latency) using the dd Unix utility" (paper §VI). Two modes mirror how
+//! the paper uses it:
+//!
+//! * [`DdMode::Sync`] — one request at a time (O_DIRECT-style): the
+//!   latency measurements of Figs. 9 and 11;
+//! * [`DdMode::Pipelined`] — a queue of requests in flight (page-cache
+//!   readahead/writeback): the bandwidth measurements of Figs. 2 and 10.
+
+use nesc_hypervisor::{DiskId, System};
+use nesc_storage::BlockOp;
+
+use crate::report::WorkloadReport;
+
+/// How requests are issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DdMode {
+    /// Strictly one outstanding request (latency mode).
+    Sync,
+    /// `qd` outstanding requests (bandwidth mode).
+    Pipelined {
+        /// Queue depth.
+        qd: usize,
+    },
+}
+
+/// A dd run description.
+#[derive(Debug, Clone, Copy)]
+pub struct Dd {
+    /// Read or write.
+    pub op: BlockOp,
+    /// Block size in bytes (`bs=`).
+    pub block_bytes: u64,
+    /// Number of blocks (`count=`).
+    pub count: u64,
+    /// Issue mode.
+    pub mode: DdMode,
+    /// Starting byte offset on the device.
+    pub start_offset: u64,
+}
+
+impl Dd {
+    /// A sequential run of `count` × `block_bytes` starting at offset 0.
+    pub fn new(op: BlockOp, block_bytes: u64, count: u64, mode: DdMode) -> Self {
+        Dd {
+            op,
+            block_bytes,
+            count,
+            mode,
+            start_offset: 0,
+        }
+    }
+
+    /// Runs against a raw virtual disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is empty.
+    pub fn run(&self, system: &mut System, disk: DiskId) -> WorkloadReport {
+        assert!(self.count > 0 && self.block_bytes > 0, "empty dd run");
+        let mut report = WorkloadReport::new(format!(
+            "dd {} bs={} count={}",
+            self.op, self.block_bytes, self.count
+        ));
+        let start = system.now();
+        match self.mode {
+            DdMode::Sync => {
+                let payload = vec![0x6Du8; self.block_bytes as usize];
+                let mut read_buf = vec![0u8; self.block_bytes as usize];
+                for i in 0..self.count {
+                    let offset = self.start_offset + i * self.block_bytes;
+                    let lat = match self.op {
+                        BlockOp::Write => system.write(disk, offset, &payload),
+                        BlockOp::Read => system.read(disk, offset, &mut read_buf),
+                    };
+                    report.record(self.block_bytes, lat);
+                }
+            }
+            DdMode::Pipelined { qd } => {
+                let res = system.stream(
+                    disk,
+                    self.op,
+                    self.start_offset,
+                    self.count * self.block_bytes,
+                    self.block_bytes,
+                    qd,
+                );
+                // Stream mode reports aggregate only; per-op latency is the
+                // mean service interval.
+                for _ in 0..res.ops {
+                    report.record(self.block_bytes, res.elapsed / res.ops.max(1));
+                }
+            }
+        }
+        report.elapsed = system.now() - start;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nesc_core::NescConfig;
+    use nesc_hypervisor::{DiskKind, SoftwareCosts};
+
+    fn system() -> System {
+        let mut cfg = NescConfig::prototype();
+        cfg.capacity_blocks = 64 * 1024;
+        System::new(cfg, SoftwareCosts::calibrated())
+    }
+
+    #[test]
+    fn sync_dd_reports_per_op_latency() {
+        let mut sys = system();
+        let (_vm, disk) = sys.quick_disk(DiskKind::NescDirect, "dd.img", 8 << 20);
+        let rep = Dd::new(BlockOp::Write, 4096, 16, DdMode::Sync).run(&mut sys, disk);
+        assert_eq!(rep.ops, 16);
+        assert_eq!(rep.bytes, 16 * 4096);
+        assert!(rep.latency.count() == 16);
+        assert!(rep.mean_latency_us() > 1.0);
+    }
+
+    #[test]
+    fn pipelined_dd_faster_than_sync() {
+        let mut sys = system();
+        let (_vm, disk) = sys.quick_disk(DiskKind::NescDirect, "dd2.img", 16 << 20);
+        let sync = Dd::new(BlockOp::Read, 4096, 256, DdMode::Sync).run(&mut sys, disk);
+        let piped =
+            Dd::new(BlockOp::Read, 4096, 256, DdMode::Pipelined { qd: 16 }).run(&mut sys, disk);
+        assert!(
+            piped.mbps() > sync.mbps() * 1.5,
+            "pipelined {:.0} vs sync {:.0} MB/s",
+            piped.mbps(),
+            sync.mbps()
+        );
+    }
+
+    #[test]
+    fn dd_respects_start_offset() {
+        let mut sys = system();
+        let (_vm, disk) = sys.quick_disk(DiskKind::NescDirect, "dd3.img", 8 << 20);
+        let mut dd = Dd::new(BlockOp::Write, 1024, 4, DdMode::Sync);
+        dd.start_offset = 1 << 20;
+        dd.run(&mut sys, disk);
+        let mut buf = vec![0u8; 1024];
+        sys.read(disk, 1 << 20, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0x6D));
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Workload generators for the NeSC evaluation (paper Table II).
+//!
+//! | paper benchmark | module | what it does |
+//! |-----------------|--------|--------------|
+//! | GNU dd          | [`dd`] | sequential read/write of a raw virtual device at a given block size, synchronous (latency, Fig. 9/11) or pipelined (bandwidth, Fig. 10) |
+//! | Sysbench File I/O | [`fileio`] | a sequence of random file operations over the guest filesystem |
+//! | Postmark        | [`postmark`] | mail-server simulation: create/delete/read/append transactions over many small files |
+//! | MySQL + SysBench OLTP | [`oltp`] | a page-based relational store with a write-ahead log serving point/update transactions |
+//!
+//! All workloads are deterministic given a seed and report a common
+//! [`WorkloadReport`] (operations, bytes, latency percentiles,
+//! throughput).
+
+pub mod dd;
+pub mod fileio;
+pub mod oltp;
+pub mod postmark;
+pub mod report;
+
+pub use dd::{Dd, DdMode};
+pub use fileio::{FileIo, FileTestMode};
+pub use oltp::Oltp;
+pub use postmark::Postmark;
+pub use report::WorkloadReport;

@@ -1,0 +1,274 @@
+//! SysBench OLTP over a MySQL-style storage engine (Table II).
+//!
+//! A compact InnoDB-flavoured substrate: a table of fixed-size rows packed
+//! into 16 KiB pages stored in a table file, a buffer pool with LRU
+//! eviction (dirty pages written back on eviction), and a write-ahead log
+//! file whose commit records are flushed at transaction commit
+//! (`innodb_flush_log_at_trx_commit=1`). SysBench's OLTP mix drives it:
+//! each transaction is `point_selects` reads of Zipf-popular rows plus
+//! `updates` row updates, ending in a commit flush.
+
+use std::collections::VecDeque;
+
+use nesc_fs::Ino;
+use nesc_hypervisor::{GuestFilesystem, System};
+use nesc_sim::{rng::Zipf, SimDuration, SimRng};
+
+use crate::report::WorkloadReport;
+
+/// Database page size (InnoDB default 16 KiB).
+const PAGE_BYTES: u64 = 16 * 1024;
+/// Row size (sysbench's ~200-byte rows, padded).
+const ROW_BYTES: u64 = 256;
+/// Rows per page.
+const ROWS_PER_PAGE: u64 = PAGE_BYTES / ROW_BYTES;
+
+/// A SysBench-OLTP-style run.
+#[derive(Debug, Clone, Copy)]
+pub struct Oltp {
+    /// Rows in the table.
+    pub rows: u64,
+    /// Transactions to execute.
+    pub transactions: u64,
+    /// Point selects per transaction (sysbench default 10).
+    pub point_selects: u32,
+    /// Updates per transaction (sysbench default 2 index + 1 non-index).
+    pub updates: u32,
+    /// Buffer-pool capacity in pages (128 MB guest RAM leaves a small
+    /// pool, per Table I's 128 MB guests).
+    pub buffer_pool_pages: usize,
+    /// Zipf skew of row popularity.
+    pub zipf_theta: f64,
+    /// Query-processing CPU per transaction (parser, optimizer, executor —
+    /// MySQL work that is not I/O).
+    pub compute_per_tx: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Oltp {
+    fn default() -> Self {
+        Oltp {
+            rows: 40_000,
+            transactions: 100,
+            point_selects: 10,
+            updates: 3,
+            buffer_pool_pages: 256,
+            zipf_theta: 0.9,
+            compute_per_tx: SimDuration::from_micros(400),
+            seed: 0x014B_D00D,
+        }
+    }
+}
+
+/// The engine's runtime state over the guest filesystem.
+struct Engine {
+    table: Ino,
+    log: Ino,
+    log_tail: u64,
+    /// LRU of resident pages: front = oldest. (page_id, dirty)
+    pool: VecDeque<(u64, bool)>,
+    capacity: usize,
+    page_hits: u64,
+    page_misses: u64,
+}
+
+impl Engine {
+    fn touch(&mut self, page: u64, dirty: bool) -> bool {
+        if let Some(pos) = self.pool.iter().position(|&(p, _)| p == page) {
+            let (_, was_dirty) = self.pool.remove(pos).expect("position valid");
+            self.pool.push_back((page, dirty || was_dirty));
+            self.page_hits += 1;
+            true
+        } else {
+            self.page_misses += 1;
+            false
+        }
+    }
+
+    /// Inserts a page, returning an evicted dirty page if any.
+    fn insert(&mut self, page: u64, dirty: bool) -> Option<u64> {
+        let mut writeback = None;
+        if self.pool.len() >= self.capacity {
+            if let Some((victim, was_dirty)) = self.pool.pop_front() {
+                if was_dirty {
+                    writeback = Some(victim);
+                }
+            }
+        }
+        self.pool.push_back((page, dirty));
+        writeback
+    }
+}
+
+impl Oltp {
+    /// Creates the table and log files and bulk-loads the table
+    /// (sysbench `prepare`).
+    pub fn prepare(&self, system: &mut System, gfs: &mut GuestFilesystem) -> (Ino, Ino) {
+        let table = gfs.create(system, "ibdata_table").expect("fresh fs");
+        let log = gfs.create(system, "ib_logfile0").expect("fresh fs");
+        let pages = self.rows.div_ceil(ROWS_PER_PAGE);
+        let chunk = vec![0xDBu8; PAGE_BYTES as usize];
+        for p in 0..pages {
+            gfs.write(system, table, p * PAGE_BYTES, &chunk)
+                .expect("space for table");
+        }
+        (table, log)
+    }
+
+    /// Runs the transaction mix (sysbench `run`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-transaction configuration.
+    pub fn run(
+        &self,
+        system: &mut System,
+        gfs: &mut GuestFilesystem,
+        table: Ino,
+        log: Ino,
+    ) -> WorkloadReport {
+        assert!(self.transactions > 0 && self.rows > 0, "empty OLTP run");
+        let mut rng = SimRng::seed(self.seed);
+        let zipf = Zipf::new(self.rows, self.zipf_theta);
+        let mut engine = Engine {
+            table,
+            log,
+            log_tail: 0,
+            pool: VecDeque::new(),
+            capacity: self.buffer_pool_pages,
+            page_hits: 0,
+            page_misses: 0,
+        };
+        let mut report = WorkloadReport::new("sysbench-oltp");
+        let start = system.now();
+        let row_buf_len = ROW_BYTES as usize;
+        for _ in 0..self.transactions {
+            let t0 = system.now();
+            let mut bytes = 0u64;
+            // Query processing CPU (SQL parse/plan/execute).
+            system.charge_vcpu(gfs.vm(), self.compute_per_tx);
+            // Point selects.
+            for _ in 0..self.point_selects {
+                let row = zipf.sample(&mut rng);
+                let page = row / ROWS_PER_PAGE;
+                if !engine.touch(page, false) {
+                    let (data, _) = gfs
+                        .read(system, engine.table, page * PAGE_BYTES, PAGE_BYTES as usize)
+                        .expect("table page");
+                    bytes += data.len() as u64;
+                    if let Some(victim) = engine.insert(page, false) {
+                        let dirty = vec![0xDCu8; PAGE_BYTES as usize];
+                        gfs.write(system, engine.table, victim * PAGE_BYTES, &dirty)
+                            .expect("writeback");
+                        bytes += PAGE_BYTES;
+                    }
+                }
+                bytes += row_buf_len as u64;
+            }
+            // Updates: page dirtying + redo log records.
+            for _ in 0..self.updates {
+                let row = zipf.sample(&mut rng);
+                let page = row / ROWS_PER_PAGE;
+                if !engine.touch(page, true) {
+                    let (data, _) = gfs
+                        .read(system, engine.table, page * PAGE_BYTES, PAGE_BYTES as usize)
+                        .expect("table page");
+                    bytes += data.len() as u64;
+                    if let Some(victim) = engine.insert(page, true) {
+                        let dirty = vec![0xDCu8; PAGE_BYTES as usize];
+                        gfs.write(system, engine.table, victim * PAGE_BYTES, &dirty)
+                            .expect("writeback");
+                        bytes += PAGE_BYTES;
+                    }
+                }
+            }
+            // Commit: flush a redo-log record (512 B rounded by the FS).
+            let record = vec![0x1Au8; 512];
+            gfs.write(system, engine.log, engine.log_tail, &record)
+                .expect("log space");
+            engine.log_tail += record.len() as u64;
+            bytes += record.len() as u64;
+            report.record(bytes, system.now() - t0);
+        }
+        report.elapsed = system.now() - start;
+        report
+    }
+
+    /// Convenience: prepare + run.
+    pub fn run_full(&self, system: &mut System, gfs: &mut GuestFilesystem) -> WorkloadReport {
+        let (table, log) = self.prepare(system, gfs);
+        self.run(system, gfs, table, log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nesc_core::NescConfig;
+    use nesc_hypervisor::{DiskKind, SoftwareCosts};
+
+    fn quick(kind: DiskKind) -> WorkloadReport {
+        let mut cfg = NescConfig::prototype();
+        cfg.capacity_blocks = 128 * 1024;
+        let mut sys = System::new(cfg, SoftwareCosts::calibrated());
+        let (vm, disk) = sys.quick_disk(kind, "db.img", 64 << 20);
+        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+        Oltp {
+            rows: 4_000,
+            transactions: 30,
+            buffer_pool_pages: 16,
+            ..Default::default()
+        }
+        .run_full(&mut sys, &mut gfs)
+    }
+
+    #[test]
+    fn completes_transactions() {
+        let rep = quick(DiskKind::NescDirect);
+        assert_eq!(rep.ops, 30);
+        assert!(rep.ops_per_sec() > 0.0);
+        assert!(rep.bytes > 0);
+    }
+
+    #[test]
+    fn direct_beats_virtio() {
+        let d = quick(DiskKind::NescDirect);
+        let v = quick(DiskKind::Virtio);
+        assert!(
+            d.ops_per_sec() > v.ops_per_sec(),
+            "direct {:.0} vs virtio {:.0} tx/s",
+            d.ops_per_sec(),
+            v.ops_per_sec()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = quick(DiskKind::NescDirect);
+        let b = quick(DiskKind::NescDirect);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.bytes, b.bytes);
+    }
+
+    #[test]
+    fn buffer_pool_reduces_io() {
+        // A bigger pool must not increase device reads.
+        let run_with_pool = |pages: usize| {
+            let mut cfg = NescConfig::prototype();
+            cfg.capacity_blocks = 128 * 1024;
+            let mut sys = System::new(cfg, SoftwareCosts::calibrated());
+            let (vm, disk) = sys.quick_disk(DiskKind::NescDirect, "bp.img", 64 << 20);
+            let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+            Oltp {
+                rows: 4_000,
+                transactions: 30,
+                buffer_pool_pages: pages,
+                ..Default::default()
+            }
+            .run_full(&mut sys, &mut gfs);
+            sys.device().stats().blocks_read
+        };
+        assert!(run_with_pool(64) <= run_with_pool(2));
+    }
+}

@@ -1,0 +1,190 @@
+//! Postmark: mail-server simulation (Table II).
+//!
+//! Follows the original benchmark's structure: create an initial pool of
+//! small files with sizes drawn from a bounded heavy-tailed distribution,
+//! then run transactions, each either {create or delete} or {read or
+//! append}, and finally report transactions per second.
+
+use nesc_fs::Ino;
+use nesc_hypervisor::{GuestFilesystem, System};
+use nesc_sim::{SimDuration, SimRng};
+
+use crate::report::WorkloadReport;
+
+/// A Postmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct Postmark {
+    /// Initial (and steady-state target) number of files.
+    pub initial_files: u32,
+    /// Minimum file size in bytes.
+    pub min_file_bytes: u64,
+    /// Maximum file size in bytes.
+    pub max_file_bytes: u64,
+    /// Number of transactions.
+    pub transactions: u64,
+    /// Read size / append size unit.
+    pub io_bytes: u64,
+    /// Mail-server CPU per transaction (parsing, indexing).
+    pub compute_per_tx: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Postmark {
+    fn default() -> Self {
+        Postmark {
+            initial_files: 64,
+            min_file_bytes: 512,
+            max_file_bytes: 64 * 1024,
+            transactions: 200,
+            io_bytes: 4096,
+            compute_per_tx: SimDuration::from_micros(100),
+            seed: 0x6D61_696C_706F_7374, // "mailpost"
+        }
+    }
+}
+
+impl Postmark {
+    /// Runs the whole benchmark (setup + transactions) and reports the
+    /// transaction phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if configured with zero files or transactions.
+    pub fn run(&self, system: &mut System, gfs: &mut GuestFilesystem) -> WorkloadReport {
+        assert!(self.initial_files > 0 && self.transactions > 0, "empty run");
+        let mut rng = SimRng::seed(self.seed);
+        let mut next_name = 0u64;
+        let mut pool: Vec<(Ino, u64)> = Vec::new(); // (ino, size)
+
+        // --- Setup phase: create the initial pool. ---
+        for _ in 0..self.initial_files {
+            let size = rng.bounded_pareto(self.min_file_bytes, self.max_file_bytes, 1.2);
+            let ino = self.create_file(system, gfs, &mut next_name, size, &mut rng);
+            pool.push((ino, size));
+        }
+
+        // --- Transaction phase. ---
+        let mut report = WorkloadReport::new("postmark");
+        let start = system.now();
+        for _ in 0..self.transactions {
+            let t0 = system.now();
+            let mut bytes = 0u64;
+            system.charge_vcpu(gfs.vm(), self.compute_per_tx);
+            if rng.chance(0.5) {
+                // File management transaction: create or delete.
+                if rng.chance(0.5) || pool.len() <= 1 {
+                    let size =
+                        rng.bounded_pareto(self.min_file_bytes, self.max_file_bytes, 1.2);
+                    let ino =
+                        self.create_file(system, gfs, &mut next_name, size, &mut rng);
+                    pool.push((ino, size));
+                    bytes = size;
+                } else {
+                    let idx = rng.range(0, pool.len() as u64) as usize;
+                    let (ino, _) = pool.swap_remove(idx);
+                    let name = Self::name_of(gfs, ino);
+                    gfs.unlink(system, &name).expect("pool entry exists");
+                }
+            } else {
+                // Data transaction: read or append.
+                let idx = rng.range(0, pool.len() as u64) as usize;
+                let (ino, size) = pool[idx];
+                if rng.chance(0.5) {
+                    let (data, _) = gfs
+                        .read(system, ino, 0, size.min(self.io_bytes) as usize)
+                        .expect("file exists");
+                    bytes = data.len() as u64;
+                } else {
+                    let chunk = vec![0xE4u8; self.io_bytes as usize];
+                    gfs.write(system, ino, size, &chunk).expect("space");
+                    pool[idx].1 = size + self.io_bytes;
+                    bytes = self.io_bytes;
+                }
+            }
+            report.record(bytes, system.now() - t0);
+        }
+        report.elapsed = system.now() - start;
+        report
+    }
+
+    fn create_file(
+        &self,
+        system: &mut System,
+        gfs: &mut GuestFilesystem,
+        next_name: &mut u64,
+        size: u64,
+        _rng: &mut SimRng,
+    ) -> Ino {
+        let name = format!("mail_{next_name}");
+        *next_name += 1;
+        let ino = gfs.create(system, &name).expect("fresh name");
+        let chunk = vec![0x40u8; 16 * 1024];
+        let mut off = 0;
+        while off < size {
+            let n = chunk.len().min((size - off) as usize);
+            gfs.write(system, ino, off, &chunk[..n]).expect("space");
+            off += n as u64;
+        }
+        ino
+    }
+
+    /// Recovers the name bound to an inode (the pool tracks inos).
+    fn name_of(gfs: &GuestFilesystem, ino: Ino) -> String {
+        // Names are unique and enumerable through the filesystem's listing.
+        for name in gfs.fs().list() {
+            if gfs.fs().lookup(name) == Some(ino) {
+                return name.to_string();
+            }
+        }
+        panic!("inode {ino} has no name");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nesc_core::NescConfig;
+    use nesc_hypervisor::{DiskKind, SoftwareCosts};
+
+    fn quick(kind: DiskKind) -> WorkloadReport {
+        let mut cfg = NescConfig::prototype();
+        cfg.capacity_blocks = 128 * 1024;
+        let mut sys = System::new(cfg, SoftwareCosts::calibrated());
+        let (vm, disk) = sys.quick_disk(kind, "pm.img", 64 << 20);
+        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+        Postmark {
+            initial_files: 12,
+            transactions: 40,
+            max_file_bytes: 16 * 1024,
+            ..Default::default()
+        }
+        .run(&mut sys, &mut gfs)
+    }
+
+    #[test]
+    fn completes_transactions() {
+        let rep = quick(DiskKind::NescDirect);
+        assert_eq!(rep.ops, 40);
+        assert!(rep.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn direct_beats_emulation() {
+        let d = quick(DiskKind::NescDirect);
+        let e = quick(DiskKind::Emulated);
+        assert!(
+            d.ops_per_sec() > e.ops_per_sec() * 1.5,
+            "direct {:.0} vs emulated {:.0} tx/s",
+            d.ops_per_sec(),
+            e.ops_per_sec()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = quick(DiskKind::Virtio);
+        let b = quick(DiskKind::Virtio);
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+}

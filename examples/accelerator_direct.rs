@@ -1,0 +1,106 @@
+//! Accelerator-direct storage: a PCIe accelerator (GPGPU/FPGA) pulls file
+//! data straight out of a NeSC virtual function with peer-to-peer DMA —
+//! the extension of paper §IV-D — versus the traditional host-mediated
+//! path.
+//!
+//! ```text
+//! cargo run -p nesc-examples --bin accelerator_direct
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nesc_accel::{Accelerator, HostMediated};
+use nesc_core::{NescConfig, NescDevice};
+use nesc_extent::{ExtentMapping, ExtentTree, Plba, Vlba};
+use nesc_pcie::HostMemory;
+use nesc_sim::SimTime;
+
+fn main() {
+    // System address space + NeSC device.
+    let mem = Rc::new(RefCell::new(HostMemory::new()));
+    let mut dev = NescDevice::new(NescConfig::prototype(), Rc::clone(&mem));
+
+    // The hypervisor exports a dataset file (pLBA 5000.., 4 MiB) to the
+    // accelerator as a VF: offset 0 of the VF is offset 0 of the file.
+    let file_blocks = 4096;
+    let tree: ExtentTree = [ExtentMapping::new(Vlba(0), Plba(5000), file_blocks)]
+        .into_iter()
+        .collect();
+    let root = tree.serialize(&mut mem.borrow_mut());
+    let vf = dev.create_vf(root, file_blocks).expect("VF slot");
+
+    // Seed the dataset on the device.
+    for b in 0..file_blocks {
+        dev.store_mut()
+            .write_block(5000 + b, &vec![(b % 251) as u8; 1024])
+            .expect("in capacity");
+    }
+
+    // The accelerator: 16 MiB of BAR-mapped local memory.
+    let window = mem.borrow_mut().alloc(16 << 20, 4096);
+    let mut acc = Accelerator::new(window, 16 << 20);
+
+    // Direct path: the accelerator fetches 1 MiB of the dataset itself.
+    let t_direct = acc
+        .fetch_direct(SimTime::ZERO, &mut dev, vf, 0, 1 << 20, 0)
+        .expect("fetch");
+    // Verify the bytes actually landed in accelerator memory.
+    let probe = mem.borrow().read_vec(window + 7 * 1024, 4);
+    assert!(probe.iter().all(|&b| b == 7));
+
+    // Host-mediated baseline on a fresh device (so timelines are clean).
+    let mem2 = Rc::new(RefCell::new(HostMemory::new()));
+    let mut dev2 = NescDevice::new(NescConfig::prototype(), Rc::clone(&mem2));
+    let staging = mem2.borrow_mut().alloc(16 << 20, 4096);
+    let mut host = HostMediated::new();
+    let t_host = host.fetch_via_host(SimTime::ZERO, &mut dev2, staging, 5000, 1 << 20);
+
+    println!("1 MiB dataset fetch into the accelerator:");
+    println!("  NeSC VF peer-to-peer DMA : {t_direct}");
+    println!("  host-mediated            : {t_host}");
+    println!(
+        "  direct is {:.2}x faster and uses zero host CPU cycles",
+        t_host.as_nanos() as f64 / t_direct.as_nanos() as f64
+    );
+
+    // The gap explodes for the small, frequent transfers accelerator
+    // kernels actually make (a descriptor ring pull, an index probe):
+    let t_small = acc
+        .fetch_direct(t_direct, &mut dev, vf, 1 << 20, 16 * 1024, 1 << 20)
+        .expect("fetch")
+        .saturating_since(t_direct);
+    let t_small_host = {
+        // Fresh device so the measurement is not queued behind the 1 MiB
+        // transfer above.
+        let mem3 = Rc::new(RefCell::new(HostMemory::new()));
+        let mut dev3 = NescDevice::new(NescConfig::prototype(), Rc::clone(&mem3));
+        let staging3 = mem3.borrow_mut().alloc(1 << 20, 4096);
+        let mut host2 = HostMediated::new();
+        host2
+            .fetch_via_host(SimTime::ZERO, &mut dev3, staging3, 6024, 16 * 1024)
+            .saturating_since(SimTime::ZERO)
+    };
+    println!("
+16 KiB fetch (latency-sensitive kernel access):");
+    println!("  direct {t_small} vs host-mediated {t_small_host}");
+    println!(
+        "  direct is {:.1}x faster",
+        t_small_host.as_nanos() as f64 / t_small.as_nanos() as f64
+    );
+
+    // And writing results back is just as direct.
+    mem.borrow_mut()
+        .write(window + (2 << 20), &vec![0xEE; 64 * 1024]);
+    acc.flush_direct(t_direct, &mut dev, vf, 2 << 20, 64 * 1024, 2 << 20)
+        .expect("flush");
+    assert_eq!(
+        dev.store().read_block(5000 + 2048).expect("mapped"),
+        vec![0xEE; 1024]
+    );
+    println!(
+        "\nresults written back through the same VF ({} transfers, {} KiB total)",
+        acc.transfers(),
+        acc.bytes_moved() / 1024
+    );
+}

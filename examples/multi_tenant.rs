@@ -1,0 +1,92 @@
+//! Multi-tenant consolidation: eight VMs share one NeSC device, each
+//! directly assigned its own virtual function over its own image file.
+//!
+//! Demonstrates the two properties direct device assignment alone cannot
+//! give you (paper §II): *sharing* (64 VFs on one controller) and
+//! *isolation* (each VF is confined to its file by the hardware-walked
+//! extent tree — no tenant ever observes another's bytes).
+//!
+//! ```text
+//! cargo run -p nesc-examples --bin multi_tenant
+//! ```
+
+use nesc_core::NescConfig;
+use nesc_hypervisor::{DiskId, DiskKind, SoftwareCosts, StreamSpec, System, VmId};
+use nesc_storage::BlockOp;
+
+const TENANTS: usize = 8;
+const DISK_BYTES: u64 = 16 << 20;
+
+fn main() {
+    let mut sys = System::new(NescConfig::prototype(), SoftwareCosts::calibrated());
+
+    // Provision one VM + image + VF per tenant.
+    let tenants: Vec<(VmId, DiskId)> = (0..TENANTS)
+        .map(|i| {
+            let vm = sys.create_vm();
+            let image = sys
+                .create_image(&format!("tenant{i}.img"), DISK_BYTES, true)
+                .expect("device has space");
+            (vm, sys.attach(vm, DiskKind::NescDirect, Some(image)))
+        })
+        .collect();
+    println!(
+        "{} tenants on one device ({} live VFs)",
+        TENANTS,
+        sys.device().live_vfs()
+    );
+
+    // Every tenant writes its own signature pattern over its first MiB.
+    for (i, &(_, disk)) in tenants.iter().enumerate() {
+        let pattern = vec![0x10 + i as u8; 1 << 20];
+        sys.write(disk, 0, &pattern);
+    }
+
+    // Isolation check: each tenant reads back only its own signature.
+    for (i, &(_, disk)) in tenants.iter().enumerate() {
+        let mut buf = vec![0u8; 1 << 20];
+        sys.read(disk, 0, &mut buf);
+        assert!(
+            buf.iter().all(|&b| b == 0x10 + i as u8),
+            "tenant {i} observed foreign bytes!"
+        );
+    }
+    println!("isolation: every tenant read back exactly its own data");
+
+    // All tenants stream *concurrently* (closed-loop 64 KiB reads): the
+    // round-robin multiplexer shares the one device evenly among them.
+    let specs: Vec<StreamSpec> = tenants
+        .iter()
+        .map(|&(_, disk)| StreamSpec {
+            disk,
+            op: BlockOp::Read,
+            start_offset: 0,
+            req_bytes: 64 * 1024,
+            count: 64,
+        })
+        .collect();
+    let results = sys.run_mixed(&specs);
+    let per_tenant: Vec<f64> = results.iter().map(|r| r.mbps).collect();
+    let min = per_tenant.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_tenant.iter().cloned().fold(0.0, f64::max);
+    let aggregate: f64 = per_tenant.iter().sum();
+    println!(
+        "concurrent streaming: per-tenant {min:.0}..{max:.0} MB/s, \
+         aggregate {aggregate:.0} MB/s (one shared ~800 MB/s device)"
+    );
+
+    // Per-function service accounting straight from the device.
+    println!("\nper-VF service counters (requests, blocks):");
+    for (i, &(_, disk)) in tenants.iter().enumerate() {
+        let vf = sys.disk_vf(disk).expect("direct disk has a VF");
+        let (reqs, blocks) = sys.device().function_counters(vf);
+        println!("  tenant {i} ({vf}): {reqs} requests, {blocks} blocks");
+    }
+    let stats = sys.device().stats();
+    println!(
+        "device totals: {} requests, {} MB read, BTLB hit rate {:.0}%",
+        stats.requests_completed,
+        stats.blocks_read / 1000,
+        sys.device().btlb().hit_rate() * 100.0
+    );
+}

@@ -1,0 +1,101 @@
+//! NVMe over NeSC: namespaces as hardware-isolated files.
+//!
+//! The paper observes that NVMe "does not specify how address spaces are
+//! defined, how they are maintained, and what they represent — NeSC
+//! therefore complements the abstract NVMe address spaces" (§III). Here a
+//! driver talks real encoded submission/completion rings (64 B SQEs,
+//! 16 B CQEs, phase bits, doorbells) while each namespace is a NeSC
+//! virtual function confined to one file's extent tree.
+//!
+//! ```text
+//! cargo run -p nesc-examples --bin nvme_namespaces
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nesc_core::NescConfig;
+use nesc_extent::{ExtentMapping, ExtentTree, Plba, Vlba};
+use nesc_nvme::{NvmeController, NvmeOpcode, SubmissionEntry};
+use nesc_pcie::HostMemory;
+use nesc_sim::SimTime;
+
+fn main() {
+    let mem = Rc::new(RefCell::new(HostMemory::new()));
+    let mut ctrl = NvmeController::new(NescConfig::prototype(), Rc::clone(&mem));
+
+    // Two namespaces = two files, physically disjoint.
+    let mk_ns = |ctrl: &mut NvmeController, mem: &Rc<RefCell<HostMemory>>, base: u64| {
+        let tree: ExtentTree = [ExtentMapping::new(Vlba(0), Plba(base), 256)]
+            .into_iter()
+            .collect();
+        let root = tree.serialize(&mut mem.borrow_mut());
+        ctrl.create_namespace(root, 256).expect("VF slot")
+    };
+    let ns_db = mk_ns(&mut ctrl, &mem, 1_000);
+    let ns_log = mk_ns(&mut ctrl, &mem, 10_000);
+    println!(
+        "namespaces: {} ({:?}) and {} ({:?})",
+        ns_db,
+        ctrl.identify(ns_db).unwrap().func,
+        ns_log,
+        ctrl.identify(ns_log).unwrap().func
+    );
+
+    let qid = ctrl.create_queue_pair(16);
+
+    // A batch of commands across both namespaces, one doorbell.
+    let dbuf = mem.borrow_mut().alloc(16 * 1024, 4096);
+    let lbuf = mem.borrow_mut().alloc(4 * 1024, 4096);
+    mem.borrow_mut().write(dbuf, &vec![0xDB; 16 * 1024]);
+    mem.borrow_mut().write(lbuf, &vec![0x10; 4 * 1024]);
+    let batch = [
+        SubmissionEntry {
+            opcode: NvmeOpcode::Write,
+            cid: 1,
+            nsid: ns_db,
+            prp1: dbuf,
+            slba: 0,
+            nlb: 15, // 16 blocks, NVMe 0-based
+        },
+        SubmissionEntry {
+            opcode: NvmeOpcode::Write,
+            cid: 2,
+            nsid: ns_log,
+            prp1: lbuf,
+            slba: 0,
+            nlb: 3,
+        },
+        SubmissionEntry {
+            opcode: NvmeOpcode::Flush,
+            cid: 3,
+            nsid: ns_log,
+            prp1: 0,
+            slba: 0,
+            nlb: 0,
+        },
+    ];
+    let done = ctrl
+        .submit_and_process(SimTime::ZERO, qid, &batch)
+        .expect("queue sized for the batch");
+    for (cqe, at) in &done {
+        println!("  cid {} -> {:?} at {at}", cqe.cid, cqe.status);
+    }
+
+    // Verify placement: namespace writes landed on *their* files' blocks.
+    assert_eq!(
+        ctrl.device().store().read_block(1_000).unwrap(),
+        vec![0xDB; 1024]
+    );
+    assert_eq!(
+        ctrl.device().store().read_block(10_000).unwrap(),
+        vec![0x10; 1024]
+    );
+    println!("\nisolation: each namespace's writes landed only on its own file's blocks");
+    println!(
+        "device stats: {} requests, {} walks, BTLB hit rate {:.0}%",
+        ctrl.device().stats().requests_completed,
+        ctrl.device().stats().walks,
+        ctrl.device().btlb().hit_rate() * 100.0
+    );
+}

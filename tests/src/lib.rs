@@ -1,0 +1,48 @@
+//! Shared helpers for the cross-crate system tests.
+//!
+//! The integration suite exercises the whole reproduction — guest VM →
+//! virtualization path → NeSC device → extent trees → host filesystem —
+//! against reference models and the paper's stated guarantees.
+
+use nesc_core::NescConfig;
+use nesc_hypervisor::{DiskId, DiskKind, SoftwareCosts, System, VmId};
+
+/// A small, fast system for functional tests: 64 MiB device, calibrated
+/// costs.
+pub fn small_system() -> System {
+    let mut cfg = NescConfig::prototype();
+    cfg.capacity_blocks = 64 * 1024;
+    System::new(cfg, SoftwareCosts::calibrated())
+}
+
+/// Builds a system with one disk of `size_bytes` on the given path.
+pub fn system_with_disk(kind: DiskKind, size_bytes: u64) -> (System, VmId, DiskId) {
+    let mut sys = small_system();
+    let (vm, disk) = sys.quick_disk(kind, "test.img", size_bytes);
+    (sys, vm, disk)
+}
+
+/// An in-memory reference disk for differential testing.
+#[derive(Debug, Clone)]
+pub struct ReferenceDisk {
+    bytes: Vec<u8>,
+}
+
+impl ReferenceDisk {
+    /// A zeroed reference disk.
+    pub fn new(size: usize) -> Self {
+        ReferenceDisk {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Applies a write.
+    pub fn write(&mut self, offset: usize, data: &[u8]) {
+        self.bytes[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads a range.
+    pub fn read(&self, offset: usize, len: usize) -> &[u8] {
+        &self.bytes[offset..offset + len]
+    }
+}

@@ -1,0 +1,180 @@
+//! Crash recovery and nested journaling (paper §IV-D).
+//!
+//! The guest runs its own journaled filesystem on its virtual disk; a
+//! crash at an arbitrary point must replay into consistent metadata. The
+//! nested-journaling configuration (guest data journaling on top of a
+//! journaling host) is exercised for its cost, matching the paper's
+//! discussion of why hypervisors tune it away.
+
+use nesc_fs::{Filesystem, Journal, JournalRecord};
+use nesc_hypervisor::{DiskKind, GuestFilesystem};
+use nesc_storage::{BlockStore, BLOCK_SIZE};
+use nesc_system_tests::{small_system, system_with_disk};
+use proptest::prelude::*;
+
+#[test]
+fn host_fs_replay_reconstructs_after_guest_workload() {
+    // Drive a workload through the system, then replay the *host*
+    // filesystem's journal and compare metadata.
+    let mut sys = small_system();
+    let vm = sys.create_vm();
+    let img = sys.create_image("wl.img", 8 << 20, false).unwrap();
+    let disk = sys.attach(vm, DiskKind::NescDirect, Some(img));
+    for i in 0..10u64 {
+        sys.write(disk, i * 300 * BLOCK_SIZE, &vec![i as u8; 4096]);
+    }
+    let replayed = Filesystem::replay(64 * 1024, sys.host_fs().journal());
+    let orig_tree = sys.host_fs().extent_tree(img).unwrap();
+    let replay_tree = replayed.extent_tree(img).unwrap();
+    assert_eq!(orig_tree, replay_tree, "host journal replay must converge");
+    assert_eq!(replayed.free_blocks(), sys.host_fs().free_blocks());
+}
+
+#[test]
+fn uncommitted_transaction_lost_committed_survive() {
+    let mut fs = Filesystem::format(4096);
+    let mut store = BlockStore::new(4096);
+    let a = fs.create("a").unwrap();
+    fs.write(&mut store, a, 0, &vec![1u8; 2048]).unwrap();
+    // Snapshot the journal as-of-commit, then "crash" with a pending op.
+    let committed: Journal = fs.journal().clone();
+    let recovered = Filesystem::replay(4096, &committed);
+    assert!(recovered.lookup("a").is_some());
+    assert_eq!(recovered.size_bytes(recovered.lookup("a").unwrap()).unwrap(), 2048);
+}
+
+#[test]
+fn journal_records_account_for_all_block_ownership() {
+    // After replaying any journal, allocator state equals the sum of the
+    // extents the inodes own (no leaks, no double ownership).
+    let mut fs = Filesystem::format(4096);
+    let mut store = BlockStore::new(4096);
+    let a = fs.create("a").unwrap();
+    let b = fs.create("b").unwrap();
+    fs.write(&mut store, a, 0, &vec![1u8; 10 * 1024]).unwrap();
+    fs.write(&mut store, b, 5000, &vec![2u8; 20 * 1024]).unwrap();
+    fs.truncate(a, 1024).unwrap();
+    fs.unlink("b").unwrap();
+    let recovered = Filesystem::replay(4096, fs.journal());
+    let owned: u64 = recovered
+        .lookup("a")
+        .map(|ino| recovered.extent_tree(ino).unwrap().mapped_blocks())
+        .unwrap_or(0);
+    assert_eq!(
+        recovered.free_blocks(),
+        4096 - recovered.metadata_blocks() - owned
+    );
+}
+
+#[test]
+fn nested_journaling_costs_more_than_metadata_only() {
+    // ext4's data=journal inside the guest (the "nested journaling"
+    // pathology): measurably slower than data=ordered on the same path.
+    let run = |data_journal: bool| {
+        let (mut sys, vm, disk) = system_with_disk(DiskKind::NescDirect, 8 << 20);
+        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+        gfs.set_journal_data(data_journal);
+        let f = gfs.create(&mut sys, "f").unwrap();
+        let start = sys.now();
+        for i in 0..8u64 {
+            gfs.write(&mut sys, f, i * 32 * 1024, &vec![3u8; 32 * 1024])
+                .unwrap();
+        }
+        (sys.now() - start).as_micros_f64()
+    };
+    let ordered = run(false);
+    let journaled = run(true);
+    assert!(
+        journaled > ordered * 1.3,
+        "data journaling ({journaled:.0}us) must cost well over data=ordered ({ordered:.0}us)"
+    );
+}
+
+#[test]
+fn guest_fs_metadata_survives_replay_of_its_own_journal() {
+    // The guest's filesystem is the same implementation: its journal
+    // replays too (what a guest fsck-after-crash does).
+    let (mut sys, vm, disk) = system_with_disk(DiskKind::NescDirect, 8 << 20);
+    let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+    let f = gfs.create(&mut sys, "mail").unwrap();
+    gfs.write(&mut sys, f, 0, &vec![7u8; 10_000]).unwrap();
+    gfs.create(&mut sys, "tmp").unwrap();
+    gfs.unlink(&mut sys, "tmp").unwrap();
+    let blocks = sys.disk_size_blocks(disk);
+    let recovered = Filesystem::replay(blocks, gfs.fs().journal());
+    assert!(recovered.lookup("mail").is_some());
+    assert!(recovered.lookup("tmp").is_none());
+    assert_eq!(
+        recovered.extent_tree(recovered.lookup("mail").unwrap()).unwrap(),
+        gfs.fs().extent_tree(f).unwrap()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Replay after an arbitrary prefix of operations always yields
+    /// metadata identical to the live filesystem at that point.
+    #[test]
+    fn prop_replay_prefix_consistent(
+        ops in proptest::collection::vec((0u8..4, 0u64..64, 1usize..5000), 1..30)
+    ) {
+        let mut fs = Filesystem::format(8192);
+        let mut store = BlockStore::new(8192);
+        let mut names: Vec<String> = Vec::new();
+        for (i, &(op, off, len)) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    let name = format!("f{i}");
+                    fs.create(&name).unwrap();
+                    names.push(name);
+                }
+                1 if !names.is_empty() => {
+                    let name = &names[off as usize % names.len()];
+                    if let Some(ino) = fs.lookup(name) {
+                        let _ = fs.write(&mut store, ino, off * 100, &vec![1u8; len]);
+                    }
+                }
+                2 if !names.is_empty() => {
+                    let name = names.remove(off as usize % names.len());
+                    let _ = fs.unlink(&name);
+                }
+                _ if !names.is_empty() => {
+                    let name = &names[off as usize % names.len()];
+                    if let Some(ino) = fs.lookup(name) {
+                        let _ = fs.truncate(ino, off * 10);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let recovered = Filesystem::replay(8192, fs.journal());
+        prop_assert_eq!(recovered.free_blocks(), fs.free_blocks());
+        for name in fs.list() {
+            let live = fs.lookup(name).unwrap();
+            let rec = recovered.lookup(name);
+            prop_assert_eq!(rec, Some(live), "{} lost", name);
+            prop_assert_eq!(
+                recovered.extent_tree(live).unwrap(),
+                fs.extent_tree(live).unwrap()
+            );
+            prop_assert_eq!(
+                recovered.size_bytes(live).unwrap(),
+                fs.size_bytes(live).unwrap()
+            );
+        }
+    }
+}
+
+// Journal must be cloneable for the crash-snapshot idiom above.
+#[test]
+fn journal_snapshot_is_independent() {
+    let mut j = Journal::new();
+    j.append(JournalRecord::Unlink { name: "x".into() });
+    j.commit();
+    let snap = j.clone();
+    j.append(JournalRecord::Unlink { name: "y".into() });
+    j.commit();
+    assert_eq!(snap.transactions(), 1);
+    assert_eq!(j.transactions(), 2);
+}
