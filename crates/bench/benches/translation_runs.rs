@@ -1,0 +1,96 @@
+//! Criterion microbenchmarks of extent-run batched translation: the
+//! device data path with batching on vs off (the `max_run_blocks = 1`
+//! per-block baseline), and the `walk_run` / `lookup_run` primitives the
+//! batching is built from. Wall-clock only — simulated results are
+//! identical across all of these by construction (see
+//! `nesc_bench::hotpath`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nesc_bench::hotpath::{build_device, EXTENT_BLOCKS};
+use nesc_core::Btlb;
+use nesc_extent::{walk_run, ExtentMapping, ExtentTree, Plba, Vlba};
+use nesc_pcie::HostMemory;
+use nesc_sim::{SimDuration, SimTime};
+use nesc_storage::{BlockOp, BlockRequest, RequestId, BLOCK_SIZE};
+
+/// One 64 KiB sequential read per iteration, batched vs per-block.
+fn bench_device_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translation_runs");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(64 * BLOCK_SIZE));
+    for (label, max_run) in [("seq_64k_batched", u64::MAX), ("seq_64k_per_block", 1)] {
+        group.bench_function(label, |b| {
+            let (mut dev, vf, buf) = build_device(8, max_run, 64);
+            let horizon = SimTime::from_nanos(u64::MAX / 4);
+            let mut t = SimTime::ZERO;
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                t += SimDuration::from_micros(100);
+                let lba = (i * 64) % (EXTENT_BLOCKS * 32);
+                dev.submit(
+                    t,
+                    vf,
+                    BlockRequest::new(RequestId(i), BlockOp::Read, lba, 64),
+                    buf,
+                );
+                std::hint::black_box(dev.advance(horizon))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// `walk_run` sizes a whole extent from one descent; per-block walking
+/// re-descends for every block. 64 blocks inside one extent.
+fn bench_walk_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_run");
+    group.sample_size(30);
+    let tree: ExtentTree = (0..64u64)
+        .map(|i| ExtentMapping::new(Vlba(i * 256), Plba(i * 256 + 7), 256))
+        .collect();
+    let mut mem = HostMemory::new();
+    let root = tree.serialize(&mut mem);
+    group.bench_function(BenchmarkId::new("blocks", 64), |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 64) % (64 * 256);
+            std::hint::black_box(walk_run(&mem, root, Vlba(v), 64))
+        })
+    });
+    group.bench_function(BenchmarkId::new("per_block_equiv", 64), |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 64) % (64 * 256);
+            for j in 0..64 {
+                std::hint::black_box(walk_run(&mem, root, Vlba(v + j), 1));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Indexed BTLB probes at ablation-scale capacities (the old linear scan
+/// walked every entry of every function).
+fn bench_lookup_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btlb_lookup_run");
+    group.sample_size(30);
+    for &cap in &[8usize, 64, 512] {
+        let mut btlb = Btlb::new(cap);
+        for i in 0..cap as u64 {
+            btlb.insert((i % 4) as u16, ExtentMapping::new(Vlba(i * 128), Plba(i * 128), 128));
+        }
+        group.bench_function(BenchmarkId::from_parameter(cap), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let v = (i * 37) % (cap as u64 * 128);
+                std::hint::black_box(btlb.lookup_run((v as u16 / 128) % 4, Vlba(v), 64))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_device_stream, bench_walk_run, bench_lookup_run);
+criterion_main!(benches);

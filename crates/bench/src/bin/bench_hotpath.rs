@@ -1,0 +1,78 @@
+//! Hot-path wall-clock tracking harness.
+//!
+//! Measures host nanoseconds per simulated block for the device data path
+//! across the extent-run batching matrix — sequential vs random streams,
+//! 4 KiB vs 64 KiB requests, BTLB sizes {0, 8, 32} — each both per-block
+//! (`max_run_blocks = 1`, the historical loop) and batched (unbounded
+//! runs). Every pair is also cross-checked for identical simulated
+//! results (`nesc_bench::hotpath::measure_pair` panics on divergence), so
+//! this binary doubles as the timing-neutrality gate.
+//!
+//! Writes `results/BENCH_hotpath.json` for cross-PR tracking.
+
+use nesc_bench::hotpath::{measure_pair, HotpathConfig};
+use nesc_bench::{emit_json, fmt, print_table};
+use serde_json::json;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    let mut seq64_speedup_at_8 = 0.0;
+    for &btlb in &[0usize, 8, 32] {
+        for &(stream, sequential) in &[("seq", true), ("rand", false)] {
+            for &(label, blocks, requests) in &[("4k", 4u64, 4000u64), ("64k", 64, 1500)] {
+                let cfg = HotpathConfig {
+                    btlb_entries: btlb,
+                    max_run_blocks: 1,
+                    req_blocks: blocks,
+                    sequential,
+                    requests,
+                };
+                let (per_block, batched) = measure_pair(cfg);
+                let speedup = per_block.wall_ns_per_block / batched.wall_ns_per_block;
+                if btlb == 8 && sequential && blocks == 64 {
+                    seq64_speedup_at_8 = speedup;
+                }
+                rows.push(vec![
+                    btlb.to_string(),
+                    stream.to_string(),
+                    label.to_string(),
+                    fmt(per_block.wall_ns_per_block),
+                    fmt(batched.wall_ns_per_block),
+                    format!("{}x", fmt(speedup)),
+                ]);
+                series.push(json!({
+                    "btlb_entries": btlb,
+                    "stream": stream,
+                    "request": label,
+                    "blocks_moved": batched.blocks,
+                    "per_block_ns_per_block": per_block.wall_ns_per_block,
+                    "batched_ns_per_block": batched.wall_ns_per_block,
+                    "speedup": speedup,
+                    "simulated_last_ns": batched.simulated_last_ns,
+                    "btlb_hits": batched.btlb_hits,
+                    "walks": batched.walks,
+                }));
+            }
+        }
+    }
+    print_table(
+        "Hot-path wall clock: ns per simulated block (per-block vs run-batched)",
+        &["btlb", "stream", "req", "ns/blk (run=1)", "ns/blk (batched)", "speedup"],
+        &rows,
+    );
+    println!(
+        "\nsequential 64K @ 8-entry BTLB speedup: {}x (target >= 3x)",
+        fmt(seq64_speedup_at_8)
+    );
+    emit_json(
+        "BENCH_hotpath",
+        &json!({
+            "benchmark": "hot-path wall clock, run batching on vs off",
+            "unit": "host ns per simulated block",
+            "invariant": "simulated completion times, BTLB hit counts, and walk counts are asserted identical between modes",
+            "seq_64k_btlb8_speedup": seq64_speedup_at_8,
+            "series": series,
+        }),
+    );
+}

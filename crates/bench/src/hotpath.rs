@@ -1,0 +1,179 @@
+//! Wall-clock hot-path harness.
+//!
+//! Drives a [`NescDevice`] with block streams and measures how fast the
+//! *simulator* chews through them (host nanoseconds per simulated block).
+//! This is the tracking harness for the extent-run batching of the data
+//! path: the same stream can be run with batching disabled
+//! (`max_run_blocks = 1`, the historical block-at-a-time loop) and enabled
+//! (unbounded runs), and because run batching is simulated-timing-neutral
+//! the two runs must also agree exactly on every simulated number — the
+//! harness checks that invariant on every measurement.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use nesc_core::{FuncId, NescConfig, NescDevice};
+use nesc_extent::{ExtentMapping, ExtentTree, Plba, Vlba};
+use nesc_pcie::{HostAddr, HostMemory};
+use nesc_sim::{SimDuration, SimRng, SimTime};
+use nesc_storage::{BlockOp, BlockRequest, RequestId, BLOCK_SIZE};
+
+/// Virtual device size the harness exposes, in blocks (128 MiB).
+pub const DEVICE_BLOCKS: u64 = 1 << 17;
+/// Extent length used for the mapping (2 MiB file extents — long enough
+/// that a 64 KiB request usually sits inside one extent).
+pub const EXTENT_BLOCKS: u64 = 2048;
+
+/// One hot-path measurement configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HotpathConfig {
+    /// BTLB capacity (the ablation axis: 0, 8, 32).
+    pub btlb_entries: usize,
+    /// Run-batching cap; `1` is the per-block baseline.
+    pub max_run_blocks: u64,
+    /// Blocks per request (4 = 4 KiB, 64 = 64 KiB).
+    pub req_blocks: u64,
+    /// Sequential stream (wrapping) vs uniform-random aligned offsets.
+    pub sequential: bool,
+    /// Requests to drive.
+    pub requests: u64,
+}
+
+/// What one measurement produced.
+#[derive(Debug, Clone, Copy)]
+pub struct HotpathRun {
+    /// Host-side nanoseconds of processing per simulated block.
+    pub wall_ns_per_block: f64,
+    /// Simulated time of the last completion — must be identical across
+    /// `max_run_blocks` settings.
+    pub simulated_last_ns: u64,
+    /// Total blocks moved.
+    pub blocks: u64,
+    /// BTLB per-block hits at the end (also batching-invariant).
+    pub btlb_hits: u64,
+    /// Tree walks performed (simulated count; batching-invariant).
+    pub walks: u64,
+}
+
+/// Builds the measurement device: a VF whose extent tree maps
+/// [`DEVICE_BLOCKS`] blocks in [`EXTENT_BLOCKS`]-sized extents (physically
+/// shifted so the mapping is not the identity), plus a host buffer big
+/// enough for `req_blocks`.
+pub fn build_device(
+    btlb_entries: usize,
+    max_run_blocks: u64,
+    req_blocks: u64,
+) -> (NescDevice, FuncId, HostAddr) {
+    let mem = Rc::new(RefCell::new(HostMemory::new()));
+    let mut cfg = NescConfig::prototype();
+    cfg.capacity_blocks = DEVICE_BLOCKS * 2;
+    cfg.btlb_entries = btlb_entries;
+    cfg.max_run_blocks = max_run_blocks;
+    let mut dev = NescDevice::new(cfg, Rc::clone(&mem));
+    let tree: ExtentTree = (0..DEVICE_BLOCKS / EXTENT_BLOCKS)
+        .map(|i| {
+            ExtentMapping::new(
+                Vlba(i * EXTENT_BLOCKS),
+                Plba(i * EXTENT_BLOCKS + DEVICE_BLOCKS / 2),
+                EXTENT_BLOCKS,
+            )
+        })
+        .collect();
+    let root = tree.serialize(&mut mem.borrow_mut());
+    let vf = dev.create_vf(root, DEVICE_BLOCKS).unwrap();
+    let buf = mem.borrow_mut().alloc(req_blocks * BLOCK_SIZE, BLOCK_SIZE);
+    (dev, vf, buf)
+}
+
+/// The vLBA of request `i` under the configured stream shape. Random
+/// streams draw from a deterministic generator so every batching mode
+/// sees the identical request sequence.
+fn stream_lba(cfg: &HotpathConfig, rng: &mut SimRng, i: u64) -> u64 {
+    let slots = DEVICE_BLOCKS / cfg.req_blocks;
+    if cfg.sequential {
+        (i % slots) * cfg.req_blocks
+    } else {
+        rng.range(0, slots) * cfg.req_blocks
+    }
+}
+
+/// Runs one measurement: submits `cfg.requests` read requests and times
+/// the submit+advance processing loop.
+pub fn measure(cfg: HotpathConfig) -> HotpathRun {
+    let (mut dev, vf, buf) = build_device(cfg.btlb_entries, cfg.max_run_blocks, cfg.req_blocks);
+    let mut rng = SimRng::seed(0x5eed_0dd5);
+    let horizon = SimTime::from_nanos(u64::MAX / 4);
+    let mut t = SimTime::ZERO;
+    let mut last = SimTime::ZERO;
+    let started = Instant::now();
+    for i in 0..cfg.requests {
+        t += SimDuration::from_micros(100);
+        let lba = stream_lba(&cfg, &mut rng, i);
+        dev.submit(
+            t,
+            vf,
+            BlockRequest::new(RequestId(i + 1), BlockOp::Read, lba, cfg.req_blocks),
+            buf,
+        );
+        for out in std::hint::black_box(dev.advance(horizon)) {
+            last = last.max(out.at());
+        }
+    }
+    let wall = started.elapsed();
+    let blocks = cfg.requests * cfg.req_blocks;
+    HotpathRun {
+        wall_ns_per_block: wall.as_nanos() as f64 / blocks as f64,
+        simulated_last_ns: last.as_nanos(),
+        blocks,
+        btlb_hits: dev.btlb().hits(),
+        walks: dev.stats().walks,
+    }
+}
+
+/// Measures a config both per-block (`max_run_blocks = 1`) and batched
+/// (unbounded), panicking if any simulated quantity diverges — the
+/// timing-neutrality invariant this whole optimization rests on.
+pub fn measure_pair(mut cfg: HotpathConfig) -> (HotpathRun, HotpathRun) {
+    cfg.max_run_blocks = 1;
+    let per_block = measure(cfg);
+    cfg.max_run_blocks = u64::MAX;
+    let batched = measure(cfg);
+    assert_eq!(
+        per_block.simulated_last_ns, batched.simulated_last_ns,
+        "run batching changed simulated completion time ({cfg:?})"
+    );
+    assert_eq!(
+        per_block.btlb_hits, batched.btlb_hits,
+        "run batching changed BTLB accounting ({cfg:?})"
+    );
+    assert_eq!(
+        per_block.walks, batched.walks,
+        "run batching changed walk counts ({cfg:?})"
+    );
+    (per_block, batched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The invariance assertions inside `measure_pair` are the real test;
+    /// a small stream keeps it cheap enough for the unit suite.
+    #[test]
+    fn batched_and_per_block_agree_on_simulated_results() {
+        for sequential in [true, false] {
+            for btlb in [0usize, 8] {
+                let (pb, ba) = measure_pair(HotpathConfig {
+                    btlb_entries: btlb,
+                    max_run_blocks: 1,
+                    req_blocks: 16,
+                    sequential,
+                    requests: 40,
+                });
+                assert_eq!(pb.blocks, ba.blocks);
+                assert!(pb.simulated_last_ns > 0);
+            }
+        }
+    }
+}

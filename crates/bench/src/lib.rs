@@ -22,6 +22,8 @@
 //! Each binary prints a human-readable table and writes machine-readable
 //! JSON under `results/`.
 
+pub mod hotpath;
+
 use std::fs;
 use std::path::Path;
 

@@ -29,7 +29,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use nesc_extent::{walk, Plba, Vlba, WalkOutcome};
+use nesc_extent::{walk_run, Plba, Vlba, WalkOutcome};
 use nesc_pcie::{HostAddr, HostMemory, PcieLink};
 use nesc_sim::{EventQueue, Pipe, RoundRobin, ServiceUnit, SimDuration, SimTime};
 use nesc_storage::{BlockOp, BlockRequest, BlockStore, Media, RequestId, BLOCK_SIZE};
@@ -165,14 +165,27 @@ enum Event {
     MuxTick,
 }
 
-/// Result of translating one block (possibly through a nesting chain).
+/// Result of translating the first block of an extent *run* — a maximal
+/// span of consecutive vLBAs that resolves through the same BTLB entries
+/// (or the same walked extents, or the same hole) at every nesting level,
+/// so the whole span can be served from this one translation. Only the
+/// first block's translation is simulated unit-by-unit; the remaining
+/// `run - 1` blocks' pipeline occupancy is charged arithmetically by the
+/// caller, which is timing-equivalent because an all-hit chain occupies
+/// the translation unit back-to-back.
 #[derive(Debug, Clone, Copy)]
-struct Translation {
+struct RunTranslation {
     outcome: Translated,
-    /// When the translation resolved (gates this block's transfer).
+    /// When the first block's translation resolved (gates its transfer).
     at: SimTime,
     /// When the translation pipeline can accept the next block.
     pipeline_free: SimTime,
+    /// Blocks (>= 1, counting the first) this translation covers.
+    run: u64,
+    /// Nesting levels probed per block — the arithmetic charge unit.
+    chain_levels: u64,
+    /// For `Hole` outcomes: tree levels each re-walk of the hole costs.
+    hole_levels: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -214,6 +227,13 @@ pub struct NescDevice {
     stats: DeviceStats,
     tracing: bool,
     traces: Vec<RequestTrace>,
+    /// Reusable record of the nesting levels visited by one translation:
+    /// `(func, vlba at that level, plba it translated to)`.
+    chain_scratch: Vec<(u16, Vlba, Plba)>,
+    /// Reusable per-run timestamp buffer: filled with each block's
+    /// translation-done time, transformed in place into completion times by
+    /// the batched media/engine/link passes.
+    time_scratch: Vec<SimTime>,
 }
 
 impl fmt::Debug for NescDevice {
@@ -265,6 +285,8 @@ impl NescDevice {
             stats: DeviceStats::default(),
             tracing: false,
             traces: Vec::new(),
+            chain_scratch: Vec::new(),
+            time_scratch: Vec::new(),
         }
     }
 
@@ -722,18 +744,20 @@ impl NescDevice {
             self.complete(start, self.pf(), req.id, CompletionStatus::OutOfRange);
             return;
         }
-        let mut last_done = start;
-        for i in 0..req.block_count {
-            let plba = Plba(req.lba + i);
-            let done = match self.transfer_block(start, req.op, plba, pending.buf, i) {
-                Ok(t) => t,
-                Err(()) => {
-                    self.complete(start, self.pf(), req.id, CompletionStatus::DeviceError);
-                    return;
-                }
-            };
-            last_done = last_done.max(done);
+        // PF requests are untranslated, so the whole request is one run:
+        // move the bytes in a single store/host-memory pass, then charge
+        // the per-block engine/link/media timing exactly as the per-block
+        // loop did (each block ready at `start`; the units serialize).
+        if req.block_count > 0 && self.move_run_data(req.op, Plba(req.lba), pending.buf, 0, req.block_count).is_err() {
+            self.complete(start, self.pf(), req.id, CompletionStatus::DeviceError);
+            return;
         }
+        let mut times = std::mem::take(&mut self.time_scratch);
+        times.clear();
+        times.resize(req.block_count as usize, start);
+        self.transfer_run_timing(req.op, Plba(req.lba), &mut times);
+        let last_done = times.last().copied().unwrap_or(start);
+        self.time_scratch = times;
         self.count_blocks(req.op, req.block_count);
         self.functions[0].served_requests += 1;
         self.functions[0].served_blocks += req.block_count;
@@ -796,96 +820,175 @@ impl NescDevice {
         let mut tr_ready = start;
         let mut last_done = start;
         let mut blocks_done = 0u64;
-        for i in from_block..req.block_count {
+        let lookup_cost = self.cfg.btlb_lookup;
+        let mut i = from_block;
+        while i < req.block_count {
             let vlba = Vlba(req.lba + i);
+            let max_run = (req.block_count - i).min(self.cfg.max_run_blocks);
             // --- Translation unit: BTLB, then the block-walk unit —
-            // composed across nesting levels for nested VFs. ---
-            let tr = self.translate_block(func, vlba, tr_ready);
+            // composed across nesting levels for nested VFs, and sized to
+            // the longest run every level's extent covers. ---
+            let rt = self.translate_run(func, vlba, tr_ready, max_run);
             // The translation pipeline accepts the next block as soon as
             // this one has dispatched to (or bypassed) the walk unit; a
             // walk's latency is paid by *this* block's transfer, while
             // other walks proceed on the remaining slots — the overlap
             // the paper uses to hide tree-DMA latency (§V-B).
-            tr_ready = tr.pipeline_free;
-            let (translated, t_done): (Option<Plba>, SimTime) = match tr.outcome {
-                Translated::Mapped(plba) => (Some(plba), tr.at),
-                Translated::Hole { .. } => (None, tr.at),
+            tr_ready = rt.pipeline_free;
+            match rt.outcome {
+                Translated::Mapped(plba) => {
+                    // Physical blocks past device capacity fail exactly
+                    // where the per-block loop failed: after that block's
+                    // translation, before any of its data moves.
+                    let valid = self
+                        .store
+                        .capacity_blocks()
+                        .saturating_sub(plba.0)
+                        .min(rt.run);
+                    let trans_blocks = if valid < rt.run { valid + 1 } else { rt.run };
+                    // Blocks after the first all hit the whole chain; one
+                    // arithmetic charge occupies the translation unit for
+                    // the same contiguous span the per-block lookups did,
+                    // and block j's chain resolves j * chain_levels
+                    // lookups after the batch starts.
+                    let extra = trans_blocks - 1;
+                    let batch_start = if extra > 0 {
+                        let svc = self
+                            .translate_unit
+                            .serve(tr_ready, lookup_cost * (extra * rt.chain_levels));
+                        tr_ready = svc.end;
+                        self.btlb.credit_hits(extra * rt.chain_levels);
+                        svc.start
+                    } else {
+                        tr_ready
+                    };
+                    if valid > 0
+                        && self
+                            .move_run_data(req.op, plba, pending.buf, i, valid)
+                            .is_err()
+                    {
+                        // Unreachable by construction (`valid` is bounded
+                        // by capacity), but fail like the old loop would.
+                        self.complete(rt.at, func, req.id, CompletionStatus::DeviceError);
+                        return;
+                    }
+                    // Block j's chain resolves j * chain_levels lookups
+                    // after the batch starts; transform those ready times
+                    // into completion times with one batched pass per unit.
+                    let mut times = std::mem::take(&mut self.time_scratch);
+                    times.clear();
+                    times.reserve(valid as usize);
+                    for j in 0..valid {
+                        times.push(if j == 0 {
+                            rt.at
+                        } else {
+                            batch_start + lookup_cost * (j * rt.chain_levels)
+                        });
+                    }
+                    self.transfer_run_timing(req.op, plba, &mut times);
+                    if let Some(&done) = times.last() {
+                        last_done = last_done.max(done);
+                    }
+                    self.time_scratch = times;
+                    if valid < trans_blocks {
+                        // The capacity-crossing block fails right after its
+                        // translation, exactly when the per-block loop
+                        // reached it.
+                        let t_err = if valid == 0 {
+                            rt.at
+                        } else {
+                            batch_start + lookup_cost * (valid * rt.chain_levels)
+                        };
+                        self.complete(t_err, func, req.id, CompletionStatus::DeviceError);
+                        return;
+                    }
+                    blocks_done += rt.run;
+                    i += rt.run;
+                }
+                Translated::Hole { level, lba } => {
+                    if req.op == BlockOp::Write {
+                        // Write miss: size the unmapped run for MissSize,
+                        // set the registers of the level whose tree missed,
+                        // interrupt its owner, park the request.
+                        let level_root = self.functions[level.0 as usize].regs.extent_tree_root;
+                        let run = self.unmapped_run(level_root, lba, req.block_count - i);
+                        self.stall(
+                            func,
+                            level,
+                            pending,
+                            i,
+                            rt.at,
+                            IrqReason::WriteMiss {
+                                miss_vlba: lba,
+                                miss_blocks: run,
+                            },
+                        );
+                        return;
+                    }
+                    // POSIX hole read: zero-fill the destination, no media
+                    // access. Holes are never cached, so every block of the
+                    // run re-probes the chain (upper levels hit, the hole
+                    // level misses) and re-walks the hole — the walk-slot
+                    // occupancy below reproduces that per block, while the
+                    // walk itself ran only once.
+                    let extra = rt.run - 1;
+                    let batch_start = if extra > 0 {
+                        let svc = self
+                            .translate_unit
+                            .serve(tr_ready, lookup_cost * (extra * rt.chain_levels));
+                        tr_ready = svc.end;
+                        self.btlb.credit_hits(extra * (rt.chain_levels - 1));
+                        self.btlb.credit_misses(extra);
+                        self.stats.walks += extra;
+                        self.stats.walk_levels += rt.hole_levels as u64 * extra;
+                        svc.start
+                    } else {
+                        tr_ready
+                    };
+                    self.mem
+                        .borrow_mut()
+                        .fill_zero(pending.buf + i * BLOCK_SIZE, rt.run * BLOCK_SIZE);
+                    self.stats.zero_fill_blocks += rt.run;
+                    // Per-block walk-slot occupancy stays a loop (slots are
+                    // chosen least-loaded per walk), but the engine and
+                    // link passes over the resulting ready times batch.
+                    let mut times = std::mem::take(&mut self.time_scratch);
+                    times.clear();
+                    times.reserve(rt.run as usize);
+                    times.push(rt.at);
+                    for j in 1..rt.run {
+                        let lookup_end = batch_start + lookup_cost * (j * rt.chain_levels);
+                        times.push(self.run_walk_dmas(lookup_end, rt.hole_levels));
+                    }
+                    self.engine_read.transfer_run(BLOCK_SIZE, &mut times);
+                    self.link.dma_write_run(BLOCK_SIZE, &mut times);
+                    if let Some(&done) = times.last() {
+                        last_done = last_done.max(done);
+                    }
+                    self.time_scratch = times;
+                    blocks_done += rt.run;
+                    i += rt.run;
+                }
                 Translated::Pruned { level, lba } => {
                     self.stall(
                         func,
                         level,
                         pending,
                         i,
-                        tr.at,
+                        rt.at,
                         IrqReason::MappingPruned { vlba: lba },
                     );
                     return;
                 }
                 Translated::Corrupt => {
-                    self.complete(tr.at, func, req.id, CompletionStatus::DeviceError);
+                    self.complete(rt.at, func, req.id, CompletionStatus::DeviceError);
                     return;
                 }
                 Translated::BeyondParent => {
-                    self.complete(tr.at, func, req.id, CompletionStatus::OutOfRange);
+                    self.complete(rt.at, func, req.id, CompletionStatus::OutOfRange);
                     return;
                 }
-            };
-            // --- Data transfer unit. ---
-            let done = match (req.op, translated) {
-                (BlockOp::Read, Some(plba)) => {
-                    match self.transfer_block(t_done, BlockOp::Read, plba, pending.buf, i) {
-                        Ok(t) => t,
-                        Err(()) => {
-                            self.complete(t_done, func, req.id, CompletionStatus::DeviceError);
-                            return;
-                        }
-                    }
-                }
-                (BlockOp::Read, None) => {
-                    // POSIX hole: zero-fill the destination, no media access.
-                    self.mem
-                        .borrow_mut()
-                        .write(pending.buf + i * BLOCK_SIZE, &[0u8; BLOCK_SIZE as usize]);
-                    self.stats.zero_fill_blocks += 1;
-                    let e = self.engine_read.transfer(t_done, BLOCK_SIZE);
-                    self.link.dma_write(e.end, BLOCK_SIZE).complete
-                }
-                (BlockOp::Write, Some(plba)) => {
-                    match self.transfer_block(t_done, BlockOp::Write, plba, pending.buf, i) {
-                        Ok(t) => t,
-                        Err(()) => {
-                            self.complete(t_done, func, req.id, CompletionStatus::DeviceError);
-                            return;
-                        }
-                    }
-                }
-                (BlockOp::Write, None) => {
-                    // Write miss: size the unmapped run for MissSize, set
-                    // the registers of the level whose tree missed,
-                    // interrupt its owner, park the request.
-                    let (level, lba) = match tr.outcome {
-                        Translated::Hole { level, lba } => (level, lba),
-                        _ => unreachable!("write-miss arm implies a hole"),
-                    };
-                    let level_root =
-                        self.functions[level.0 as usize].regs.extent_tree_root;
-                    let run = self.unmapped_run(level_root, lba, req.block_count - i);
-                    self.stall(
-                        func,
-                        level,
-                        pending,
-                        i,
-                        t_done,
-                        IrqReason::WriteMiss {
-                            miss_vlba: lba,
-                            miss_blocks: run,
-                        },
-                    );
-                    return;
-                }
-            };
-            last_done = last_done.max(done);
-            blocks_done += 1;
+            }
         }
         self.count_blocks(req.op, blocks_done);
         let ctx = &mut self.functions[func.0 as usize];
@@ -894,50 +997,82 @@ impl NescDevice {
         self.complete(last_done, func, req.id, CompletionStatus::Ok);
     }
 
-    /// Translates one block through the function's tree and, for nested
-    /// VFs, through every ancestor's tree (the composed translation of the
-    /// paper's nested-virtualization aside, §IV-A).
-    fn translate_block(&mut self, func: FuncId, vlba: Vlba, ready: SimTime) -> Translation {
+    /// Translates an extent run starting at `vlba` through the function's
+    /// tree and, for nested VFs, through every ancestor's tree (the
+    /// composed translation of the paper's nested-virtualization aside,
+    /// §IV-A). The first block is translated with full unit-level timing;
+    /// the returned `run` says how many consecutive blocks resolve through
+    /// the same entries, bounded by every level's extent coverage, the
+    /// parent's device size, and — via [`Self::rebound_run`] — by what the
+    /// BTLB still holds once the chain's own inserts have settled.
+    fn translate_run(
+        &mut self,
+        func: FuncId,
+        vlba: Vlba,
+        ready: SimTime,
+        max_blocks: u64,
+    ) -> RunTranslation {
+        let mut chain = std::mem::take(&mut self.chain_scratch);
+        chain.clear();
         let mut level = func;
         let mut lba = vlba;
         let mut t = ready;
         let mut pipeline_free = ready;
-        loop {
+        let mut run = max_blocks.max(1);
+        let mut chain_levels = 0u64;
+        let result = loop {
             let lookup = self.translate_unit.serve(t, self.cfg.btlb_lookup);
             pipeline_free = pipeline_free.max(lookup.end);
+            chain_levels += 1;
             let root = self.functions[level.0 as usize].regs.extent_tree_root;
-            let (next, t_done) = match self.btlb.lookup(level.0, lba) {
-                Some(plba) => (plba, lookup.end),
+            let (next, t_done) = match self.btlb.lookup_run(level.0, lba, run) {
+                Some((plba, covered)) => {
+                    run = run.min(covered);
+                    chain.push((level.0, lba, plba));
+                    (plba, lookup.end)
+                }
                 None => {
-                    let wr = walk(&self.mem.borrow(), root, lba);
+                    let wr = walk_run(&self.mem.borrow(), root, lba, run);
                     self.stats.walks += 1;
-                    self.stats.walk_levels += wr.levels as u64;
-                    let t_walk = self.run_walk_dmas(lookup.end, wr.levels);
-                    match wr.outcome {
+                    self.stats.walk_levels += wr.result.levels as u64;
+                    let t_walk = self.run_walk_dmas(lookup.end, wr.result.levels);
+                    match wr.result.outcome {
                         WalkOutcome::Mapped(e) => {
                             self.btlb.insert(level.0, e);
-                            (e.translate(lba).expect("walk hit covers lba"), t_walk)
+                            run = run.min(wr.run);
+                            let plba = e.translate(lba).expect("walk hit covers lba");
+                            chain.push((level.0, lba, plba));
+                            (plba, t_walk)
                         }
                         WalkOutcome::Hole => {
-                            return Translation {
+                            break RunTranslation {
                                 outcome: Translated::Hole { level, lba },
                                 at: t_walk,
                                 pipeline_free,
-                            }
+                                run: self.rebound_run(run.min(wr.run), &chain),
+                                chain_levels,
+                                hole_levels: wr.result.levels,
+                            };
                         }
                         WalkOutcome::Pruned { .. } => {
-                            return Translation {
+                            break RunTranslation {
                                 outcome: Translated::Pruned { level, lba },
                                 at: t_walk,
                                 pipeline_free,
-                            }
+                                run: 1,
+                                chain_levels,
+                                hole_levels: 0,
+                            };
                         }
                         WalkOutcome::Corrupt(_) => {
-                            return Translation {
+                            break RunTranslation {
                                 outcome: Translated::Corrupt,
                                 at: t_walk,
                                 pipeline_free,
-                            }
+                                run: 1,
+                                chain_levels,
+                                hole_levels: 0,
+                            };
                         }
                     }
                 }
@@ -949,25 +1084,55 @@ impl NescDevice {
                     // and recurse up the chain.
                     let psize = self.functions[parent.0 as usize].regs.device_size_blocks;
                     if next.0 >= psize {
-                        return Translation {
+                        break RunTranslation {
                             outcome: Translated::BeyondParent,
                             at: t_done,
                             pipeline_free,
+                            run: 1,
+                            chain_levels,
+                            hole_levels: 0,
                         };
                     }
+                    run = run.min(psize - next.0);
                     level = parent;
                     lba = Vlba(next.0);
                     t = t_done;
                 }
                 None => {
-                    return Translation {
+                    break RunTranslation {
                         outcome: Translated::Mapped(next),
                         at: t_done,
                         pipeline_free,
-                    }
+                        run: self.rebound_run(run, &chain),
+                        chain_levels,
+                        hole_levels: 0,
+                    };
                 }
             }
+        };
+        self.chain_scratch = chain;
+        result
+    }
+
+    /// Re-bounds a run after the whole chain has resolved: blocks past the
+    /// first only hit the BTLB if every visited level *still* caches an
+    /// entry consistent with the first block's translation — a small cache
+    /// can evict an early level's entry while a later level walks (the
+    /// historical per-block loop then re-walked every block, and a run
+    /// must not paper over that), and a zero-capacity BTLB caches nothing
+    /// at all. Returns 1 when batching would diverge from per-block
+    /// behavior.
+    fn rebound_run(&self, mut run: u64, chain: &[(u16, Vlba, Plba)]) -> u64 {
+        if run <= 1 {
+            return run.max(1);
         }
+        for &(f, lba, plba) in chain {
+            match self.btlb.covered_at(f, lba.offset(1)) {
+                Some((p, covered)) if p == plba.offset(1) => run = run.min(1 + covered),
+                _ => return 1,
+            }
+        }
+        run
     }
 
     /// Runs the chained tree-node DMAs of one walk on the least-loaded walk
@@ -992,51 +1157,106 @@ impl NescDevice {
         slot.serve(ready, per_level * levels as u64).end
     }
 
-    /// Moves one block between the store and host memory through the DMA
-    /// engine and the link; returns the completion time, or `Err` if the
-    /// physical address is invalid (corrupt tree / bad PF request).
-    fn transfer_block(
+    /// Moves `blocks` consecutive blocks between the store and host memory
+    /// — the wall-clock half of a run transfer. Bytes move in a single
+    /// copy: reads render store blocks straight into the backing host
+    /// pages, writes DMA host bytes straight into the store's block
+    /// buffers; no staging buffer in between. `Err` means an invalid
+    /// physical range (corrupt tree / bad PF request); the range is
+    /// validated atomically up front and nothing simulated happens here.
+    fn move_run_data(
         &mut self,
-        ready: SimTime,
         op: BlockOp,
         plba: Plba,
         buf: HostAddr,
         block_index: u64,
-    ) -> Result<SimTime, ()> {
+        blocks: u64,
+    ) -> Result<(), ()> {
         let host_addr = buf + block_index * BLOCK_SIZE;
+        self.store.check_range(plba.0, blocks).map_err(|_| ())?;
         match op {
             BlockOp::Read => {
-                let data = self.store.read_block(plba.0).map_err(|_| ())?;
-                self.mem.borrow_mut().write(host_addr, &data);
-                let m = self.media.access(ready, BlockOp::Read, plba.0 * BLOCK_SIZE, BLOCK_SIZE);
-                let e = self.engine_read.transfer(m.end, BLOCK_SIZE);
-                Ok(self.link.dma_write(e.end, BLOCK_SIZE).complete)
+                let store = &self.store;
+                let mut mem = self.mem.borrow_mut();
+                for k in 0..blocks {
+                    let a = host_addr + k * BLOCK_SIZE;
+                    match store.block(plba.0 + k) {
+                        // Written blocks move their actual bytes; reading a
+                        // never-written (all-zero) block zero-fills
+                        // sparsely, so untouched destination pages stay
+                        // unmaterialized.
+                        Some(b) => mem.write(a, b),
+                        None => mem.fill_zero(a, BLOCK_SIZE),
+                    }
+                }
             }
             BlockOp::Write => {
-                let data = self.mem.borrow().read_vec(host_addr, BLOCK_SIZE as usize);
-                self.store.write_block(plba.0, &data).map_err(|_| ())?;
-                let d = self.link.dma_read(ready, BLOCK_SIZE);
-                let e = self.engine_write.transfer(d.complete, BLOCK_SIZE);
-                Ok(self
-                    .media
-                    .access(e.end, BlockOp::Write, plba.0 * BLOCK_SIZE, BLOCK_SIZE)
-                    .end)
+                let mem = self.mem.borrow();
+                for k in 0..blocks {
+                    let dst = self
+                        .store
+                        .block_mut(plba.0 + k)
+                        .expect("range checked above");
+                    mem.read(host_addr + k * BLOCK_SIZE, dst);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The simulated-timing half of a run's transfer: media, DMA engine,
+    /// and link occupancy for every block, in the same unit order as
+    /// always. `times[j]` holds block `j`'s ready (translation-done) time
+    /// on entry and its end-to-end completion time on return.
+    ///
+    /// Each unit is an independent FIFO timeline and the data only flows
+    /// forward (media → engine → link for reads, link → engine → media for
+    /// writes), so running one unit over the whole run before the next
+    /// unit produces intervals identical to the historical per-block
+    /// interleaving — while paying each unit's fixed costs once per run
+    /// instead of once per block.
+    fn transfer_run_timing(&mut self, op: BlockOp, plba: Plba, times: &mut [SimTime]) {
+        match op {
+            BlockOp::Read => {
+                self.media.access_run(
+                    BlockOp::Read,
+                    plba.0 * BLOCK_SIZE,
+                    BLOCK_SIZE,
+                    BLOCK_SIZE,
+                    times,
+                );
+                self.engine_read.transfer_run(BLOCK_SIZE, times);
+                self.link.dma_write_run(BLOCK_SIZE, times);
+            }
+            BlockOp::Write => {
+                self.link.dma_read_run(BLOCK_SIZE, times);
+                self.engine_write.transfer_run(BLOCK_SIZE, times);
+                self.media.access_run(
+                    BlockOp::Write,
+                    plba.0 * BLOCK_SIZE,
+                    BLOCK_SIZE,
+                    BLOCK_SIZE,
+                    times,
+                );
             }
         }
     }
 
     /// Length of the unmapped vLBA run starting at `vlba`, capped at
-    /// `max_blocks` — what the device reports in `MissSize`.
+    /// `max_blocks` — what the device reports in `MissSize`. Hole spans
+    /// come back from a single walk each instead of one walk per block.
     fn unmapped_run(&self, root: HostAddr, vlba: Vlba, max_blocks: u64) -> u64 {
         let mem = self.mem.borrow();
         let mut run = 0;
         while run < max_blocks {
-            match walk(&mem, root, vlba.offset(run)).outcome {
-                WalkOutcome::Hole | WalkOutcome::Pruned { .. } => run += 1,
+            let wr = walk_run(&mem, root, vlba.offset(run), max_blocks - run);
+            match wr.result.outcome {
+                WalkOutcome::Hole => run += wr.run,
+                WalkOutcome::Pruned { .. } => run += 1,
                 _ => break,
             }
         }
-        run.max(1)
+        run.min(max_blocks).max(1)
     }
 
     fn stall(
@@ -2046,5 +2266,305 @@ mod tests {
             buf,
         );
         assert_eq!(dev.next_event_time(), Some(SimTime::from_nanos(100)));
+    }
+
+    // --- Run-batching edge cases -------------------------------------
+
+    #[test]
+    fn run_splits_exactly_on_extent_boundary() {
+        let (mem, mut dev) = setup();
+        // Two adjacent vLBA extents with discontinuous physical targets:
+        // a run may never cross the boundary.
+        let vf = make_vf(
+            &mem,
+            &mut dev,
+            &[
+                ExtentMapping::new(Vlba(0), Plba(100), 4),
+                ExtentMapping::new(Vlba(4), Plba(500), 4),
+            ],
+            8,
+        );
+        let buf = alloc_buf(&mem, 8);
+        let mut pat = [0u8; 8 * 1024];
+        for (k, chunk) in pat.chunks_mut(1024).enumerate() {
+            chunk.fill(0xA0 + k as u8);
+        }
+        mem.borrow_mut().write(buf, &pat);
+        dev.submit(
+            SimTime::ZERO,
+            vf,
+            BlockRequest::new(RequestId(21), BlockOp::Write, 0, 8),
+            buf,
+        );
+        let outs = dev.advance(HORIZON);
+        assert!(matches!(
+            outs.last(),
+            Some(NescOutput::Completion {
+                status: CompletionStatus::Ok,
+                ..
+            })
+        ));
+        // First run lands on pLBA 100..104, second on 500..504.
+        for k in 0..4u64 {
+            assert_eq!(
+                dev.store().read_block(100 + k).unwrap(),
+                vec![0xA0 + k as u8; 1024]
+            );
+            assert_eq!(
+                dev.store().read_block(500 + k).unwrap(),
+                vec![0xA4 + k as u8; 1024]
+            );
+        }
+        // One walk per extent: batching must not re-walk inside a run.
+        assert_eq!(dev.stats().walks, 2);
+
+        // A request ending exactly on the extent boundary is one run.
+        let walks_before = dev.stats().walks;
+        dev.submit(
+            SimTime::from_nanos(1_000_000_000),
+            vf,
+            BlockRequest::new(RequestId(22), BlockOp::Read, 4, 4),
+            buf,
+        );
+        let outs = dev.advance(HORIZON);
+        assert!(matches!(
+            outs.last(),
+            Some(NescOutput::Completion {
+                status: CompletionStatus::Ok,
+                ..
+            })
+        ));
+        assert_eq!(
+            mem.borrow().read_vec(buf, 1024),
+            vec![0xA4; 1024],
+            "read-back of vLBA 4 must come from pLBA 500"
+        );
+        // The earlier walk left the extent cached; no new walk needed.
+        assert_eq!(dev.stats().walks, walks_before);
+    }
+
+    #[test]
+    fn hole_mid_run_read_zero_fills_between_mapped_runs() {
+        let (mem, mut dev) = setup();
+        // mapped [0,2) - hole [2,4) - mapped [4,6): a single read decomposes
+        // into a mapped run, a zero-fill run, and another mapped run.
+        let vf = make_vf(
+            &mem,
+            &mut dev,
+            &[
+                ExtentMapping::new(Vlba(0), Plba(100), 2),
+                ExtentMapping::new(Vlba(4), Plba(300), 2),
+            ],
+            6,
+        );
+        for p in [100u64, 101] {
+            dev.store_mut().write_block(p, &vec![0x11; 1024]).unwrap();
+        }
+        for p in [300u64, 301] {
+            dev.store_mut().write_block(p, &vec![0x22; 1024]).unwrap();
+        }
+        let buf = alloc_buf(&mem, 6);
+        mem.borrow_mut().write(buf, &[0xFF; 6 * 1024]); // poison
+        dev.submit(
+            SimTime::ZERO,
+            vf,
+            BlockRequest::new(RequestId(23), BlockOp::Read, 0, 6),
+            buf,
+        );
+        let outs = dev.advance(HORIZON);
+        assert_eq!(outs.len(), 1, "no interrupts: hole reads never stall");
+        assert!(matches!(
+            outs[0],
+            NescOutput::Completion {
+                status: CompletionStatus::Ok,
+                ..
+            }
+        ));
+        let got = mem.borrow().read_vec(buf, 6 * 1024);
+        assert!(got[..2048].iter().all(|&b| b == 0x11));
+        assert!(got[2048..4096].iter().all(|&b| b == 0x00));
+        assert!(got[4096..].iter().all(|&b| b == 0x22));
+        assert_eq!(dev.stats().zero_fill_blocks, 2);
+    }
+
+    #[test]
+    fn write_miss_mid_run_flushes_and_resumes_from_miss_block() {
+        let (mem, mut dev) = setup();
+        // Only vLBA [0,2) is mapped; a 4-block write covers one mapped run
+        // then misses at vLBA 2, stalling between the two runs.
+        let vf = make_vf(
+            &mem,
+            &mut dev,
+            &[ExtentMapping::new(Vlba(0), Plba(100), 2)],
+            8,
+        );
+        let buf = alloc_buf(&mem, 4);
+        let mut pat = [0u8; 4 * 1024];
+        for (k, chunk) in pat.chunks_mut(1024).enumerate() {
+            chunk.fill(0xB0 + k as u8);
+        }
+        mem.borrow_mut().write(buf, &pat);
+        dev.submit(
+            SimTime::ZERO,
+            vf,
+            BlockRequest::new(RequestId(24), BlockOp::Write, 0, 4),
+            buf,
+        );
+        let outs = dev.advance(HORIZON);
+        let irq = outs
+            .iter()
+            .find_map(|o| match o {
+                NescOutput::HostInterrupt { at, reason, .. } => Some((*at, *reason)),
+                _ => None,
+            })
+            .expect("mid-request write miss must interrupt");
+        match irq.1 {
+            IrqReason::WriteMiss {
+                miss_vlba,
+                miss_blocks,
+            } => {
+                assert_eq!(miss_vlba, Vlba(2), "miss points at the hole block");
+                assert_eq!(miss_blocks, 2);
+            }
+            other => panic!("wrong irq {other:?}"),
+        }
+        assert_eq!(dev.mmio_read(vf, offsets::MISS_ADDRESS), 2 * 1024);
+        // The first run's data already landed before the stall.
+        assert_eq!(dev.store().read_block(100).unwrap(), vec![0xB0; 1024]);
+        assert_eq!(dev.store().read_block(101).unwrap(), vec![0xB1; 1024]);
+
+        // The hypervisor rebuilds the tree, remapping BOTH spans. Writing
+        // the new root flushes the function's BTLB entries between the two
+        // runs of this request, so the resumed tail must re-walk — and it
+        // resumes *from the miss block*: blocks 0-1 are not re-issued and
+        // never land on their new pLBA 700.
+        let walks_at_stall = dev.stats().walks;
+        let tree: ExtentTree = [
+            ExtentMapping::new(Vlba(0), Plba(700), 2),
+            ExtentMapping::new(Vlba(2), Plba(200), 2),
+        ]
+        .into_iter()
+        .collect();
+        let root = tree.serialize(&mut mem.borrow_mut());
+        let resume_at = irq.0 + SimDuration::from_micros(20);
+        dev.mmio_write(vf, offsets::EXTENT_TREE_ROOT, root, resume_at);
+        dev.mmio_write(vf, offsets::REWALK_TREE, 1, resume_at);
+        let outs = dev.advance(HORIZON);
+        assert!(matches!(
+            outs.last(),
+            Some(NescOutput::Completion {
+                status: CompletionStatus::Ok,
+                ..
+            })
+        ));
+        assert_eq!(dev.store().read_block(200).unwrap(), vec![0xB2; 1024]);
+        assert_eq!(dev.store().read_block(201).unwrap(), vec![0xB3; 1024]);
+        assert!(
+            !dev.store().is_written(700),
+            "resume must not replay the already-transferred run"
+        );
+        assert!(
+            dev.stats().walks > walks_at_stall,
+            "flushed BTLB forces the resumed run to walk the new tree"
+        );
+        assert_eq!(dev.stats().miss_interrupts, 1);
+    }
+
+    #[test]
+    fn capacity_zero_btlb_degenerates_to_per_block_walks() {
+        let mem = Rc::new(RefCell::new(HostMemory::new()));
+        let mut cfg = NescConfig::prototype();
+        cfg.capacity_blocks = 4096;
+        cfg.btlb_entries = 0; // ablation: no BTLB at all
+        let mut dev = NescDevice::new(cfg, Rc::clone(&mem));
+        let vf = make_vf(
+            &mem,
+            &mut dev,
+            &[ExtentMapping::new(Vlba(0), Plba(100), 8)],
+            8,
+        );
+        let buf = alloc_buf(&mem, 8);
+        mem.borrow_mut().write(buf, &[0x5A; 8 * 1024]);
+        dev.submit(
+            SimTime::ZERO,
+            vf,
+            BlockRequest::new(RequestId(25), BlockOp::Write, 0, 8),
+            buf,
+        );
+        let outs = dev.advance(HORIZON);
+        assert!(matches!(
+            outs.last(),
+            Some(NescOutput::Completion {
+                status: CompletionStatus::Ok,
+                ..
+            })
+        ));
+        // Without a BTLB nothing can cover a second block, so every block
+        // is its own run and walks the tree itself.
+        assert_eq!(dev.stats().walks, 8);
+        assert_eq!(dev.btlb().hits(), 0);
+        for k in 0..8u64 {
+            assert_eq!(dev.store().read_block(100 + k).unwrap(), vec![0x5A; 1024]);
+        }
+    }
+
+    /// Device-level invariance: the same mixed stream must produce
+    /// identical outputs, stats, and stored bytes whatever the run cap —
+    /// run batching is a wall-clock optimization, not a model change.
+    #[test]
+    fn mixed_stream_invariant_across_run_caps() {
+        fn run_stream(max_run_blocks: u64) -> (Vec<NescOutput>, DeviceStats, u64, Vec<Vec<u8>>) {
+            let mem = Rc::new(RefCell::new(HostMemory::new()));
+            let mut cfg = NescConfig::prototype();
+            cfg.capacity_blocks = 4096;
+            cfg.max_run_blocks = max_run_blocks;
+            let mut dev = NescDevice::new(cfg, Rc::clone(&mem));
+            let vf = make_vf(
+                &mem,
+                &mut dev,
+                &[
+                    ExtentMapping::new(Vlba(0), Plba(100), 5),
+                    ExtentMapping::new(Vlba(5), Plba(400), 3),
+                ],
+                16, // vLBA [8,16) is a hole
+            );
+            let buf = alloc_buf(&mem, 10);
+            let mut pat = [0u8; 10 * 1024];
+            for (k, chunk) in pat.chunks_mut(1024).enumerate() {
+                chunk.fill(0xC0 + k as u8);
+            }
+            mem.borrow_mut().write(buf, &pat);
+            let us = SimDuration::from_micros(100);
+            let reqs = [
+                BlockRequest::new(RequestId(1), BlockOp::Write, 2, 6),
+                BlockRequest::new(RequestId(2), BlockOp::Read, 0, 10),
+                BlockRequest::new(RequestId(3), BlockOp::Write, 5, 3),
+                BlockRequest::new(RequestId(4), BlockOp::Read, 4, 4),
+            ];
+            let mut outs = Vec::new();
+            for (k, req) in reqs.into_iter().enumerate() {
+                dev.submit(SimTime::ZERO + us * (k as u64), vf, req, buf);
+                outs.extend(dev.advance(HORIZON));
+            }
+            let stored: Vec<Vec<u8>> = (0..5)
+                .map(|k| 100 + k)
+                .chain((0..3).map(|k| 400 + k))
+                .map(|p| {
+                    dev.store()
+                        .read_block(p)
+                        .unwrap_or_else(|_| vec![0u8; 1024])
+                })
+                .collect();
+            (outs, dev.stats(), dev.btlb().hits(), stored)
+        }
+
+        let baseline = run_stream(1);
+        for cap in [3, u64::MAX] {
+            let got = run_stream(cap);
+            assert_eq!(got.0, baseline.0, "outputs differ at run cap {cap}");
+            assert_eq!(got.1, baseline.1, "stats differ at run cap {cap}");
+            assert_eq!(got.2, baseline.2, "BTLB hits differ at run cap {cap}");
+            assert_eq!(got.3, baseline.3, "stored bytes differ at cap {cap}");
+        }
     }
 }

@@ -36,4 +36,4 @@ pub mod walk;
 pub use layout::{NodeKind, FANOUT, NODE_SIZE};
 pub use tree::{ExtentTree, InsertError};
 pub use types::{ExtentMapping, Plba, Vlba};
-pub use walk::{prune_covering, walk, WalkOutcome, WalkResult};
+pub use walk::{prune_covering, walk, walk_run, WalkOutcome, WalkResult, WalkRun};

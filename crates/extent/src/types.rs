@@ -114,6 +114,30 @@ impl ExtentMapping {
         }
     }
 
+    /// How many blocks this extent covers starting at `v`, capped at
+    /// `max_blocks`; zero when `v` is not contained. This is what lets a
+    /// translation consumer size an extent *run* — a maximal span of
+    /// contiguous vLBAs served by one cached mapping — from a single probe
+    /// instead of re-checking block by block.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nesc_extent::{ExtentMapping, Vlba, Plba};
+    /// let e = ExtentMapping::new(Vlba(100), Plba(5000), 16);
+    /// assert_eq!(e.covered_run(Vlba(100), u64::MAX), 16);
+    /// assert_eq!(e.covered_run(Vlba(110), u64::MAX), 6);
+    /// assert_eq!(e.covered_run(Vlba(110), 4), 4);
+    /// assert_eq!(e.covered_run(Vlba(116), u64::MAX), 0);
+    /// ```
+    pub fn covered_run(&self, v: Vlba, max_blocks: u64) -> u64 {
+        if self.contains(v) {
+            (self.end_logical().0 - v.0).min(max_blocks)
+        } else {
+            0
+        }
+    }
+
     /// Whether `other` continues this extent exactly (logically and
     /// physically adjacent), so the two can merge into one.
     pub fn abuts(&self, other: &ExtentMapping) -> bool {

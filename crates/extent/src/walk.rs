@@ -54,6 +54,25 @@ fn read_node(mem: &HostMemory, addr: HostAddr) -> Result<Node, LayoutError> {
     layout::decode(&buf)
 }
 
+/// Result of one run-sized walk: the outcome for the probed vLBA plus how
+/// many blocks (starting there) the outcome is known to apply to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkRun {
+    /// Outcome and level count, exactly as [`walk`] would report them.
+    pub result: WalkResult,
+    /// Blocks the outcome applies to, starting at the probed vLBA and
+    /// capped at the caller's `max_blocks` (always at least 1):
+    ///
+    /// - `Mapped`: the extent's remaining coverage — every block in the run
+    ///   translates contiguously through the same extent.
+    /// - `Hole`: the hole span bounded so every block in the run resolves
+    ///   `Hole` along the *same* node path with the same `levels` (the span
+    ///   is clipped to the covering entry's range at each internal level),
+    ///   so batched callers charge identical per-block walk costs.
+    /// - `Pruned` / `Corrupt`: 1 — the caller must stop at this block.
+    pub run: u64,
+}
+
 /// Walks the serialized tree rooted at `root` for `vlba`.
 ///
 /// # Example
@@ -75,29 +94,71 @@ fn read_node(mem: &HostMemory, addr: HostAddr) -> Result<Node, LayoutError> {
 /// assert_eq!(walk(&mem, root, Vlba(9)).outcome, WalkOutcome::Hole);
 /// ```
 pub fn walk(mem: &HostMemory, root: HostAddr, vlba: Vlba) -> WalkResult {
+    walk_run(mem, root, vlba, 1).result
+}
+
+/// Walks the tree once and reports how far the outcome extends, so a
+/// translation unit can serve a whole extent run from a single descent
+/// (paper §V-B: "extents typically span more than one block").
+///
+/// # Example
+///
+/// ```
+/// use nesc_extent::{ExtentTree, ExtentMapping, Vlba, Plba, walk_run, WalkOutcome};
+/// use nesc_pcie::HostMemory;
+///
+/// let mut mem = HostMemory::new();
+/// let tree: ExtentTree = [ExtentMapping::new(Vlba(0), Plba(777), 8)].into_iter().collect();
+/// let root = tree.serialize(&mut mem);
+///
+/// let r = walk_run(&mem, root, Vlba(2), 64);
+/// assert!(matches!(r.result.outcome, WalkOutcome::Mapped(_)));
+/// assert_eq!(r.run, 6); // blocks 2..8 of the extent
+/// ```
+pub fn walk_run(mem: &HostMemory, root: HostAddr, vlba: Vlba, max_blocks: u64) -> WalkRun {
+    let max_blocks = max_blocks.max(1);
     let mut addr = root;
     let mut levels = 0u32;
+    // Tightest end-of-coverage bound among the internal entries descended
+    // through; a hole span must not cross it, or later blocks of the span
+    // would walk a different path (different levels, different nodes).
+    let mut path_bound = u64::MAX;
     loop {
         levels += 1;
         let node = match read_node(mem, addr) {
             Ok(n) => n,
             Err(e) => {
-                return WalkResult {
-                    outcome: WalkOutcome::Corrupt(e),
-                    levels,
+                return WalkRun {
+                    result: WalkResult {
+                        outcome: WalkOutcome::Corrupt(e),
+                        levels,
+                    },
+                    run: 1,
                 }
             }
         };
         match node {
             Node::Leaf(extents) => {
                 let pos = extents.partition_point(|e| e.logical <= vlba);
-                let outcome = pos
+                let hit = pos
                     .checked_sub(1)
                     .map(|i| extents[i])
-                    .filter(|e| e.contains(vlba))
-                    .map(WalkOutcome::Mapped)
-                    .unwrap_or(WalkOutcome::Hole);
-                return WalkResult { outcome, levels };
+                    .filter(|e| e.contains(vlba));
+                let (outcome, run) = match hit {
+                    Some(e) => (WalkOutcome::Mapped(e), e.covered_run(vlba, max_blocks)),
+                    None => {
+                        // The hole runs to the next extent in this leaf, or
+                        // to the subtree's coverage bound if none follows.
+                        let bound = extents
+                            .get(pos)
+                            .map_or(path_bound, |e| e.logical.0.min(path_bound));
+                        (WalkOutcome::Hole, hole_run(vlba, bound, max_blocks))
+                    }
+                };
+                return WalkRun {
+                    result: WalkResult { outcome, levels },
+                    run,
+                };
             }
             Node::Internal(entries) => {
                 let pos = entries.partition_point(|e| e.first_logical <= vlba);
@@ -107,25 +168,45 @@ pub fn walk(mem: &HostMemory, root: HostAddr, vlba: Vlba) -> WalkResult {
                     .filter(|(_, e)| vlba < e.end_logical());
                 match hit {
                     Some((i, e)) if e.is_pruned() => {
-                        return WalkResult {
-                            outcome: WalkOutcome::Pruned {
-                                node: addr,
-                                entry: i,
+                        return WalkRun {
+                            result: WalkResult {
+                                outcome: WalkOutcome::Pruned {
+                                    node: addr,
+                                    entry: i,
+                                },
+                                levels,
                             },
-                            levels,
+                            run: 1,
                         }
                     }
-                    Some((_, e)) => addr = e.child,
+                    Some((_, e)) => {
+                        path_bound = path_bound.min(e.end_logical().0);
+                        addr = e.child;
+                    }
                     None => {
-                        return WalkResult {
-                            outcome: WalkOutcome::Hole,
-                            levels,
-                        }
+                        // Gap between entries: every block up to the next
+                        // entry's start resolves Hole at this very node.
+                        let bound = entries
+                            .get(pos)
+                            .map_or(path_bound, |e| e.first_logical.0.min(path_bound));
+                        return WalkRun {
+                            result: WalkResult {
+                                outcome: WalkOutcome::Hole,
+                                levels,
+                            },
+                            run: hole_run(vlba, bound, max_blocks),
+                        };
                     }
                 }
             }
         }
     }
+}
+
+/// Span of a hole starting at `vlba` that ends before `bound`, capped at
+/// `max_blocks`; never zero (the probed block itself is a hole).
+fn hole_run(vlba: Vlba, bound: u64, max_blocks: u64) -> u64 {
+    bound.saturating_sub(vlba.0).clamp(1, max_blocks)
 }
 
 /// Prunes the subtree covering `vlba`: finds the deepest internal node on
@@ -276,6 +357,83 @@ mod tests {
         let root = tree.serialize(&mut mem);
         // vLBA beyond everything is a hole even at the root level.
         assert!(!prune_covering(&mut mem, root, Vlba(10_000_000)));
+    }
+
+    #[test]
+    fn walk_run_reports_extent_coverage() {
+        let tree: ExtentTree = [ExtentMapping::new(Vlba(10), Plba(100), 8)]
+            .into_iter()
+            .collect();
+        let mut mem = HostMemory::new();
+        let root = tree.serialize(&mut mem);
+        let r = walk_run(&mem, root, Vlba(12), 64);
+        assert_eq!(r.run, 6);
+        assert!(matches!(r.result.outcome, WalkOutcome::Mapped(_)));
+        // Capped by the caller's budget.
+        assert_eq!(walk_run(&mem, root, Vlba(12), 3).run, 3);
+        // Run ending exactly on the extent boundary.
+        assert_eq!(walk_run(&mem, root, Vlba(17), 64).run, 1);
+    }
+
+    #[test]
+    fn walk_run_hole_spans_to_next_extent() {
+        let tree: ExtentTree = [
+            ExtentMapping::new(Vlba(0), Plba(100), 4),
+            ExtentMapping::new(Vlba(10), Plba(200), 4),
+        ]
+        .into_iter()
+        .collect();
+        let mut mem = HostMemory::new();
+        let root = tree.serialize(&mut mem);
+        let r = walk_run(&mem, root, Vlba(4), 64);
+        assert_eq!(r.result.outcome, WalkOutcome::Hole);
+        assert_eq!(r.run, 6); // blocks 4..10
+        // A hole past every extent is bounded only by the cap.
+        assert_eq!(walk_run(&mem, root, Vlba(14), 64).run, 64);
+    }
+
+    #[test]
+    fn walk_run_pruned_is_single_block() {
+        let tree = fragmented_tree(FANOUT as u64 * 3);
+        let mut mem = HostMemory::new();
+        let root = tree.serialize(&mut mem);
+        assert!(prune_covering(&mut mem, root, Vlba(0)));
+        let r = walk_run(&mem, root, Vlba(0), 64);
+        assert!(matches!(r.result.outcome, WalkOutcome::Pruned { .. }));
+        assert_eq!(r.run, 1);
+    }
+
+    proptest! {
+        /// Every block inside a reported run resolves to the same outcome
+        /// class — and the same level count — as a fresh per-block walk,
+        /// which is exactly the invariant the batched device path relies
+        /// on to charge per-block costs arithmetically.
+        #[test]
+        fn prop_walk_run_blocks_agree_with_per_block_walks(
+            n in 1u64..300,
+            probes in proptest::collection::vec((0u64..2_000, 1u64..100), 1..30),
+        ) {
+            let tree = fragmented_tree(n);
+            let mut mem = HostMemory::new();
+            let root = tree.serialize(&mut mem);
+            for &(v, max) in &probes {
+                let r = walk_run(&mem, root, Vlba(v), max);
+                prop_assert!(r.run >= 1 && r.run <= max.max(1));
+                for k in 0..r.run {
+                    let per_block = walk(&mem, root, Vlba(v + k));
+                    prop_assert_eq!(per_block.levels, r.result.levels);
+                    match (r.result.outcome, per_block.outcome) {
+                        (WalkOutcome::Mapped(e), WalkOutcome::Mapped(e2)) => {
+                            prop_assert_eq!(e, e2);
+                        }
+                        (WalkOutcome::Hole, WalkOutcome::Hole) => {}
+                        (a, b) => return Err(TestCaseError::fail(
+                            format!("run block {k}: {a:?} vs {b:?}"),
+                        )),
+                    }
+                }
+            }
+        }
     }
 
     proptest! {

@@ -193,6 +193,37 @@ impl PcieLink {
         }
     }
 
+    /// Serves a run of equal-size DMA writes in arrival order: `times[j]`
+    /// is the `j`-th issue time on entry and the initiator-observed
+    /// completion time on return. Identical to one [`dma_write`] per
+    /// element (the wire time is computed once for the run).
+    ///
+    /// [`dma_write`]: PcieLink::dma_write
+    pub fn dma_write_run(&mut self, bytes_each: u64, times: &mut [SimTime]) {
+        let dur = self.params.wire_time(bytes_each);
+        self.upstream.serve_run(dur, times);
+        for t in times.iter_mut() {
+            *t = *t + self.params.posted_latency;
+        }
+    }
+
+    /// Serves a run of equal-size DMA reads in arrival order: `times[j]` is
+    /// the `j`-th issue time on entry and the completion-observed time on
+    /// return. Identical to one [`dma_read`] per element: all request TLPs
+    /// are serialized upstream, then all completions downstream — the same
+    /// interleaving a per-element loop produces, because the downstream
+    /// timeline never feeds back into the upstream one.
+    ///
+    /// [`dma_read`]: PcieLink::dma_read
+    pub fn dma_read_run(&mut self, bytes_each: u64, times: &mut [SimTime]) {
+        let req_dur = self.params.wire_time(0).min(SimDuration::from_nanos(100));
+        self.upstream.serve_run(req_dur, times);
+        for t in times.iter_mut() {
+            *t = *t + self.params.read_round_trip;
+        }
+        self.downstream.serve_run(self.params.wire_time(bytes_each), times);
+    }
+
     /// Host CPU writes a small register on the device (posted MMIO write,
     /// e.g. ringing a doorbell). Returns when the write lands at the device.
     pub fn mmio_write(&mut self, now: SimTime) -> SimTime {

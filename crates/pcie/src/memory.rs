@@ -16,6 +16,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use nesc_sim::IntHashBuilder;
+
 /// A host physical address (byte-granular).
 pub type HostAddr = u64;
 
@@ -37,7 +39,10 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// assert_eq!(mem.read_u64(buf + 4096), 0);
 /// ```
 pub struct HostMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    // Keyed by page number with a cheap deterministic integer hasher: the
+    // data path pays one lookup per page moved, and SipHash would dominate
+    // the batched transfer loop.
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>, IntHashBuilder>,
     next_free: HostAddr,
 }
 
@@ -61,7 +66,7 @@ impl HostMemory {
     /// address 0 (the traditional NULL) is never handed out.
     pub fn new() -> Self {
         HostMemory {
-            pages: HashMap::new(),
+            pages: HashMap::default(),
             next_free: PAGE_SIZE as u64,
         }
     }
@@ -111,6 +116,52 @@ impl HostMemory {
                 .entry(page)
                 .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
             p[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Writes `len` bytes starting at `addr` by handing the caller each
+    /// page-bounded destination chunk in address order: `f(offset, chunk)`
+    /// receives the chunk's byte offset within the transfer and a mutable
+    /// slice of the (allocated-on-demand) backing page. This is the no-copy
+    /// sibling of [`write`](HostMemory::write) — a DMA source can render
+    /// straight into the pages instead of staging a contiguous buffer. The
+    /// caller must fill every byte of every chunk, exactly as a
+    /// [`write`](HostMemory::write) of `len` bytes would.
+    pub fn write_with(&mut self, addr: HostAddr, len: usize, mut f: impl FnMut(usize, &mut [u8])) {
+        let mut off = 0usize;
+        while off < len {
+            let a = addr + off as u64;
+            let page = a >> PAGE_SHIFT;
+            let in_page = (a as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - in_page).min(len - off);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            f(off, &mut p[in_page..in_page + n]);
+            off += n;
+        }
+    }
+
+    /// Fills `len` bytes at `addr` with zeros *without* materializing
+    /// backing pages: chunks on pages that have never been written already
+    /// read as zeros and are left unallocated — the sparse-store
+    /// equivalent of punching a hole, and the reason zero-dominated
+    /// transfers (POSIX hole reads, freshly-trimmed ranges) cost no page
+    /// allocation and no memset on untouched destinations. Present pages
+    /// are zeroed in place. Observationally identical to
+    /// `fill(addr, len, 0)` for every subsequent read.
+    pub fn fill_zero(&mut self, addr: HostAddr, len: u64) {
+        let mut off = 0u64;
+        while off < len {
+            let a = addr + off;
+            let page = a >> PAGE_SHIFT;
+            let in_page = (a as usize) & (PAGE_SIZE - 1);
+            let n = ((PAGE_SIZE - in_page) as u64).min(len - off);
+            if let Some(p) = self.pages.get_mut(&page) {
+                p[in_page..in_page + n as usize].fill(0);
+            }
             off += n;
         }
     }
@@ -207,6 +258,38 @@ mod tests {
         assert_eq!(mem.read_u32(0x2000), 0xA1B2_C3D4);
         mem.write_u64(0x2008, u64::MAX);
         assert_eq!(mem.read_u64(0x2008), u64::MAX);
+    }
+
+    #[test]
+    fn write_with_renders_into_pages() {
+        let mut mem = HostMemory::new();
+        let addr = (PAGE_SIZE as u64) * 2 - 100; // straddles a boundary
+        mem.write_with(addr, 300, |off, chunk| {
+            for (i, b) in chunk.iter_mut().enumerate() {
+                *b = (off + i) as u8;
+            }
+        });
+        let got = mem.read_vec(addr, 300);
+        let want: Vec<u8> = (0..300usize).map(|i| i as u8).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fill_zero_skips_untouched_pages() {
+        let mut mem = HostMemory::new();
+        let base = (PAGE_SIZE as u64) * 8;
+        // Zeroing virgin memory allocates nothing...
+        mem.fill_zero(base, 3 * PAGE_SIZE as u64);
+        assert_eq!(mem.resident_pages(), 0);
+        // ...but still reads as zeros.
+        assert!(mem.read_vec(base, PAGE_SIZE).iter().all(|&b| b == 0));
+        // A present page really is scrubbed, including partial spans.
+        mem.write(base, &[0xEEu8; 64]);
+        mem.fill_zero(base + 8, 16);
+        let got = mem.read_vec(base, 64);
+        assert!(got[..8].iter().all(|&b| b == 0xEE));
+        assert!(got[8..24].iter().all(|&b| b == 0));
+        assert!(got[24..].iter().all(|&b| b == 0xEE));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Deterministic integer hashing for hot simulation maps.
+//!
+//! The data path hashes one `u64` key per block moved (sparse block-store
+//! lookups, host-memory page lookups, BTLB function buckets). SipHash — the
+//! standard-library default — is DoS-resistant but costs tens of
+//! nanoseconds per key, which dominates once translation and timing are
+//! batched per extent run. These maps hold simulation state keyed by small
+//! trusted integers, so a fixed multiplicative mix is both safe and an
+//! order-of-magnitude cheaper.
+//!
+//! Determinism is also a feature in its own right: the default hasher is
+//! randomly seeded per process, while [`IntHashBuilder`] makes map behavior
+//! identical across runs (nothing in the workspace iterates these maps in
+//! an order-sensitive way, but determinism keeps it debuggable).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fibonacci-style multiplicative hasher for integer keys.
+///
+/// Mixes every written word with the 64-bit golden-ratio constant and a
+/// final xor-shift so low-bit-entropy keys (consecutive LBAs, page numbers)
+/// spread across the table. Not collision-resistant against adversaries —
+/// only use for trusted integer keys.
+#[derive(Debug, Default, Clone)]
+pub struct IntHasher(u64);
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for IntHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche: without it, multiplication alone leaves the low
+        // bits (which HashMap uses for bucket selection) under-mixed.
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback for non-integer keys (rare on these maps).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(GOLDEN);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(GOLDEN);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`IntHasher`]; plug into `HashMap` as the `S` type
+/// parameter (`HashMap<u64, V, IntHashBuilder>`), constructing the map with
+/// `HashMap::default()` or `HashMap::with_hasher`.
+pub type IntHashBuilder = BuildHasherDefault<IntHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn consecutive_keys_spread() {
+        let b = IntHashBuilder::default();
+        // Consecutive LBAs must not collapse onto the same low bits.
+        let low: Vec<u64> = (0u64..64).map(|k| b.hash_one(k) & 0x3F).collect();
+        let distinct: std::collections::HashSet<_> = low.iter().collect();
+        assert!(distinct.len() > 16, "only {} distinct buckets", distinct.len());
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let a = IntHashBuilder::default();
+        let b = IntHashBuilder::default();
+        for k in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(a.hash_one(k), b.hash_one(k));
+        }
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: HashMap<u64, u32, IntHashBuilder> = HashMap::default();
+        for k in 0..1000u64 {
+            m.insert(k, k as u32);
+        }
+        for k in 0..1000u64 {
+            assert_eq!(m.get(&k), Some(&(k as u32)));
+        }
+    }
+}

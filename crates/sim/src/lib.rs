@@ -42,6 +42,7 @@
 //! assert_eq!(t.as_nanos(), 1_000);
 //! ```
 
+pub mod hash;
 pub mod queue;
 pub mod resource;
 pub mod rng;
@@ -49,6 +50,7 @@ pub mod sched;
 pub mod stats;
 pub mod time;
 
+pub use hash::{IntHashBuilder, IntHasher};
 pub use queue::EventQueue;
 pub use resource::{Pipe, ServiceUnit};
 pub use rng::SimRng;

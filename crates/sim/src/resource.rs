@@ -109,6 +109,29 @@ impl Pipe {
         Service { start, end }
     }
 
+    /// Serves a run of equal-size transfers in arrival order: `times[j]` is
+    /// the `j`-th arrival time on entry and its completion time on return.
+    ///
+    /// Exactly equivalent to calling [`transfer`] once per element (the
+    /// per-transfer duration is just computed once instead of per call),
+    /// which is what makes it safe on the simulated-timing-critical path.
+    ///
+    /// [`transfer`]: Pipe::transfer
+    pub fn transfer_run(&mut self, bytes_each: u64, times: &mut [SimTime]) {
+        let dur = self.per_transfer + SimDuration::for_bytes(bytes_each, self.bytes_per_sec);
+        let n = times.len() as u64;
+        let mut free = self.free_at;
+        for t in times.iter_mut() {
+            let start = (*t).max(free);
+            free = start + dur;
+            *t = free;
+        }
+        self.free_at = free;
+        self.busy += dur * n;
+        self.transfers += n;
+        self.bytes += bytes_each * n;
+    }
+
     /// When the pipe next becomes free.
     pub fn free_at(&self) -> SimTime {
         self.free_at
@@ -174,6 +197,24 @@ impl ServiceUnit {
         self.busy += dur;
         self.served += 1;
         Service { start, end }
+    }
+
+    /// Serves a run of equal-duration items in arrival order: `times[j]` is
+    /// the `j`-th arrival time on entry and its completion time on return.
+    /// Arrival times need not be monotonic — each item still starts at
+    /// `max(arrival, free_at)` exactly as [`serve`] would.
+    ///
+    /// [`serve`]: ServiceUnit::serve
+    pub fn serve_run(&mut self, dur: SimDuration, times: &mut [SimTime]) {
+        let mut free = self.free_at;
+        for t in times.iter_mut() {
+            let start = (*t).max(free);
+            free = start + dur;
+            *t = free;
+        }
+        self.free_at = free;
+        self.busy += dur * times.len() as u64;
+        self.served += times.len() as u64;
     }
 
     /// When the unit next becomes free.
@@ -301,6 +342,51 @@ mod tests {
                 prop_assert!(s.end > s.start);
                 prev_end = s.end;
             }
+        }
+
+        /// `serve_run` is call-for-call identical to a `serve` loop, for any
+        /// (even non-monotonic) arrival sequence and pre-existing timeline.
+        #[test]
+        fn prop_serve_run_matches_serve_loop(
+            arrivals in proptest::collection::vec(0u64..100_000, 0..50),
+            dur in 0u64..5_000,
+            warmup in 0u64..10_000,
+        ) {
+            let mut a = ServiceUnit::new();
+            let mut b = ServiceUnit::new();
+            a.serve(SimTime::ZERO, SimDuration::from_nanos(warmup));
+            b.serve(SimTime::ZERO, SimDuration::from_nanos(warmup));
+            let mut times: Vec<SimTime> =
+                arrivals.iter().map(|&t| SimTime::from_nanos(t)).collect();
+            a.serve_run(SimDuration::from_nanos(dur), &mut times);
+            for (&arr, &end) in arrivals.iter().zip(times.iter()) {
+                let svc = b.serve(SimTime::from_nanos(arr), SimDuration::from_nanos(dur));
+                prop_assert_eq!(svc.end, end);
+            }
+            prop_assert_eq!(a.free_at(), b.free_at());
+            prop_assert_eq!(a.busy_time(), b.busy_time());
+            prop_assert_eq!(a.served(), b.served());
+        }
+
+        /// `transfer_run` is call-for-call identical to a `transfer` loop.
+        #[test]
+        fn prop_transfer_run_matches_transfer_loop(
+            arrivals in proptest::collection::vec(0u64..100_000, 0..50),
+            bytes in 1u64..100_000,
+        ) {
+            let mut a = Pipe::new(500_000_000, SimDuration::from_nanos(50));
+            let mut b = a.clone();
+            let mut times: Vec<SimTime> =
+                arrivals.iter().map(|&t| SimTime::from_nanos(t)).collect();
+            a.transfer_run(bytes, &mut times);
+            for (&arr, &end) in arrivals.iter().zip(times.iter()) {
+                let svc = b.transfer(SimTime::from_nanos(arr), bytes);
+                prop_assert_eq!(svc.end, end);
+            }
+            prop_assert_eq!(a.free_at(), b.free_at());
+            prop_assert_eq!(a.busy_time(), b.busy_time());
+            prop_assert_eq!(a.transfers(), b.transfers());
+            prop_assert_eq!(a.bytes_moved(), b.bytes_moved());
         }
 
         /// Busy time equals the sum of individual service durations.

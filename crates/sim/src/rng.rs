@@ -1,13 +1,12 @@
 //! Deterministic randomness for workloads.
 //!
-//! [`SimRng`] wraps a small, fast PRNG seeded explicitly, so every experiment
-//! is reproducible. It also provides the handful of distributions the
-//! paper's workloads need — uniform, exponential (think-time / inter-arrival
-//! gaps), Zipf (OLTP key popularity) and bounded Pareto (Postmark file
-//! sizes) — implemented here to avoid extra dependencies.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! [`SimRng`] is a small, fast PRNG (xoshiro256++, seeded through a
+//! SplitMix64 expander) implemented in-tree so the simulator has zero
+//! external dependencies and builds in network-restricted environments.
+//! Every experiment is reproducible from its 64-bit seed. It also provides
+//! the handful of distributions the paper's workloads need — uniform,
+//! exponential (think-time / inter-arrival gaps), Zipf (OLTP key
+//! popularity) and bounded Pareto (Postmark file sizes).
 
 /// A deterministic random number generator for simulated workloads.
 ///
@@ -21,21 +20,53 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step; used only to expand the user seed into xoshiro state so
+/// that nearby seeds still produce decorrelated streams.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; used to give each simulated
     /// client its own stream so adding clients does not perturb others.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed(s)
     }
 
@@ -46,12 +77,17 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Lemire's multiply-shift maps the raw draw onto the span with bias
+        // at most 2^-64 per value — indistinguishable at simulation scale.
+        let wide = (self.next_u64() as u128) * (span as u128);
+        lo + (wide >> 64) as u64
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits -> [0, 1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p`.

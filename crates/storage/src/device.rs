@@ -8,6 +8,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use nesc_sim::IntHashBuilder;
+
 use crate::request::BLOCK_SIZE;
 
 /// Sparse block-granular storage contents with a fixed capacity.
@@ -23,7 +25,10 @@ use crate::request::BLOCK_SIZE;
 /// assert!(store.read_block(9999).is_err()); // beyond capacity
 /// ```
 pub struct BlockStore {
-    blocks: HashMap<u64, Box<[u8]>>,
+    // One lookup per block moved on the data path; keyed by LBA with a
+    // cheap deterministic integer hasher for the same reason as host
+    // memory's page map.
+    blocks: HashMap<u64, Box<[u8]>, IntHashBuilder>,
     capacity_blocks: u64,
 }
 
@@ -77,7 +82,7 @@ impl BlockStore {
     pub fn new(capacity_blocks: u64) -> Self {
         assert!(capacity_blocks > 0, "device needs at least one block");
         BlockStore {
-            blocks: HashMap::new(),
+            blocks: HashMap::default(),
             capacity_blocks,
         }
     }
@@ -120,6 +125,84 @@ impl BlockStore {
         Ok(())
     }
 
+    /// Reads `blocks` consecutive blocks starting at `lba` into `out`,
+    /// which must be exactly `blocks * BLOCK_SIZE` bytes. Unwritten blocks
+    /// read as zeros. One call replaces a per-block `read_block` loop (and
+    /// its per-block `Vec` allocation) on the batched data path.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfRange`] naming the first out-of-range block if the
+    /// range crosses capacity (nothing is read); [`StoreError::BadLength`]
+    /// if `out` has the wrong size.
+    pub fn read_range(&self, lba: u64, blocks: u64, out: &mut [u8]) -> Result<(), StoreError> {
+        self.check_range(lba, blocks)?;
+        if out.len() as u64 != blocks * BLOCK_SIZE {
+            return Err(StoreError::BadLength { len: out.len() });
+        }
+        let bs = BLOCK_SIZE as usize;
+        for (i, chunk) in out.chunks_exact_mut(bs).enumerate() {
+            match self.blocks.get(&(lba + i as u64)) {
+                Some(b) => chunk.copy_from_slice(b),
+                None => chunk.fill(0),
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes `data` (a whole number of blocks) at consecutive addresses
+    /// starting at `lba`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfRange`] naming the first out-of-range block if the
+    /// range crosses capacity (nothing is written); [`StoreError::BadLength`]
+    /// if `data` is empty or not block-aligned.
+    pub fn write_range(&mut self, lba: u64, data: &[u8]) -> Result<(), StoreError> {
+        let bs = BLOCK_SIZE as usize;
+        if data.is_empty() || data.len() % bs != 0 {
+            return Err(StoreError::BadLength { len: data.len() });
+        }
+        let blocks = (data.len() / bs) as u64;
+        self.check_range(lba, blocks)?;
+        for (i, chunk) in data.chunks_exact(bs).enumerate() {
+            // Reuse the existing allocation on rewrite instead of boxing a
+            // fresh block per insert.
+            match self.blocks.entry(lba + i as u64) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().copy_from_slice(chunk)
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(chunk.into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Borrows one block's bytes, or `None` if the block has never been
+    /// written (it reads as zeros). No capacity check — callers on the
+    /// batched data path validate the whole range up front with
+    /// [`check_range`](BlockStore::check_range).
+    pub fn block(&self, lba: u64) -> Option<&[u8]> {
+        self.blocks.get(&lba).map(|b| &b[..])
+    }
+
+    /// Mutably borrows one block, allocating it zeroed on first touch —
+    /// the no-copy destination for DMA-sized writes (the caller overwrites
+    /// all [`BLOCK_SIZE`] bytes in place instead of staging a buffer).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfRange`] if `lba` is beyond capacity.
+    pub fn block_mut(&mut self, lba: u64) -> Result<&mut [u8], StoreError> {
+        self.check(lba)?;
+        Ok(self
+            .blocks
+            .entry(lba)
+            .or_insert_with(|| vec![0u8; BLOCK_SIZE as usize].into_boxed_slice()))
+    }
+
     /// Whether a block has ever been written.
     pub fn is_written(&self, lba: u64) -> bool {
         self.blocks.contains_key(&lba)
@@ -128,6 +211,26 @@ impl BlockStore {
     /// Number of blocks that have been written at least once.
     pub fn resident_blocks(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Validates that `blocks` consecutive blocks starting at `lba` lie
+    /// within capacity (and that the range is non-empty), naming the first
+    /// out-of-range block on failure — the atomic precondition the range
+    /// operations and the device's run transfers check before touching data.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfRange`] naming the first out-of-range block.
+    pub fn check_range(&self, lba: u64, blocks: u64) -> Result<(), StoreError> {
+        let end = lba.saturating_add(blocks);
+        if end > self.capacity_blocks || blocks == 0 {
+            Err(StoreError::OutOfRange {
+                lba: lba.max(self.capacity_blocks),
+                capacity: self.capacity_blocks,
+            })
+        } else {
+            Ok(())
+        }
     }
 
     fn check(&self, lba: u64) -> Result<(), StoreError> {
@@ -185,6 +288,41 @@ mod tests {
         let err = store.write_block(0, &[1, 2, 3]).unwrap_err();
         assert_eq!(err, StoreError::BadLength { len: 3 });
         assert!(err.to_string().contains("3 bytes"));
+    }
+
+    #[test]
+    fn range_roundtrip_and_sparsity() {
+        let mut store = BlockStore::new(16);
+        let bs = BLOCK_SIZE as usize;
+        let mut data = vec![0u8; 3 * bs];
+        data[..bs].fill(1);
+        data[2 * bs..].fill(3);
+        store.write_range(4, &data).unwrap();
+        let mut out = vec![0xFFu8; 5 * bs];
+        // Blocks 3 and 7 were never written: they must read back as zeros.
+        store.read_range(3, 5, &mut out).unwrap();
+        assert!(out[..bs].iter().all(|&b| b == 0));
+        assert!(out[bs..2 * bs].iter().all(|&b| b == 1));
+        assert!(out[2 * bs..3 * bs].iter().all(|&b| b == 0));
+        assert!(out[3 * bs..4 * bs].iter().all(|&b| b == 3));
+        assert!(out[4 * bs..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn range_rejects_capacity_crossing_atomically() {
+        let mut store = BlockStore::new(4);
+        let bs = BLOCK_SIZE as usize;
+        let err = store.write_range(2, &vec![9u8; 3 * bs]).unwrap_err();
+        assert_eq!(err, StoreError::OutOfRange { lba: 4, capacity: 4 });
+        // Nothing was written, even though blocks 2 and 3 were in range.
+        assert_eq!(store.resident_blocks(), 0);
+        let mut out = vec![0u8; 3 * bs];
+        assert!(store.read_range(2, 3, &mut out).is_err());
+        assert!(store.read_range(2, 2, &mut out[..2 * bs]).is_ok());
+        assert_eq!(
+            store.write_range(0, &vec![0u8; bs + 1]).unwrap_err(),
+            StoreError::BadLength { len: bs + 1 }
+        );
     }
 
     proptest! {

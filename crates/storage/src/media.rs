@@ -111,6 +111,18 @@ impl RamMedia {
         }
     }
 
+    /// Serves a run of equal-size transfers in arrival order: `times[j]` is
+    /// the `j`-th arrival time on entry and its completion time on return.
+    /// Identical to calling [`access`] per element (DRAM timing depends on
+    /// neither op nor address, so the duration is computed once).
+    ///
+    /// [`access`]: RamMedia::access
+    pub fn access_run(&mut self, _op: BlockOp, bytes_each: u64, times: &mut [SimTime]) {
+        let dur =
+            self.access_latency + SimDuration::for_bytes(bytes_each, self.effective_bandwidth());
+        self.channel.serve_run(dur, times);
+    }
+
     /// Cumulative busy time of the medium.
     pub fn busy_time(&self) -> SimDuration {
         self.channel.busy_time()
@@ -235,6 +247,32 @@ impl Media {
         match self {
             Media::Ram(m) => m.access(now, op, addr, bytes),
             Media::Flash(m) => m.access(now, op, addr, bytes),
+        }
+    }
+
+    /// Serves a run of equal-size transfers at consecutive addresses
+    /// (`addr + j * addr_stride`): `times[j]` is the `j`-th arrival time on
+    /// entry and its completion time on return. Exactly equivalent to one
+    /// [`access`] per element in the same order — DRAM takes a batched fast
+    /// path (its timing is address-independent), flash replays the per-page
+    /// state machine element by element.
+    ///
+    /// [`access`]: Media::access
+    pub fn access_run(
+        &mut self,
+        op: BlockOp,
+        addr: u64,
+        addr_stride: u64,
+        bytes_each: u64,
+        times: &mut [SimTime],
+    ) {
+        match self {
+            Media::Ram(m) => m.access_run(op, bytes_each, times),
+            Media::Flash(m) => {
+                for (j, t) in times.iter_mut().enumerate() {
+                    *t = m.access(*t, op, addr + j as u64 * addr_stride, bytes_each).end;
+                }
+            }
         }
     }
 

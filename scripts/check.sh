@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Repo health check: build, test, compile the benches, and prove the
+# run-batched hot path did not perturb simulated results (the committed
+# figure goldens must regenerate bit-identically).
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo bench --no-run (criterion harness compiles; gated offline)"
+cargo bench --no-run -p nesc-bench
+
+echo "==> golden check: fig10_bandwidth must be bit-identical"
+golden="results/fig10_bandwidth.json"
+[ -f "$golden" ] || { echo "missing golden $golden" >&2; exit 1; }
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cp "$golden" "$tmp/golden.json"
+cargo run --release -q -p nesc-bench --bin fig10_bandwidth >/dev/null
+if cmp -s "$tmp/golden.json" "$golden"; then
+    echo "OK: fig10_bandwidth.json regenerated bit-identical"
+else
+    echo "FAIL: fig10_bandwidth.json changed after regeneration" >&2
+    diff "$tmp/golden.json" "$golden" >&2 || true
+    exit 1
+fi
+
+echo "==> all checks passed"
