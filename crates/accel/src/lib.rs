@@ -141,7 +141,10 @@ impl Accelerator {
             });
         }
         assert_eq!(file_offset % BLOCK_SIZE, 0, "block-aligned transfers only");
-        assert!(len > 0 && len.is_multiple_of(BLOCK_SIZE), "block-multiple length");
+        assert!(
+            len > 0 && len.is_multiple_of(BLOCK_SIZE),
+            "block-multiple length"
+        );
         // The accelerator's command processor builds the descriptor and
         // rings the VF's doorbell itself — no host CPU anywhere.
         let t = self.engine.serve(now, self.cmd_cost).end;
@@ -219,7 +222,15 @@ impl Accelerator {
         len: u64,
         window_offset: u64,
     ) -> Result<SimTime, AccelError> {
-        self.transfer_direct(now, dev, vf, BlockOp::Write, file_offset, len, window_offset)
+        self.transfer_direct(
+            now,
+            dev,
+            vf,
+            BlockOp::Write,
+            file_offset,
+            len,
+            window_offset,
+        )
     }
 }
 
@@ -265,7 +276,10 @@ impl HostMediated {
         len: u64,
     ) -> SimTime {
         // Accelerator notifies the host; host wakes, issues the PF I/O.
-        let t = self.host_cpu.serve(now + self.notify_cost, self.request_overhead).end;
+        let t = self
+            .host_cpu
+            .serve(now + self.notify_cost, self.request_overhead)
+            .end;
         let t = dev.ring_doorbell(t);
         let id = RequestId(0x4057_0000 + plba);
         let pf = dev.pf();

@@ -23,7 +23,7 @@ fn bench_paths(c: &mut Criterion) {
                 let mut cfg = NescConfig::prototype();
                 cfg.capacity_blocks = 64 * 1024;
                 let mut sys = System::new(cfg, SoftwareCosts::calibrated());
-                let (_vm, disk) = sys.quick_disk(kind, "bench.img", 16 << 20);
+                let disk = sys.quick_disk(kind, "bench.img", 16 << 20).disk;
                 std::hint::black_box(
                     Dd::new(BlockOp::Write, 4096, 64, DdMode::Sync).run(&mut sys, disk),
                 )

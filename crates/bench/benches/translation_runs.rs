@@ -78,7 +78,10 @@ fn bench_lookup_run(c: &mut Criterion) {
     for &cap in &[8usize, 64, 512] {
         let mut btlb = Btlb::new(cap);
         for i in 0..cap as u64 {
-            btlb.insert((i % 4) as u16, ExtentMapping::new(Vlba(i * 128), Plba(i * 128), 128));
+            btlb.insert(
+                (i % 4) as u16,
+                ExtentMapping::new(Vlba(i * 128), Plba(i * 128), 128),
+            );
         }
         group.bench_function(BenchmarkId::from_parameter(cap), |b| {
             let mut i = 0u64;
@@ -92,5 +95,10 @@ fn bench_lookup_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_device_stream, bench_walk_run, bench_lookup_run);
+criterion_group!(
+    benches,
+    bench_device_stream,
+    bench_walk_run,
+    bench_lookup_run
+);
 criterion_main!(benches);

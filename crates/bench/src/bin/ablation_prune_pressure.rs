@@ -56,7 +56,12 @@ fn main() {
     println!("(fragmented 4K-extent image, random 4KB reads, prune = evict one subtree)");
     let mut rows = Vec::new();
     let mut json = Vec::new();
-    for (label, every) in [("never", 0u64), ("every 64 ops", 64), ("every 16 ops", 16), ("every 4 ops", 4)] {
+    for (label, every) in [
+        ("never", 0u64),
+        ("every 64 ops", 64),
+        ("every 16 ops", 16),
+        ("every 4 ops", 4),
+    ] {
         let (lat, misses) = run(every);
         rows.push(vec![label.into(), fmt(lat), misses.to_string()]);
         json.push(serde_json::json!({
@@ -73,5 +78,8 @@ fn main() {
     println!("\nexpected: each pruned-subtree access costs a host interrupt plus a");
     println!("tree rebuild, so aggressive pruning trades host memory for latency —");
     println!("the reason the paper prunes only under real memory pressure.");
-    emit_json("ablation_prune_pressure", &serde_json::json!({ "points": json }));
+    emit_json(
+        "ablation_prune_pressure",
+        &serde_json::json!({ "points": json }),
+    );
 }

@@ -82,8 +82,7 @@ fn run(with_hog: bool) -> (f64, f64, f64) {
             }
         }
     }
-    let small_mbps =
-        (SMALL_OPS * 4 * 1024) as f64 / 1e6 / small_done.as_secs_f64().max(1e-12);
+    let small_mbps = (SMALL_OPS * 4 * 1024) as f64 / 1e6 / small_done.as_secs_f64().max(1e-12);
     let hog_mbps = if with_hog {
         (HOG_OPS * 256 * 1024) as f64 / 1e6 / hog_done.as_secs_f64().max(1e-12)
     } else {

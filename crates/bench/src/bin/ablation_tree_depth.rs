@@ -92,5 +92,8 @@ fn main() {
     );
     println!("\nexpected: latency grows by roughly one tree-node DMA per extra level,");
     println!("which is why NeSC leans on extent coalescing (and the BTLB) so hard.");
-    emit_json("ablation_tree_depth", &serde_json::json!({ "points": json }));
+    emit_json(
+        "ablation_tree_depth",
+        &serde_json::json!({ "points": json }),
+    );
 }

@@ -87,5 +87,8 @@ fn main() {
     );
     println!("\nexpected: going 1 -> 2 slots hides most of the tree-DMA latency");
     println!("(the prototype's choice); more slots saturate the PCIe read path.");
-    emit_json("ablation_walk_overlap", &serde_json::json!({ "points": json }));
+    emit_json(
+        "ablation_walk_overlap",
+        &serde_json::json!({ "points": json }),
+    );
 }

@@ -58,7 +58,14 @@ fn main() {
     }
     print_table(
         "Hot-path wall clock: ns per simulated block (per-block vs run-batched)",
-        &["btlb", "stream", "req", "ns/blk (run=1)", "ns/blk (batched)", "speedup"],
+        &[
+            "btlb",
+            "stream",
+            "req",
+            "ns/blk (run=1)",
+            "ns/blk (batched)",
+            "speedup",
+        ],
         &rows,
     );
     println!(

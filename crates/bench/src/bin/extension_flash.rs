@@ -12,7 +12,7 @@
 
 use nesc_bench::{emit_json, fmt, print_table};
 use nesc_core::NescConfig;
-use nesc_hypervisor::{DiskKind, SoftwareCosts, System};
+use nesc_hypervisor::{DiskKind, SystemBuilder};
 use nesc_storage::{BlockOp, FlashMedia, Media};
 use nesc_workloads::{Dd, DdMode};
 
@@ -25,8 +25,8 @@ fn flash_config() -> NescConfig {
 }
 
 fn run(kind: DiskKind, op: BlockOp, bs: u64, qd: usize) -> f64 {
-    let mut sys = System::new(flash_config(), SoftwareCosts::calibrated());
-    let (_vm, disk) = sys.quick_disk(kind, "flash.img", IMAGE_BYTES);
+    let mut sys = SystemBuilder::new().config(flash_config()).build();
+    let disk = sys.quick_disk(kind, "flash.img", IMAGE_BYTES).disk;
     Dd::new(op, bs, (32 << 20) / bs, DdMode::Pipelined { qd })
         .run(&mut sys, disk)
         .mbps()

@@ -9,15 +9,15 @@
 
 use nesc_bench::{emit_json, fmt, print_table};
 use nesc_core::NescConfig;
-use nesc_hypervisor::{DiskKind, SoftwareCosts, System};
+use nesc_hypervisor::{DiskKind, SystemBuilder};
 use nesc_storage::BlockOp;
 use nesc_workloads::{Dd, DdMode};
 
 const IMAGE_BYTES: u64 = 256 << 20;
 
 fn run(cfg: NescConfig, kind: DiskKind, bs: u64, qd: usize) -> f64 {
-    let mut sys = System::new(cfg, SoftwareCosts::calibrated());
-    let (_vm, disk) = sys.quick_disk(kind, "g3.img", IMAGE_BYTES);
+    let mut sys = SystemBuilder::new().config(cfg).build();
+    let disk = sys.quick_disk(kind, "g3.img", IMAGE_BYTES).disk;
     Dd::new(BlockOp::Read, bs, (32 << 20) / bs, DdMode::Pipelined { qd })
         .run(&mut sys, disk)
         .mbps()

@@ -25,11 +25,7 @@ const DISK_BLOCKS: u64 = 16 * 1024;
 /// Builds a chain of `depth` nested VFs (depth 0 = plain VF) and returns
 /// the innermost function. Every level is identity-fragmented into
 /// 64-block extents so walks are non-trivial.
-fn nested_chain(
-    mem: &Rc<RefCell<HostMemory>>,
-    dev: &mut NescDevice,
-    depth: usize,
-) -> FuncId {
+fn nested_chain(mem: &Rc<RefCell<HostMemory>>, dev: &mut NescDevice, depth: usize) -> FuncId {
     let fragmented = |shift: u64| -> ExtentTree {
         (0..DISK_BLOCKS / 64)
             .map(|i| {
@@ -100,7 +96,12 @@ fn main() {
     }
     print_table(
         "Nesting sweep",
-        &["translation levels", "cold lat us (no BTLB)", "walks/op", "lat us (8-entry BTLB)"],
+        &[
+            "translation levels",
+            "cold lat us (no BTLB)",
+            "walks/op",
+            "lat us (8-entry BTLB)",
+        ],
         &rows,
     );
     println!("\nexpected: each nesting level adds one tree consultation per block —");

@@ -81,8 +81,7 @@ fn run(probe_priority: u8) -> f64 {
             .expect("probe completes");
         total_us += probe_done.saturating_since(t).as_micros_f64();
         // Next round starts after everything drained.
-        t = outs.iter().map(NescOutput::at).max().unwrap_or(t)
-            + SimDuration::from_micros(10);
+        t = outs.iter().map(NescOutput::at).max().unwrap_or(t) + SimDuration::from_micros(10);
     }
     total_us / PROBES as f64
 }

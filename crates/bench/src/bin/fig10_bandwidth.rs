@@ -72,7 +72,11 @@ fn main() {
     let read = measure(BlockOp::Read);
     print_table("Read bandwidth [MB/s]", &headers, &rows_for(&sizes, &read));
     let write = measure(BlockOp::Write);
-    print_table("Write bandwidth [MB/s]", &headers, &rows_for(&sizes, &write));
+    print_table(
+        "Write bandwidth [MB/s]",
+        &headers,
+        &rows_for(&sizes, &write),
+    );
 
     // Headline claims. Column order matches all_paths(): NeSC, virtio,
     // Emulation, Host.

@@ -17,7 +17,7 @@
 
 use nesc_bench::{emit_json, fmt, print_table};
 use nesc_core::NescConfig;
-use nesc_hypervisor::{DiskKind, SoftwareCosts, System};
+use nesc_hypervisor::{DiskKind, SystemBuilder};
 use nesc_storage::BlockOp;
 
 const IMAGE_BYTES: u64 = 256 << 20;
@@ -34,8 +34,8 @@ fn fast_device() -> NescConfig {
 }
 
 fn run(kind: DiskKind, throttle: u64) -> f64 {
-    let mut sys = System::new(fast_device(), SoftwareCosts::calibrated());
-    let (_vm, disk) = sys.quick_disk(kind, "fig2.img", IMAGE_BYTES);
+    let mut sys = SystemBuilder::new().config(fast_device()).build();
+    let disk = sys.quick_disk(kind, "fig2.img", IMAGE_BYTES).disk;
     sys.device_mut().set_media_throttle(Some(throttle));
     let res = sys.stream(disk, BlockOp::Write, 0, TOTAL, REQ_BYTES, QD);
     res.mbps
@@ -78,5 +78,8 @@ fn main() {
         direct_peak / 1000.0
     );
 
-    emit_json("fig2_direct_speedup", &serde_json::json!({ "points": json_points }));
+    emit_json(
+        "fig2_direct_speedup",
+        &serde_json::json!({ "points": json_points }),
+    );
 }

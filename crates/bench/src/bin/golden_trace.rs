@@ -1,0 +1,77 @@
+//! Golden trace: the full span tree of one small, fixed workload.
+//!
+//! The simulator is a deterministic discrete-event model, so the same
+//! workload must always produce the *identical* span forest — same ids,
+//! same parents, same timestamps, same attributes. This binary runs a
+//! fixed three-request workload (a NeSC-direct write + read and a virtio
+//! write) with tracing on and serializes every span to
+//! `results/golden_trace.json`; `scripts/check.sh` regenerates it and
+//! fails if a single byte moved. Any timing or instrumentation change
+//! that alters the trace must update the golden deliberately.
+//!
+//! ```text
+//! cargo run -p nesc-bench --bin golden_trace
+//! ```
+
+use nesc_bench::emit_json;
+use nesc_hypervisor::prelude::*;
+
+fn span_json(s: &Span) -> serde_json::Value {
+    let attrs: Vec<(String, serde_json::Value)> = s
+        .attrs
+        .iter()
+        .map(|&(k, v)| (k.to_string(), serde_json::Value::from(v)))
+        .collect();
+    serde_json::json!({
+        "id": s.id.0,
+        "parent": s.parent.0,
+        "layer": s.layer,
+        "name": s.name,
+        "start_ns": s.start.as_nanos(),
+        "end_ns": s.end.as_nanos(),
+        "attrs": serde_json::Value::Object(attrs),
+    })
+}
+
+fn main() {
+    let mut sys = SystemBuilder::new()
+        .capacity_blocks(64 * 1024)
+        .tracing(true)
+        .build();
+    let direct = sys
+        .quick_disk(DiskKind::NescDirect, "golden_d.img", 4 << 20)
+        .disk;
+    let virtio = sys
+        .quick_disk(DiskKind::Virtio, "golden_v.img", 4 << 20)
+        .disk;
+
+    sys.write(direct, 0, &[0xAAu8; 8192]);
+    let mut buf = [0u8; 4096];
+    sys.read(direct, 4096, &mut buf);
+    sys.write(virtio, 0, &[0xBBu8; 4096]);
+
+    let spans = sys.take_spans();
+    let tree = SpanTree::new(spans);
+    tree.check_nesting().expect("golden trace is well-nested");
+    let mut requests = 0;
+    for root in tree.roots().filter(|s| s.name == "request") {
+        tree.check_partition(root.id)
+            .expect("request children partition end-to-end");
+        requests += 1;
+    }
+    println!(
+        "golden trace: {} spans, {} request roots",
+        tree.spans().len(),
+        requests
+    );
+
+    let spans_json: Vec<serde_json::Value> = tree.spans().iter().map(span_json).collect();
+    emit_json(
+        "golden_trace",
+        &serde_json::json!({
+            "workload": "direct write 8KiB + direct read 4KiB + virtio write 4KiB",
+            "requests": requests,
+            "spans": spans_json,
+        }),
+    );
+}

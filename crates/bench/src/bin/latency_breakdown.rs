@@ -1,0 +1,195 @@
+//! Span-derived latency breakdown — the Fig. 9 story, reattributed.
+//!
+//! Where `fig9_latency` reports *how long* each path takes, this harness
+//! reports *where the time goes*, reconstructed **from spans alone**: it
+//! runs every path with tracing enabled, collects each request's root
+//! span, verifies that the root's direct children exactly partition the
+//! end-to-end interval (no unattributed time, no overlap), and prints the
+//! per-phase means. It then re-derives the paper's headline ordering
+//! (emulation > virtio > NeSC ≈ host) from the span durations and exports
+//! one representative request mix as a Chrome/Perfetto trace under
+//! `results/`.
+//!
+//! ```text
+//! cargo run -p nesc-bench --bin latency_breakdown
+//! ```
+
+use std::collections::BTreeMap;
+
+use nesc_bench::{all_paths, emit_json, fmt, paper_block_sizes, print_table};
+use nesc_hypervisor::prelude::*;
+
+const IMAGE_BYTES: u64 = 64 << 20;
+const SAMPLES: u64 = 16;
+
+/// Mean per-phase breakdown of one batch of traced requests.
+struct Breakdown {
+    /// `layer:name` -> mean ns across the batch's requests.
+    phases: Vec<(String, f64)>,
+    /// Mean end-to-end latency (root span duration), ns.
+    total_ns: f64,
+    /// Requests in the batch.
+    requests: u64,
+}
+
+/// Drains the tracer, keeps the request roots, checks the partition
+/// invariant on every one, and averages the per-phase child durations.
+fn drain_breakdown(sys: &mut System) -> Breakdown {
+    let tree = SpanTree::new(sys.take_spans());
+    tree.check_nesting().expect("span forest is well-nested");
+    let roots: Vec<&Span> = tree.roots().filter(|s| s.name == "request").collect();
+    assert!(!roots.is_empty(), "traced batch produced no request roots");
+    let mut sums: Vec<(String, u64)> = Vec::new();
+    let mut total = 0u64;
+    for root in &roots {
+        tree.check_partition(root.id)
+            .expect("children partition the request");
+        let mut child_sum = 0u64;
+        for (name, layer, ns) in tree.child_breakdown(root.id) {
+            child_sum += ns;
+            let key = format!("{layer}:{name}");
+            match sums.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, t)) => *t += ns,
+                None => sums.push((key, ns)),
+            }
+        }
+        assert_eq!(
+            child_sum,
+            root.duration_ns(),
+            "child spans must sum to the end-to-end latency"
+        );
+        total += root.duration_ns();
+    }
+    let n = roots.len() as f64;
+    Breakdown {
+        phases: sums.into_iter().map(|(k, ns)| (k, ns as f64 / n)).collect(),
+        total_ns: total as f64 / n,
+        requests: roots.len() as u64,
+    }
+}
+
+/// One traced system per path, pre-warmed so steady-state requests are
+/// measured (allocation/miss handling happens during warm-up).
+fn traced_system(kind: DiskKind) -> (System, DiskId) {
+    let mut sys = SystemBuilder::new().with_trampoline().tracing(true).build();
+    let disk = sys.quick_disk(kind, "bd.img", IMAGE_BYTES).disk;
+    sys.write(disk, 0, &[0x5Au8; 256 * 1024]);
+    // Warm-up spans are not part of the measurement.
+    let _ = sys.take_spans();
+    (sys, disk)
+}
+
+fn measure(kind: DiskKind, bs: u64, write: bool) -> Breakdown {
+    let (mut sys, disk) = traced_system(kind);
+    let payload = vec![0xC3u8; bs as usize];
+    let mut out = vec![0u8; bs as usize];
+    for i in 0..SAMPLES {
+        let offset = (i * bs) % (128 * 1024);
+        if write {
+            sys.write(disk, offset, &payload);
+        } else {
+            sys.read(disk, offset, &mut out);
+        }
+    }
+    drain_breakdown(&mut sys)
+}
+
+fn main() {
+    println!("Span-derived latency breakdown (Fig. 9 reattributed)");
+
+    // --- Per-path phase tables at 4 KiB writes. ---
+    let mut json_paths: Vec<(String, serde_json::Value)> = Vec::new();
+    let mut e2e_512: BTreeMap<&'static str, f64> = BTreeMap::new();
+    for (kind, label) in all_paths() {
+        let bd = measure(kind, 4096, true);
+        let rows: Vec<Vec<String>> = bd
+            .phases
+            .iter()
+            .map(|(k, ns)| vec![k.clone(), fmt(*ns / 1000.0), fmt(100.0 * ns / bd.total_ns)])
+            .collect();
+        print_table(
+            &format!("{label} — 4 KiB write, {} requests", bd.requests),
+            &["phase", "us", "%"],
+            &rows,
+        );
+        println!(
+            "  end-to-end: {} us (children sum exactly)",
+            fmt(bd.total_ns / 1000.0)
+        );
+        let phases: Vec<(String, serde_json::Value)> = bd
+            .phases
+            .iter()
+            .map(|(k, ns)| (k.clone(), serde_json::Value::from(*ns)))
+            .collect();
+        json_paths.push((
+            label.to_string(),
+            serde_json::json!({
+                "total_ns": bd.total_ns,
+                "phases": serde_json::Value::Object(phases),
+            }),
+        ));
+        let small = measure(kind, 512, true);
+        e2e_512.insert(label, small.total_ns);
+    }
+
+    // --- The Fig. 9 ordering, re-derived from spans alone. ---
+    let nesc = e2e_512["NeSC"];
+    let virtio = e2e_512["virtio"];
+    let emu = e2e_512["Emulation"];
+    let host = e2e_512["Host"];
+    println!("\nheadline (512B writes, from spans):");
+    println!("  NeSC vs host     : {:.2}x  (paper: ~1x)", nesc / host);
+    println!("  virtio vs NeSC   : {:.1}x  (paper: >6x)", virtio / nesc);
+    println!("  emulation vs NeSC: {:.1}x  (paper: >20x)", emu / nesc);
+    assert!(
+        emu > virtio && virtio > nesc,
+        "span-derived ordering must match Fig. 9: emulation > virtio > NeSC"
+    );
+
+    // --- Sweep: end-to-end means per block size, per path. ---
+    let sizes = paper_block_sizes();
+    let mut sweep_rows = Vec::new();
+    let mut sweep_json: Vec<(String, serde_json::Value)> = Vec::new();
+    for &bs in &sizes {
+        let mut row = vec![format!("{:.1}", bs as f64 / 1024.0)];
+        let mut cols: Vec<(String, serde_json::Value)> = Vec::new();
+        for (kind, label) in all_paths() {
+            let bd = measure(kind, bs, true);
+            row.push(fmt(bd.total_ns / 1000.0));
+            cols.push((label.to_string(), serde_json::Value::from(bd.total_ns)));
+        }
+        sweep_rows.push(row);
+        sweep_json.push((bs.to_string(), serde_json::Value::Object(cols)));
+    }
+    let labels: Vec<&str> = all_paths().iter().map(|&(_, l)| l).collect();
+    let mut headers = vec!["KB"];
+    headers.extend(&labels);
+    print_table("Write latency from spans [us]", &headers, &sweep_rows);
+
+    // --- Perfetto export: one request per path, in one trace. ---
+    let mut all_spans = Vec::new();
+    for (kind, _) in all_paths() {
+        let (mut sys, disk) = traced_system(kind);
+        sys.write(disk, 0, &[0x11u8; 4096]);
+        let mut buf = [0u8; 4096];
+        sys.read(disk, 0, &mut buf);
+        all_spans.extend(sys.take_spans());
+    }
+    let doc = nesc_sim::chrome_trace_json(&all_spans);
+    let events =
+        nesc_sim::validate_chrome_trace(&doc).expect("exported trace must be structurally valid");
+    println!(
+        "\nPerfetto trace: {events} events from {} spans",
+        all_spans.len()
+    );
+    emit_json("latency_breakdown_trace", &doc);
+
+    emit_json(
+        "latency_breakdown",
+        &serde_json::json!({
+            "samples_per_point": SAMPLES,
+            "breakdown_4k_write": serde_json::Value::Object(json_paths),
+            "sweep_write_ns": serde_json::Value::Object(sweep_json),
+        }),
+    );
+}

@@ -78,10 +78,17 @@ fn main() {
         vec![
             "Block walk".into(),
             "2 overlapped walks".into(),
-            format!("{} walk slots, {} B nodes", cfg.walk_overlap, cfg.tree_node_bytes),
+            format!(
+                "{} walk slots, {} B nodes",
+                cfg.walk_overlap, cfg.tree_node_bytes
+            ),
         ],
     ];
-    print_table("Platform (paper -> model)", &["component", "paper", "model"], &rows);
+    print_table(
+        "Platform (paper -> model)",
+        &["component", "paper", "model"],
+        &rows,
+    );
 
     emit_json(
         "table1_platform",

@@ -27,17 +27,15 @@ pub mod hotpath;
 use std::fs;
 use std::path::Path;
 
-use nesc_core::NescConfig;
-use nesc_hypervisor::{DiskId, DiskKind, SoftwareCosts, System, VmId};
+use nesc_hypervisor::{DiskId, DiskKind, System, SystemBuilder, VmId};
 
 /// Builds the standard experimental system: the VC707-calibrated device
 /// (with the prototype's trampoline-copy pessimism, as measured in the
 /// paper) and one disk of `size_bytes` on the requested path.
 pub fn standard_system(kind: DiskKind, size_bytes: u64) -> (System, VmId, DiskId) {
-    let cfg = NescConfig::prototype();
-    let mut sys = System::new(cfg, SoftwareCosts::calibrated_with_trampoline());
-    let (vm, disk) = sys.quick_disk(kind, "bench.img", size_bytes);
-    (sys, vm, disk)
+    let mut sys = SystemBuilder::new().with_trampoline().build();
+    let p = sys.quick_disk(kind, "bench.img", size_bytes);
+    (sys, p.vm, p.disk)
 }
 
 /// The four paths the paper compares, with its labels.

@@ -129,18 +129,16 @@ impl Btlb {
     /// run. When the caller actually serves extra run blocks from the
     /// result it must say so through [`Btlb::credit_hits`] so legacy
     /// accounting stays per-block.
-    pub fn lookup_run(
-        &mut self,
-        func: u16,
-        vlba: Vlba,
-        max_blocks: u64,
-    ) -> Option<(Plba, u64)> {
+    pub fn lookup_run(&mut self, func: u16, vlba: Vlba, max_blocks: u64) -> Option<(Plba, u64)> {
         match self.index.get(&func).and_then(|fe| fe.find(vlba)) {
             Some(e) => {
                 self.hits += 1;
                 self.probe_hits += 1;
                 self.blocks_covered += 1;
-                let plba = e.extent.translate(vlba).expect("find() checked containment");
+                let plba = e
+                    .extent
+                    .translate(vlba)
+                    .expect("find() checked containment");
                 let run = e.extent.covered_run(vlba, max_blocks.max(1));
                 Some((plba, run))
             }
@@ -167,7 +165,10 @@ impl Btlb {
     /// chain's inserts have settled.
     pub fn covered_at(&self, func: u16, vlba: Vlba) -> Option<(Plba, u64)> {
         let e = self.index.get(&func)?.find(vlba)?;
-        let plba = e.extent.translate(vlba).expect("find() checked containment");
+        let plba = e
+            .extent
+            .translate(vlba)
+            .expect("find() checked containment");
         Some((plba, e.extent.end_logical().0 - vlba.0))
     }
 

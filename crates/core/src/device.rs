@@ -31,7 +31,7 @@ use std::rc::Rc;
 
 use nesc_extent::{walk_run, Plba, Vlba, WalkOutcome};
 use nesc_pcie::{HostAddr, HostMemory, PcieLink};
-use nesc_sim::{EventQueue, Pipe, RoundRobin, ServiceUnit, SimDuration, SimTime};
+use nesc_sim::{EventQueue, Pipe, RoundRobin, ServiceUnit, SimDuration, SimTime, SpanId, Tracer};
 use nesc_storage::{BlockOp, BlockRequest, BlockStore, Media, RequestId, BLOCK_SIZE};
 
 use crate::btlb::Btlb;
@@ -226,7 +226,15 @@ pub struct NescDevice {
     stall_level: Option<FuncId>,
     stats: DeviceStats,
     tracing: bool,
+    /// `tracing || tracer.is_enabled()`, cached so the request hot path
+    /// pays a single flag test when both are off.
+    instrumented: bool,
     traces: Vec<RequestTrace>,
+    /// Span tracer shared with the hypervisor (no-op unless enabled).
+    tracer: Tracer,
+    /// Device span of the request currently in the pipeline; translation,
+    /// walk, media and link spans attach under it.
+    cur_span: SpanId,
     /// Reusable record of the nesting levels visited by one translation:
     /// `(func, vlba at that level, plba it translated to)`.
     chain_scratch: Vec<(u16, Vlba, Plba)>,
@@ -284,7 +292,10 @@ impl NescDevice {
             stall_level: None,
             stats: DeviceStats::default(),
             tracing: false,
+            instrumented: false,
             traces: Vec::new(),
+            tracer: Tracer::disabled(),
+            cur_span: SpanId::NONE,
             chain_scratch: Vec::new(),
             time_scratch: Vec::new(),
         }
@@ -325,11 +336,22 @@ impl NescDevice {
     /// accumulate until [`take_traces`](Self::take_traces)).
     pub fn set_tracing(&mut self, on: bool) {
         self.tracing = on;
+        self.instrumented = self.tracing || self.tracer.is_enabled();
     }
 
     /// Drains the recorded request traces, oldest first.
     pub fn take_traces(&mut self) -> Vec<RequestTrace> {
         std::mem::take(&mut self.traces)
+    }
+
+    /// Attaches a span tracer (cloned into the PCIe link): every request
+    /// the device processes emits a `core`-layer device span — with
+    /// translation, extent-walk, media and DMA child spans — parented on
+    /// whatever span the submitter bound to the request id.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.link.set_tracer(tracer.clone());
+        self.tracer = tracer;
+        self.instrumented = self.tracing || self.tracer.is_enabled();
     }
 
     /// Throttles the storage medium (Fig. 2's emulated device speeds).
@@ -454,8 +476,7 @@ impl NescDevice {
     /// [`VfError::NotAVf`] / [`VfError::NoSuchVf`] as for
     /// [`delete_vf`](Self::delete_vf).
     pub fn set_priority(&mut self, func: FuncId, priority: u8) -> Result<(), VfError> {
-        self.vf_mut(func)?.priority =
-            priority.min(crate::function::NUM_PRIORITIES - 1);
+        self.vf_mut(func)?.priority = priority.min(crate::function::NUM_PRIORITIES - 1);
         Ok(())
     }
 
@@ -674,9 +695,10 @@ impl NescDevice {
             .filter(|&(i, f)| i != 0 && f.dispatchable_at(now))
             .map(|(_, f)| f.priority)
             .min();
-        let Some(pick) = self.rr.next(|i| {
-            i != 0 && funcs[i].dispatchable_at(now) && Some(funcs[i].priority) == urgent
-        }) else {
+        let Some(pick) = self
+            .rr
+            .next(|i| i != 0 && funcs[i].dispatchable_at(now) && Some(funcs[i].priority) == urgent)
+        else {
             // Nothing has arrived yet; sleep until the next doorbell lands.
             if let Some(next) = self
                 .functions
@@ -692,10 +714,9 @@ impl NescDevice {
             .queue
             .pop_front()
             .expect("dispatchable implies non-empty");
-        let cost = self.cfg.mux_per_request
-            + self.cfg.split_per_block * pending.req.block_count;
+        let cost = self.cfg.mux_per_request + self.cfg.split_per_block * pending.req.block_count;
         let svc = self.mux.serve(now, cost);
-        self.process_vf_request(svc.end, FuncId(pick as u16), pending, 0);
+        self.process_vf_request(svc.end, FuncId(pick as u16), pending, 0, false);
         self.schedule_mux(svc.end);
     }
 
@@ -734,11 +755,38 @@ impl NescDevice {
         // Re-issue the stalled request to the walk unit from the miss
         // point; the paper guarantees the retried lookup now succeeds
         // (unless the host pruned again, in which case we stall again).
-        self.process_vf_request(now, func, st.pending, st.resume_block);
+        self.process_vf_request(now, func, st.pending, st.resume_block, true);
         self.schedule_mux(now);
     }
 
     fn process_pf_request(&mut self, start: SimTime, pending: PendingRequest) {
+        if !self.tracer.is_enabled() {
+            return self.process_pf_request_inner(start, pending);
+        }
+        let id = pending.req.id;
+        let span = self
+            .tracer
+            .start(self.tracer.bound(id.0), "core", "device", pending.arrived);
+        self.tracer.attr(span, "blocks", pending.req.block_count);
+        if start > pending.arrived {
+            self.tracer
+                .span(span, "core", "queue", pending.arrived, start);
+        }
+        self.cur_span = span;
+        self.link.set_span_parent(span);
+        let out0 = self.outputs.len();
+        self.process_pf_request_inner(start, pending);
+        if let Some(at) = self.outputs[out0..].iter().find_map(|o| match o {
+            NescOutput::Completion { at, id: cid, .. } if *cid == id => Some(*at),
+            _ => None,
+        }) {
+            self.tracer.end(span, at);
+        }
+        self.cur_span = SpanId::NONE;
+        self.link.set_span_parent(SpanId::NONE);
+    }
+
+    fn process_pf_request_inner(&mut self, start: SimTime, pending: PendingRequest) {
         let req = pending.req;
         if req.end_lba() > self.cfg.capacity_blocks {
             self.complete(start, self.pf(), req.id, CompletionStatus::OutOfRange);
@@ -748,7 +796,11 @@ impl NescDevice {
         // move the bytes in a single store/host-memory pass, then charge
         // the per-block engine/link/media timing exactly as the per-block
         // loop did (each block ready at `start`; the units serialize).
-        if req.block_count > 0 && self.move_run_data(req.op, Plba(req.lba), pending.buf, 0, req.block_count).is_err() {
+        if req.block_count > 0
+            && self
+                .move_run_data(req.op, Plba(req.lba), pending.buf, 0, req.block_count)
+                .is_err()
+        {
             self.complete(start, self.pf(), req.id, CompletionStatus::DeviceError);
             return;
         }
@@ -770,10 +822,33 @@ impl NescDevice {
         func: FuncId,
         pending: PendingRequest,
         from_block: u64,
+        resumed: bool,
     ) {
-        if !self.tracing {
+        if !self.instrumented {
             return self.process_vf_request_inner(start, func, pending, from_block);
         }
+        let spans = self.tracer.is_enabled();
+        let dev_span = if spans {
+            let parent = self.tracer.bound(pending.req.id.0);
+            // A resumed request gets a fresh span starting at the resume
+            // point; the original one closed at its miss interrupt.
+            let (name, opened) = if resumed {
+                ("device_resume", start)
+            } else {
+                ("device", pending.arrived)
+            };
+            let s = self.tracer.start(parent, "core", name, opened);
+            self.tracer.attr(s, "func", func.0 as u64);
+            self.tracer.attr(s, "blocks", pending.req.block_count);
+            if !resumed && start > pending.arrived {
+                self.tracer.span(s, "core", "queue", pending.arrived, start);
+            }
+            self.cur_span = s;
+            self.link.set_span_parent(s);
+            s
+        } else {
+            SpanId::NONE
+        };
         let walks0 = self.stats.walks;
         let hits0 = self.btlb.hits();
         let out0 = self.outputs.len();
@@ -784,7 +859,36 @@ impl NescDevice {
             }
             _ => None,
         });
+        if spans {
+            match completion {
+                Some((at, _)) => self.tracer.end(dev_span, at),
+                None => {
+                    // Stalled on a translation miss: close this span at the
+                    // miss interrupt; the resume opens its own span.
+                    if let Some(at) = self.outputs[out0..].iter().find_map(|o| match o {
+                        NescOutput::HostInterrupt { at, .. } => Some(*at),
+                        _ => None,
+                    }) {
+                        self.tracer.attr(dev_span, "stalled", 1);
+                        self.tracer.end(dev_span, at);
+                    }
+                }
+            }
+            self.cur_span = SpanId::NONE;
+            self.link.set_span_parent(SpanId::NONE);
+        }
+        if !self.tracing {
+            return;
+        }
         if let Some((at, status)) = completion {
+            debug_assert!(
+                pending.arrived <= start && start <= at,
+                "request {:?} timestamps must be monotonic: arrived {} dispatched {} completed {}",
+                pending.req.id,
+                pending.arrived,
+                start,
+                at
+            );
             self.traces.push(RequestTrace {
                 id: pending.req.id,
                 func,
@@ -798,7 +902,7 @@ impl NescDevice {
                 completed: at,
                 walks: (self.stats.walks - walks0) as u32,
                 btlb_hits: (self.btlb.hits() - hits0) as u32,
-                stalled: from_block > 0,
+                stalled: resumed,
                 status,
             });
         }
@@ -1111,7 +1215,21 @@ impl NescDevice {
             }
         };
         self.chain_scratch = chain;
+        if self.cur_span.is_some() {
+            self.trace_translate(ready, result.at, result.run, result.chain_levels);
+        }
         result
+    }
+
+    /// Span emission for one translation run. Outlined and `#[cold]` so the
+    /// tracing-disabled hot path pays only the `cur_span` test above.
+    #[cold]
+    fn trace_translate(&self, ready: SimTime, at: SimTime, run: u64, levels: u64) {
+        let s = self
+            .tracer
+            .span(self.cur_span, "core", "translate", ready, at);
+        self.tracer.attr(s, "run", run);
+        self.tracer.attr(s, "levels", levels);
     }
 
     /// Re-bounds a run after the whole chain has resolved: blocks past the
@@ -1154,7 +1272,19 @@ impl NescDevice {
             .iter_mut()
             .min_by_key(|s| s.free_at())
             .expect("walk_overlap >= 1");
-        slot.serve(ready, per_level * levels as u64).end
+        let end = slot.serve(ready, per_level * levels as u64).end;
+        if self.cur_span.is_some() {
+            self.trace_walk(ready, end, levels);
+        }
+        end
+    }
+
+    #[cold]
+    fn trace_walk(&self, ready: SimTime, end: SimTime, levels: u32) {
+        let s = self
+            .tracer
+            .span(self.cur_span, "extent", "walk", ready, end);
+        self.tracer.attr(s, "levels", levels as u64);
     }
 
     /// Moves `blocks` consecutive blocks between the store and host memory
@@ -1218,6 +1348,11 @@ impl NescDevice {
     fn transfer_run_timing(&mut self, op: BlockOp, plba: Plba, times: &mut [SimTime]) {
         match op {
             BlockOp::Read => {
+                let t0 = if self.cur_span.is_some() {
+                    times.first().copied()
+                } else {
+                    None
+                };
                 self.media.access_run(
                     BlockOp::Read,
                     plba.0 * BLOCK_SIZE,
@@ -1225,12 +1360,20 @@ impl NescDevice {
                     BLOCK_SIZE,
                     times,
                 );
+                if t0.is_some() {
+                    self.media_span(t0, times);
+                }
                 self.engine_read.transfer_run(BLOCK_SIZE, times);
                 self.link.dma_write_run(BLOCK_SIZE, times);
             }
             BlockOp::Write => {
                 self.link.dma_read_run(BLOCK_SIZE, times);
                 self.engine_write.transfer_run(BLOCK_SIZE, times);
+                let t0 = if self.cur_span.is_some() {
+                    times.first().copied()
+                } else {
+                    None
+                };
                 self.media.access_run(
                     BlockOp::Write,
                     plba.0 * BLOCK_SIZE,
@@ -1238,7 +1381,23 @@ impl NescDevice {
                     BLOCK_SIZE,
                     times,
                 );
+                if t0.is_some() {
+                    self.media_span(t0, times);
+                }
             }
+        }
+    }
+
+    /// Records a `storage`-layer span for one batched media pass:
+    /// `t0` is the first block's arrival at the medium (None when tracing
+    /// is off), `times` holds the per-block media completion times.
+    #[cold]
+    fn media_span(&mut self, t0: Option<SimTime>, times: &[SimTime]) {
+        if let (Some(start), Some(&end)) = (t0, times.last()) {
+            let s = self
+                .tracer
+                .span(self.cur_span, "storage", "media", start, end);
+            self.tracer.attr(s, "blocks", times.len() as u64);
         }
     }
 
@@ -1388,9 +1547,7 @@ mod tests {
             &[ExtentMapping::new(Vlba(0), Plba(50), 1)],
             8,
         );
-        dev.store_mut()
-            .write_block(50, &vec![0xEE; 1024])
-            .unwrap();
+        dev.store_mut().write_block(50, &vec![0xEE; 1024]).unwrap();
         let buf = alloc_buf(&mem, 2);
         // Pre-poison the buffer to prove zero-fill really writes zeros.
         mem.borrow_mut().write(buf, &[0xFF; 2048]);
@@ -1548,7 +1705,7 @@ mod tests {
             buf,
         );
         let _ = dev.advance(HORIZON); // VF now stalled
-        // The PF's OOB channel still works.
+                                      // The PF's OOB channel still works.
         let pf_buf = alloc_buf(&mem, 1);
         dev.submit(
             SimTime::from_nanos(1_000_000),
@@ -1580,7 +1737,13 @@ mod tests {
         );
         let outs = dev.advance(HORIZON);
         assert!(
-            !outs.iter().any(|o| matches!(o, NescOutput::Completion { id: RequestId(9), .. })),
+            !outs.iter().any(|o| matches!(
+                o,
+                NescOutput::Completion {
+                    id: RequestId(9),
+                    ..
+                }
+            )),
             "VF traffic must wait for the stall to resolve"
         );
     }
@@ -1778,7 +1941,12 @@ mod tests {
         );
         let buf = alloc_buf(&mem, 1);
         let t0 = dev.ring_doorbell(SimTime::ZERO);
-        dev.submit(t0, vf, BlockRequest::new(RequestId(1), BlockOp::Read, 0, 1), buf);
+        dev.submit(
+            t0,
+            vf,
+            BlockRequest::new(RequestId(1), BlockOp::Read, 0, 1),
+            buf,
+        );
         let outs = dev.advance(HORIZON);
         let lat = outs[0].at().saturating_since(SimTime::ZERO);
         assert!(
@@ -1867,7 +2035,12 @@ mod tests {
     #[test]
     fn equal_priority_falls_back_to_round_robin() {
         let (mem, mut dev) = setup();
-        let a = make_vf(&mem, &mut dev, &[ExtentMapping::new(Vlba(0), Plba(0), 8)], 8);
+        let a = make_vf(
+            &mem,
+            &mut dev,
+            &[ExtentMapping::new(Vlba(0), Plba(0), 8)],
+            8,
+        );
         let b = make_vf(
             &mem,
             &mut dev,
@@ -1937,7 +2110,10 @@ mod tests {
         let (mem, mut dev) = setup();
         let vf = make_vf(&mem, &mut dev, &[], 1);
         assert!(dev.set_priority(vf, 2).is_ok());
-        assert!(matches!(dev.set_priority(dev.pf(), 0), Err(VfError::NotAVf)));
+        assert!(matches!(
+            dev.set_priority(dev.pf(), 0),
+            Err(VfError::NotAVf)
+        ));
         assert!(matches!(
             dev.set_priority(FuncId(50), 0),
             Err(VfError::NoSuchVf { .. })
@@ -1958,8 +2134,18 @@ mod tests {
         );
         let buf = alloc_buf(&mem, 4);
         let t0 = dev.ring_doorbell(SimTime::ZERO);
-        dev.submit(t0, vf, BlockRequest::new(RequestId(1), BlockOp::Read, 0, 4), buf);
-        dev.submit(t0, vf, BlockRequest::new(RequestId(2), BlockOp::Read, 4, 4), buf);
+        dev.submit(
+            t0,
+            vf,
+            BlockRequest::new(RequestId(1), BlockOp::Read, 0, 4),
+            buf,
+        );
+        dev.submit(
+            t0,
+            vf,
+            BlockRequest::new(RequestId(2), BlockOp::Read, 4, 4),
+            buf,
+        );
         dev.advance(HORIZON);
         let traces = dev.take_traces();
         assert_eq!(traces.len(), 2);
@@ -2002,7 +2188,10 @@ mod tests {
         dev.advance(HORIZON);
         let traces = dev.take_traces();
         assert_eq!(traces.len(), 1);
-        assert!(!traces[0].stalled, "resume at block 0 re-runs from scratch");
+        assert!(
+            traces[0].stalled,
+            "a request that missed is stalled even when it resumes from block 0"
+        );
         assert!(matches!(traces[0].status, CompletionStatus::Ok));
     }
 
@@ -2016,7 +2205,12 @@ mod tests {
             4,
         );
         let buf = alloc_buf(&mem, 1);
-        dev.submit(SimTime::ZERO, vf, BlockRequest::new(RequestId(1), BlockOp::Read, 0, 1), buf);
+        dev.submit(
+            SimTime::ZERO,
+            vf,
+            BlockRequest::new(RequestId(1), BlockOp::Read, 0, 1),
+            buf,
+        );
         dev.advance(HORIZON);
         assert!(dev.take_traces().is_empty());
     }

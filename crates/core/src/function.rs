@@ -101,9 +101,7 @@ impl FunctionContext {
     /// (a queued request only becomes visible once its doorbell write has
     /// arrived).
     pub fn dispatchable_at(&self, now: SimTime) -> bool {
-        self.alive
-            && self.stalled.is_none()
-            && self.queue.front().is_some_and(|p| p.arrived <= now)
+        self.alive && self.stalled.is_none() && self.queue.front().is_some_and(|p| p.arrived <= now)
     }
 
     /// Arrival time of the oldest queued request, if any (used by the
@@ -144,7 +142,10 @@ mod tests {
             resume_block: 0,
             stalled_at: SimTime::ZERO,
         });
-        assert!(!f.dispatchable_at(now), "stalled function must not dispatch");
+        assert!(
+            !f.dispatchable_at(now),
+            "stalled function must not dispatch"
+        );
         assert_eq!(f.next_arrival(), None);
         f.stalled = None;
         f.alive = false;

@@ -177,7 +177,10 @@ mod tests {
             write_desc(&mut mem, s, s + 1);
         }
         let got = ring.consume(&mem, 3);
-        assert_eq!(got.iter().map(|d| d.id.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            got.iter().map(|d| d.id.0).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         // Wrap: slots 3, 0 → tail=1.
         write_desc(&mut mem, 3, 4);
         write_desc(&mut mem, 0, 5);

@@ -45,13 +45,31 @@ pub struct RequestTrace {
 }
 
 impl RequestTrace {
+    /// Debug-asserts the timestamp invariant every recorded trace must
+    /// satisfy: `arrived <= dispatched <= completed`. The accessors below
+    /// would silently saturate an out-of-order trace to zero, masking the
+    /// recording bug; asserting here turns it into a loud failure on
+    /// debug builds.
+    fn assert_monotonic(&self) {
+        debug_assert!(
+            self.arrived <= self.dispatched && self.dispatched <= self.completed,
+            "trace {:?} timestamps not monotonic: arrived {} dispatched {} completed {}",
+            self.id,
+            self.arrived,
+            self.dispatched,
+            self.completed
+        );
+    }
+
     /// Total device-observed latency.
     pub fn latency(&self) -> SimDuration {
+        self.assert_monotonic();
         self.completed.saturating_since(self.arrived)
     }
 
     /// Time spent queued before dispatch.
     pub fn queueing(&self) -> SimDuration {
+        self.assert_monotonic();
         self.dispatched.saturating_since(self.arrived)
     }
 }

@@ -184,9 +184,8 @@ pub fn decode(buf: &[u8; NODE_SIZE]) -> Result<Node, LayoutError> {
     if count as usize > FANOUT {
         return Err(LayoutError::BadCount { found: count });
     }
-    let read_u64 = |off: usize| {
-        u64::from_le_bytes(buf[off..off + 8].try_into().expect("8-byte slice"))
-    };
+    let read_u64 =
+        |off: usize| u64::from_le_bytes(buf[off..off + 8].try_into().expect("8-byte slice"));
     match kind {
         1 => {
             let entries = (0..count as usize)
@@ -278,7 +277,10 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let buf = [0u8; NODE_SIZE];
-        assert_eq!(decode(&buf).unwrap_err(), LayoutError::BadMagic { found: 0 });
+        assert_eq!(
+            decode(&buf).unwrap_err(),
+            LayoutError::BadMagic { found: 0 }
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ impl ExtentTree {
 
     /// One past the last mapped virtual block, or `Vlba(0)` if empty.
     pub fn logical_end(&self) -> Vlba {
-        self.extents.last().map(|e| e.end_logical()).unwrap_or(Vlba(0))
+        self.extents
+            .last()
+            .map(|e| e.end_logical())
+            .unwrap_or(Vlba(0))
     }
 
     /// Iterates extents in logical order.
@@ -201,11 +204,7 @@ impl ExtentTree {
         for chunk in self.extents.chunks(FANOUT) {
             let addr = mem.alloc(NODE_SIZE as u64, 64);
             mem.write(addr, &layout::encode_leaf(chunk));
-            level.push((
-                addr,
-                chunk[0].logical,
-                chunk[chunk.len() - 1].end_logical(),
-            ));
+            level.push((addr, chunk[0].logical, chunk[chunk.len() - 1].end_logical()));
         }
         // Internal levels until a single root remains.
         while level.len() > 1 {
@@ -297,23 +296,36 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert_eq!(t.lookup(Vlba(1)).unwrap().translate(Vlba(1)), Some(Plba(11)));
+        assert_eq!(
+            t.lookup(Vlba(1)).unwrap().translate(Vlba(1)),
+            Some(Plba(11))
+        );
         assert!(t.lookup(Vlba(2)).is_none());
         assert!(t.lookup(Vlba(9)).is_none());
-        assert_eq!(t.lookup(Vlba(11)).unwrap().translate(Vlba(11)), Some(Plba(21)));
+        assert_eq!(
+            t.lookup(Vlba(11)).unwrap().translate(Vlba(11)),
+            Some(Plba(21))
+        );
         assert!(t.lookup(Vlba(12)).is_none());
     }
 
     #[test]
     fn remove_range_splits() {
         let mut t = ExtentTree::new();
-        t.insert(ExtentMapping::new(Vlba(0), Plba(100), 10)).unwrap();
+        t.insert(ExtentMapping::new(Vlba(0), Plba(100), 10))
+            .unwrap();
         t.remove_range(Vlba(3), 4);
         assert_eq!(t.extent_count(), 2);
-        assert_eq!(t.lookup(Vlba(2)).unwrap().translate(Vlba(2)), Some(Plba(102)));
+        assert_eq!(
+            t.lookup(Vlba(2)).unwrap().translate(Vlba(2)),
+            Some(Plba(102))
+        );
         assert!(t.lookup(Vlba(3)).is_none());
         assert!(t.lookup(Vlba(6)).is_none());
-        assert_eq!(t.lookup(Vlba(7)).unwrap().translate(Vlba(7)), Some(Plba(107)));
+        assert_eq!(
+            t.lookup(Vlba(7)).unwrap().translate(Vlba(7)),
+            Some(Plba(107))
+        );
         t.remove_range(Vlba(0), 100);
         assert_eq!(t.extent_count(), 0);
         t.remove_range(Vlba(0), 0); // no-op

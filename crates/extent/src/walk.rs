@@ -242,8 +242,7 @@ pub fn prune_covering(mem: &mut HostMemory, root: HostAddr, vlba: Vlba) -> bool 
                         // If the child is a leaf, prune here; otherwise
                         // descend to prune as deep as possible (minimizes
                         // the mappings lost).
-                        let child_is_leaf =
-                            matches!(read_node(mem, e.child), Ok(Node::Leaf(_)));
+                        let child_is_leaf = matches!(read_node(mem, e.child), Ok(Node::Leaf(_)));
                         if child_is_leaf {
                             let off = addr + layout::child_ptr_offset(i) as u64;
                             mem.write_u64(off, 0);
@@ -291,7 +290,12 @@ mod tests {
 
     #[test]
     fn walk_levels_match_serialized_depth() {
-        for n in [1u64, FANOUT as u64, FANOUT as u64 + 1, (FANOUT * FANOUT) as u64 + 1] {
+        for n in [
+            1u64,
+            FANOUT as u64,
+            FANOUT as u64 + 1,
+            (FANOUT * FANOUT) as u64 + 1,
+        ] {
             let tree = fragmented_tree(n);
             let mut mem = HostMemory::new();
             let root = tree.serialize(&mut mem);
@@ -388,7 +392,7 @@ mod tests {
         let r = walk_run(&mem, root, Vlba(4), 64);
         assert_eq!(r.result.outcome, WalkOutcome::Hole);
         assert_eq!(r.run, 6); // blocks 4..10
-        // A hole past every extent is bounded only by the cap.
+                              // A hole past every extent is bounded only by the cap.
         assert_eq!(walk_run(&mem, root, Vlba(14), 64).run, 64);
     }
 

@@ -137,7 +137,9 @@ impl BitmapAllocator {
         }
         let mut runs = Vec::new();
         let mut remaining = count;
-        let mut search_from = goal.map(|g| g.0.min(self.capacity - 1)).unwrap_or(self.cursor);
+        let mut search_from = goal
+            .map(|g| g.0.min(self.capacity - 1))
+            .unwrap_or(self.cursor);
         while remaining > 0 {
             let run = self
                 .find_run(search_from, remaining)
@@ -220,7 +222,9 @@ mod tests {
     fn goal_hint_extends_file() {
         let mut a = BitmapAllocator::new(100);
         let first = a.allocate(10, None).unwrap()[0];
-        let next = a.allocate(10, Some(Plba(first.start.0 + first.len))).unwrap();
+        let next = a
+            .allocate(10, Some(Plba(first.start.0 + first.len)))
+            .unwrap();
         assert_eq!(next[0].start, Plba(first.start.0 + first.len));
     }
 

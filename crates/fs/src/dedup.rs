@@ -56,18 +56,13 @@ impl Filesystem {
     /// # Errors
     ///
     /// Propagates I/O errors and stale inodes.
-    pub fn dedup(
-        &mut self,
-        io: &mut dyn BlockIo,
-        files: &[Ino],
-    ) -> Result<DedupReport, FsError> {
+    pub fn dedup(&mut self, io: &mut dyn BlockIo, files: &[Ino]) -> Result<DedupReport, FsError> {
         let mut report = DedupReport::default();
         // hash -> (canonical plba, content)
         let mut seen: HashMap<u64, Vec<(Plba, Vec<u8>)>> = HashMap::new();
         for &ino in files {
             // Snapshot the mapping; we re-insert block by block.
-            let extents: Vec<ExtentMapping> =
-                self.extent_tree(ino)?.iter().copied().collect();
+            let extents: Vec<ExtentMapping> = self.extent_tree(ino)?.iter().copied().collect();
             for e in extents {
                 for i in 0..e.len {
                     let v = Vlba(e.logical.0 + i);
@@ -121,12 +116,7 @@ mod tests {
         (BlockStore::new(4096), Filesystem::format(4096))
     }
 
-    fn fill(
-        fs: &mut Filesystem,
-        store: &mut BlockStore,
-        name: &str,
-        pattern: &[u8],
-    ) -> Ino {
+    fn fill(fs: &mut Filesystem, store: &mut BlockStore, name: &str, pattern: &[u8]) -> Ino {
         let ino = fs.create(name).unwrap();
         fs.write(store, ino, 0, pattern).unwrap();
         ino

@@ -202,10 +202,7 @@ impl Filesystem {
     }
 
     /// Mutable access to a file's extent tree (dedup remapping).
-    pub(crate) fn extent_tree_mut(
-        &mut self,
-        ino: Ino,
-    ) -> Result<&mut ExtentTree, FsError> {
+    pub(crate) fn extent_tree_mut(&mut self, ino: Ino) -> Result<&mut ExtentTree, FsError> {
         Ok(self.inode_mut(ino)?.extents_mut())
     }
 
@@ -261,9 +258,10 @@ impl Filesystem {
     ///
     /// [`FsError::NotFound`] if the name does not exist.
     pub fn unlink(&mut self, name: &str) -> Result<(), FsError> {
-        let ino = self.names.remove(name).ok_or_else(|| FsError::NotFound {
-            name: name.into(),
-        })?;
+        let ino = self
+            .names
+            .remove(name)
+            .ok_or_else(|| FsError::NotFound { name: name.into() })?;
         let inode = self.inodes.remove(&ino).expect("name table is consistent");
         let runs: Vec<Run> = inode
             .extents()
@@ -276,7 +274,8 @@ impl Filesystem {
         for run in runs {
             self.release_run(run);
         }
-        self.journal.append(JournalRecord::Unlink { name: name.into() });
+        self.journal
+            .append(JournalRecord::Unlink { name: name.into() });
         self.journal.commit();
         Ok(())
     }
@@ -382,7 +381,8 @@ impl Filesystem {
                     .extents_mut()
                     .insert(mapping)
                     .expect("allocating only unmapped ranges");
-                self.journal.append(JournalRecord::AddExtent { ino, mapping });
+                self.journal
+                    .append(JournalRecord::AddExtent { ino, mapping });
                 logical = logical.offset(run.len);
                 allocated += run.len;
             }
@@ -396,12 +396,7 @@ impl Filesystem {
     }
 
     /// Unmaps and frees file blocks `[start, start+blocks)`.
-    fn punch_hole_blocks(
-        &mut self,
-        ino: Ino,
-        start: Vlba,
-        blocks: u64,
-    ) -> Result<(), FsError> {
+    fn punch_hole_blocks(&mut self, ino: Ino, start: Vlba, blocks: u64) -> Result<(), FsError> {
         // Collect the physical runs being dropped before mutating the tree.
         let mut freed: Vec<Run> = Vec::new();
         {
@@ -419,11 +414,14 @@ impl Filesystem {
                 }
             }
         }
-        self.inode_mut(ino)?.extents_mut().remove_range(start, blocks);
+        self.inode_mut(ino)?
+            .extents_mut()
+            .remove_range(start, blocks);
         for run in freed {
             self.release_run(run);
         }
-        self.journal.append(JournalRecord::RemoveRange { ino, start, blocks });
+        self.journal
+            .append(JournalRecord::RemoveRange { ino, start, blocks });
         Ok(())
     }
 
@@ -500,7 +498,8 @@ impl Filesystem {
         let end = offset + data.len() as u64;
         if end > self.inode(ino)?.size_bytes() {
             self.inode_mut(ino)?.set_size_bytes(end);
-            self.journal.append(JournalRecord::SetSize { ino, size: end });
+            self.journal
+                .append(JournalRecord::SetSize { ino, size: end });
             stats.journal_bytes += self.journal.commit().map(|c| c.bytes).unwrap_or(0);
         }
         Ok(stats)
@@ -689,7 +688,8 @@ mod tests {
     fn sparse_file_reads_zero_in_holes() {
         let (mut store, mut fs) = setup();
         let ino = fs.create("sparse").unwrap();
-        fs.write(&mut store, ino, 100 * BLOCK_SIZE, b"tail").unwrap();
+        fs.write(&mut store, ino, 100 * BLOCK_SIZE, b"tail")
+            .unwrap();
         let hole = fs.read(&mut store, ino, 50 * BLOCK_SIZE, 1024).unwrap();
         assert!(hole.iter().all(|&b| b == 0));
         // Only the tail block is allocated.

@@ -125,8 +125,7 @@ impl Journal {
             return None;
         }
         let records = std::mem::take(&mut self.pending);
-        let bytes =
-            records.iter().map(JournalRecord::bytes).sum::<u64>() + COMMIT_BLOCK_BYTES;
+        let bytes = records.iter().map(JournalRecord::bytes).sum::<u64>() + COMMIT_BLOCK_BYTES;
         self.total_bytes += bytes;
         self.committed.push(records);
         Some(CommitInfo {

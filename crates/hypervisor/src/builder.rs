@@ -1,0 +1,188 @@
+//! Typed construction of a [`System`].
+//!
+//! [`SystemBuilder`] is the front door of the facade: it gathers the
+//! device configuration, the software cost model, and the observability
+//! options (span tracing, media throttling) into one fluent call chain,
+//! so harnesses and examples don't have to thread `NescConfig` /
+//! `SoftwareCosts` pairs around by hand.
+//!
+//! # Example
+//!
+//! ```
+//! use nesc_hypervisor::prelude::*;
+//!
+//! let mut sys = SystemBuilder::new()
+//!     .capacity_blocks(64 * 1024)
+//!     .tracing(true)
+//!     .build();
+//! let disk = sys.quick_disk(DiskKind::NescDirect, "a.img", 1 << 20).disk;
+//! sys.write(disk, 0, &[0xAB; 1024]);
+//! assert!(!sys.tracer().is_empty());
+//! ```
+
+use nesc_core::NescConfig;
+use nesc_pcie::LinkParams;
+use nesc_storage::Media;
+
+use crate::costs::SoftwareCosts;
+use crate::system::System;
+
+/// Fluent builder over [`NescConfig`] + [`SoftwareCosts`] + observability
+/// options. Defaults reproduce the paper's prototype
+/// ([`NescConfig::prototype`], [`SoftwareCosts::calibrated`]) with tracing
+/// off.
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    cfg: NescConfig,
+    costs: SoftwareCosts,
+    tracing: bool,
+    request_tracing: bool,
+    media_throttle: Option<u64>,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder::new()
+    }
+}
+
+impl SystemBuilder {
+    /// The prototype system: paper configuration, calibrated costs, no
+    /// tracing.
+    pub fn new() -> Self {
+        SystemBuilder {
+            cfg: NescConfig::prototype(),
+            costs: SoftwareCosts::calibrated(),
+            tracing: false,
+            request_tracing: false,
+            media_throttle: None,
+        }
+    }
+
+    /// Replaces the whole device configuration.
+    pub fn config(mut self, cfg: NescConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Replaces the whole software cost model.
+    pub fn costs(mut self, costs: SoftwareCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Uses the calibrated costs with the paging trampoline enabled
+    /// (the paper's measured configuration includes it).
+    pub fn with_trampoline(mut self) -> Self {
+        self.costs = SoftwareCosts::calibrated_with_trampoline();
+        self
+    }
+
+    /// Physical device capacity in 1 KiB blocks.
+    pub fn capacity_blocks(mut self, blocks: u64) -> Self {
+        self.cfg.capacity_blocks = blocks;
+        self
+    }
+
+    /// BTLB capacity in entries (0 disables caching).
+    pub fn btlb_entries(mut self, entries: usize) -> Self {
+        self.cfg.btlb_entries = entries;
+        self
+    }
+
+    /// Maximum number of live virtual functions.
+    pub fn max_vfs(mut self, max_vfs: u16) -> Self {
+        self.cfg.max_vfs = max_vfs;
+        self
+    }
+
+    /// Replaces the storage medium (e.g. `Media::Flash(FlashMedia::pcie_ssd())`
+    /// for the extension studies).
+    pub fn media(mut self, media: Media) -> Self {
+        self.cfg.media = media;
+        self
+    }
+
+    /// Replaces the PCIe link parameters (e.g. [`LinkParams::gen3_x8`]).
+    pub fn link(mut self, link: LinkParams) -> Self {
+        self.cfg.link = link;
+        self
+    }
+
+    /// Throttles the medium to `bytes_per_sec` (the Fig. 2 device-speed
+    /// sweep).
+    pub fn media_throttle(mut self, bytes_per_sec: u64) -> Self {
+        self.media_throttle = Some(bytes_per_sec);
+        self
+    }
+
+    /// Enables hierarchical span tracing across every layer
+    /// (guest/hypervisor/virtio/core/extent/pcie/storage). Off by default:
+    /// disabled tracing costs one branch per instrumentation site.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Enables the device's per-request [`RequestTrace`] recording
+    /// (BTLB hits, walks, stall flags) alongside or instead of spans.
+    ///
+    /// [`RequestTrace`]: nesc_core::RequestTrace
+    pub fn request_tracing(mut self, on: bool) -> Self {
+        self.request_tracing = on;
+        self
+    }
+
+    /// Assembles the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulated configuration fails
+    /// [`NescConfig::validate`].
+    pub fn build(self) -> System {
+        let mut sys = System::new(self.cfg, self.costs);
+        if self.tracing {
+            sys.set_tracing(true);
+        }
+        if self.request_tracing {
+            sys.device_mut().set_tracing(true);
+        }
+        if let Some(b) = self.media_throttle {
+            sys.device_mut().set_media_throttle(Some(b));
+        }
+        sys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::DiskKind;
+
+    #[test]
+    fn builder_defaults_match_direct_construction() {
+        let mut a = SystemBuilder::new().capacity_blocks(64 * 1024).build();
+        let mut cfg = NescConfig::prototype();
+        cfg.capacity_blocks = 64 * 1024;
+        let mut b = System::new(cfg, SoftwareCosts::calibrated());
+        let da = a.quick_disk(DiskKind::NescDirect, "a.img", 1 << 20).disk;
+        let db = b.quick_disk(DiskKind::NescDirect, "b.img", 1 << 20).disk;
+        let la = a.write(da, 0, &[1u8; 1024]);
+        let lb = b.write(db, 0, &[1u8; 1024]);
+        assert_eq!(la, lb, "builder must not perturb timing");
+    }
+
+    #[test]
+    fn builder_knobs_apply() {
+        let sys = SystemBuilder::new()
+            .capacity_blocks(32 * 1024)
+            .btlb_entries(4)
+            .max_vfs(3)
+            .tracing(true)
+            .build();
+        assert_eq!(sys.device().config().capacity_blocks, 32 * 1024);
+        assert_eq!(sys.device().config().btlb_entries, 4);
+        assert_eq!(sys.device().config().max_vfs, 3);
+        assert!(sys.tracer().is_enabled());
+    }
+}

@@ -147,7 +147,9 @@ mod tests {
 
     #[test]
     fn trampoline_preset_sets_bandwidth() {
-        assert!(SoftwareCosts::calibrated().trampoline_bytes_per_sec.is_none());
+        assert!(SoftwareCosts::calibrated()
+            .trampoline_bytes_per_sec
+            .is_none());
         assert!(SoftwareCosts::calibrated_with_trampoline()
             .trampoline_bytes_per_sec
             .is_some());

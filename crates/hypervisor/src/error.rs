@@ -1,0 +1,81 @@
+//! The unified error type of the public I/O surface.
+
+use std::fmt;
+
+use nesc_core::CompletionStatus;
+
+/// Why a [`System`](crate::System) I/O call failed.
+///
+/// Every fallible public I/O entry point (`try_read`, `try_write`, and the
+/// guest-filesystem layer above them) reports this one enum instead of
+/// leaking the device's raw [`CompletionStatus`]; the conversion is exact
+/// for every non-`Ok` status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NescError {
+    /// The hypervisor could not allocate backing space for a write
+    /// (quota exhausted / device full) — the paper's write-failure
+    /// interrupt surfacing to the guest.
+    WriteFailed,
+    /// The request addressed blocks beyond the virtual device size.
+    OutOfRange,
+    /// Device-level failure: corrupt extent tree, a detached disk, or a
+    /// request to a dead function.
+    Device,
+}
+
+impl NescError {
+    /// Maps a device completion status to the public error; `Ok` maps to
+    /// `None` (not an error).
+    pub fn from_status(status: CompletionStatus) -> Option<NescError> {
+        match status {
+            CompletionStatus::Ok => None,
+            CompletionStatus::WriteFailed => Some(NescError::WriteFailed),
+            CompletionStatus::OutOfRange => Some(NescError::OutOfRange),
+            CompletionStatus::DeviceError => Some(NescError::Device),
+        }
+    }
+}
+
+impl fmt::Display for NescError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NescError::WriteFailed => {
+                write!(f, "write failed: the hypervisor could not back the range")
+            }
+            NescError::OutOfRange => write!(f, "request beyond the virtual device size"),
+            NescError::Device => write!(f, "device error"),
+        }
+    }
+}
+
+impl std::error::Error for NescError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_mapping_is_total() {
+        assert_eq!(NescError::from_status(CompletionStatus::Ok), None);
+        assert_eq!(
+            NescError::from_status(CompletionStatus::WriteFailed),
+            Some(NescError::WriteFailed)
+        );
+        assert_eq!(
+            NescError::from_status(CompletionStatus::OutOfRange),
+            Some(NescError::OutOfRange)
+        );
+        assert_eq!(
+            NescError::from_status(CompletionStatus::DeviceError),
+            Some(NescError::Device)
+        );
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert!(NescError::WriteFailed
+            .to_string()
+            .contains("back the range"));
+        assert!(NescError::OutOfRange.to_string().contains("device size"));
+    }
+}

@@ -155,13 +155,8 @@ impl GuestFilesystem {
                 .lookup(Vlba(file_block))
                 .expect("range was just allocated");
             let run_end_byte = e.end_logical().0 * BLOCK_SIZE;
-            let n = ((run_end_byte - (offset + cursor as u64)) as usize)
-                .min(data.len() - cursor);
-            let disk_byte = e
-                .translate(Vlba(file_block))
-                .expect("covered")
-                .0
-                * BLOCK_SIZE
+            let n = ((run_end_byte - (offset + cursor as u64)) as usize).min(data.len() - cursor);
+            let disk_byte = e.translate(Vlba(file_block)).expect("covered").0 * BLOCK_SIZE
                 + (offset + cursor as u64) % BLOCK_SIZE;
             system.write(self.disk, disk_byte, &data[cursor..cursor + n]);
             cursor += n;
@@ -205,10 +200,8 @@ impl GuestFilesystem {
             match self.fs.extent_tree(ino)?.lookup(Vlba(file_block)) {
                 Some(e) => {
                     let run_end_byte = e.end_logical().0 * BLOCK_SIZE;
-                    let n = ((run_end_byte - (offset + cursor as u64)) as usize)
-                        .min(len - cursor);
-                    let disk_byte = e.translate(Vlba(file_block)).expect("covered").0
-                        * BLOCK_SIZE
+                    let n = ((run_end_byte - (offset + cursor as u64)) as usize).min(len - cursor);
+                    let disk_byte = e.translate(Vlba(file_block)).expect("covered").0 * BLOCK_SIZE
                         + (offset + cursor as u64) % BLOCK_SIZE;
                     system.read(self.disk, disk_byte, &mut out[cursor..cursor + n]);
                     cursor += n;
@@ -216,8 +209,7 @@ impl GuestFilesystem {
                 None => {
                     // Hole: zeros, no disk I/O.
                     let hole_end = (file_block + 1) * BLOCK_SIZE;
-                    let n = ((hole_end - (offset + cursor as u64)) as usize)
-                        .min(len - cursor);
+                    let n = ((hole_end - (offset + cursor as u64)) as usize).min(len - cursor);
                     cursor += n;
                 }
             }
@@ -253,7 +245,7 @@ impl GuestFilesystem {
 mod tests {
     use super::*;
     use crate::costs::SoftwareCosts;
-    use crate::system::DiskKind;
+    use crate::system::{DiskKind, ProvisionedDisk};
     use nesc_core::NescConfig;
 
     fn system() -> System {
@@ -265,7 +257,8 @@ mod tests {
     #[test]
     fn guest_fs_roundtrip_over_direct_disk() {
         let mut sys = system();
-        let (vm, disk) = sys.quick_disk(DiskKind::NescDirect, "g.img", 8 << 20);
+        let ProvisionedDisk { vm, disk, .. } =
+            sys.quick_disk(DiskKind::NescDirect, "g.img", 8 << 20);
         let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
         let f = gfs.create(&mut sys, "hello.txt").unwrap();
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
@@ -282,7 +275,7 @@ mod tests {
         let mut overhead = Vec::new();
         for (kind, name) in [(DiskKind::NescDirect, "d.img"), (DiskKind::Virtio, "v.img")] {
             let mut sys = system();
-            let (vm, disk) = sys.quick_disk(kind, name, 8 << 20);
+            let ProvisionedDisk { vm, disk, .. } = sys.quick_disk(kind, name, 8 << 20);
             // Raw write latency (steady state).
             sys.write(disk, 1 << 20, &[0u8; 4096]);
             let raw = sys.write(disk, 1 << 20, &[1u8; 4096]);
@@ -299,21 +292,32 @@ mod tests {
             "virtio FS overhead ({virtio:.0}us) must dwarf direct ({direct:.0}us)"
         );
         // Magnitudes in the Fig. 11 ballpark.
-        assert!((10.0..120.0).contains(&direct), "direct overhead {direct:.0}us");
-        assert!((80.0..400.0).contains(&virtio), "virtio overhead {virtio:.0}us");
+        assert!(
+            (10.0..120.0).contains(&direct),
+            "direct overhead {direct:.0}us"
+        );
+        assert!(
+            (80.0..400.0).contains(&virtio),
+            "virtio overhead {virtio:.0}us"
+        );
     }
 
     #[test]
     fn data_journaling_doubles_data_writes() {
         let mut sys = system();
-        let (vm, disk) = sys.quick_disk(DiskKind::NescDirect, "j.img", 8 << 20);
+        let ProvisionedDisk { vm, disk, .. } =
+            sys.quick_disk(DiskKind::NescDirect, "j.img", 8 << 20);
         let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
         gfs.set_journal_data(true);
         let f = gfs.create(&mut sys, "x").unwrap();
         let with_dj = gfs.write(&mut sys, f, 0, &[0u8; 16384]).unwrap();
 
         let mut sys2 = system();
-        let (vm2, disk2) = sys2.quick_disk(DiskKind::NescDirect, "j2.img", 8 << 20);
+        let ProvisionedDisk {
+            vm: vm2,
+            disk: disk2,
+            ..
+        } = sys2.quick_disk(DiskKind::NescDirect, "j2.img", 8 << 20);
         let mut gfs2 = GuestFilesystem::mkfs(&sys2, vm2, disk2);
         let f2 = gfs2.create(&mut sys2, "x").unwrap();
         let without = gfs2.write(&mut sys2, f2, 0, &[0u8; 16384]).unwrap();
@@ -326,20 +330,26 @@ mod tests {
     #[test]
     fn holes_read_zero_without_io() {
         let mut sys = system();
-        let (vm, disk) = sys.quick_disk(DiskKind::NescDirect, "h.img", 8 << 20);
+        let ProvisionedDisk { vm, disk, .. } =
+            sys.quick_disk(DiskKind::NescDirect, "h.img", 8 << 20);
         let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
         let f = gfs.create(&mut sys, "sparse").unwrap();
         gfs.write(&mut sys, f, 100 * BLOCK_SIZE, b"tail").unwrap();
         let before = sys.device().stats().blocks_read;
         let (got, _) = gfs.read(&mut sys, f, 0, 4096).unwrap();
         assert!(got.iter().all(|&b| b == 0));
-        assert_eq!(sys.device().stats().blocks_read, before, "no device reads for holes");
+        assert_eq!(
+            sys.device().stats().blocks_read,
+            before,
+            "no device reads for holes"
+        );
     }
 
     #[test]
     fn unlink_then_lookup_fails() {
         let mut sys = system();
-        let (vm, disk) = sys.quick_disk(DiskKind::NescDirect, "u.img", 8 << 20);
+        let ProvisionedDisk { vm, disk, .. } =
+            sys.quick_disk(DiskKind::NescDirect, "u.img", 8 << 20);
         let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
         gfs.create(&mut sys, "a").unwrap();
         assert!(gfs.lookup("a").is_some());

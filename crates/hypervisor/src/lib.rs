@@ -25,11 +25,50 @@
 //! pipelined streams (bandwidth experiments), and a guest-filesystem layer
 //! ([`GuestFilesystem`]) for the filesystem-overhead and application
 //! benchmarks.
+//!
+//! # Facade
+//!
+//! Construct systems with [`SystemBuilder`] (or `System::builder()`), pull
+//! the common names from [`prelude`], and handle failures through the one
+//! public [`NescError`] enum:
+//!
+//! ```
+//! use nesc_hypervisor::prelude::*;
+//!
+//! let mut sys = SystemBuilder::new().tracing(true).build();
+//! let disk = sys.quick_disk(DiskKind::NescDirect, "data.img", 1 << 20).disk;
+//! let latency = sys.write(disk, 0, &[7u8; 4096]);
+//! assert!(latency > SimDuration::ZERO);
+//! ```
 
+pub mod builder;
 pub mod costs;
+pub mod error;
 pub mod guestfs;
 pub mod system;
 
+pub use builder::SystemBuilder;
 pub use costs::SoftwareCosts;
+pub use error::NescError;
 pub use guestfs::GuestFilesystem;
-pub use system::{DiskId, DiskKind, StreamResult, StreamSpec, System, VmId};
+pub use system::{DiskId, DiskKind, ProvisionedDisk, StreamResult, StreamSpec, System, VmId};
+
+/// One-stop imports for harnesses, examples, and tests.
+///
+/// Pulls in the facade types (builder, system handles, error enum), the
+/// simulation time types, and the observability surface (tracer, spans,
+/// metrics) so a typical experiment needs a single `use`.
+pub mod prelude {
+    pub use crate::builder::SystemBuilder;
+    pub use crate::costs::SoftwareCosts;
+    pub use crate::error::NescError;
+    pub use crate::guestfs::GuestFilesystem;
+    pub use crate::system::{
+        DiskId, DiskKind, ProvisionedDisk, StreamResult, StreamSpec, System, VmId,
+    };
+    pub use nesc_core::NescConfig;
+    pub use nesc_sim::{
+        chrome_trace_json, Metrics, SimDuration, SimTime, Span, SpanId, SpanTree, Tracer,
+    };
+    pub use nesc_storage::BlockOp;
+}

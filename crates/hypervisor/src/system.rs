@@ -21,20 +21,21 @@
 //! host backend threads are FIFO service units, so concurrency and
 //! queueing behave like the real stack.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
-use std::cell::RefCell;
 
 use nesc_core::ring::{RingDescriptor, DESCRIPTOR_BYTES};
 use nesc_core::{CompletionStatus, FuncId, IrqReason, NescConfig, NescDevice, NescOutput};
 use nesc_extent::Vlba;
 use nesc_fs::{Filesystem, FsError, Ino};
 use nesc_pcie::{HostAddr, HostMemory};
-use nesc_sim::{ServiceUnit, SimDuration, SimTime, Throughput};
+use nesc_sim::{Metrics, ServiceUnit, SimDuration, SimTime, Span, SpanId, Throughput, Tracer};
 use nesc_storage::{BlockOp, BlockRequest, RequestId, BLOCK_SIZE};
 use nesc_virtio::{BlkRequest, BlkRequestType, BlkStatus, Virtqueue};
 
 use crate::costs::SoftwareCosts;
+use crate::error::NescError;
 
 /// Identifier of a guest VM (or the host pseudo-VM for baselines).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,6 +44,18 @@ pub struct VmId(pub usize);
 /// Identifier of an attached virtual disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DiskId(pub usize);
+
+/// Handles returned by [`System::quick_disk`]: the VM, its attached
+/// disk, and the backing image (None for [`DiskKind::HostRaw`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProvisionedDisk {
+    /// The created VM.
+    pub vm: VmId,
+    /// The attached disk.
+    pub disk: DiskId,
+    /// The backing image file, if the path is file-backed.
+    pub image: Option<Ino>,
+}
 
 /// Which virtualization path a disk uses (paper Fig. 1 plus the host
 /// baseline).
@@ -143,6 +156,10 @@ pub struct System {
     now: SimTime,
     next_req: u64,
     completed: HashMap<RequestId, (SimTime, CompletionStatus)>,
+    /// Span tracer shared with the device (no-op until enabled).
+    tracer: Tracer,
+    /// Named counters + latency histograms accumulated per request.
+    metrics: Metrics,
 }
 
 impl std::fmt::Debug for System {
@@ -174,7 +191,50 @@ impl System {
             now: SimTime::ZERO,
             next_req: 1,
             completed: HashMap::new(),
+            tracer: Tracer::disabled(),
+            metrics: Metrics::new(),
         }
+    }
+
+    /// A [`SystemBuilder`](crate::SystemBuilder) with prototype defaults.
+    pub fn builder() -> crate::SystemBuilder {
+        crate::SystemBuilder::new()
+    }
+
+    /// Enables or disables span tracing across every layer of the stack.
+    /// Enabling installs a fresh shared tracer in the hypervisor *and* the
+    /// device (so PCIe / translation / media spans stitch under the same
+    /// request roots); disabling swaps in a no-op tracer.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracer = if on {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        self.dev.set_tracer(self.tracer.clone());
+    }
+
+    /// The span tracer (a cheap handle; disabled unless
+    /// [`set_tracing`](Self::set_tracing) enabled it).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Drains all spans recorded so far, in creation order.
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        self.tracer.take_spans()
+    }
+
+    /// The accumulated metrics registry (per-path request counters and
+    /// latency histograms).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics access (harnesses fold their own counters in
+    /// before exporting).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
     }
 
     /// Current simulated time.
@@ -289,12 +349,8 @@ impl System {
                 .mem
                 .borrow_mut()
                 .alloc(RING_ENTRIES as u64 * DESCRIPTOR_BYTES, 4096);
-            self.dev.mmio_write(
-                vf,
-                nesc_core::regs::offsets::RING_BASE,
-                ring_base,
-                self.now,
-            );
+            self.dev
+                .mmio_write(vf, nesc_core::regs::offsets::RING_BASE, ring_base, self.now);
             self.dev.mmio_write(
                 vf,
                 nesc_core::regs::offsets::RING_ENTRIES,
@@ -330,7 +386,7 @@ impl System {
     }
 
     /// Convenience: VM + image + disk in one call.
-    pub fn quick_disk(&mut self, kind: DiskKind, name: &str, size_bytes: u64) -> (VmId, DiskId) {
+    pub fn quick_disk(&mut self, kind: DiskKind, name: &str, size_bytes: u64) -> ProvisionedDisk {
         let vm = self.create_vm();
         let image = match kind {
             DiskKind::HostRaw => None,
@@ -339,7 +395,11 @@ impl System {
                     .expect("image creation"),
             ),
         };
-        (vm, self.attach(vm, kind, image))
+        ProvisionedDisk {
+            vm,
+            disk: self.attach(vm, kind, image),
+            image,
+        }
     }
 
     fn fresh_id(&mut self) -> RequestId {
@@ -408,12 +468,8 @@ impl System {
         self.dev
             .set_tree_root(func, root)
             .expect("VF is live during miss handling");
-        self.dev.mmio_write(
-            func,
-            nesc_core::regs::offsets::REWALK_TREE,
-            1,
-            t,
-        );
+        self.dev
+            .mmio_write(func, nesc_core::regs::offsets::REWALK_TREE, 1, t);
     }
 
     fn wait_for(&mut self, id: RequestId) -> (SimTime, CompletionStatus) {
@@ -449,6 +505,16 @@ impl System {
     /// global clock; returns the guest-observed completion time and the
     /// request's final status. `data` is written for writes; for reads the
     /// caller extracts from the buffer.
+    /// Metric key suffix of a path.
+    fn path_name(kind: DiskKind) -> &'static str {
+        match kind {
+            DiskKind::NescDirect => "nesc_direct",
+            DiskKind::Virtio => "virtio",
+            DiskKind::Emulated => "emulated",
+            DiskKind::HostRaw => "host_raw",
+        }
+    }
+
     fn issue_once(
         &mut self,
         disk_id: DiskId,
@@ -463,15 +529,48 @@ impl System {
             return (issue, CompletionStatus::DeviceError);
         }
         let kind = self.disks[disk_id.0].kind;
-        match kind {
-            DiskKind::NescDirect => self.direct_io(disk_id, op, offset, len, issue, data),
-            DiskKind::HostRaw => self.host_io(disk_id, op, offset, len, issue, data),
+        // The request root span: the path below emits children that tile
+        // [issue, done] exactly, so the root's direct children always sum
+        // to the guest-observed end-to-end latency.
+        let root = if self.tracer.is_enabled() {
+            let layer = if kind == DiskKind::HostRaw {
+                "hypervisor"
+            } else {
+                "guest"
+            };
+            let s = self.tracer.start(SpanId::NONE, layer, "request", issue);
+            self.tracer.attr(s, "disk", disk_id.0 as u64);
+            self.tracer.attr(s, "bytes", len);
+            self.tracer.attr(s, "write", (op == BlockOp::Write) as u64);
+            s
+        } else {
+            SpanId::NONE
+        };
+        let (done, status) = match kind {
+            DiskKind::NescDirect => self.direct_io(disk_id, op, offset, len, issue, data, root),
+            DiskKind::HostRaw => self.host_io(disk_id, op, offset, len, issue, data, root),
             DiskKind::Virtio | DiskKind::Emulated => {
-                self.paravirt_io(disk_id, op, offset, len, issue, data)
+                self.paravirt_io(disk_id, op, offset, len, issue, data, root)
             }
+        };
+        if root.is_some() {
+            self.tracer
+                .attr(root, "failed", (status != CompletionStatus::Ok) as u64);
+            self.tracer.end(root, done);
         }
+        let path = Self::path_name(kind);
+        self.metrics.inc(&format!("requests_{path}"), 1);
+        self.metrics.inc(&format!("bytes_{path}"), len);
+        if status == CompletionStatus::Ok {
+            self.metrics
+                .record(&format!("latency_ns_{path}"), (done - issue).as_nanos());
+        } else {
+            self.metrics.inc(&format!("errors_{path}"), 1);
+        }
+        (done, status)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn direct_io(
         &mut self,
         disk_id: DiskId,
@@ -480,6 +579,7 @@ impl System {
         len: u64,
         issue: SimTime,
         data: Option<&[u8]>,
+        root: SpanId,
     ) -> (SimTime, CompletionStatus) {
         let (vm, vf, buf) = {
             let d = &self.disks[disk_id.0];
@@ -513,17 +613,30 @@ impl System {
                 buffer: buf,
             };
             let slot = d.ring_tail % RING_ENTRIES;
-            self.mem.borrow_mut().write(
-                d.ring_base + slot as u64 * DESCRIPTOR_BYTES,
-                &desc.encode(),
-            );
+            self.mem
+                .borrow_mut()
+                .write(d.ring_base + slot as u64 * DESCRIPTOR_BYTES, &desc.encode());
             d.ring_tail = (d.ring_tail + 1) % RING_ENTRIES;
         }
         let t_db = self.dev.ring_doorbell(t);
+        let traced = root.is_some();
+        let dev_wait = if traced {
+            self.tracer.span(root, "guest", "guest_submit", issue, t);
+            self.tracer.span(root, "pcie", "doorbell", t, t_db);
+            let s = self.tracer.start(root, "core", "device_wait", t_db);
+            self.tracer.bind(id.0, s);
+            s
+        } else {
+            SpanId::NONE
+        };
         let tail = self.disks[disk_id.0].ring_tail;
         self.dev
             .mmio_write(vf, nesc_core::regs::offsets::RING_TAIL, tail as u64, t_db);
         let (tc, status) = self.wait_for(id);
+        if traced {
+            self.tracer.end(dev_wait, tc);
+            self.tracer.unbind(id.0);
+        }
         // Completion handling is charged additively rather than on the
         // vCPU timeline: serving it there would serialize the *next*
         // request's submission behind this completion (the model issues
@@ -538,9 +651,13 @@ impl System {
             } else {
                 SimDuration::ZERO
             };
+        if traced {
+            self.tracer.span(root, "guest", "guest_complete", tc, done);
+        }
         (done, status)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn host_io(
         &mut self,
         disk_id: DiskId,
@@ -549,6 +666,7 @@ impl System {
         len: u64,
         issue: SimTime,
         data: Option<&[u8]>,
+        root: SpanId,
     ) -> (SimTime, CompletionStatus) {
         let buf = self.disks[disk_id.0].buf;
         let (first_block, nblocks) = Self::covering(offset, len);
@@ -556,17 +674,42 @@ impl System {
             self.costs.guest_stack_submit + self.costs.guest_per_page * Self::pages(len);
         let t = self.host_cpu.serve(issue, submit_cost).end;
         if let (BlockOp::Write, Some(bytes)) = (op, data) {
-            self.mem.borrow_mut().write(buf + offset % BLOCK_SIZE, bytes);
+            self.mem
+                .borrow_mut()
+                .write(buf + offset % BLOCK_SIZE, bytes);
         }
         let t_db = self.dev.ring_doorbell(t);
         let id = self.fresh_id();
+        let traced = root.is_some();
+        let dev_wait = if traced {
+            self.tracer
+                .span(root, "hypervisor", "host_submit", issue, t);
+            self.tracer.span(root, "pcie", "doorbell", t, t_db);
+            let s = self.tracer.start(root, "core", "device_wait", t_db);
+            self.tracer.bind(id.0, s);
+            s
+        } else {
+            SpanId::NONE
+        };
         let pf = self.dev.pf();
-        self.dev
-            .submit(t_db, pf, BlockRequest::new(id, op, first_block, nblocks), buf);
+        self.dev.submit(
+            t_db,
+            pf,
+            BlockRequest::new(id, op, first_block, nblocks),
+            buf,
+        );
         let (tc, status) = self.wait_for(id);
-        (tc + self.costs.guest_stack_complete, status)
+        let done = tc + self.costs.guest_stack_complete;
+        if traced {
+            self.tracer.end(dev_wait, tc);
+            self.tracer.unbind(id.0);
+            self.tracer
+                .span(root, "hypervisor", "host_complete", tc, done);
+        }
+        (done, status)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn paravirt_io(
         &mut self,
         disk_id: DiskId,
@@ -575,7 +718,9 @@ impl System {
         len: u64,
         issue: SimTime,
         data: Option<&[u8]>,
+        root: SpanId,
     ) -> (SimTime, CompletionStatus) {
+        let traced = root.is_some();
         let (vm, kind, ino, buf, bounce, hdr, status_addr) = {
             let d = &self.disks[disk_id.0];
             (
@@ -590,14 +735,14 @@ impl System {
         };
         let pages = Self::pages(len);
         // --- Guest side: stack + publish + kick/trap. ---
-        let submit_cost =
-            self.costs.guest_stack_submit + self.costs.guest_per_page * pages;
+        let submit_cost = self.costs.guest_stack_submit + self.costs.guest_per_page * pages;
         let mut t = self.vms[vm.0].vcpu.serve(issue, submit_cost).end;
         if let (BlockOp::Write, Some(bytes)) = (op, data) {
             self.mem
                 .borrow_mut()
                 .write(buf + offset % BLOCK_SIZE, bytes);
         }
+        let t1 = t;
         // Functional virtqueue traffic (Virtio only; emulation traps raw
         // register accesses instead).
         if kind == DiskKind::Virtio {
@@ -631,6 +776,15 @@ impl System {
             backend_cost += self.costs.host_fs_write_extra;
         }
         let tb = self.disks[disk_id.0].backend.serve(t, backend_cost).end;
+        if traced {
+            self.tracer.span(root, "guest", "guest_submit", issue, t1);
+            if kind == DiskKind::Virtio {
+                self.tracer.span(root, "virtio", "kick", t1, t);
+            } else {
+                self.tracer.span(root, "hypervisor", "trap_emulate", t1, t);
+            }
+            self.tracer.span(root, "hypervisor", "host_backend", t, tb);
+        }
         // Functional: consume the chain (Virtio).
         if kind == DiskKind::Virtio {
             let d = &mut self.disks[disk_id.0];
@@ -642,7 +796,11 @@ impl System {
             drop(mem);
             debug_assert_eq!(parsed.sector, offset / 512);
             let head = chain.head;
-            let written = if op == BlockOp::Read { len as u32 + 1 } else { 1 };
+            let written = if op == BlockOp::Read {
+                len as u32 + 1
+            } else {
+                1
+            };
             let d = &mut self.disks[disk_id.0];
             d.vq.as_mut().unwrap().push_used(head, written);
             d.vq.as_mut().unwrap().pop_used();
@@ -651,13 +809,21 @@ impl System {
         let (first_block, nblocks) = Self::covering(offset, len);
         // Writes must be backed: the *host* filesystem allocates lazily;
         // failure surfaces to the guest as an I/O error status.
-        if op == BlockOp::Write && self.fs.allocate_range(ino, Vlba(first_block), nblocks).is_err() {
+        if op == BlockOp::Write
+            && self
+                .fs
+                .allocate_range(ino, Vlba(first_block), nblocks)
+                .is_err()
+        {
             if kind == DiskKind::Virtio {
                 self.mem
                     .borrow_mut()
                     .write(status_addr, &[BlkStatus::IoErr.byte()]);
             }
             let done = tb + self.costs.interrupt_inject + self.costs.guest_stack_complete;
+            if traced {
+                self.tracer.span(root, "guest", "guest_complete", tb, done);
+            }
             return (done, CompletionStatus::WriteFailed);
         }
         // Functional bounce handling. For writes: existing content +
@@ -681,10 +847,18 @@ impl System {
         let mut final_status = CompletionStatus::Ok;
         let mut buf_off = 0u64;
         let t_db = self.dev.ring_doorbell(tb);
+        let dev_wait = if traced {
+            self.tracer.start(root, "core", "device_wait", tb)
+        } else {
+            SpanId::NONE
+        };
         for (plba, run_blocks) in runs {
             match plba {
                 Some(p) => {
                     let id = self.fresh_id();
+                    if traced {
+                        self.tracer.bind(id.0, dev_wait);
+                    }
                     let pf = self.dev.pf();
                     self.dev.submit(
                         t_db,
@@ -714,6 +888,12 @@ impl System {
             }
             last = last.max(tc);
         }
+        if traced {
+            for (id, _, _) in &ids {
+                self.tracer.unbind(id.0);
+            }
+            self.tracer.end(dev_wait, last);
+        }
         // Functional: reads land in the guest buffer via the bounce.
         if op == BlockOp::Read {
             let whole = self
@@ -724,14 +904,18 @@ impl System {
             let d = &self.disks[disk_id.0];
             if d.kind == DiskKind::Virtio {
                 // Status byte written by the backend.
-                self.mem.borrow_mut().write(status_addr, &[BlkStatus::Ok.byte()]);
+                self.mem
+                    .borrow_mut()
+                    .write(status_addr, &[BlkStatus::Ok.byte()]);
             }
         }
         // --- Completion: interrupt injection + guest-side unwinding. ---
-        (
-            last + self.costs.interrupt_inject + self.costs.guest_stack_complete,
-            final_status,
-        )
+        let done = last + self.costs.interrupt_inject + self.costs.guest_stack_complete;
+        if traced {
+            self.tracer
+                .span(root, "guest", "guest_complete", last, done);
+        }
+        (done, final_status)
     }
 
     /// The image's physical runs covering `[first, first+nblocks)`:
@@ -747,9 +931,7 @@ impl System {
                     let p = e.translate(Vlba(b)).expect("covered").0;
                     let run = (e.end_logical().0.min(end)) - b;
                     match runs.last_mut() {
-                        Some((Some(last_p), last_len))
-                            if *last_p + *last_len == p =>
-                        {
+                        Some((Some(last_p), last_len)) if *last_p + *last_len == p => {
                             *last_len += run;
                         }
                         _ => runs.push((Some(p), run)),
@@ -813,15 +995,15 @@ impl System {
     ///
     /// # Errors
     ///
-    /// The device's completion status when it is not `Ok` (e.g.
-    /// [`CompletionStatus::WriteFailed`] when the hypervisor cannot back
-    /// the range).
+    /// [`NescError::WriteFailed`] when the hypervisor cannot back the
+    /// range, [`NescError::OutOfRange`] / [`NescError::Device`] for the
+    /// corresponding device statuses.
     pub fn try_write(
         &mut self,
         disk: DiskId,
         offset: u64,
         data: &[u8],
-    ) -> Result<SimDuration, CompletionStatus> {
+    ) -> Result<SimDuration, NescError> {
         let start = self.now;
         let (done, status) = self.issue_once(
             disk,
@@ -832,9 +1014,9 @@ impl System {
             Some(data),
         );
         self.now = done;
-        match status {
-            CompletionStatus::Ok => Ok(done - start),
-            other => Err(other),
+        match NescError::from_status(status) {
+            None => Ok(done - start),
+            Some(err) => Err(err),
         }
     }
 
@@ -854,19 +1036,19 @@ impl System {
     ///
     /// # Errors
     ///
-    /// The device's completion status when it is not `Ok`.
+    /// The [`NescError`] mapped from the device's completion status.
     pub fn try_read(
         &mut self,
         disk: DiskId,
         offset: u64,
         out: &mut [u8],
-    ) -> Result<SimDuration, CompletionStatus> {
+    ) -> Result<SimDuration, NescError> {
         let start = self.now;
         let len = out.len() as u64;
         let (done, status) = self.issue_once(disk, BlockOp::Read, offset, len, start, None);
         self.now = done;
-        if status != CompletionStatus::Ok {
-            return Err(status);
+        if let Some(err) = NescError::from_status(status) {
+            return Err(err);
         }
         // Extract the bytes from the guest buffer.
         let d = &self.disks[disk.0];
@@ -1104,7 +1286,9 @@ impl System {
     /// Propagates filesystem errors (e.g. shrinking below zero is fine;
     /// growing never allocates, thanks to lazy allocation).
     pub fn resize(&mut self, disk: DiskId, new_size_bytes: u64) -> Result<(), FsError> {
-        let ino = self.disks[disk.0].ino.expect("resize needs a file-backed disk");
+        let ino = self.disks[disk.0]
+            .ino
+            .expect("resize needs a file-backed disk");
         self.fs.truncate(ino, new_size_bytes)?;
         let new_blocks = new_size_bytes.div_ceil(BLOCK_SIZE);
         self.disks[disk.0].size_blocks = new_blocks;
@@ -1136,7 +1320,7 @@ mod tests {
     #[test]
     fn direct_write_read_roundtrip() {
         let mut sys = small_system();
-        let (_vm, disk) = sys.quick_disk(DiskKind::NescDirect, "a.img", 1 << 20);
+        let disk = sys.quick_disk(DiskKind::NescDirect, "a.img", 1 << 20).disk;
         let data = vec![0x5Au8; 4096];
         let wl = sys.write(disk, 8192, &data);
         let mut out = vec![0u8; 4096];
@@ -1154,7 +1338,7 @@ mod tests {
             (DiskKind::HostRaw, "unused"),
         ] {
             let mut sys = small_system();
-            let (_vm, disk) = sys.quick_disk(kind, name, 1 << 20);
+            let disk = sys.quick_disk(kind, name, 1 << 20).disk;
             let data: Vec<u8> = (0..8192u32).map(|i| (i % 255) as u8).collect();
             sys.write(disk, 4096, &data);
             let mut out = vec![0u8; 8192];
@@ -1174,7 +1358,7 @@ mod tests {
             (DiskKind::HostRaw, "unused"),
         ] {
             let mut sys = small_system();
-            let (_vm, disk) = sys.quick_disk(kind, name, 1 << 20);
+            let disk = sys.quick_disk(kind, name, 1 << 20).disk;
             // Warm up (first-touch allocation on the virtio image path).
             sys.write(disk, 0, &[1u8; 1024]);
             let l = sys.write(disk, 0, &[2u8; 1024]);
@@ -1233,21 +1417,25 @@ mod tests {
     #[test]
     fn stream_throughput_sane() {
         let mut sys = small_system();
-        let (_vm, disk) = sys.quick_disk(DiskKind::NescDirect, "s.img", 16 << 20);
+        let disk = sys.quick_disk(DiskKind::NescDirect, "s.img", 16 << 20).disk;
         let r = sys.stream(disk, BlockOp::Read, 0, 8 << 20, 32 * 1024, 8);
         assert_eq!(r.bytes, 8 << 20);
         assert_eq!(r.ops, 256);
         // Should be within the prototype's DMA-engine ballpark.
-        assert!(r.mbps > 400.0 && r.mbps < 850.0, "read stream {:.0} MB/s", r.mbps);
+        assert!(
+            r.mbps > 400.0 && r.mbps < 850.0,
+            "read stream {:.0} MB/s",
+            r.mbps
+        );
     }
 
     #[test]
     fn virtio_stream_slower_than_direct() {
         let mut sys = small_system();
-        let (_vm, nd) = sys.quick_disk(DiskKind::NescDirect, "n.img", 16 << 20);
+        let nd = sys.quick_disk(DiskKind::NescDirect, "n.img", 16 << 20).disk;
         let direct = sys.stream(nd, BlockOp::Write, 0, 4 << 20, 32 * 1024, 1);
         let mut sys2 = small_system();
-        let (_vm, vd) = sys2.quick_disk(DiskKind::Virtio, "v.img", 16 << 20);
+        let vd = sys2.quick_disk(DiskKind::Virtio, "v.img", 16 << 20).disk;
         let virtio = sys2.stream(vd, BlockOp::Write, 0, 4 << 20, 32 * 1024, 1);
         let ratio = direct.mbps / virtio.mbps;
         assert!(
@@ -1261,7 +1449,7 @@ mod tests {
     #[test]
     fn unaligned_write_preserves_neighbors_on_paravirt() {
         let mut sys = small_system();
-        let (_vm, disk) = sys.quick_disk(DiskKind::Virtio, "u.img", 1 << 20);
+        let disk = sys.quick_disk(DiskKind::Virtio, "u.img", 1 << 20).disk;
         sys.write(disk, 0, &vec![0x11u8; 2048]);
         sys.write(disk, 512, &vec![0x22u8; 512]);
         let mut out = vec![0u8; 2048];
@@ -1300,8 +1488,8 @@ mod tests {
     #[test]
     fn dedup_images_keeps_vf_reads_correct() {
         let mut sys = small_system();
-        let (_vm_a, da) = sys.quick_disk(DiskKind::NescDirect, "da.img", 1 << 20);
-        let (_vm_b, db) = sys.quick_disk(DiskKind::NescDirect, "db.img", 1 << 20);
+        let da = sys.quick_disk(DiskKind::NescDirect, "da.img", 1 << 20).disk;
+        let db = sys.quick_disk(DiskKind::NescDirect, "db.img", 1 << 20).disk;
         // Identical golden content on both disks.
         let golden: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 13) as u8).collect();
         sys.write(da, 0, &golden);
@@ -1319,24 +1507,24 @@ mod tests {
     #[test]
     fn detach_rejects_io_and_frees_the_vf_slot() {
         let mut sys = small_system();
-        let (_vm, disk) = sys.quick_disk(DiskKind::NescDirect, "d.img", 1 << 20);
+        let disk = sys.quick_disk(DiskKind::NescDirect, "d.img", 1 << 20).disk;
         sys.write(disk, 0, &[1u8; 1024]);
         let vfs_before = sys.device().live_vfs();
         sys.detach(disk);
         assert_eq!(sys.device().live_vfs(), vfs_before - 1);
         assert!(matches!(
             sys.try_write(disk, 0, &[2u8; 1024]),
-            Err(CompletionStatus::DeviceError)
+            Err(NescError::Device)
         ));
         // The slot is reusable by a new tenant.
-        let (_vm2, disk2) = sys.quick_disk(DiskKind::NescDirect, "d2.img", 1 << 20);
+        let disk2 = sys.quick_disk(DiskKind::NescDirect, "d2.img", 1 << 20).disk;
         sys.write(disk2, 0, &[3u8; 1024]);
     }
 
     #[test]
     fn online_resize_grows_and_shrinks() {
         let mut sys = small_system();
-        let (_vm, disk) = sys.quick_disk(DiskKind::NescDirect, "r.img", 1 << 20);
+        let disk = sys.quick_disk(DiskKind::NescDirect, "r.img", 1 << 20).disk;
         sys.write(disk, 0, &[7u8; 1024]);
         // Grow: the new tail is addressable (as holes).
         sys.resize(disk, 4 << 20).unwrap();
@@ -1351,7 +1539,7 @@ mod tests {
         sys.resize(disk, 1 << 20).unwrap();
         assert!(matches!(
             sys.try_read(disk, 3 << 20, &mut buf),
-            Err(CompletionStatus::OutOfRange)
+            Err(NescError::OutOfRange)
         ));
         // Data inside the shrunk size survives.
         sys.read(disk, 0, &mut buf);

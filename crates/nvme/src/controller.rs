@@ -9,8 +9,8 @@
 //! controller decodes, validates, submits block requests to the NeSC
 //! engine → completions are posted to the CQ with phase tags.
 
-use std::collections::HashMap;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use nesc_core::{CompletionStatus, FuncId, IrqReason, NescConfig, NescDevice, NescOutput};
@@ -283,8 +283,12 @@ impl NvmeController {
                 self.next_req += 1;
                 let id = RequestId(self.next_req);
                 self.inflight.insert(id, (qid, sqe.cid, sq_head));
-                self.dev
-                    .submit(t, ns.func, BlockRequest::new(id, op, sqe.slba, sqe.blocks()), sqe.prp1);
+                self.dev.submit(
+                    t,
+                    ns.func,
+                    BlockRequest::new(id, op, sqe.slba, sqe.blocks()),
+                    sqe.prp1,
+                );
             }
         }
     }
@@ -552,8 +556,14 @@ mod tests {
             }],
         )
         .unwrap();
-        assert_eq!(ctrl.device().store().read_block(100).unwrap(), vec![0xA0; 1024]);
-        assert_eq!(ctrl.device().store().read_block(500).unwrap(), vec![0xB0; 1024]);
+        assert_eq!(
+            ctrl.device().store().read_block(100).unwrap(),
+            vec![0xA0; 1024]
+        );
+        assert_eq!(
+            ctrl.device().store().read_block(500).unwrap(),
+            vec![0xB0; 1024]
+        );
     }
 
     #[test]
@@ -623,7 +633,10 @@ mod tests {
         let done = ctrl.process(horizon);
         assert_eq!(done.len(), 1);
         assert!(done[0].0.status.is_success());
-        assert_eq!(ctrl.device().store().read_block(700).unwrap(), vec![0x7E; 1024]);
+        assert_eq!(
+            ctrl.device().store().read_block(700).unwrap(),
+            vec![0x7E; 1024]
+        );
         assert!(ctrl.pending_misses().is_empty());
     }
 

@@ -89,7 +89,11 @@ mod tests {
         // Consecutive LBAs must not collapse onto the same low bits.
         let low: Vec<u64> = (0u64..64).map(|k| b.hash_one(k) & 0x3F).collect();
         let distinct: std::collections::HashSet<_> = low.iter().collect();
-        assert!(distinct.len() > 16, "only {} distinct buckets", distinct.len());
+        assert!(
+            distinct.len() > 16,
+            "only {} distinct buckets",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   engines, storage media and CPU software layers.
 //! * [`stats`] — histograms, percentile summaries and throughput meters used
 //!   by the benchmark harnesses to regenerate the paper's figures.
+//! * [`trace`] — the hierarchical span tracer every simulated layer reports
+//!   into (plus the Chrome/Perfetto trace-event exporter), and [`metrics`] —
+//!   the named counter/histogram registry the observability exporters
+//!   serialize. Both are zero-cost no-ops until explicitly enabled.
 //! * [`rng`] — a small deterministic RNG facade plus the distributions the
 //!   workloads need (uniform, exponential, Zipf, Pareto).
 //! * [`sched`] — round-robin scheduling helpers used by the NeSC virtual
@@ -43,17 +47,21 @@
 //! ```
 
 pub mod hash;
+pub mod metrics;
 pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod sched;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use hash::{IntHashBuilder, IntHasher};
+pub use metrics::Metrics;
 pub use queue::EventQueue;
 pub use resource::{Pipe, ServiceUnit};
 pub use rng::SimRng;
 pub use sched::RoundRobin;
 pub use stats::{Histogram, Summary, Throughput};
 pub use time::{SimDuration, SimTime};
+pub use trace::{chrome_trace_json, validate_chrome_trace, Span, SpanId, SpanTree, Tracer};

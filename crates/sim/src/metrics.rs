@@ -1,0 +1,204 @@
+//! A metrics registry: named counters and latency histograms.
+//!
+//! The device model keeps its own hard-wired counters
+//! (`DeviceStats`-style structs); harnesses and the hypervisor need a
+//! place to accumulate *named* metrics — per-path request counts, latency
+//! histograms, layer attributions — without inventing a new struct per
+//! experiment. [`Metrics`] is that registry: insertion costs one ordered
+//! map lookup, export is deterministic (keys sorted), and the whole
+//! registry serializes to machine-readable JSON for `results/`.
+//!
+//! # Example
+//!
+//! ```
+//! use nesc_sim::{Metrics, SimDuration};
+//!
+//! let mut m = Metrics::new();
+//! m.inc("requests_total", 1);
+//! m.record("request_latency_ns", 12_500);
+//! m.record_duration("request_latency_ns", SimDuration::from_micros(14));
+//! assert_eq!(m.counter("requests_total"), 1);
+//! assert_eq!(m.histogram("request_latency_ns").unwrap().count(), 2);
+//! let json = m.to_json();
+//! assert!(json.get("counters").is_some());
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::stats::Histogram;
+use crate::time::SimDuration;
+
+/// Named counters plus named histograms, exported deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `by` to the named counter (created at zero on first use).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += by,
+            None => {
+                self.counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    /// Sets a counter to an absolute value (for gauges snapshotted from
+    /// elsewhere, e.g. device stats folded in at export time).
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into the named histogram (created on first use).
+    pub fn record(&mut self, name: &str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Records a duration (as nanoseconds) into the named histogram.
+    pub fn record_duration(&mut self, name: &str, d: SimDuration) {
+        self.record(name, d.as_nanos());
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another registry into this one: counters add, histograms
+    /// merge.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            self.inc(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Serializes the registry: `counters` as a flat object, `histograms`
+    /// as `{count, min, mean, p50, p99, max}` summaries. Keys are sorted,
+    /// so the output is byte-deterministic for a deterministic run.
+    pub fn to_json(&self) -> serde_json::Value {
+        let counters: Vec<(String, serde_json::Value)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), serde_json::Value::from(*v)))
+            .collect();
+        let histograms: Vec<(String, serde_json::Value)> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    serde_json::json!({
+                        "count": h.count(),
+                        "min": h.min(),
+                        "mean": h.mean(),
+                        "p50": h.percentile(50.0),
+                        "p99": h.percentile(99.0),
+                        "max": h.max(),
+                    }),
+                )
+            })
+            .collect();
+        serde_json::json!({
+            "counters": serde_json::Value::Object(counters),
+            "histograms": serde_json::Value::Object(histograms),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.inc("a", 2);
+        m.inc("a", 3);
+        m.set("b", 7);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("b"), 7);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histograms_record_and_summarize() {
+        let mut m = Metrics::new();
+        for v in [100, 200, 300] {
+            m.record("lat", v);
+        }
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count(), 3);
+        assert!(h.mean() > 150.0 && h.mean() < 250.0);
+    }
+
+    #[test]
+    fn merge_adds_and_merges() {
+        let mut a = Metrics::new();
+        a.inc("n", 1);
+        a.record("lat", 100);
+        let mut b = Metrics::new();
+        b.inc("n", 2);
+        b.record("lat", 300);
+        b.record("other", 5);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        assert_eq!(a.histogram("other").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let mut m = Metrics::new();
+        m.inc("zeta", 1);
+        m.inc("alpha", 2);
+        m.record("lat", 1000);
+        let a = serde_json::to_string_pretty(&m.to_json()).unwrap();
+        let b = serde_json::to_string_pretty(&m.to_json()).unwrap();
+        assert_eq!(a, b);
+        // BTreeMap ordering: alpha before zeta.
+        assert!(a.find("alpha").unwrap() < a.find("zeta").unwrap());
+    }
+}

@@ -1,0 +1,617 @@
+//! Hierarchical span tracing.
+//!
+//! The NeSC paper's argument is about *where latency lives*: replicated
+//! software layers (guest stack, vmexits, host backend) versus a
+//! hardware-traversed translation path. A flat per-request latency number
+//! cannot attribute time to layers; spans can. This module provides a
+//! deterministic, simulation-time span tracer that every layer of the
+//! model (guest syscall, hypervisor stack, virtio ring, PCIe link,
+//! translation unit, media service) reports into:
+//!
+//! * [`Span`] — one timed interval on one layer, with a parent link and
+//!   `key=value` attributes, forming a tree per request;
+//! * [`Tracer`] — a cheaply cloneable handle shared by all layers. A
+//!   disabled tracer is a `None` and every operation is a no-op, so the
+//!   hot path pays only a branch when tracing is off;
+//! * [`SpanTree`] — an index over a drained span list for breakdown
+//!   harnesses and invariant checks;
+//! * [`chrome_trace_json`] — Chrome/Perfetto `traceEvents` export.
+//!
+//! Span ids are assigned sequentially in creation order. Because the
+//! simulator is single-threaded and deterministic, the same seed and
+//! workload always produce the identical span list — which is what makes
+//! golden-trace testing possible.
+//!
+//! # Example
+//!
+//! ```
+//! use nesc_sim::{SimTime, Tracer, SpanId};
+//!
+//! let tracer = Tracer::enabled();
+//! let root = tracer.start(SpanId::NONE, "guest", "request", SimTime::from_nanos(0));
+//! let child = tracer.start(root, "pcie", "doorbell", SimTime::from_nanos(10));
+//! tracer.end(child, SimTime::from_nanos(30));
+//! tracer.attr(root, "bytes", 4096);
+//! tracer.end(root, SimTime::from_nanos(100));
+//! let spans = tracer.take_spans();
+//! assert_eq!(spans.len(), 2);
+//! assert_eq!(spans[0].layer, "guest");
+//! assert_eq!(spans[1].parent, spans[0].id);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::hash::IntHashBuilder;
+use crate::time::SimTime;
+
+/// Identity of one span. `SpanId::NONE` (0) means "no span" — it is what a
+/// disabled tracer returns and what root spans use as their parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span id: no parent / tracing disabled.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this id names a real span.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// One recorded interval in the span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// This span's id (sequential from 1, in creation order).
+    pub id: SpanId,
+    /// Parent span, or [`SpanId::NONE`] for a request root.
+    pub parent: SpanId,
+    /// The layer the time was spent in (`guest`, `hypervisor`, `virtio`,
+    /// `core`, `extent`, `pcie`, `storage`).
+    pub layer: &'static str,
+    /// What happened (`request`, `doorbell`, `translate`, ...).
+    pub name: &'static str,
+    /// Simulated start time.
+    pub start: SimTime,
+    /// Simulated end time (equals `start` until [`Tracer::end`] is called).
+    pub end: SimTime,
+    /// `key=value` attributes attached via [`Tracer::attr`].
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+impl Span {
+    /// The span's duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end.saturating_since(self.start).as_nanos()
+    }
+
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<u64> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceLog {
+    spans: Vec<Span>,
+    next_id: u64,
+    /// Ids `1..=drained` were taken by earlier [`Tracer::take_spans`]
+    /// calls; mutations aimed at them are ignored.
+    drained: u64,
+    /// Cross-layer stitching: callers bind an opaque key (e.g. a request
+    /// id) to a span so a lower layer can find its parent without the
+    /// upper layer threading `SpanId`s through every signature.
+    bindings: HashMap<u64, SpanId, IntHashBuilder>,
+}
+
+impl TraceLog {
+    fn span_mut(&mut self, id: SpanId) -> Option<&mut Span> {
+        if id.0 <= self.drained {
+            return None;
+        }
+        self.spans.get_mut((id.0 - self.drained - 1) as usize)
+    }
+}
+
+/// A cheaply cloneable tracing handle shared by every simulated layer.
+///
+/// Disabled (the default) it holds no allocation and every method is a
+/// no-op returning [`SpanId::NONE`]; enabled it appends to a shared span
+/// log. Handles cloned from one enabled tracer all record into the same
+/// log, which is how spans emitted by the PCIe link end up in the same
+/// tree as the guest-level request span.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<TraceLog>>>,
+}
+
+impl Tracer {
+    /// A recording tracer.
+    pub fn enabled() -> Self {
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(TraceLog {
+                next_id: 1,
+                ..TraceLog::default()
+            }))),
+        }
+    }
+
+    /// A no-op tracer (the default).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Whether spans are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span. Returns [`SpanId::NONE`] when disabled.
+    pub fn start(
+        &self,
+        parent: SpanId,
+        layer: &'static str,
+        name: &'static str,
+        at: SimTime,
+    ) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return SpanId::NONE;
+        };
+        let mut log = inner.borrow_mut();
+        let id = SpanId(log.next_id);
+        log.next_id += 1;
+        log.spans.push(Span {
+            id,
+            parent,
+            layer,
+            name,
+            start: at,
+            end: at,
+            attrs: Vec::new(),
+        });
+        id
+    }
+
+    /// Closes a span at `at`.
+    ///
+    /// Span intervals must be monotonic; closing before the recorded start
+    /// is a recording bug and debug-asserts.
+    pub fn end(&self, id: SpanId, at: SimTime) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        if let Some(span) = inner.borrow_mut().span_mut(id) {
+            debug_assert!(
+                at >= span.start,
+                "span {}:{} ends at {at} before it started at {}",
+                span.layer,
+                span.name,
+                span.start
+            );
+            span.end = at;
+        }
+    }
+
+    /// Records a complete span in one call.
+    pub fn span(
+        &self,
+        parent: SpanId,
+        layer: &'static str,
+        name: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) -> SpanId {
+        let id = self.start(parent, layer, name, start);
+        self.end(id, end);
+        id
+    }
+
+    /// Attaches a `key=value` attribute to a span.
+    pub fn attr(&self, id: SpanId, key: &'static str, value: u64) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        if let Some(span) = inner.borrow_mut().span_mut(id) {
+            span.attrs.push((key, value));
+        }
+    }
+
+    /// Binds an opaque key (typically a request id) to a span so another
+    /// layer can recover its parent via [`bound`](Self::bound).
+    pub fn bind(&self, key: u64, id: SpanId) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().bindings.insert(key, id);
+        }
+    }
+
+    /// The span bound to `key`, if any.
+    pub fn bound(&self, key: u64) -> SpanId {
+        match &self.inner {
+            Some(inner) => inner
+                .borrow()
+                .bindings
+                .get(&key)
+                .copied()
+                .unwrap_or(SpanId::NONE),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Removes a binding.
+    pub fn unbind(&self, key: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().bindings.remove(&key);
+        }
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.borrow().spans.len(),
+            None => 0,
+        }
+    }
+
+    /// Whether no spans have been recorded (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains all recorded spans, in creation (id) order. Id assignment
+    /// continues from where it left off, so ids stay unique across drains;
+    /// bindings are left untouched. Drained spans can no longer be ended
+    /// or annotated, so drain only at quiescent points.
+    pub fn take_spans(&self) -> Vec<Span> {
+        match &self.inner {
+            Some(inner) => {
+                let mut log = inner.borrow_mut();
+                log.drained = log.next_id - 1;
+                std::mem::take(&mut log.spans)
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+/// An index over a drained span list: children per parent, roots, and the
+/// structural invariants the observability tests assert.
+#[derive(Debug)]
+pub struct SpanTree {
+    spans: Vec<Span>,
+    /// `spans` indices of the roots, in creation order.
+    roots: Vec<usize>,
+    /// Parent span id -> `spans` indices of its children, creation order.
+    children: HashMap<u64, Vec<usize>, IntHashBuilder>,
+}
+
+impl SpanTree {
+    /// Builds the index.
+    pub fn new(spans: Vec<Span>) -> Self {
+        let mut roots = Vec::new();
+        let mut children: HashMap<u64, Vec<usize>, IntHashBuilder> = HashMap::default();
+        for (i, s) in spans.iter().enumerate() {
+            if s.parent.is_some() {
+                children.entry(s.parent.0).or_default().push(i);
+            } else {
+                roots.push(i);
+            }
+        }
+        SpanTree {
+            spans,
+            roots,
+            children,
+        }
+    }
+
+    /// All spans, in creation order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The root spans (no parent), in creation order.
+    pub fn roots(&self) -> impl Iterator<Item = &Span> {
+        self.roots.iter().map(|&i| &self.spans[i])
+    }
+
+    /// Direct children of `id`, in creation order.
+    pub fn children(&self, id: SpanId) -> impl Iterator<Item = &Span> {
+        self.children
+            .get(&id.0)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(|&i| &self.spans[i])
+    }
+
+    /// Checks structural sanity of the whole forest: every child's
+    /// interval is contained in its parent's, every parent id refers to an
+    /// earlier span, and every span ends at or after it starts. Returns a
+    /// description of the first violation.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the offending span.
+    pub fn check_nesting(&self) -> Result<(), String> {
+        for s in &self.spans {
+            if s.end < s.start {
+                return Err(format!(
+                    "span {} ({}:{}) ends at {} before start {}",
+                    s.id.0, s.layer, s.name, s.end, s.start
+                ));
+            }
+            if s.parent.is_some() {
+                if s.parent.0 >= s.id.0 {
+                    return Err(format!(
+                        "span {} has non-causal parent {}",
+                        s.id.0, s.parent.0
+                    ));
+                }
+                let Some(p) = self.spans.iter().find(|p| p.id == s.parent) else {
+                    return Err(format!(
+                        "span {} has dangling parent {}",
+                        s.id.0, s.parent.0
+                    ));
+                };
+                if s.start < p.start || s.end > p.end {
+                    return Err(format!(
+                        "span {} ({}:{}) [{}, {}] escapes parent {} [{}, {}]",
+                        s.id.0, s.layer, s.name, s.start, s.end, p.id.0, p.start, p.end
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that the direct children of `root` *partition* its interval:
+    /// the first child starts exactly at the root's start, each subsequent
+    /// child starts where its predecessor ended, and the last child ends
+    /// exactly at the root's end — so the children's durations sum to the
+    /// root's end-to-end duration with nothing unattributed. Roots without
+    /// children trivially pass.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first gap or overlap.
+    pub fn check_partition(&self, root: SpanId) -> Result<(), String> {
+        let Some(r) = self.spans.iter().find(|s| s.id == root) else {
+            return Err(format!("no span {}", root.0));
+        };
+        let kids: Vec<&Span> = self.children(root).collect();
+        if kids.is_empty() {
+            return Ok(());
+        }
+        let mut cursor = r.start;
+        for k in &kids {
+            if k.start != cursor {
+                return Err(format!(
+                    "child {} ({}:{}) of span {} starts at {}, expected {} \
+                     (children must tile the parent)",
+                    k.id.0, k.layer, k.name, root.0, k.start, cursor
+                ));
+            }
+            cursor = k.end;
+        }
+        if cursor != r.end {
+            return Err(format!(
+                "children of span {} end at {}, parent ends at {}",
+                root.0, cursor, r.end
+            ));
+        }
+        Ok(())
+    }
+
+    /// Sums the durations of `root`'s direct children grouped by span
+    /// name, in first-appearance order — the per-layer breakdown the
+    /// latency harness prints.
+    pub fn child_breakdown(&self, root: SpanId) -> Vec<(&'static str, &'static str, u64)> {
+        let mut out: Vec<(&'static str, &'static str, u64)> = Vec::new();
+        for k in self.children(root) {
+            match out.iter_mut().find(|(n, _, _)| *n == k.name) {
+                Some((_, _, total)) => *total += k.duration_ns(),
+                None => out.push((k.name, k.layer, k.duration_ns())),
+            }
+        }
+        out
+    }
+}
+
+/// Serializes spans as a Chrome/Perfetto trace-event JSON document
+/// (`chrome://tracing` "JSON Array Format" wrapped in an object with a
+/// `traceEvents` key, complete `ph:"X"` events, microsecond timestamps).
+/// Layers map to Perfetto threads of one process, so the trace opens as a
+/// per-layer swimlane view; span attributes land in `args`.
+pub fn chrome_trace_json(spans: &[Span]) -> serde_json::Value {
+    // Deterministic layer -> tid mapping, in first-appearance order.
+    let mut layers: Vec<&'static str> = Vec::new();
+    for s in spans {
+        if !layers.contains(&s.layer) {
+            layers.push(s.layer);
+        }
+    }
+    let mut events: Vec<serde_json::Value> = Vec::new();
+    for (tid, layer) in layers.iter().enumerate() {
+        events.push(serde_json::json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid + 1,
+            "args": { "name": *layer },
+        }));
+    }
+    for s in spans {
+        let tid = layers.iter().position(|l| l == &s.layer).unwrap_or(0) + 1;
+        let mut args: Vec<(String, serde_json::Value)> = vec![
+            ("span".to_string(), serde_json::Value::from(s.id.0)),
+            ("parent".to_string(), serde_json::Value::from(s.parent.0)),
+        ];
+        for (k, v) in &s.attrs {
+            args.push((k.to_string(), serde_json::Value::from(*v)));
+        }
+        events.push(serde_json::json!({
+            "name": s.name,
+            "cat": s.layer,
+            "ph": "X",
+            "ts": s.start.as_nanos() as f64 / 1_000.0,
+            "dur": s.duration_ns() as f64 / 1_000.0,
+            "pid": 1,
+            "tid": tid,
+            "args": serde_json::Value::Object(args),
+        }));
+    }
+    serde_json::json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+    })
+}
+
+/// Structurally validates a Chrome trace-event document produced by
+/// [`chrome_trace_json`] (or anything claiming the same format): a
+/// `traceEvents` array whose entries carry the mandatory `name`/`ph`/
+/// `pid`/`tid` fields, with `ts` and `dur` present and non-negative on
+/// every complete (`"X"`) event.
+///
+/// # Errors
+///
+/// A description of the first malformed event.
+pub fn validate_chrome_trace(doc: &serde_json::Value) -> Result<usize, String> {
+    let Some(serde_json::Value::Array(events)) = doc.get("traceEvents") else {
+        return Err("missing traceEvents array".to_string());
+    };
+    for (i, ev) in events.iter().enumerate() {
+        for field in ["name", "ph", "pid", "tid"] {
+            if ev.get(field).is_none() {
+                return Err(format!("event {i} missing {field}"));
+            }
+        }
+        let ph = match ev.get("ph") {
+            Some(serde_json::Value::String(s)) => s.clone(),
+            _ => return Err(format!("event {i} has non-string ph")),
+        };
+        if ph == "X" {
+            for field in ["ts", "dur"] {
+                match ev.get(field) {
+                    Some(serde_json::Value::Number(_)) => {}
+                    _ => return Err(format!("event {i} (ph=X) missing numeric {field}")),
+                }
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_tracer_is_noop() {
+        let tr = Tracer::disabled();
+        assert!(!tr.is_enabled());
+        let id = tr.start(SpanId::NONE, "guest", "request", t(0));
+        assert_eq!(id, SpanId::NONE);
+        tr.end(id, t(10));
+        tr.attr(id, "k", 1);
+        tr.bind(7, id);
+        assert_eq!(tr.bound(7), SpanId::NONE);
+        assert!(tr.take_spans().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_ids_are_sequential() {
+        let tr = Tracer::enabled();
+        let root = tr.start(SpanId::NONE, "guest", "request", t(0));
+        let a = tr.start(root, "core", "device", t(10));
+        tr.end(a, t(50));
+        tr.end(root, t(60));
+        let spans = tr.take_spans();
+        assert_eq!(spans[0].id, SpanId(1));
+        assert_eq!(spans[1].id, SpanId(2));
+        assert_eq!(spans[1].parent, SpanId(1));
+        let tree = SpanTree::new(spans);
+        tree.check_nesting().unwrap();
+    }
+
+    #[test]
+    fn bindings_stitch_layers() {
+        let tr = Tracer::enabled();
+        let parent = tr.start(SpanId::NONE, "guest", "request", t(0));
+        tr.bind(42, parent);
+        let lower = tr.clone();
+        assert_eq!(lower.bound(42), parent);
+        lower.unbind(42);
+        assert_eq!(lower.bound(42), SpanId::NONE);
+    }
+
+    #[test]
+    fn partition_check_catches_gaps() {
+        let tr = Tracer::enabled();
+        let root = tr.start(SpanId::NONE, "guest", "request", t(0));
+        tr.span(root, "guest", "submit", t(0), t(10));
+        tr.span(root, "core", "device", t(10), t(90));
+        tr.end(root, t(100));
+        let tree = SpanTree::new(tr.take_spans());
+        let err = tree.check_partition(SpanId(1)).unwrap_err();
+        assert!(err.contains("end at"), "{err}");
+    }
+
+    #[test]
+    fn partition_check_accepts_tiling() {
+        let tr = Tracer::enabled();
+        let root = tr.start(SpanId::NONE, "guest", "request", t(5));
+        tr.span(root, "guest", "submit", t(5), t(10));
+        tr.span(root, "core", "device", t(10), t(90));
+        tr.span(root, "guest", "complete", t(90), t(100));
+        tr.end(root, t(100));
+        let tree = SpanTree::new(tr.take_spans());
+        tree.check_partition(SpanId(1)).unwrap();
+        let bd = tree.child_breakdown(SpanId(1));
+        assert_eq!(bd.len(), 3);
+        assert_eq!(bd.iter().map(|(_, _, d)| d).sum::<u64>(), 95);
+    }
+
+    #[test]
+    fn chrome_export_validates() {
+        let tr = Tracer::enabled();
+        let root = tr.start(SpanId::NONE, "guest", "request", t(0));
+        let dev = tr.start(root, "core", "device", t(100));
+        tr.attr(dev, "blocks", 4);
+        tr.end(dev, t(900));
+        tr.end(root, t(1000));
+        let doc = chrome_trace_json(&tr.take_spans());
+        // 2 thread-name metadata events + 2 span events.
+        assert_eq!(validate_chrome_trace(&doc).unwrap(), 4);
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"ph\": \"X\""));
+    }
+
+    #[test]
+    fn attrs_readable_back() {
+        let tr = Tracer::enabled();
+        let s = tr.start(SpanId::NONE, "core", "translate", t(0));
+        tr.attr(s, "run", 64);
+        tr.end(s, t(10));
+        let spans = tr.take_spans();
+        assert_eq!(spans[0].attr("run"), Some(64));
+        assert_eq!(spans[0].attr("missing"), None);
+    }
+
+    #[test]
+    fn draining_preserves_id_continuity() {
+        let tr = Tracer::enabled();
+        tr.span(SpanId::NONE, "guest", "a", t(0), t(1));
+        let first = tr.take_spans();
+        tr.span(SpanId::NONE, "guest", "b", t(2), t(3));
+        let second = tr.take_spans();
+        assert_eq!(first[0].id, SpanId(1));
+        assert_eq!(second[0].id, SpanId(2));
+    }
+}

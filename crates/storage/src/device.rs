@@ -160,7 +160,7 @@ impl BlockStore {
     /// if `data` is empty or not block-aligned.
     pub fn write_range(&mut self, lba: u64, data: &[u8]) -> Result<(), StoreError> {
         let bs = BLOCK_SIZE as usize;
-        if data.is_empty() || data.len() % bs != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(bs) {
             return Err(StoreError::BadLength { len: data.len() });
         }
         let blocks = (data.len() / bs) as u64;
@@ -313,7 +313,13 @@ mod tests {
         let mut store = BlockStore::new(4);
         let bs = BLOCK_SIZE as usize;
         let err = store.write_range(2, &vec![9u8; 3 * bs]).unwrap_err();
-        assert_eq!(err, StoreError::OutOfRange { lba: 4, capacity: 4 });
+        assert_eq!(
+            err,
+            StoreError::OutOfRange {
+                lba: 4,
+                capacity: 4
+            }
+        );
         // Nothing was written, even though blocks 2 and 3 were in range.
         assert_eq!(store.resident_blocks(), 0);
         let mut out = vec![0u8; 3 * bs];

@@ -102,8 +102,7 @@ impl RamMedia {
     /// locality structure, so the address is ignored); reads and writes
     /// cost the same.
     pub fn access(&mut self, now: SimTime, _op: BlockOp, _addr: u64, bytes: u64) -> MediaService {
-        let dur =
-            self.access_latency + SimDuration::for_bytes(bytes, self.effective_bandwidth());
+        let dur = self.access_latency + SimDuration::for_bytes(bytes, self.effective_bandwidth());
         let svc = self.channel.serve(now, dur);
         MediaService {
             start: svc.start,
@@ -165,7 +164,10 @@ impl FlashMedia {
     ) -> Self {
         assert!(channels > 0, "flash needs at least one channel");
         assert!(page_bytes > 0, "page size must be positive");
-        assert!(channel_bytes_per_sec > 0, "channel bandwidth must be positive");
+        assert!(
+            channel_bytes_per_sec > 0,
+            "channel bandwidth must be positive"
+        );
         FlashMedia {
             page_bytes,
             read_latency,
@@ -211,10 +213,13 @@ impl FlashMedia {
         let mut last_end = SimTime::ZERO;
         for page in first_page..=last_page {
             let ch = (page % self.channels.len() as u64) as usize;
-            let transfer =
-                SimDuration::for_bytes(self.page_bytes, self.channel_bytes_per_sec);
+            let transfer = SimDuration::for_bytes(self.page_bytes, self.channel_bytes_per_sec);
             let buffered = self.page_buffer.contains(&page);
-            let dur = if buffered { transfer } else { array_latency + transfer };
+            let dur = if buffered {
+                transfer
+            } else {
+                array_latency + transfer
+            };
             if !buffered {
                 if self.page_buffer.len() == self.page_buffer_entries {
                     self.page_buffer.pop_front();
@@ -270,7 +275,9 @@ impl Media {
             Media::Ram(m) => m.access_run(op, bytes_each, times),
             Media::Flash(m) => {
                 for (j, t) in times.iter_mut().enumerate() {
-                    *t = m.access(*t, op, addr + j as u64 * addr_stride, bytes_each).end;
+                    *t = m
+                        .access(*t, op, addr + j as u64 * addr_stride, bytes_each)
+                        .end;
                 }
             }
         }
@@ -337,8 +344,8 @@ mod tests {
         );
         // 4 pages across 4 channels complete in ~1 page time, not 4.
         let four_pages = f.access(SimTime::ZERO, BlockOp::Read, 0, 4 * 4096);
-        let one_page_time = SimDuration::from_micros(60)
-            + SimDuration::for_bytes(4096, 400_000_000);
+        let one_page_time =
+            SimDuration::from_micros(60) + SimDuration::for_bytes(4096, 400_000_000);
         assert_eq!(four_pages.end - four_pages.start, one_page_time);
         // A sub-page re-read of a buffered page skips the array latency.
         let hit = f.access(four_pages.end, BlockOp::Read, 0, 1024);

@@ -118,11 +118,7 @@ impl BlkRequest {
     ///
     /// For `Flush`, `data`/`len` are ignored and the chain is header +
     /// status only.
-    pub fn build_chain(
-        &self,
-        mem: &mut HostMemory,
-        header_addr: HostAddr,
-    ) -> Vec<Descriptor> {
+    pub fn build_chain(&self, mem: &mut HostMemory, header_addr: HostAddr) -> Vec<Descriptor> {
         let mut header = [0u8; 16];
         header[0..4].copy_from_slice(&self.rtype.code().to_le_bytes());
         header[8..16].copy_from_slice(&self.sector.to_le_bytes());

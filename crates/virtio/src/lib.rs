@@ -26,4 +26,4 @@ pub mod blk;
 pub mod queue;
 
 pub use blk::{BlkRequest, BlkRequestType, BlkStatus};
-pub use queue::{Chain, QueueError, Virtqueue};
+pub use queue::{Chain, QueueError, UsedElem, Virtqueue};

@@ -50,6 +50,15 @@ impl Chain {
     }
 }
 
+/// One completion reaped from the used ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsedElem {
+    /// Head descriptor index of the completed chain.
+    pub head: u16,
+    /// Bytes the device wrote into the chain's writable descriptors.
+    pub written: u32,
+}
+
 /// Queue mechanics error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueError {
@@ -102,7 +111,8 @@ struct Slot {
 /// assert_eq!(chain.writable_bytes(), 4097);
 /// vq.push_used(chain.head, 4097);
 /// // Driver side reaps the completion:
-/// assert_eq!(vq.pop_used(), Some((head, 4097)));
+/// let used = vq.pop_used().unwrap();
+/// assert_eq!((used.head, used.written), (head, 4097));
 /// ```
 #[derive(Debug)]
 pub struct Virtqueue {
@@ -224,9 +234,11 @@ impl Virtqueue {
         self.interrupts
     }
 
-    /// Driver side: reaps one completion `(head, written_bytes)`.
-    pub fn pop_used(&mut self) -> Option<(u16, u32)> {
-        self.used.pop_front()
+    /// Driver side: reaps one completion.
+    pub fn pop_used(&mut self) -> Option<UsedElem> {
+        self.used
+            .pop_front()
+            .map(|(head, written)| UsedElem { head, written })
     }
 
     /// Chains currently published and unconsumed.
@@ -275,7 +287,13 @@ mod tests {
         let c1 = vq.pop_avail().unwrap();
         assert_eq!(c1.head, h1);
         vq.push_used(c1.head, 0);
-        assert_eq!(vq.pop_used(), Some((h1, 0)));
+        assert_eq!(
+            vq.pop_used(),
+            Some(UsedElem {
+                head: h1,
+                written: 0
+            })
+        );
         // Freed descriptors are reusable.
         assert_eq!(vq.free_descriptors(), 2);
         vq.add_chain(&[d(6, 1, false), d(7, 1, false)]).unwrap();
@@ -302,7 +320,13 @@ mod tests {
         let c = vq.pop_avail().unwrap();
         vq.push_used(c.head, 1);
         assert_eq!(vq.interrupts(), 1);
-        assert_eq!(vq.pop_used(), Some((h, 1)));
+        assert_eq!(
+            vq.pop_used(),
+            Some(UsedElem {
+                head: h,
+                written: 1
+            })
+        );
     }
 
     #[test]

@@ -114,7 +114,7 @@ mod tests {
     #[test]
     fn sync_dd_reports_per_op_latency() {
         let mut sys = system();
-        let (_vm, disk) = sys.quick_disk(DiskKind::NescDirect, "dd.img", 8 << 20);
+        let disk = sys.quick_disk(DiskKind::NescDirect, "dd.img", 8 << 20).disk;
         let rep = Dd::new(BlockOp::Write, 4096, 16, DdMode::Sync).run(&mut sys, disk);
         assert_eq!(rep.ops, 16);
         assert_eq!(rep.bytes, 16 * 4096);
@@ -125,7 +125,9 @@ mod tests {
     #[test]
     fn pipelined_dd_faster_than_sync() {
         let mut sys = system();
-        let (_vm, disk) = sys.quick_disk(DiskKind::NescDirect, "dd2.img", 16 << 20);
+        let disk = sys
+            .quick_disk(DiskKind::NescDirect, "dd2.img", 16 << 20)
+            .disk;
         let sync = Dd::new(BlockOp::Read, 4096, 256, DdMode::Sync).run(&mut sys, disk);
         let piped =
             Dd::new(BlockOp::Read, 4096, 256, DdMode::Pipelined { qd: 16 }).run(&mut sys, disk);
@@ -140,7 +142,9 @@ mod tests {
     #[test]
     fn dd_respects_start_offset() {
         let mut sys = system();
-        let (_vm, disk) = sys.quick_disk(DiskKind::NescDirect, "dd3.img", 8 << 20);
+        let disk = sys
+            .quick_disk(DiskKind::NescDirect, "dd3.img", 8 << 20)
+            .disk;
         let mut dd = Dd::new(BlockOp::Write, 1024, 4, DdMode::Sync);
         dd.start_offset = 1 << 20;
         dd.run(&mut sys, disk);

@@ -127,8 +127,7 @@ impl FileIo {
                 FileTestMode::RndRd | FileTestMode::RndWr | FileTestMode::RndRw => {
                     let ino = inos[rng.range(0, inos.len() as u64) as usize];
                     // sysbench aligns offsets to the I/O unit.
-                    let offset =
-                        (rng.range(0, max_off) / self.io_bytes) * self.io_bytes;
+                    let offset = (rng.range(0, max_off) / self.io_bytes) * self.io_bytes;
                     let is_read = match self.mode {
                         FileTestMode::RndRd => true,
                         FileTestMode::RndWr => false,
@@ -156,13 +155,13 @@ impl FileIo {
 mod tests {
     use super::*;
     use nesc_core::NescConfig;
-    use nesc_hypervisor::{DiskKind, SoftwareCosts};
+    use nesc_hypervisor::{DiskKind, ProvisionedDisk, SoftwareCosts};
 
     fn quick(kind: DiskKind) -> WorkloadReport {
         let mut cfg = NescConfig::prototype();
         cfg.capacity_blocks = 128 * 1024;
         let mut sys = System::new(cfg, SoftwareCosts::calibrated());
-        let (vm, disk) = sys.quick_disk(kind, "fio.img", 64 << 20);
+        let ProvisionedDisk { vm, disk, .. } = sys.quick_disk(kind, "fio.img", 64 << 20);
         let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
         let wl = FileIo {
             files: 4,
@@ -201,7 +200,8 @@ mod tests {
             let mut cfg = NescConfig::prototype();
             cfg.capacity_blocks = 128 * 1024;
             let mut sys = System::new(cfg, SoftwareCosts::calibrated());
-            let (vm, disk) = sys.quick_disk(DiskKind::NescDirect, "m.img", 64 << 20);
+            let ProvisionedDisk { vm, disk, .. } =
+                sys.quick_disk(DiskKind::NescDirect, "m.img", 64 << 20);
             let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
             let wl = FileIo {
                 files: 4,

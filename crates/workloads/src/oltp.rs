@@ -206,13 +206,13 @@ impl Oltp {
 mod tests {
     use super::*;
     use nesc_core::NescConfig;
-    use nesc_hypervisor::{DiskKind, SoftwareCosts};
+    use nesc_hypervisor::{DiskKind, ProvisionedDisk, SoftwareCosts};
 
     fn quick(kind: DiskKind) -> WorkloadReport {
         let mut cfg = NescConfig::prototype();
         cfg.capacity_blocks = 128 * 1024;
         let mut sys = System::new(cfg, SoftwareCosts::calibrated());
-        let (vm, disk) = sys.quick_disk(kind, "db.img", 64 << 20);
+        let ProvisionedDisk { vm, disk, .. } = sys.quick_disk(kind, "db.img", 64 << 20);
         let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
         Oltp {
             rows: 4_000,
@@ -258,7 +258,8 @@ mod tests {
             let mut cfg = NescConfig::prototype();
             cfg.capacity_blocks = 128 * 1024;
             let mut sys = System::new(cfg, SoftwareCosts::calibrated());
-            let (vm, disk) = sys.quick_disk(DiskKind::NescDirect, "bp.img", 64 << 20);
+            let ProvisionedDisk { vm, disk, .. } =
+                sys.quick_disk(DiskKind::NescDirect, "bp.img", 64 << 20);
             let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
             Oltp {
                 rows: 4_000,

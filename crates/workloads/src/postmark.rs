@@ -74,10 +74,8 @@ impl Postmark {
             if rng.chance(0.5) {
                 // File management transaction: create or delete.
                 if rng.chance(0.5) || pool.len() <= 1 {
-                    let size =
-                        rng.bounded_pareto(self.min_file_bytes, self.max_file_bytes, 1.2);
-                    let ino =
-                        self.create_file(system, gfs, &mut next_name, size, &mut rng);
+                    let size = rng.bounded_pareto(self.min_file_bytes, self.max_file_bytes, 1.2);
+                    let ino = self.create_file(system, gfs, &mut next_name, size, &mut rng);
                     pool.push((ino, size));
                     bytes = size;
                 } else {
@@ -145,13 +143,13 @@ impl Postmark {
 mod tests {
     use super::*;
     use nesc_core::NescConfig;
-    use nesc_hypervisor::{DiskKind, SoftwareCosts};
+    use nesc_hypervisor::{DiskKind, ProvisionedDisk, SoftwareCosts};
 
     fn quick(kind: DiskKind) -> WorkloadReport {
         let mut cfg = NescConfig::prototype();
         cfg.capacity_blocks = 128 * 1024;
         let mut sys = System::new(cfg, SoftwareCosts::calibrated());
-        let (vm, disk) = sys.quick_disk(kind, "pm.img", 64 << 20);
+        let ProvisionedDisk { vm, disk, .. } = sys.quick_disk(kind, "pm.img", 64 << 20);
         let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
         Postmark {
             initial_files: 12,

@@ -81,8 +81,10 @@ fn main() {
             .fetch_via_host(SimTime::ZERO, &mut dev3, staging3, 6024, 16 * 1024)
             .saturating_since(SimTime::ZERO)
     };
-    println!("
-16 KiB fetch (latency-sensitive kernel access):");
+    println!(
+        "
+16 KiB fetch (latency-sensitive kernel access):"
+    );
     println!("  direct {t_small} vs host-mediated {t_small_host}");
     println!(
         "  direct is {:.1}x faster",

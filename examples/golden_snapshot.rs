@@ -15,16 +15,16 @@
 //! cargo run -p nesc-examples --bin golden_snapshot
 //! ```
 
-use nesc_core::NescConfig;
-use nesc_hypervisor::{DiskKind, SoftwareCosts, System};
+use nesc_hypervisor::prelude::*;
 use nesc_storage::BLOCK_SIZE;
 
 fn main() {
-    let mut sys = System::new(NescConfig::prototype(), SoftwareCosts::calibrated());
+    let mut sys = SystemBuilder::new().build();
 
     // --- Part 1: one golden image, three read-only VFs sharing its tree.
-    let (_owner_vm, owner_disk) =
-        sys.quick_disk(DiskKind::NescDirect, "golden.img", 8 << 20);
+    let owner_disk = sys
+        .quick_disk(DiskKind::NescDirect, "golden.img", 8 << 20)
+        .disk;
     let golden: Vec<u8> = (0..2 << 20u32).map(|i| (i * 7 % 253) as u8).collect();
     sys.write(owner_disk, 0, &golden);
 
@@ -53,8 +53,12 @@ fn main() {
     );
 
     // --- Part 2: tenant clones + dedup.
-    let (_vm_a, clone_a) = sys.quick_disk(DiskKind::NescDirect, "clone_a.img", 8 << 20);
-    let (_vm_b, clone_b) = sys.quick_disk(DiskKind::NescDirect, "clone_b.img", 8 << 20);
+    let clone_a = sys
+        .quick_disk(DiskKind::NescDirect, "clone_a.img", 8 << 20)
+        .disk;
+    let clone_b = sys
+        .quick_disk(DiskKind::NescDirect, "clone_b.img", 8 << 20)
+        .disk;
     sys.write(clone_a, 0, &golden);
     sys.write(clone_b, 0, &golden);
     // Each clone diverges a little.
@@ -75,11 +79,21 @@ fn main() {
     // Every clone still reads its own (diverged) content correctly.
     let mut buf = vec![0u8; 4096];
     sys.read(clone_a, 0, &mut buf);
-    assert!(buf.iter().all(|&b| b == 0xA1), "clone A's divergence survives");
+    assert!(
+        buf.iter().all(|&b| b == 0xA1),
+        "clone A's divergence survives"
+    );
     sys.read(clone_b, 512 * 1024, &mut buf);
-    assert!(buf.iter().all(|&b| b == 0xB2), "clone B's divergence survives");
+    assert!(
+        buf.iter().all(|&b| b == 0xB2),
+        "clone B's divergence survives"
+    );
     let mut tail = vec![0u8; 4096];
     sys.read(clone_a, 1 << 20, &mut tail);
-    assert_eq!(&tail[..], &golden[1 << 20..(1 << 20) + 4096], "shared blocks intact");
+    assert_eq!(
+        &tail[..],
+        &golden[1 << 20..(1 << 20) + 4096],
+        "shared blocks intact"
+    );
     println!("post-dedup reads: every clone sees exactly its own image");
 }

@@ -10,15 +10,13 @@
 //! cargo run -p nesc-examples --bin multi_tenant
 //! ```
 
-use nesc_core::NescConfig;
-use nesc_hypervisor::{DiskId, DiskKind, SoftwareCosts, StreamSpec, System, VmId};
-use nesc_storage::BlockOp;
+use nesc_hypervisor::prelude::*;
 
 const TENANTS: usize = 8;
 const DISK_BYTES: u64 = 16 << 20;
 
 fn main() {
-    let mut sys = System::new(NescConfig::prototype(), SoftwareCosts::calibrated());
+    let mut sys = SystemBuilder::new().build();
 
     // Provision one VM + image + VF per tenant.
     let tenants: Vec<(VmId, DiskId)> = (0..TENANTS)

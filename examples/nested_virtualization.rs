@@ -31,12 +31,19 @@ fn main() {
 
     // --- L0 (host) hypervisor: exports a 64 MiB file to the L1 guest. ---
     let l1_blocks = 64 * 1024;
-    let l1_tree: ExtentTree = [ExtentMapping::new(Vlba(0), nesc_extent::Plba(4096), l1_blocks)]
-        .into_iter()
-        .collect();
+    let l1_tree: ExtentTree = [ExtentMapping::new(
+        Vlba(0),
+        nesc_extent::Plba(4096),
+        l1_blocks,
+    )]
+    .into_iter()
+    .collect();
     let l1_root = l1_tree.serialize(&mut mem.borrow_mut());
     let l1_vf = dev.create_vf(l1_root, l1_blocks).expect("VF slot");
-    println!("L0 host: exported a {} MiB file as {l1_vf}", l1_blocks / 1024);
+    println!(
+        "L0 host: exported a {} MiB file as {l1_vf}",
+        l1_blocks / 1024
+    );
 
     // --- L1 guest: formats its own filesystem *on its virtual disk* and
     // creates an image file for its L2 guest. (The L1 guest's filesystem

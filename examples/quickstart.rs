@@ -5,13 +5,12 @@
 //! cargo run -p nesc-examples --bin quickstart
 //! ```
 
-use nesc_core::NescConfig;
-use nesc_hypervisor::{DiskKind, SoftwareCosts, System};
+use nesc_hypervisor::prelude::*;
 
 fn main() {
     // A host with a NeSC controller (the paper's VC707 prototype config)
     // and the calibrated software-stack cost model.
-    let mut sys = System::new(NescConfig::prototype(), SoftwareCosts::calibrated());
+    let mut sys = SystemBuilder::new().build();
 
     // The hypervisor creates an image file on its own filesystem and
     // exports it to a VM as a *directly assigned* NeSC virtual function:

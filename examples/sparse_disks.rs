@@ -12,12 +12,11 @@
 //! cargo run -p nesc-examples --bin sparse_disks
 //! ```
 
-use nesc_core::NescConfig;
-use nesc_hypervisor::{DiskKind, SoftwareCosts, System};
+use nesc_hypervisor::prelude::*;
 use nesc_storage::BLOCK_SIZE;
 
 fn main() {
-    let mut sys = System::new(NescConfig::prototype(), SoftwareCosts::calibrated());
+    let mut sys = SystemBuilder::new().build();
 
     // A 256 MiB *logical* disk with zero blocks allocated.
     let vm = sys.create_vm();

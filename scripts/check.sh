@@ -7,6 +7,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -28,6 +34,19 @@ if cmp -s "$tmp/golden.json" "$golden"; then
 else
     echo "FAIL: fig10_bandwidth.json changed after regeneration" >&2
     diff "$tmp/golden.json" "$golden" >&2 || true
+    exit 1
+fi
+
+echo "==> golden check: the span trace must be bit-identical"
+trace_golden="results/golden_trace.json"
+[ -f "$trace_golden" ] || { echo "missing golden $trace_golden" >&2; exit 1; }
+cp "$trace_golden" "$tmp/golden_trace.json"
+cargo run --release -q -p nesc-bench --bin golden_trace >/dev/null
+if cmp -s "$tmp/golden_trace.json" "$trace_golden"; then
+    echo "OK: golden_trace.json regenerated bit-identical"
+else
+    echo "FAIL: golden_trace.json changed after regeneration" >&2
+    diff "$tmp/golden_trace.json" "$trace_golden" >&2 || true
     exit 1
 fi
 

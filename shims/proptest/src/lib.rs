@@ -533,13 +533,12 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(8))]
         /// The macro itself works end to end, including tuple and vec
         /// strategies and early Err returns.
-        #[test]
         fn self_test(
             (a, b) in (0u64..100, 1u64..50),
             v in collection::vec(any::<u8>(), 1..10),
         ) {
             prop_assert!(a < 100);
-            prop_assert!(b >= 1 && b < 50);
+            prop_assert!((1..50).contains(&b));
             prop_assert!(!v.is_empty() && v.len() < 10);
             prop_assert_eq!(a + b, b + a);
             prop_assert_ne!(b, 0);

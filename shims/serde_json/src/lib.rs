@@ -484,10 +484,7 @@ mod tests {
     fn pretty_output_is_indented_and_ordered() {
         let v = json!({ "b": 1, "a": [true] });
         let s = to_string_pretty(&v).unwrap();
-        assert_eq!(
-            s,
-            "{\n  \"b\": 1,\n  \"a\": [\n    true\n  ]\n}"
-        );
+        assert_eq!(s, "{\n  \"b\": 1,\n  \"a\": [\n    true\n  ]\n}");
     }
 
     #[test]

@@ -4,22 +4,19 @@
 //! virtualization path → NeSC device → extent trees → host filesystem —
 //! against reference models and the paper's stated guarantees.
 
-use nesc_core::NescConfig;
-use nesc_hypervisor::{DiskId, DiskKind, SoftwareCosts, System, VmId};
+use nesc_hypervisor::{DiskId, DiskKind, System, SystemBuilder, VmId};
 
 /// A small, fast system for functional tests: 64 MiB device, calibrated
 /// costs.
 pub fn small_system() -> System {
-    let mut cfg = NescConfig::prototype();
-    cfg.capacity_blocks = 64 * 1024;
-    System::new(cfg, SoftwareCosts::calibrated())
+    SystemBuilder::new().capacity_blocks(64 * 1024).build()
 }
 
 /// Builds a system with one disk of `size_bytes` on the given path.
 pub fn system_with_disk(kind: DiskKind, size_bytes: u64) -> (System, VmId, DiskId) {
     let mut sys = small_system();
-    let (vm, disk) = sys.quick_disk(kind, "test.img", size_bytes);
-    (sys, vm, disk)
+    let p = sys.quick_disk(kind, "test.img", size_bytes);
+    (sys, p.vm, p.disk)
 }
 
 /// An in-memory reference disk for differential testing.

@@ -40,7 +40,12 @@ fn uncommitted_transaction_lost_committed_survive() {
     let committed: Journal = fs.journal().clone();
     let recovered = Filesystem::replay(4096, &committed);
     assert!(recovered.lookup("a").is_some());
-    assert_eq!(recovered.size_bytes(recovered.lookup("a").unwrap()).unwrap(), 2048);
+    assert_eq!(
+        recovered
+            .size_bytes(recovered.lookup("a").unwrap())
+            .unwrap(),
+        2048
+    );
 }
 
 #[test]
@@ -52,7 +57,8 @@ fn journal_records_account_for_all_block_ownership() {
     let a = fs.create("a").unwrap();
     let b = fs.create("b").unwrap();
     fs.write(&mut store, a, 0, &vec![1u8; 10 * 1024]).unwrap();
-    fs.write(&mut store, b, 5000, &vec![2u8; 20 * 1024]).unwrap();
+    fs.write(&mut store, b, 5000, &vec![2u8; 20 * 1024])
+        .unwrap();
     fs.truncate(a, 1024).unwrap();
     fs.unlink("b").unwrap();
     let recovered = Filesystem::replay(4096, fs.journal());
@@ -105,7 +111,9 @@ fn guest_fs_metadata_survives_replay_of_its_own_journal() {
     assert!(recovered.lookup("mail").is_some());
     assert!(recovered.lookup("tmp").is_none());
     assert_eq!(
-        recovered.extent_tree(recovered.lookup("mail").unwrap()).unwrap(),
+        recovered
+            .extent_tree(recovered.lookup("mail").unwrap())
+            .unwrap(),
         gfs.fs().extent_tree(f).unwrap()
     );
 }

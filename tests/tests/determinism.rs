@@ -10,8 +10,8 @@ use nesc_workloads::{Dd, DdMode, FileIo, Oltp, Postmark};
 fn dd_streams_are_deterministic() {
     let run = || {
         let (mut sys, _vm, disk) = system_with_disk(DiskKind::NescDirect, 16 << 20);
-        let rep = Dd::new(BlockOp::Write, 8192, 128, DdMode::Pipelined { qd: 8 })
-            .run(&mut sys, disk);
+        let rep =
+            Dd::new(BlockOp::Write, 8192, 128, DdMode::Pipelined { qd: 8 }).run(&mut sys, disk);
         (rep.elapsed, rep.bytes, sys.now())
     };
     assert_eq!(run(), run());

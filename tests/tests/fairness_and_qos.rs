@@ -49,10 +49,7 @@ fn equal_demand_gets_equal_service() {
         }
     }
     dev.advance(HORIZON);
-    let counts: Vec<u64> = vfs
-        .iter()
-        .map(|&vf| dev.function_counters(vf).0)
-        .collect();
+    let counts: Vec<u64> = vfs.iter().map(|&vf| dev.function_counters(vf).0).collect();
     assert!(counts.iter().all(|&c| c == 32), "equal service: {counts:?}");
 }
 
@@ -174,7 +171,7 @@ mod mixed_streams {
         let disks: Vec<_> = (0..4)
             .map(|i| {
                 sys.quick_disk(DiskKind::NescDirect, &format!("mix{i}.img"), 8 << 20)
-                    .1
+                    .disk
             })
             .collect();
         let specs: Vec<StreamSpec> = disks
@@ -196,10 +193,7 @@ mod mixed_streams {
             "concurrent equal tenants should see near-equal throughput: {mbps:?}"
         );
         // Aggregate bounded by the one device (~800 MB/s read engine).
-        let total: f64 = results
-            .iter()
-            .map(|r| r.bytes as f64)
-            .sum::<f64>()
+        let total: f64 = results.iter().map(|r| r.bytes as f64).sum::<f64>()
             / 1e6
             / results
                 .iter()
@@ -214,8 +208,8 @@ mod mixed_streams {
     #[test]
     fn mixed_read_write_streams_round_trip() {
         let mut sys = small_system();
-        let (_v1, d1) = sys.quick_disk(DiskKind::NescDirect, "w.img", 8 << 20);
-        let (_v2, d2) = sys.quick_disk(DiskKind::NescDirect, "r.img", 8 << 20);
+        let d1 = sys.quick_disk(DiskKind::NescDirect, "w.img", 8 << 20).disk;
+        let d2 = sys.quick_disk(DiskKind::NescDirect, "r.img", 8 << 20).disk;
         sys.write(d2, 0, &vec![0x44u8; 1 << 20]);
         let results = sys.run_mixed(&[
             StreamSpec {
@@ -245,7 +239,9 @@ mod mixed_streams {
     fn concurrency_slows_each_tenant_vs_running_alone() {
         let alone = {
             let mut sys = small_system();
-            let (_vm, d) = sys.quick_disk(DiskKind::NescDirect, "solo.img", 8 << 20);
+            let d = sys
+                .quick_disk(DiskKind::NescDirect, "solo.img", 8 << 20)
+                .disk;
             sys.run_mixed(&[StreamSpec {
                 disk: d,
                 op: BlockOp::Read,
@@ -259,7 +255,7 @@ mod mixed_streams {
         let disks: Vec<_> = (0..4)
             .map(|i| {
                 sys.quick_disk(DiskKind::NescDirect, &format!("c{i}.img"), 8 << 20)
-                    .1
+                    .disk
             })
             .collect();
         let specs: Vec<StreamSpec> = disks

@@ -46,9 +46,18 @@ fn interleaved_writes_last_writer_wins() {
         let mut out = vec![0u8; 64 * 1024];
         sys.read(disk, 0, &mut out);
         assert!(out[..32 * 1024].iter().all(|&b| b == 0x11), "{kind:?}");
-        assert!(out[32 * 1024..34 * 1024].iter().all(|&b| b == 0x22), "{kind:?}");
-        assert!(out[34 * 1024..35 * 1024].iter().all(|&b| b == 0x33), "{kind:?}");
-        assert!(out[35 * 1024..40 * 1024].iter().all(|&b| b == 0x22), "{kind:?}");
+        assert!(
+            out[32 * 1024..34 * 1024].iter().all(|&b| b == 0x22),
+            "{kind:?}"
+        );
+        assert!(
+            out[34 * 1024..35 * 1024].iter().all(|&b| b == 0x33),
+            "{kind:?}"
+        );
+        assert!(
+            out[35 * 1024..40 * 1024].iter().all(|&b| b == 0x22),
+            "{kind:?}"
+        );
         assert!(out[40 * 1024..].iter().all(|&b| b == 0x11), "{kind:?}");
     }
 }

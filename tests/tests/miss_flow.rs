@@ -41,10 +41,7 @@ fn mid_request_miss_resumes_and_completes_whole_request() {
     let mut out = vec![0u8; data.len()];
     sys.read(disk, 0, &mut out);
     assert_eq!(out, data, "the straddling write must be complete and exact");
-    assert_eq!(
-        sys.host_fs().extent_tree(img).unwrap().mapped_blocks(),
-        8
-    );
+    assert_eq!(sys.host_fs().extent_tree(img).unwrap().mapped_blocks(), 8);
 }
 
 #[test]

@@ -36,9 +36,7 @@ fn tree(mem: &Rc<RefCell<HostMemory>>, extents: &[(u64, u64, u64)]) -> u64 {
 fn three_level_chain_translates_correctly() {
     let (mem, mut dev) = device();
     // L1: vlba x -> plba x + 1000 (64 blocks)
-    let l1 = dev
-        .create_vf(tree(&mem, &[(0, 1000, 64)]), 64)
-        .unwrap();
+    let l1 = dev.create_vf(tree(&mem, &[(0, 1000, 64)]), 64).unwrap();
     // L2 inside L1: vlba x -> parent vlba x + 16 (32 blocks)
     let l2 = dev
         .create_nested_vf(l1, tree(&mem, &[(0, 16, 32)]), 32)

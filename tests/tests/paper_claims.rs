@@ -6,7 +6,7 @@
 //! corresponding harness (same code paths, fewer samples).
 
 use nesc_core::NescConfig;
-use nesc_hypervisor::{DiskKind, GuestFilesystem, SoftwareCosts, System};
+use nesc_hypervisor::{DiskKind, GuestFilesystem, ProvisionedDisk, SoftwareCosts, System};
 use nesc_storage::BlockOp;
 use nesc_workloads::{Dd, DdMode};
 
@@ -14,7 +14,7 @@ fn prototype_system(kind: DiskKind) -> (System, nesc_hypervisor::VmId, nesc_hype
     let mut cfg = NescConfig::prototype();
     cfg.capacity_blocks = 128 * 1024;
     let mut sys = System::new(cfg, SoftwareCosts::calibrated_with_trampoline());
-    let (vm, disk) = sys.quick_disk(kind, "claim.img", 64 << 20);
+    let ProvisionedDisk { vm, disk, .. } = sys.quick_disk(kind, "claim.img", 64 << 20);
     (sys, vm, disk)
 }
 
@@ -43,7 +43,10 @@ fn fig9_claims_latency_orderings() {
     // "similar to that obtained by the host"
     assert!(nesc / host < 1.5, "NeSC {nesc:.1}us vs host {host:.1}us");
     // "over 6x faster than virtio"
-    assert!(virtio / nesc > 6.0, "virtio {virtio:.1}us / NeSC {nesc:.1}us");
+    assert!(
+        virtio / nesc > 6.0,
+        "virtio {virtio:.1}us / NeSC {nesc:.1}us"
+    );
     // "over 20x faster than device emulation"
     assert!(emu / nesc > 20.0, "emulation {emu:.1}us / NeSC {nesc:.1}us");
 }
@@ -61,7 +64,10 @@ fn fig10_claims_bandwidth_orderings() {
     let nesc_32k = bandwidth(DiskKind::NescDirect, BlockOp::Write, 32768);
     let virtio_32k = bandwidth(DiskKind::Virtio, BlockOp::Write, 32768);
     let emu_32k = bandwidth(DiskKind::Emulated, BlockOp::Write, 32768);
-    assert!(nesc_32k / virtio_32k > 2.0, "{nesc_32k:.0} vs {virtio_32k:.0}");
+    assert!(
+        nesc_32k / virtio_32k > 2.0,
+        "{nesc_32k:.0} vs {virtio_32k:.0}"
+    );
     assert!(nesc_32k / emu_32k > 4.0, "{nesc_32k:.0} vs {emu_32k:.0}");
     // NeSC read within ~15% of host at 32 KB ("10% slower").
     let host_32k = bandwidth(DiskKind::HostRaw, BlockOp::Read, 32768);
@@ -125,13 +131,13 @@ fn fig2_claims_speedup_grows_with_device_bandwidth() {
         let mut cfg = NescConfig::gen3();
         cfg.capacity_blocks = 256 * 1024;
         let mut sys = System::new(cfg, SoftwareCosts::calibrated());
-        let (_vm, disk) = sys.quick_disk(kind, "f2.img", 64 << 20);
+        let disk = sys.quick_disk(kind, "f2.img", 64 << 20).disk;
         sys.device_mut().set_media_throttle(Some(throttle));
-        sys.stream(disk, BlockOp::Write, 0, 16 << 20, 512 * 1024, 4).mbps
+        sys.stream(disk, BlockOp::Write, 0, 16 << 20, 512 * 1024, 4)
+            .mbps
     };
     let slow = run(DiskKind::NescDirect, 500_000_000) / run(DiskKind::Virtio, 500_000_000);
-    let fast =
-        run(DiskKind::NescDirect, 3_600_000_000) / run(DiskKind::Virtio, 3_600_000_000);
+    let fast = run(DiskKind::NescDirect, 3_600_000_000) / run(DiskKind::Virtio, 3_600_000_000);
     assert!(
         (0.9..1.2).contains(&slow),
         "slow-device speedup {slow:.2} should be ~1"
@@ -151,7 +157,10 @@ fn abstract_claim_device_ceilings() {
     let read = sys
         .stream(disk, BlockOp::Read, 0, 16 << 20, 64 * 1024, 8)
         .mbps;
-    assert!((700.0..=801.0).contains(&read), "read ceiling {read:.0} MB/s");
+    assert!(
+        (700.0..=801.0).contains(&read),
+        "read ceiling {read:.0} MB/s"
+    );
     let (mut sys, _vm, disk) = prototype_system(DiskKind::NescDirect);
     let write = sys
         .stream(disk, BlockOp::Write, 0, 16 << 20, 64 * 1024, 8)

@@ -77,7 +77,9 @@ fn requests_beyond_device_size_rejected_not_translated() {
     let mut cfg = NescConfig::prototype();
     cfg.capacity_blocks = 4096;
     let mut dev = NescDevice::new(cfg, Rc::clone(&mem));
-    let tree: ExtentTree = [ExtentMapping::new(Vlba(0), Plba(0), 8)].into_iter().collect();
+    let tree: ExtentTree = [ExtentMapping::new(Vlba(0), Plba(0), 8)]
+        .into_iter()
+        .collect();
     let root = tree.serialize(&mut mem.borrow_mut());
     let vf = dev.create_vf(root, 8).unwrap();
     let buf = mem.borrow_mut().alloc(BLOCK_SIZE, 8);
