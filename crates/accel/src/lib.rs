@@ -123,6 +123,9 @@ impl Accelerator {
         RequestId(self.next_req)
     }
 
+    // allow: mirrors the DMA descriptor the accelerator posts (device,
+    // function, op, file window, stride) one field per argument; folding
+    // them into a struct would just rename the problem.
     #[allow(clippy::too_many_arguments)]
     fn transfer_direct(
         &mut self,

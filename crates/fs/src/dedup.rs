@@ -18,7 +18,7 @@
 //! it is not journaled, so it must run at a consistent checkpoint; crash
 //! recovery replays the journal into the pre-dedup state.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nesc_extent::{ExtentMapping, Plba, Vlba};
 
@@ -59,7 +59,7 @@ impl Filesystem {
     pub fn dedup(&mut self, io: &mut dyn BlockIo, files: &[Ino]) -> Result<DedupReport, FsError> {
         let mut report = DedupReport::default();
         // hash -> (canonical plba, content)
-        let mut seen: HashMap<u64, Vec<(Plba, Vec<u8>)>> = HashMap::new();
+        let mut seen: BTreeMap<u64, Vec<(Plba, Vec<u8>)>> = BTreeMap::new();
         for &ino in files {
             // Snapshot the mapping; we re-insert block by block.
             let extents: Vec<ExtentMapping> = self.extent_tree(ino)?.iter().copied().collect();

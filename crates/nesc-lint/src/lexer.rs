@@ -1,0 +1,434 @@
+//! A minimal Rust token scanner.
+//!
+//! The lint rules only need a line-accurate token stream with comments,
+//! strings and character literals correctly skipped — not name resolution
+//! or type inference. This scanner produces exactly that: identifiers,
+//! single-character punctuation, numeric literals (classified integer vs
+//! float, because rule D4 bans float literals in scheduling code), and the
+//! comments themselves (rule suppressions live in comments).
+//!
+//! Handled Rust lexical subtleties:
+//!
+//! * line (`//`, `///`, `//!`) and nested block (`/* /* */ */`) comments;
+//! * string, byte-string and raw-string literals (`r#"..."#` with any
+//!   number of hashes), with escape sequences;
+//! * character literals vs lifetimes (`'a'` vs `'a`);
+//! * numeric literals with prefixes (`0x`, `0o`, `0b`), underscores,
+//!   exponents (`1e9`) and type suffixes — `1.5`, `1e3` and `2f64` are
+//!   floats, `0xE3` and `1..2` are not.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// One punctuation character (`::` arrives as two `Punct(':')`).
+    Punct(char),
+    /// An integer literal.
+    Int,
+    /// A floating-point literal.
+    Float,
+    /// A string, byte-string or raw-string literal (contents opaque).
+    Str,
+    /// A character literal.
+    Char,
+    /// A lifetime (`'a`).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// The token itself.
+    pub kind: TokKind,
+}
+
+/// One comment with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    /// Suppression directives are only honored in plain comments, so
+    /// documentation *showing* the directive syntax never suppresses.
+    pub doc: bool,
+}
+
+/// The scanner's output: tokens plus comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// All non-comment tokens.
+    pub tokens: Vec<Tok>,
+    /// All comments (line and block), one entry per comment.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Malformed input (unterminated strings/comments) does
+/// not panic — the scanner consumes to end-of-file, which is the right
+/// degradation for a linter.
+pub fn scan(src: &str) -> Scan {
+    let b = src.as_bytes();
+    let mut out = Scan::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances `i` over `n` bytes, counting newlines.
+    macro_rules! bump {
+        ($n:expr) => {{
+            let end = (i + $n).min(b.len());
+            for &c in &b[i..end] {
+                if c == b'\n' {
+                    line += 1;
+                }
+            }
+            i = end;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' | b'\r' | b' ' | b'\t' => bump!(1),
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start_line = line;
+                let mut j = i + 2;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                let doc = matches!(b.get(i + 2), Some(b'/') | Some(b'!'));
+                let text = src[i + 2..j].trim_start_matches(['/', '!']).trim();
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: text.to_string(),
+                    doc,
+                });
+                bump!(j - i);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if j + 1 < b.len() && b[j] == b'/' && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < b.len() && b[j] == b'*' && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let inner_end = j.saturating_sub(2).max(i + 2);
+                let doc = matches!(b.get(i + 2), Some(b'*') | Some(b'!'));
+                let text = src[i + 2..inner_end].trim_start_matches(['*', '!']).trim();
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: text.to_string(),
+                    doc,
+                });
+                bump!(j - i);
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let start_line = line;
+                let j = skip_raw_string(b, i);
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Str,
+                });
+                bump!(j - i);
+            }
+            b'"' => {
+                let start_line = line;
+                let j = skip_string(b, i);
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Str,
+                });
+                bump!(j - i);
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                let start_line = line;
+                let j = skip_string(b, i + 1);
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Str,
+                });
+                bump!(j - i);
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'a` / `'static` followed by
+                // anything but a closing quote is a lifetime.
+                let start_line = line;
+                let (j, kind) = skip_quote(b, i);
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind,
+                });
+                bump!(j - i);
+            }
+            _ if c.is_ascii_digit() => {
+                let start_line = line;
+                let (j, float) = skip_number(b, i);
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: if float { TokKind::Float } else { TokKind::Int },
+                });
+                bump!(j - i);
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut j = i;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Ident(src[i..j].to_string()),
+                });
+                bump!(j - i);
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Punct(c as char),
+                });
+                bump!(1);
+            }
+        }
+    }
+    out
+}
+
+/// Whether `b[i..]` starts a raw (byte) string: `r"`, `r#`, `br"`, `br#`.
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    let after_prefix = if rest.starts_with(b"br") {
+        2
+    } else if rest.starts_with(b"r") {
+        1
+    } else {
+        return false;
+    };
+    matches!(rest.get(after_prefix), Some(b'"') | Some(b'#'))
+}
+
+/// Skips a raw string starting at `i`; returns the index past it.
+fn skip_raw_string(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        return j; // not actually a raw string; treat prefix as consumed
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0;
+            while k < b.len() && b[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skips a `"..."` string starting at the quote; returns the index past it.
+fn skip_string(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) starting at the quote.
+fn skip_quote(b: &[u8], i: usize) -> (usize, TokKind) {
+    let mut j = i + 1;
+    if j < b.len() && b[j] == b'\\' {
+        // Escaped char literal: consume escape then closing quote.
+        j += 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return ((j + 1).min(b.len()), TokKind::Char);
+    }
+    // Identifier-shaped content: lifetime unless a quote follows one char.
+    let mut k = j;
+    while k < b.len() && (b[k] == b'_' || b[k].is_ascii_alphanumeric()) {
+        k += 1;
+    }
+    if k < b.len() && b[k] == b'\'' && k > j {
+        // 'x' — single char in quotes (multi-char would be invalid Rust,
+        // but a linter need not reject it).
+        (k + 1, TokKind::Char)
+    } else if k > j {
+        (k, TokKind::Lifetime)
+    } else if j < b.len() && b[j] != b'\'' {
+        // Some other single char like '.' followed by a quote.
+        let mut m = j + 1;
+        if m < b.len() && b[m] == b'\'' {
+            m += 1;
+        }
+        (m, TokKind::Char)
+    } else {
+        (j + 1, TokKind::Char)
+    }
+}
+
+/// Skips a numeric literal at `i`; returns `(end, is_float)`.
+fn skip_number(b: &[u8], i: usize) -> (usize, bool) {
+    let mut j = i;
+    let mut float = false;
+    let hex_or_bin = j + 1 < b.len()
+        && b[j] == b'0'
+        && matches!(b[j + 1], b'x' | b'X' | b'o' | b'O' | b'b' | b'B');
+    if hex_or_bin {
+        j += 2;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (j, false);
+    }
+    while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+        j += 1;
+    }
+    // Fractional part — but `1..2` is a range, not a float.
+    if j + 1 < b.len() && b[j] == b'.' && b[j + 1].is_ascii_digit() {
+        float = true;
+        j += 1;
+        while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+            j += 1;
+        }
+    } else if j < b.len()
+        && b[j] == b'.'
+        && (j + 1 >= b.len() || (b[j + 1] != b'.' && !b[j + 1].is_ascii_alphabetic()))
+    {
+        // Trailing-dot float like `1.` (not `1..` or `1.method()`).
+        float = true;
+        j += 1;
+    }
+    // Exponent: `1e9`, `2.5E-3`.
+    if j < b.len() && (b[j] == b'e' || b[j] == b'E') {
+        let mut k = j + 1;
+        if k < b.len() && (b[k] == b'+' || b[k] == b'-') {
+            k += 1;
+        }
+        if k < b.len() && b[k].is_ascii_digit() {
+            float = true;
+            j = k;
+            while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix: `1f64` / `1.0f32` are floats; `1u64` is not.
+    if b[j..].starts_with(b"f32") || b[j..].starts_with(b"f64") {
+        float = true;
+        j += 3;
+    } else {
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+    }
+    (j, float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let s = scan(r##"let x = "Instant::now"; // Instant::now in a comment"##);
+        assert!(idents(r##"let x = "Instant::now";"##) == vec!["let", "x"]);
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("Instant::now"));
+    }
+
+    #[test]
+    fn raw_strings_skip_contents() {
+        let got = idents(r###"let x = r#"HashMap::new()"#; after"###);
+        assert_eq!(got, vec!["let", "x", "after"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* outer /* inner */ still */ fn f() {}");
+        assert_eq!(
+            idents("/* outer /* inner */ still */ fn f() {}"),
+            vec!["fn", "f"]
+        );
+        assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn float_classification() {
+        let kinds: Vec<TokKind> = scan("1.5 1e3 2f64 0xE3 17 1..2")
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Punct('.'),
+                TokKind::Punct('.'),
+                TokKind::Int,
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let kinds: Vec<TokKind> = scan("'a 'x' '\\n'")
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(kinds, vec![TokKind::Lifetime, TokKind::Char, TokKind::Char]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let s = scan("a\nb\n\nc");
+        let lines: Vec<u32> = s.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

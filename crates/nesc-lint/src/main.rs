@@ -1,0 +1,57 @@
+//! CLI driver: `cargo run -p nesc-lint [-- <paths...>]`.
+//!
+//! With no arguments, lints every in-scope `.rs` file of the enclosing
+//! workspace and exits non-zero if any rule fires. With paths, lints just
+//! those files (classified by their workspace-relative location).
+
+use std::env;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let cwd = env::current_dir().expect("cwd");
+    let root = nesc_lint::find_workspace_root(&cwd)
+        .or_else(|| nesc_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))))
+        .expect("no enclosing cargo workspace found");
+
+    let diags = if args.is_empty() {
+        match nesc_lint::lint_workspace(&root) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("nesc-lint: i/o error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut out = Vec::new();
+        for a in &args {
+            let p = PathBuf::from(a);
+            let abs = if p.is_absolute() { p } else { cwd.join(p) };
+            let rel = abs.strip_prefix(&root).unwrap_or(&abs);
+            let Some(ctx) = nesc_lint::classify(rel) else {
+                eprintln!("nesc-lint: {a}: out of scope, skipped");
+                continue;
+            };
+            match std::fs::read_to_string(&abs) {
+                Ok(src) => out.extend(nesc_lint::lint_source(&ctx, &src)),
+                Err(e) => {
+                    eprintln!("nesc-lint: {a}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        out
+    };
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("nesc-lint: clean (rules D1-D5, A1-A3)");
+        ExitCode::SUCCESS
+    } else {
+        println!("nesc-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,13 @@
+//! D1 fixture: wall-clock reads in simulated code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed() -> u128 {
+    let t = Instant::now();
+    t.elapsed().as_nanos()
+}
+
+pub fn epoch() -> u64 {
+    let _ = SystemTime::now();
+    0
+}

@@ -1,0 +1,13 @@
+//! D2 fixture: ambient randomness.
+
+pub fn roll() -> u64 {
+    let x = rand::random::<u64>();
+    x
+}
+
+pub fn gen2() -> u32 {
+    let mut _r = thread_rng();
+    0
+}
+
+pub type FastMap = std::collections::HashMap<u64, u64, std::collections::hash_map::RandomState>;

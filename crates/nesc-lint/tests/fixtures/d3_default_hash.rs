@@ -1,0 +1,26 @@
+//! D3 fixture: default-hasher maps in simulation-state code.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub struct State {
+    pub by_id: HashMap<u64, String>,
+    pub seen: HashSet<u64>,
+    pub ordered: BTreeMap<u64, String>,
+}
+
+pub fn build() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+pub fn sized() -> HashSet<u32> {
+    HashSet::with_capacity(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn test_maps_are_fine() {
+        let _m: HashMap<u64, u64> = HashMap::new();
+    }
+}

@@ -1,0 +1,6 @@
+//! D4 fixture: floats in the event-timestamp/scheduling core.
+
+pub fn jitter(base: u64) -> u64 {
+    let scale: f64 = 1.5;
+    (base as f64 * scale) as u64
+}

@@ -1,0 +1,11 @@
+//! D5 fixture: spans fabricated outside the Tracer.
+
+use nesc_sim::trace::{Span, SpanId};
+
+pub fn fake(start: u64) -> SpanId {
+    let _s = Span {
+        id: SpanId(7),
+        parent: SpanId::NONE,
+    };
+    SpanId(3)
+}

@@ -1,0 +1,25 @@
+//! A-rule fixture: suppression hygiene.
+
+// nesc-lint::allow(D1): epoch stamp feeds the report banner only.
+pub fn stamped() -> u64 {
+    let _t = SystemTime::now();
+    0
+}
+
+// nesc-lint::allow(D2)
+pub fn seeded() -> u64 {
+    let _r = thread_rng();
+    0
+}
+
+// nesc-lint::allow(D5): nothing here actually violates D5.
+pub fn clean() -> u64 {
+    42
+}
+
+#[allow(dead_code)]
+fn unused_one() {}
+
+// allow: kept as an API example exercised only by fixtures.
+#[allow(dead_code)]
+fn unused_two() {}

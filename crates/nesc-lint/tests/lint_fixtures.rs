@@ -1,0 +1,115 @@
+//! Fixture corpus for the determinism rules.
+//!
+//! Each file under `tests/fixtures/` is bad on purpose; the linter must
+//! report exactly the expected rule ids at exactly the expected line
+//! numbers — no more, no fewer. (The fixtures live under `fixtures/`, a
+//! path [`nesc_lint::classify`] excludes, so the workspace-wide run never
+//! sees them.) The last test is the gate itself: the real workspace must
+//! be lint-clean.
+
+use std::path::Path;
+
+use nesc_lint::{lint_source, LintContext, Rule};
+
+fn lint_fixture(name: &str) -> Vec<(u32, Rule)> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {name}: {e}"));
+    lint_source(&LintContext::strict(name), &src)
+        .into_iter()
+        .map(|d| (d.line, d.rule))
+        .collect()
+}
+
+#[test]
+fn d1_flags_every_wall_clock_site() {
+    assert_eq!(
+        lint_fixture("d1_wall_clock.rs"),
+        vec![(3, Rule::D1), (6, Rule::D1), (11, Rule::D1)]
+    );
+}
+
+#[test]
+fn d2_flags_every_randomness_site() {
+    // Line 13's 3-argument HashMap names its hasher, so D3 stays quiet
+    // and only the RandomState itself is reported.
+    assert_eq!(
+        lint_fixture("d2_randomness.rs"),
+        vec![(4, Rule::D2), (9, Rule::D2), (13, Rule::D2)]
+    );
+}
+
+#[test]
+fn d3_flags_default_hashed_maps_but_not_tests() {
+    // Lines 8 (BTreeMap) and 24 (inside #[cfg(test)]) must stay clean.
+    assert_eq!(
+        lint_fixture("d3_default_hash.rs"),
+        vec![
+            (6, Rule::D3),
+            (7, Rule::D3),
+            (11, Rule::D3),
+            (12, Rule::D3),
+            (15, Rule::D3),
+            (16, Rule::D3),
+        ]
+    );
+}
+
+#[test]
+fn d4_flags_float_types_and_literals() {
+    // Line 4 carries both a `f64` type and a `1.5` literal — two reports.
+    assert_eq!(
+        lint_fixture("d4_floats.rs"),
+        vec![(4, Rule::D4), (4, Rule::D4), (5, Rule::D4)]
+    );
+}
+
+#[test]
+fn d5_flags_orphan_spans_but_not_type_uses() {
+    // Line 3 (import) and line 8 (`SpanId::NONE`) must stay clean.
+    assert_eq!(
+        lint_fixture("d5_orphan_span.rs"),
+        vec![(6, Rule::D5), (7, Rule::D5), (10, Rule::D5)]
+    );
+}
+
+#[test]
+fn suppression_hygiene_rules() {
+    // The justified D1 directive (line 3) silently works; the unjustified
+    // D2 one (line 9) still suppresses but earns an A2; the dead D5 one
+    // (line 15) earns an A3; the bare #[allow] (line 20) earns an A1 and
+    // the explained one (line 24) does not.
+    assert_eq!(
+        lint_fixture("suppressions.rs"),
+        vec![(9, Rule::A2), (15, Rule::A3), (20, Rule::A1)]
+    );
+}
+
+#[test]
+fn diagnostics_render_path_line_rule_and_hint() {
+    let src = "use std::time::SystemTime;\n";
+    let diags = lint_source(&LintContext::strict("x.rs"), src);
+    assert_eq!(diags.len(), 1);
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("x.rs:1: [D1]") && rendered.contains("(fix:"),
+        "unexpected rendering: {rendered}"
+    );
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = nesc_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("enclosing workspace");
+    let diags = nesc_lint::lint_workspace(&root).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "workspace must stay lint-clean; violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

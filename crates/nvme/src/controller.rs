@@ -10,7 +10,7 @@
 //! engine → completions are posted to the CQ with phase tags.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use nesc_core::{CompletionStatus, FuncId, IrqReason, NescConfig, NescDevice, NescOutput};
@@ -106,11 +106,11 @@ struct QueuePair {
 pub struct NvmeController {
     dev: NescDevice,
     mem: Rc<RefCell<HostMemory>>,
-    namespaces: HashMap<u32, Namespace>,
+    namespaces: BTreeMap<u32, Namespace>,
     next_nsid: u32,
     qpairs: Vec<QueuePair>,
     /// Outstanding commands: device request id → (qid, cid, sq_head).
-    inflight: HashMap<RequestId, (u16, u16, u16)>,
+    inflight: BTreeMap<RequestId, (u16, u16, u16)>,
     next_req: u64,
     /// Controller firmware cost to decode and dispatch one command.
     cmd_cost: SimDuration,
@@ -133,10 +133,10 @@ impl NvmeController {
         NvmeController {
             dev: NescDevice::new(cfg, Rc::clone(&mem)),
             mem,
-            namespaces: HashMap::new(),
+            namespaces: BTreeMap::new(),
             next_nsid: 1,
             qpairs: Vec::new(),
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             next_req: 0x4E56_0000_0000,
             cmd_cost: SimDuration::from_nanos(250),
             pending_misses: Vec::new(),

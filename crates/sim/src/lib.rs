@@ -25,6 +25,9 @@
 //!   workloads need (uniform, exponential, Zipf, Pareto).
 //! * [`sched`] — round-robin scheduling helpers used by the NeSC virtual
 //!   function multiplexer.
+//! * [`selfcheck`] — the runtime divergence self-check: digest a run's
+//!   event sequence, span tree and metrics, run it twice from one seed,
+//!   and report the first diverging event if reproducibility ever breaks.
 //!
 //! Everything is single-threaded and deterministic given a seed: running the
 //! same experiment twice produces bit-identical results, which is what makes
@@ -52,6 +55,7 @@ pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod sched;
+pub mod selfcheck;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -62,6 +66,7 @@ pub use queue::EventQueue;
 pub use resource::{Pipe, ServiceUnit};
 pub use rng::SimRng;
 pub use sched::RoundRobin;
+pub use selfcheck::{Divergence, EventRecord, RunDigest};
 pub use stats::{Histogram, Summary, Throughput};
 pub use time::{SimDuration, SimTime};
 pub use trace::{chrome_trace_json, validate_chrome_trace, Span, SpanId, SpanTree, Tracer};

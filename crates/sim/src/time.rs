@@ -46,11 +46,15 @@ impl SimTime {
     }
 
     /// Microseconds since the epoch, as a float (for reporting only).
+    // nesc-lint::allow(D4): read-only export for report tables; never
+    // converted back into SimTime.
     pub fn as_micros_f64(self) -> f64 {
         self.0 as f64 / 1e3
     }
 
     /// Seconds since the epoch, as a float (for reporting only).
+    // nesc-lint::allow(D4): read-only export for report tables; never
+    // converted back into SimTime.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
@@ -100,6 +104,9 @@ impl SimDuration {
     /// # Panics
     ///
     /// Panics if `secs` is negative or not finite.
+    // nesc-lint::allow(D4): the one float->time entry point, used to state
+    // calibration constants; rounds once to whole nanoseconds at the
+    // boundary, so no float ever reaches the event queue.
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
         SimDuration((secs * 1e9).round() as u64)
@@ -111,11 +118,15 @@ impl SimDuration {
     }
 
     /// The span in microseconds, as a float (for reporting only).
+    // nesc-lint::allow(D4): read-only export for report tables; never
+    // converted back into SimDuration.
     pub fn as_micros_f64(self) -> f64 {
         self.0 as f64 / 1e3
     }
 
     /// The span in seconds, as a float (for reporting only).
+    // nesc-lint::allow(D4): read-only export for report tables; never
+    // converted back into SimDuration.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
@@ -244,6 +255,8 @@ impl fmt::Display for SimTime {
 }
 
 impl fmt::Display for SimDuration {
+    // nesc-lint::allow(D4): human-readable unit scaling for log/debug
+    // output only; the float never leaves the formatter.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ns = self.0;
         if ns >= 1_000_000_000 {

@@ -18,9 +18,11 @@ pub mod fileio;
 pub mod oltp;
 pub mod postmark;
 pub mod report;
+pub mod selfcheck;
 
 pub use dd::{Dd, DdMode};
 pub use fileio::{FileIo, FileTestMode};
 pub use oltp::Oltp;
 pub use postmark::Postmark;
 pub use report::WorkloadReport;
+pub use selfcheck::MixedVfSelfCheck;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Repo health check: build, test, compile the benches, and prove the
-# run-batched hot path did not perturb simulated results (the committed
-# figure goldens must regenerate bit-identically).
+# Repo health check: build, test, compile the benches, run the
+# determinism gates (static lint + runtime divergence self-check), and
+# prove the run-batched hot path did not perturb simulated results (the
+# committed figure goldens must regenerate bit-identically).
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -21,6 +22,20 @@ cargo test -q
 
 echo "==> cargo bench --no-run (criterion harness compiles; gated offline)"
 cargo bench --no-run -p nesc-bench
+
+echo "==> nesc-lint: determinism/invariant rules (D1-D5, A1-A3)"
+if ! cargo run --release -q -p nesc-lint; then
+    echo "FAIL: nesc-lint found determinism-rule violations (rule ids above);" >&2
+    echo "      fix them or add a justified 'nesc-lint::allow(Dx): <why>' directive" >&2
+    exit 1
+fi
+
+echo "==> divergence self-check: same-seed double run must be identical"
+if ! cargo run --release -q -p nesc-bench --bin divergence_check; then
+    echo "FAIL: the simulator diverged between two same-seed runs;" >&2
+    echo "      the first diverging event is reported above" >&2
+    exit 1
+fi
 
 echo "==> golden check: fig10_bandwidth must be bit-identical"
 golden="results/fig10_bandwidth.json"

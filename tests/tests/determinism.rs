@@ -2,9 +2,10 @@
 //! runs — the property that makes the figure regeneration trustworthy.
 
 use nesc_hypervisor::{DiskKind, GuestFilesystem};
+use nesc_sim::selfcheck::{first_divergence, self_check, Divergence};
 use nesc_storage::BlockOp;
 use nesc_system_tests::system_with_disk;
-use nesc_workloads::{Dd, DdMode, FileIo, Oltp, Postmark};
+use nesc_workloads::{Dd, DdMode, FileIo, MixedVfSelfCheck, Oltp, Postmark};
 
 #[test]
 fn dd_streams_are_deterministic() {
@@ -73,6 +74,46 @@ fn fileio_latency_histogram_is_deterministic() {
         )
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn mixed_multivf_same_seed_digests_are_identical() {
+    // The full divergence-check surface: a seeded read/write mix across
+    // several VFs, digested down to event sequence + span tree + metrics
+    // hashes. Two runs from one seed must agree on every checkpoint.
+    let wl = MixedVfSelfCheck::default();
+    let a = wl.digest(0xD15C_05ED);
+    let b = wl.digest(0xD15C_05ED);
+    assert_eq!(a.checkpoints(), b.checkpoints(), "checkpoint hashes differ");
+    assert_eq!(a.final_hash(), b.final_hash(), "final digests differ");
+    assert_eq!(
+        first_divergence(&a, &b),
+        None,
+        "same-seed runs must not diverge"
+    );
+    // And the packaged double-run entry point agrees.
+    assert_eq!(
+        self_check(0xD15C_05ED, |s| wl.digest(s)).expect("deterministic"),
+        a.final_hash()
+    );
+}
+
+#[test]
+fn mixed_multivf_different_seeds_report_first_divergence() {
+    let wl = MixedVfSelfCheck::default();
+    let d = first_divergence(&wl.digest(3), &wl.digest(4))
+        .expect("different seeds must produce different event streams");
+    // The report must name a concrete first diverging event, not just
+    // "hashes differ".
+    match &d {
+        Divergence::Event { a, b, .. } => {
+            assert_eq!(a.seq, b.seq, "events compared at the same index");
+            assert!(a.label.starts_with("vf"), "event labels carry the VF");
+        }
+        Divergence::Length { next, .. } => assert!(next.label.starts_with("vf")),
+        other => panic!("expected an event-level divergence, got: {other}"),
+    }
+    assert!(d.to_string().contains("diverg"), "report: {d}");
 }
 
 #[test]
