@@ -30,6 +30,7 @@
 use std::fmt;
 
 use nesc_core::{CompletionStatus, FuncId, NescDevice, NescOutput};
+use nesc_extent::{Plba, Vlba};
 use nesc_pcie::HostAddr;
 use nesc_sim::{ServiceUnit, SimDuration, SimTime};
 use nesc_storage::{BlockOp, BlockRequest, RequestId, BLOCK_SIZE};
@@ -156,7 +157,12 @@ impl Accelerator {
         dev.submit(
             t,
             vf,
-            BlockRequest::new(id, op, file_offset / BLOCK_SIZE, len / BLOCK_SIZE),
+            BlockRequest::new(
+                id,
+                op,
+                Vlba::from_byte_offset(file_offset),
+                len / BLOCK_SIZE,
+            ),
             self.window_base + window_offset,
         );
         let outs = dev.advance(SimTime::from_nanos(u64::MAX / 4));
@@ -249,6 +255,8 @@ pub struct HostMediated {
     pub copy_bytes_per_sec: u64,
     /// Interrupt/notification cost in each direction.
     pub notify_cost: SimDuration,
+    /// Request-id counter for the host's PF I/O.
+    next_req: u64,
 }
 
 impl Default for HostMediated {
@@ -258,6 +266,7 @@ impl Default for HostMediated {
             request_overhead: SimDuration::from_micros(20),
             copy_bytes_per_sec: 6_000_000_000,
             notify_cost: SimDuration::from_micros(5),
+            next_req: 0x4057_0000,
         }
     }
 }
@@ -275,7 +284,7 @@ impl HostMediated {
         now: SimTime,
         dev: &mut NescDevice,
         staging: HostAddr,
-        plba: u64,
+        plba: Plba,
         len: u64,
     ) -> SimTime {
         // Accelerator notifies the host; host wakes, issues the PF I/O.
@@ -284,11 +293,10 @@ impl HostMediated {
             .serve(now + self.notify_cost, self.request_overhead)
             .end;
         let t = dev.ring_doorbell(t);
-        let id = RequestId(0x4057_0000 + plba);
-        let pf = dev.pf();
-        dev.submit(
+        self.next_req += 1;
+        let id = RequestId(self.next_req);
+        dev.submit_pf(
             t,
-            pf,
             BlockRequest::new(id, BlockOp::Read, plba, len / BLOCK_SIZE),
             staging,
         );
@@ -330,8 +338,12 @@ mod tests {
     #[test]
     fn direct_fetch_lands_in_window() {
         let (mem, mut dev, vf) = setup();
-        dev.store_mut().write_block(100, &vec![0xCA; 1024]).unwrap();
-        dev.store_mut().write_block(101, &vec![0xFE; 1024]).unwrap();
+        dev.store_mut()
+            .write_block(Plba(100), &vec![0xCA; 1024])
+            .unwrap();
+        dev.store_mut()
+            .write_block(Plba(101), &vec![0xFE; 1024])
+            .unwrap();
         let window = mem.borrow_mut().alloc(1 << 20, 4096);
         let mut acc = Accelerator::new(window, 1 << 20);
         acc.fetch_direct(SimTime::ZERO, &mut dev, vf, 0, 2048, 0)
@@ -352,7 +364,7 @@ mod tests {
         acc.flush_direct(SimTime::ZERO, &mut dev, vf, 5 * 1024, 1024, 0)
             .unwrap();
         // vLBA 5 maps to pLBA 105.
-        assert_eq!(dev.store().read_block(105).unwrap(), vec![0x77; 1024]);
+        assert_eq!(dev.store().read_block(Plba(105)).unwrap(), vec![0x77; 1024]);
     }
 
     #[test]
@@ -391,7 +403,7 @@ mod tests {
 
         let (_, mut dev2, _) = setup();
         let mut host = HostMediated::new();
-        let t_host = host.fetch_via_host(SimTime::ZERO, &mut dev2, staging, 100, 16 * 1024);
+        let t_host = host.fetch_via_host(SimTime::ZERO, &mut dev2, staging, Plba(100), 16 * 1024);
         assert!(
             t_host.as_nanos() > t_direct.as_nanos() * 2,
             "host-mediated {t_host} should dwarf direct {t_direct}"

@@ -36,7 +36,7 @@ fn bench_vf_read(c: &mut Criterion) {
             dev.submit(
                 t,
                 vf,
-                BlockRequest::new(RequestId(id), BlockOp::Read, (id * 4) % 32_000, 4),
+                BlockRequest::new(RequestId(id), BlockOp::Read, Vlba((id * 4) % 32_000), 4),
                 buf,
             );
             std::hint::black_box(dev.advance(SimTime::from_nanos(u64::MAX / 4)))
@@ -57,7 +57,7 @@ fn bench_vf_read(c: &mut Criterion) {
             dev.submit(
                 t,
                 pf,
-                BlockRequest::new(RequestId(id), BlockOp::Write, (id * 4) % 32_000, 4),
+                BlockRequest::new(RequestId(id), BlockOp::Write, Vlba((id * 4) % 32_000), 4),
                 buf,
             );
             std::hint::black_box(dev.advance(SimTime::from_nanos(u64::MAX / 4)))
@@ -133,7 +133,7 @@ fn bench_interfaces(c: &mut Criterion) {
                         cid: (i % 32) as u16,
                         nsid: ns,
                         prp1: buf,
-                        slba: (i * 4) % 32_000,
+                        slba: Vlba((i * 4) % 32_000),
                         nlb: 3,
                     }],
                 )
@@ -145,7 +145,7 @@ fn bench_interfaces(c: &mut Criterion) {
         let d = RingDescriptor {
             op: BlockOp::Read,
             id: RequestId(1),
-            lba: 42,
+            lba: Vlba(42),
             count: 4,
             buffer: 0x9000,
         };

@@ -27,7 +27,7 @@ fn bench_device_stream(c: &mut Criterion) {
             b.iter(|| {
                 i += 1;
                 t += SimDuration::from_micros(100);
-                let lba = (i * 64) % (EXTENT_BLOCKS * 32);
+                let lba = Vlba((i * 64) % (EXTENT_BLOCKS * 32));
                 dev.submit(
                     t,
                     vf,

@@ -51,7 +51,7 @@ fn run(btlb_entries: usize) -> (f64, f64) {
     let mut id = 0u64;
     for op in 0..OPS_PER_VF {
         for &vf in &vfs {
-            let lba = (op * 4) % (extents_per_vf * 32 - 4);
+            let lba = Vlba((op * 4) % (extents_per_vf * 32 - 4));
             id += 1;
             dev.submit(
                 SimTime::ZERO,

@@ -51,7 +51,7 @@ fn run(with_hog: bool) -> (f64, f64, f64) {
             dev.submit(
                 SimTime::ZERO,
                 h,
-                BlockRequest::new(RequestId(1_000 + id), BlockOp::Read, i * 256, 256),
+                BlockRequest::new(RequestId(1_000 + id), BlockOp::Read, Vlba(i * 256), 256),
                 buf,
             );
         }
@@ -63,7 +63,7 @@ fn run(with_hog: bool) -> (f64, f64, f64) {
         dev.submit(
             t,
             small,
-            BlockRequest::new(RequestId(i + 1), BlockOp::Read, i * 4, 4),
+            BlockRequest::new(RequestId(i + 1), BlockOp::Read, Vlba(i * 4), 4),
             buf,
         );
     }

@@ -49,7 +49,7 @@ fn run(extents: u64) -> (u32, f64, f64) {
     let mut t = SimTime::ZERO;
     let mut latencies = 0.0f64;
     for i in 0..OPS {
-        let lba = rng.range(0, FILE_BLOCKS);
+        let lba = Vlba(rng.range(0, FILE_BLOCKS));
         dev.submit(
             t,
             vf,

@@ -45,7 +45,7 @@ fn run(walk_overlap: usize) -> (f64, f64) {
             dev.submit(
                 SimTime::ZERO,
                 vf,
-                BlockRequest::new(RequestId(id), BlockOp::Read, (i % 2048) * 2, 1),
+                BlockRequest::new(RequestId(id), BlockOp::Read, Vlba((i % 2048) * 2), 1),
                 buf,
             );
         }

@@ -57,7 +57,7 @@ fn run(depth: usize, btlb_entries: usize) -> (f64, f64) {
     let mut total_us = 0.0;
     for i in 0..OPS {
         // Stride through the disk so every op lands in a fresh extent.
-        let lba = (i * 67 * 4) % (DISK_BLOCKS - 4);
+        let lba = Vlba((i * 67 * 4) % (DISK_BLOCKS - 4));
         dev.submit(
             t,
             func,

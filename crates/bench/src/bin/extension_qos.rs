@@ -58,7 +58,7 @@ fn run(probe_priority: u8) -> f64 {
                     BlockRequest::new(
                         RequestId(req),
                         BlockOp::Read,
-                        ((i * 4 + round) * 128) % 60_000,
+                        Vlba(((i * 4 + round) * 128) % 60_000),
                         128,
                     ),
                     buf,
@@ -68,7 +68,7 @@ fn run(probe_priority: u8) -> f64 {
         dev.submit(
             t,
             probe,
-            BlockRequest::new(RequestId(1 + i), BlockOp::Read, i * 4, 4),
+            BlockRequest::new(RequestId(1 + i), BlockOp::Read, Vlba(i * 4), 4),
             buf,
         );
         let outs = dev.advance(HORIZON);

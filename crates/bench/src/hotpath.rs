@@ -89,12 +89,12 @@ pub fn build_device(
 /// The vLBA of request `i` under the configured stream shape. Random
 /// streams draw from a deterministic generator so every batching mode
 /// sees the identical request sequence.
-fn stream_lba(cfg: &HotpathConfig, rng: &mut SimRng, i: u64) -> u64 {
+fn stream_lba(cfg: &HotpathConfig, rng: &mut SimRng, i: u64) -> Vlba {
     let slots = DEVICE_BLOCKS / cfg.req_blocks;
     if cfg.sequential {
-        (i % slots) * cfg.req_blocks
+        Vlba((i % slots) * cfg.req_blocks)
     } else {
-        rng.range(0, slots) * cfg.req_blocks
+        Vlba(rng.range(0, slots) * cfg.req_blocks)
     }
 }
 

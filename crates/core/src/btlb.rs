@@ -63,7 +63,7 @@ impl FuncEntries {
         let upper = self.entries.partition_point(|e| e.extent.logical <= vlba);
         let mut best: Option<&IndexedEntry> = None;
         for e in self.entries[..upper].iter().rev() {
-            if vlba.0 - e.extent.logical.0 >= self.max_len {
+            if vlba.distance_from(e.extent.logical) >= self.max_len {
                 break; // nothing further left can reach vlba
             }
             if e.extent.contains(vlba) && best.is_none_or(|b| e.stamp < b.stamp) {
@@ -169,7 +169,7 @@ impl Btlb {
             .extent
             .translate(vlba)
             .expect("find() checked containment");
-        Some((plba, e.extent.end_logical().0 - vlba.0))
+        Some((plba, e.extent.end_logical().distance_from(vlba)))
     }
 
     /// Inserts a freshly walked extent, evicting the oldest entry when

@@ -612,6 +612,18 @@ impl NescDevice {
         }
     }
 
+    /// Submits a physically-addressed request to the PF. This is the one
+    /// place a [`Plba`]-typed request re-enters the device: the hypervisor's
+    /// passthrough and paravirtual engines (which translated already) and
+    /// host-mediated accelerators address the raw device here. The PF's
+    /// frame is the identity map, so the request is re-based into the PF's
+    /// "virtual" space on entry and [`Vlba::identity_plba`] undoes the
+    /// re-base at dispatch.
+    pub fn submit_pf(&mut self, now: SimTime, req: BlockRequest<Plba>, buf: HostAddr) {
+        let req = BlockRequest::new(req.id, req.op, req.lba.nested_vlba(), req.block_count);
+        self.submit(now, self.pf(), req, buf);
+    }
+
     /// The hypervisor signals that it could *not* allocate space for the
     /// function's stalled write (quota exhausted / device full): the
     /// request completes with [`CompletionStatus::WriteFailed`].
@@ -788,17 +800,20 @@ impl NescDevice {
 
     fn process_pf_request_inner(&mut self, start: SimTime, pending: PendingRequest) {
         let req = pending.req;
-        if req.end_lba() > self.cfg.capacity_blocks {
+        if req.end_lba() > Vlba(self.cfg.capacity_blocks) {
             self.complete(start, self.pf(), req.id, CompletionStatus::OutOfRange);
             return;
         }
-        // PF requests are untranslated, so the whole request is one run:
-        // move the bytes in a single store/host-memory pass, then charge
-        // the per-block engine/link/media timing exactly as the per-block
-        // loop did (each block ready at `start`; the units serialize).
+        // PF requests are untranslated — the PF's frame is the identity
+        // map, so this is where its vLBAs become pLBAs — and the whole
+        // request is one run: move the bytes in a single store/host-memory
+        // pass, then charge the per-block engine/link/media timing exactly
+        // as the per-block loop did (each block ready at `start`; the units
+        // serialize).
+        let plba = req.lba.identity_plba();
         if req.block_count > 0
             && self
-                .move_run_data(req.op, Plba(req.lba), pending.buf, 0, req.block_count)
+                .move_run_data(req.op, plba, pending.buf, 0, req.block_count)
                 .is_err()
         {
             self.complete(start, self.pf(), req.id, CompletionStatus::DeviceError);
@@ -807,7 +822,7 @@ impl NescDevice {
         let mut times = std::mem::take(&mut self.time_scratch);
         times.clear();
         times.resize(req.block_count as usize, start);
-        self.transfer_run_timing(req.op, Plba(req.lba), &mut times);
+        self.transfer_run_timing(req.op, plba, &mut times);
         let last_done = times.last().copied().unwrap_or(start);
         self.time_scratch = times;
         self.count_blocks(req.op, req.block_count);
@@ -917,7 +932,7 @@ impl NescDevice {
     ) {
         let req = pending.req;
         let regs_size = self.functions[func.0 as usize].regs.device_size_blocks;
-        if req.end_lba() > regs_size {
+        if req.end_lba() > Vlba(regs_size) {
             self.complete(start, func, req.id, CompletionStatus::OutOfRange);
             return;
         }
@@ -927,7 +942,7 @@ impl NescDevice {
         let lookup_cost = self.cfg.btlb_lookup;
         let mut i = from_block;
         while i < req.block_count {
-            let vlba = Vlba(req.lba + i);
+            let vlba = req.lba.offset(i);
             let max_run = (req.block_count - i).min(self.cfg.max_run_blocks);
             // --- Translation unit: BTLB, then the block-walk unit —
             // composed across nesting levels for nested VFs, and sized to
@@ -944,11 +959,7 @@ impl NescDevice {
                     // Physical blocks past device capacity fail exactly
                     // where the per-block loop failed: after that block's
                     // translation, before any of its data moves.
-                    let valid = self
-                        .store
-                        .capacity_blocks()
-                        .saturating_sub(plba.0)
-                        .min(rt.run);
+                    let valid = self.store.blocks_until_end(plba).min(rt.run);
                     let trans_blocks = if valid < rt.run { valid + 1 } else { rt.run };
                     // Blocks after the first all hit the whole chain; one
                     // arithmetic charge occupies the translation unit for
@@ -1187,7 +1198,8 @@ impl NescDevice {
                     // block; bounds-check against the parent's device size
                     // and recurse up the chain.
                     let psize = self.functions[parent.0 as usize].regs.device_size_blocks;
-                    if next.0 >= psize {
+                    let parent_vlba = next.nested_vlba();
+                    if parent_vlba >= Vlba(psize) {
                         break RunTranslation {
                             outcome: Translated::BeyondParent,
                             at: t_done,
@@ -1197,9 +1209,9 @@ impl NescDevice {
                             hole_levels: 0,
                         };
                     }
-                    run = run.min(psize - next.0);
+                    run = run.min(Vlba(psize).distance_from(parent_vlba));
                     level = parent;
-                    lba = Vlba(next.0);
+                    lba = parent_vlba;
                     t = t_done;
                 }
                 None => {
@@ -1303,14 +1315,14 @@ impl NescDevice {
         blocks: u64,
     ) -> Result<(), ()> {
         let host_addr = buf + block_index * BLOCK_SIZE;
-        self.store.check_range(plba.0, blocks).map_err(|_| ())?;
+        self.store.check_range(plba, blocks).map_err(|_| ())?;
         match op {
             BlockOp::Read => {
                 let store = &self.store;
                 let mut mem = self.mem.borrow_mut();
                 for k in 0..blocks {
                     let a = host_addr + k * BLOCK_SIZE;
-                    match store.block(plba.0 + k) {
+                    match store.block(plba.offset(k)) {
                         // Written blocks move their actual bytes; reading a
                         // never-written (all-zero) block zero-fills
                         // sparsely, so untouched destination pages stay
@@ -1325,7 +1337,7 @@ impl NescDevice {
                 for k in 0..blocks {
                     let dst = self
                         .store
-                        .block_mut(plba.0 + k)
+                        .block_mut(plba.offset(k))
                         .expect("range checked above");
                     mem.read(host_addr + k * BLOCK_SIZE, dst);
                 }
@@ -1355,7 +1367,7 @@ impl NescDevice {
                 };
                 self.media.access_run(
                     BlockOp::Read,
-                    plba.0 * BLOCK_SIZE,
+                    plba.byte_offset(),
                     BLOCK_SIZE,
                     BLOCK_SIZE,
                     times,
@@ -1376,7 +1388,7 @@ impl NescDevice {
                 };
                 self.media.access_run(
                     BlockOp::Write,
-                    plba.0 * BLOCK_SIZE,
+                    plba.byte_offset(),
                     BLOCK_SIZE,
                     BLOCK_SIZE,
                     times,
@@ -1428,8 +1440,8 @@ impl NescDevice {
         reason: IrqReason,
     ) {
         let vlba_bytes = match reason {
-            IrqReason::WriteMiss { miss_vlba, .. } => miss_vlba.0 * BLOCK_SIZE,
-            IrqReason::MappingPruned { vlba } => vlba.0 * BLOCK_SIZE,
+            IrqReason::WriteMiss { miss_vlba, .. } => miss_vlba.byte_offset(),
+            IrqReason::MappingPruned { vlba } => vlba.byte_offset(),
         };
         let miss_bytes = match reason {
             IrqReason::WriteMiss { miss_blocks, .. } => miss_blocks * BLOCK_SIZE,
@@ -1520,7 +1532,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(1), BlockOp::Write, 2, 2),
+            BlockRequest::new(RequestId(1), BlockOp::Write, Vlba(2), 2),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -1532,9 +1544,9 @@ mod tests {
             })
         ));
         // vLBA 2,3 -> pLBA 102,103.
-        assert_eq!(dev.store().read_block(102).unwrap(), vec![0xCD; 1024]);
-        assert_eq!(dev.store().read_block(103).unwrap(), vec![0xCD; 1024]);
-        assert!(!dev.store().is_written(100));
+        assert_eq!(dev.store().read_block(Plba(102)).unwrap(), vec![0xCD; 1024]);
+        assert_eq!(dev.store().read_block(Plba(103)).unwrap(), vec![0xCD; 1024]);
+        assert!(!dev.store().is_written(Plba(100)));
     }
 
     #[test]
@@ -1547,14 +1559,16 @@ mod tests {
             &[ExtentMapping::new(Vlba(0), Plba(50), 1)],
             8,
         );
-        dev.store_mut().write_block(50, &vec![0xEE; 1024]).unwrap();
+        dev.store_mut()
+            .write_block(Plba(50), &vec![0xEE; 1024])
+            .unwrap();
         let buf = alloc_buf(&mem, 2);
         // Pre-poison the buffer to prove zero-fill really writes zeros.
         mem.borrow_mut().write(buf, &[0xFF; 2048]);
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(2), BlockOp::Read, 0, 2),
+            BlockRequest::new(RequestId(2), BlockOp::Read, Vlba(0), 2),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -1575,7 +1589,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(3), BlockOp::Write, 4, 1),
+            BlockRequest::new(RequestId(3), BlockOp::Write, Vlba(4), 1),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -1617,7 +1631,7 @@ mod tests {
                 ..
             })
         ));
-        assert_eq!(dev.store().read_block(200).unwrap(), vec![0x11; 1024]);
+        assert_eq!(dev.store().read_block(Plba(200)).unwrap(), vec![0x11; 1024]);
         assert_eq!(dev.stats().miss_interrupts, 1);
     }
 
@@ -1629,7 +1643,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(4), BlockOp::Write, 0, 1),
+            BlockRequest::new(RequestId(4), BlockOp::Write, Vlba(0), 1),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -1662,7 +1676,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(5), BlockOp::Read, 4, 1),
+            BlockRequest::new(RequestId(5), BlockOp::Read, Vlba(4), 1),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -1680,15 +1694,14 @@ mod tests {
         let (mem, mut dev) = setup();
         let buf = alloc_buf(&mem, 1);
         mem.borrow_mut().write(buf, &[0x77; 1024]);
-        dev.submit(
+        dev.submit_pf(
             SimTime::ZERO,
-            dev.pf(),
-            BlockRequest::new(RequestId(6), BlockOp::Write, 9, 1),
+            BlockRequest::new(RequestId(6), BlockOp::Write, Plba(9), 1),
             buf,
         );
         let outs = dev.advance(HORIZON);
         assert!(outs[0].is_completion());
-        assert_eq!(dev.store().read_block(9).unwrap(), vec![0x77; 1024]);
+        assert_eq!(dev.store().read_block(Plba(9)).unwrap(), vec![0x77; 1024]);
         assert_eq!(dev.stats().oob_requests, 1);
         assert_eq!(dev.stats().walks, 0, "PF never walks a tree");
     }
@@ -1701,16 +1714,15 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(7), BlockOp::Write, 0, 1),
+            BlockRequest::new(RequestId(7), BlockOp::Write, Vlba(0), 1),
             buf,
         );
         let _ = dev.advance(HORIZON); // VF now stalled
                                       // The PF's OOB channel still works.
         let pf_buf = alloc_buf(&mem, 1);
-        dev.submit(
+        dev.submit_pf(
             SimTime::from_nanos(1_000_000),
-            dev.pf(),
-            BlockRequest::new(RequestId(8), BlockOp::Read, 0, 1),
+            BlockRequest::new(RequestId(8), BlockOp::Read, Plba(0), 1),
             pf_buf,
         );
         let outs = dev.advance(HORIZON);
@@ -1732,7 +1744,7 @@ mod tests {
         dev.submit(
             SimTime::from_nanos(2_000_000),
             vf2,
-            BlockRequest::new(RequestId(9), BlockOp::Read, 0, 1),
+            BlockRequest::new(RequestId(9), BlockOp::Read, Vlba(0), 1),
             pf_buf,
         );
         let outs = dev.advance(HORIZON);
@@ -1768,7 +1780,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf_a,
-            BlockRequest::new(RequestId(10), BlockOp::Write, 0, 4),
+            BlockRequest::new(RequestId(10), BlockOp::Write, Vlba(0), 4),
             buf,
         );
         let buf_b = alloc_buf(&mem, 4);
@@ -1776,15 +1788,15 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf_b,
-            BlockRequest::new(RequestId(11), BlockOp::Write, 0, 4),
+            BlockRequest::new(RequestId(11), BlockOp::Write, Vlba(0), 4),
             buf_b,
         );
         dev.advance(HORIZON);
         for b in 100..104 {
-            assert_eq!(dev.store().read_block(b).unwrap(), vec![0xAA; 1024]);
+            assert_eq!(dev.store().read_block(Plba(b)).unwrap(), vec![0xAA; 1024]);
         }
         for b in 200..204 {
-            assert_eq!(dev.store().read_block(b).unwrap(), vec![0xBB; 1024]);
+            assert_eq!(dev.store().read_block(Plba(b)).unwrap(), vec![0xBB; 1024]);
         }
     }
 
@@ -1810,13 +1822,13 @@ mod tests {
             dev.submit(
                 SimTime::ZERO,
                 vf_a,
-                BlockRequest::new(RequestId(100 + i), BlockOp::Read, i, 1),
+                BlockRequest::new(RequestId(100 + i), BlockOp::Read, Vlba(i), 1),
                 buf,
             );
             dev.submit(
                 SimTime::ZERO,
                 vf_b,
-                BlockRequest::new(RequestId(200 + i), BlockOp::Read, i, 1),
+                BlockRequest::new(RequestId(200 + i), BlockOp::Read, Vlba(i), 1),
                 buf,
             );
         }
@@ -1844,7 +1856,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(1), BlockOp::Read, 0, 128),
+            BlockRequest::new(RequestId(1), BlockOp::Read, Vlba(0), 128),
             buf,
         );
         dev.advance(HORIZON);
@@ -1873,7 +1885,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             b,
-            BlockRequest::new(RequestId(1), BlockOp::Read, 0, 1),
+            BlockRequest::new(RequestId(1), BlockOp::Read, Vlba(0), 1),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -1913,7 +1925,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             a,
-            BlockRequest::new(RequestId(1), BlockOp::Write, 0, 1),
+            BlockRequest::new(RequestId(1), BlockOp::Write, Vlba(0), 1),
             buf,
         );
         dev.advance(HORIZON);
@@ -1921,7 +1933,7 @@ mod tests {
         dev.submit(
             SimTime::from_nanos(1_000_000),
             b,
-            BlockRequest::new(RequestId(2), BlockOp::Read, 0, 1),
+            BlockRequest::new(RequestId(2), BlockOp::Read, Vlba(0), 1),
             rbuf,
         );
         dev.advance(HORIZON);
@@ -1944,7 +1956,7 @@ mod tests {
         dev.submit(
             t0,
             vf,
-            BlockRequest::new(RequestId(1), BlockOp::Read, 0, 1),
+            BlockRequest::new(RequestId(1), BlockOp::Read, Vlba(0), 1),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -1974,7 +1986,7 @@ mod tests {
             dev.submit(
                 t,
                 vf,
-                BlockRequest::new(RequestId(c), BlockOp::Read, c * chunk, chunk),
+                BlockRequest::new(RequestId(c), BlockOp::Read, Vlba(c * chunk), chunk),
                 buf,
             );
             t += SimDuration::from_nanos(1); // keep the queue deep
@@ -2012,13 +2024,13 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             lo,
-            BlockRequest::new(RequestId(1), BlockOp::Read, 0, 1),
+            BlockRequest::new(RequestId(1), BlockOp::Read, Vlba(0), 1),
             buf,
         );
         dev.submit(
             SimTime::ZERO,
             hi,
-            BlockRequest::new(RequestId(2), BlockOp::Read, 0, 1),
+            BlockRequest::new(RequestId(2), BlockOp::Read, Vlba(0), 1),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -2052,13 +2064,13 @@ mod tests {
             dev.submit(
                 SimTime::ZERO,
                 a,
-                BlockRequest::new(RequestId(10 + i), BlockOp::Read, i, 1),
+                BlockRequest::new(RequestId(10 + i), BlockOp::Read, Vlba(i), 1),
                 buf,
             );
             dev.submit(
                 SimTime::ZERO,
                 b,
-                BlockRequest::new(RequestId(20 + i), BlockOp::Read, i, 1),
+                BlockRequest::new(RequestId(20 + i), BlockOp::Read, Vlba(i), 1),
                 buf,
             );
         }
@@ -2086,17 +2098,16 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(1), BlockOp::Read, 0, 4),
+            BlockRequest::new(RequestId(1), BlockOp::Read, Vlba(0), 4),
             buf,
         );
         dev.advance(HORIZON);
         assert_eq!(dev.function_counters(vf), (1, 4));
         assert_eq!(dev.function_counters(dev.pf()), (0, 0));
         // PF traffic is counted on the PF.
-        dev.submit(
+        dev.submit_pf(
             SimTime::from_nanos(1_000_000),
-            dev.pf(),
-            BlockRequest::new(RequestId(2), BlockOp::Read, 0, 2),
+            BlockRequest::new(RequestId(2), BlockOp::Read, Plba(0), 2),
             buf,
         );
         dev.advance(HORIZON);
@@ -2137,13 +2148,13 @@ mod tests {
         dev.submit(
             t0,
             vf,
-            BlockRequest::new(RequestId(1), BlockOp::Read, 0, 4),
+            BlockRequest::new(RequestId(1), BlockOp::Read, Vlba(0), 4),
             buf,
         );
         dev.submit(
             t0,
             vf,
-            BlockRequest::new(RequestId(2), BlockOp::Read, 4, 4),
+            BlockRequest::new(RequestId(2), BlockOp::Read, Vlba(4), 4),
             buf,
         );
         dev.advance(HORIZON);
@@ -2173,7 +2184,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(3), BlockOp::Write, 0, 1),
+            BlockRequest::new(RequestId(3), BlockOp::Write, Vlba(0), 1),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -2208,7 +2219,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(1), BlockOp::Read, 0, 1),
+            BlockRequest::new(RequestId(1), BlockOp::Read, Vlba(0), 1),
             buf,
         );
         dev.advance(HORIZON);
@@ -2237,14 +2248,14 @@ mod tests {
             RingDescriptor {
                 op: BlockOp::Write,
                 id: RequestId(1),
-                lba: 4,
+                lba: Vlba(4),
                 count: 2,
                 buffer: wbuf,
             },
             RingDescriptor {
                 op: BlockOp::Read,
                 id: RequestId(2),
-                lba: 4,
+                lba: Vlba(4),
                 count: 2,
                 buffer: rbuf,
             },
@@ -2306,7 +2317,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             nested,
-            BlockRequest::new(RequestId(1), BlockOp::Write, 3, 1),
+            BlockRequest::new(RequestId(1), BlockOp::Write, Vlba(3), 1),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -2318,13 +2329,13 @@ mod tests {
             })
         ));
         // nested vLBA 3 -> parent vLBA 11 -> pLBA 111.
-        assert_eq!(dev.store().read_block(111).unwrap(), vec![0x2F; 1024]);
+        assert_eq!(dev.store().read_block(Plba(111)).unwrap(), vec![0x2F; 1024]);
         // The nested VF cannot reach parent blocks outside its L2 tree:
         // vLBA 8 is out of its device size.
         dev.submit(
             SimTime::from_nanos(1_000_000),
             nested,
-            BlockRequest::new(RequestId(2), BlockOp::Read, 8, 1),
+            BlockRequest::new(RequestId(2), BlockOp::Read, Vlba(8), 1),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -2356,7 +2367,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             nested,
-            BlockRequest::new(RequestId(1), BlockOp::Read, 0, 1),
+            BlockRequest::new(RequestId(1), BlockOp::Read, Vlba(0), 1),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -2368,7 +2379,7 @@ mod tests {
             })
         ));
         // pLBA 100 was never touched.
-        assert!(!dev.store().is_written(100));
+        assert!(!dev.store().is_written(Plba(100)));
     }
 
     #[test]
@@ -2386,7 +2397,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             nested,
-            BlockRequest::new(RequestId(1), BlockOp::Write, 0, 1),
+            BlockRequest::new(RequestId(1), BlockOp::Write, Vlba(0), 1),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -2417,7 +2428,7 @@ mod tests {
                 ..
             })
         ));
-        assert_eq!(dev.store().read_block(200).unwrap(), vec![0x3D; 1024]);
+        assert_eq!(dev.store().read_block(Plba(200)).unwrap(), vec![0x3D; 1024]);
     }
 
     #[test]
@@ -2456,7 +2467,7 @@ mod tests {
         dev.submit(
             SimTime::from_nanos(100),
             vf,
-            BlockRequest::new(RequestId(1), BlockOp::Read, 0, 1),
+            BlockRequest::new(RequestId(1), BlockOp::Read, Vlba(0), 1),
             buf,
         );
         assert_eq!(dev.next_event_time(), Some(SimTime::from_nanos(100)));
@@ -2487,7 +2498,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(21), BlockOp::Write, 0, 8),
+            BlockRequest::new(RequestId(21), BlockOp::Write, Vlba(0), 8),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -2501,11 +2512,11 @@ mod tests {
         // First run lands on pLBA 100..104, second on 500..504.
         for k in 0..4u64 {
             assert_eq!(
-                dev.store().read_block(100 + k).unwrap(),
+                dev.store().read_block(Plba(100 + k)).unwrap(),
                 vec![0xA0 + k as u8; 1024]
             );
             assert_eq!(
-                dev.store().read_block(500 + k).unwrap(),
+                dev.store().read_block(Plba(500 + k)).unwrap(),
                 vec![0xA4 + k as u8; 1024]
             );
         }
@@ -2517,7 +2528,7 @@ mod tests {
         dev.submit(
             SimTime::from_nanos(1_000_000_000),
             vf,
-            BlockRequest::new(RequestId(22), BlockOp::Read, 4, 4),
+            BlockRequest::new(RequestId(22), BlockOp::Read, Vlba(4), 4),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -2552,17 +2563,21 @@ mod tests {
             6,
         );
         for p in [100u64, 101] {
-            dev.store_mut().write_block(p, &vec![0x11; 1024]).unwrap();
+            dev.store_mut()
+                .write_block(Plba(p), &vec![0x11; 1024])
+                .unwrap();
         }
         for p in [300u64, 301] {
-            dev.store_mut().write_block(p, &vec![0x22; 1024]).unwrap();
+            dev.store_mut()
+                .write_block(Plba(p), &vec![0x22; 1024])
+                .unwrap();
         }
         let buf = alloc_buf(&mem, 6);
         mem.borrow_mut().write(buf, &[0xFF; 6 * 1024]); // poison
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(23), BlockOp::Read, 0, 6),
+            BlockRequest::new(RequestId(23), BlockOp::Read, Vlba(0), 6),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -2601,7 +2616,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(24), BlockOp::Write, 0, 4),
+            BlockRequest::new(RequestId(24), BlockOp::Write, Vlba(0), 4),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -2624,8 +2639,8 @@ mod tests {
         }
         assert_eq!(dev.mmio_read(vf, offsets::MISS_ADDRESS), 2 * 1024);
         // The first run's data already landed before the stall.
-        assert_eq!(dev.store().read_block(100).unwrap(), vec![0xB0; 1024]);
-        assert_eq!(dev.store().read_block(101).unwrap(), vec![0xB1; 1024]);
+        assert_eq!(dev.store().read_block(Plba(100)).unwrap(), vec![0xB0; 1024]);
+        assert_eq!(dev.store().read_block(Plba(101)).unwrap(), vec![0xB1; 1024]);
 
         // The hypervisor rebuilds the tree, remapping BOTH spans. Writing
         // the new root flushes the function's BTLB entries between the two
@@ -2651,10 +2666,10 @@ mod tests {
                 ..
             })
         ));
-        assert_eq!(dev.store().read_block(200).unwrap(), vec![0xB2; 1024]);
-        assert_eq!(dev.store().read_block(201).unwrap(), vec![0xB3; 1024]);
+        assert_eq!(dev.store().read_block(Plba(200)).unwrap(), vec![0xB2; 1024]);
+        assert_eq!(dev.store().read_block(Plba(201)).unwrap(), vec![0xB3; 1024]);
         assert!(
-            !dev.store().is_written(700),
+            !dev.store().is_written(Plba(700)),
             "resume must not replay the already-transferred run"
         );
         assert!(
@@ -2682,7 +2697,7 @@ mod tests {
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(25), BlockOp::Write, 0, 8),
+            BlockRequest::new(RequestId(25), BlockOp::Write, Vlba(0), 8),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -2698,7 +2713,10 @@ mod tests {
         assert_eq!(dev.stats().walks, 8);
         assert_eq!(dev.btlb().hits(), 0);
         for k in 0..8u64 {
-            assert_eq!(dev.store().read_block(100 + k).unwrap(), vec![0x5A; 1024]);
+            assert_eq!(
+                dev.store().read_block(Plba(100 + k)).unwrap(),
+                vec![0x5A; 1024]
+            );
         }
     }
 
@@ -2730,10 +2748,10 @@ mod tests {
             mem.borrow_mut().write(buf, &pat);
             let us = SimDuration::from_micros(100);
             let reqs = [
-                BlockRequest::new(RequestId(1), BlockOp::Write, 2, 6),
-                BlockRequest::new(RequestId(2), BlockOp::Read, 0, 10),
-                BlockRequest::new(RequestId(3), BlockOp::Write, 5, 3),
-                BlockRequest::new(RequestId(4), BlockOp::Read, 4, 4),
+                BlockRequest::new(RequestId(1), BlockOp::Write, Vlba(2), 6),
+                BlockRequest::new(RequestId(2), BlockOp::Read, Vlba(0), 10),
+                BlockRequest::new(RequestId(3), BlockOp::Write, Vlba(5), 3),
+                BlockRequest::new(RequestId(4), BlockOp::Read, Vlba(4), 4),
             ];
             let mut outs = Vec::new();
             for (k, req) in reqs.into_iter().enumerate() {
@@ -2745,7 +2763,7 @@ mod tests {
                 .chain((0..3).map(|k| 400 + k))
                 .map(|p| {
                     dev.store()
-                        .read_block(p)
+                        .read_block(Plba(p))
                         .unwrap_or_else(|_| vec![0u8; 1024])
                 })
                 .collect();

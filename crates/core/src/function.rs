@@ -117,6 +117,7 @@ impl FunctionContext {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nesc_extent::Vlba;
     use nesc_storage::{BlockOp, RequestId};
 
     #[test]
@@ -126,7 +127,7 @@ mod tests {
         assert!(!f.dispatchable_at(now), "empty queue");
         assert_eq!(f.next_arrival(), None);
         let pending = PendingRequest {
-            req: BlockRequest::new(RequestId(1), BlockOp::Read, 0, 1),
+            req: BlockRequest::new(RequestId(1), BlockOp::Read, Vlba(0), 1),
             buf: 0x1000,
             arrived: SimTime::from_nanos(50),
         };

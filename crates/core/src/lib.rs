@@ -61,12 +61,12 @@
 //! let buf = mem.borrow_mut().alloc(1024, 8);
 //! mem.borrow_mut().write(buf, &[7u8; 1024]);
 //! let t = dev.ring_doorbell(SimTime::ZERO);
-//! dev.submit(t, vf, BlockRequest::new(RequestId(1), BlockOp::Write, 0, 1), buf);
+//! dev.submit(t, vf, BlockRequest::new(RequestId(1), BlockOp::Write, Vlba(0), 1), buf);
 //!
 //! let outs = dev.advance(SimTime::from_nanos(1_000_000));
 //! assert!(outs.iter().any(|o| o.is_completion()));
 //! // The bytes landed on *physical* block 100 — the VF never named it.
-//! assert_eq!(dev.store().read_block(100).unwrap(), vec![7u8; 1024]);
+//! assert_eq!(dev.store().read_block(Plba(100)).unwrap(), vec![7u8; 1024]);
 //! ```
 
 pub mod btlb;

@@ -21,6 +21,7 @@
 //! [32..40] buffer    host address of the data buffer
 //! ```
 
+use nesc_extent::Vlba;
 use nesc_pcie::{HostAddr, HostMemory};
 use nesc_storage::{BlockOp, BlockRequest, RequestId};
 
@@ -34,8 +35,9 @@ pub struct RingDescriptor {
     pub op: BlockOp,
     /// Completion-correlation id.
     pub id: RequestId,
-    /// First virtual block.
-    pub lba: u64,
+    /// First virtual block. Ring descriptors come from the guest, so the
+    /// address is by definition in the function's virtual space.
+    pub lba: Vlba,
     /// Block count.
     pub count: u32,
     /// Host data buffer.
@@ -51,7 +53,7 @@ impl RingDescriptor {
             BlockOp::Write => 2,
         };
         b[8..16].copy_from_slice(&self.id.0.to_le_bytes());
-        b[16..24].copy_from_slice(&self.lba.to_le_bytes());
+        b[16..24].copy_from_slice(&self.lba.0.to_le_bytes());
         b[24..28].copy_from_slice(&self.count.to_le_bytes());
         b[32..40].copy_from_slice(&self.buffer.to_le_bytes());
         b
@@ -71,7 +73,7 @@ impl RingDescriptor {
         Some(RingDescriptor {
             op,
             id: RequestId(u64::from_le_bytes(b[8..16].try_into().expect("8 bytes"))),
-            lba: u64::from_le_bytes(b[16..24].try_into().expect("8 bytes")),
+            lba: Vlba(u64::from_le_bytes(b[16..24].try_into().expect("8 bytes"))),
             count,
             buffer: u64::from_le_bytes(b[32..40].try_into().expect("8 bytes")),
         })
@@ -133,7 +135,7 @@ mod tests {
         let d = RingDescriptor {
             op: BlockOp::Write,
             id: RequestId(0xDEAD),
-            lba: 42,
+            lba: Vlba(42),
             count: 8,
             buffer: 0x1234_5678,
         };
@@ -166,7 +168,7 @@ mod tests {
             let d = RingDescriptor {
                 op: BlockOp::Read,
                 id: RequestId(id),
-                lba: id,
+                lba: Vlba(id),
                 count: 1,
                 buffer: 0x8000,
             };
@@ -216,7 +218,7 @@ mod tests {
             let d = RingDescriptor {
                 op: if is_write { BlockOp::Write } else { BlockOp::Read },
                 id: RequestId(id),
-                lba,
+                lba: Vlba(lba),
                 count,
                 buffer,
             };

@@ -10,6 +10,7 @@
 //!
 //! [`NescDevice::set_tracing`]: crate::NescDevice::set_tracing
 
+use nesc_extent::Vlba;
 use nesc_sim::{SimDuration, SimTime};
 use nesc_storage::{BlockOp, RequestId};
 
@@ -24,8 +25,8 @@ pub struct RequestTrace {
     pub func: FuncId,
     /// Read or write.
     pub op: BlockOp,
-    /// First logical block.
-    pub lba: u64,
+    /// First logical block, in the submitting function's virtual space.
+    pub lba: Vlba,
     /// Blocks covered.
     pub blocks: u64,
     /// When the doorbell delivered it to the device.
@@ -84,7 +85,7 @@ mod tests {
             id: RequestId(1),
             func: FuncId(1),
             op: BlockOp::Read,
-            lba: 0,
+            lba: Vlba(0),
             blocks: 4,
             arrived: SimTime::from_nanos(100),
             dispatched: SimTime::from_nanos(250),

@@ -35,5 +35,5 @@ pub mod walk;
 
 pub use layout::{NodeKind, FANOUT, NODE_SIZE};
 pub use tree::{ExtentTree, InsertError};
-pub use types::{ExtentMapping, Plba, Vlba};
+pub use types::{BlockAddr, ExtentMapping, Plba, Vlba, BLOCK_SIZE};
 pub use walk::{prune_covering, walk, walk_run, WalkOutcome, WalkResult, WalkRun};

@@ -7,6 +7,12 @@
 
 use std::fmt;
 
+/// NeSC's translation granularity: 1 KiB, "the smallest block size supported
+/// by ext4" (paper §IV-C). It lives next to the address newtypes so the
+/// byte/block conversion helpers below are the *only* place the workspace
+/// multiplies an address by a block size (lint rule T3).
+pub const BLOCK_SIZE: u64 = 1024;
+
 /// A virtual logical block address: an offset, in 1 KiB blocks, into a
 /// virtual device (equivalently, into the backing file).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -16,10 +22,78 @@ pub struct Vlba(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Plba(pub u64);
 
+/// Behavior shared by both block-address spaces, so request plumbing can be
+/// generic over *which* space an address lives in (a VF request carries
+/// [`Vlba`]s, a PF request [`Plba`]s) without ever collapsing back to a bare
+/// `u64` — the decay the provenance lint (rules T1–T3) exists to prevent.
+pub trait BlockAddr:
+    Copy + Eq + Ord + std::hash::Hash + fmt::Debug + fmt::Display + private::Sealed
+{
+    /// The address `n` blocks after this one.
+    fn offset(self, n: u64) -> Self;
+
+    /// The address `n` blocks after this one, or `None` on overflow —
+    /// range checks on untrusted (wire-decoded) addresses must use this
+    /// rather than `offset`, which may wrap.
+    fn checked_add_blocks(self, n: u64) -> Option<Self>;
+
+    /// Byte offset of the block's first byte from the start of its space.
+    fn byte_offset(self) -> u64;
+}
+
+mod private {
+    /// Only the two address spaces defined here implement [`super::BlockAddr`];
+    /// a third "space" would be an aliasing hazard, not an extension point.
+    pub trait Sealed {}
+    impl Sealed for super::Vlba {}
+    impl Sealed for super::Plba {}
+}
+
+impl BlockAddr for Vlba {
+    fn offset(self, n: u64) -> Vlba {
+        Vlba(self.0 + n)
+    }
+    fn checked_add_blocks(self, n: u64) -> Option<Vlba> {
+        self.0.checked_add(n).map(Vlba)
+    }
+    fn byte_offset(self) -> u64 {
+        self.0 * BLOCK_SIZE
+    }
+}
+
+impl BlockAddr for Plba {
+    fn offset(self, n: u64) -> Plba {
+        Plba(self.0 + n)
+    }
+    fn checked_add_blocks(self, n: u64) -> Option<Plba> {
+        self.0.checked_add(n).map(Plba)
+    }
+    fn byte_offset(self) -> u64 {
+        self.0 * BLOCK_SIZE
+    }
+}
+
 impl Vlba {
     /// The address `n` blocks after this one.
     pub fn offset(self, n: u64) -> Vlba {
         Vlba(self.0 + n)
+    }
+
+    /// The address `n` blocks after this one, or `None` on overflow.
+    pub fn checked_add_blocks(self, n: u64) -> Option<Vlba> {
+        BlockAddr::checked_add_blocks(self, n)
+    }
+
+    /// Byte offset of this block's first byte within the virtual device.
+    pub fn byte_offset(self) -> u64 {
+        BlockAddr::byte_offset(self)
+    }
+
+    /// The virtual block containing byte `bytes` of the virtual device
+    /// (floor division) — the one sanctioned byte→block conversion for
+    /// virtual addresses.
+    pub fn from_byte_offset(bytes: u64) -> Vlba {
+        Vlba(bytes / BLOCK_SIZE)
     }
 
     /// Blocks from `earlier` to `self`.
@@ -32,12 +106,52 @@ impl Vlba {
             .checked_sub(earlier.0)
             .expect("vLBA distance underflow")
     }
+
+    /// The PF's identity translation: the physical function is not
+    /// virtualized, so the "virtual" block `v` of a request addressed to it
+    /// *is* physical block `v` (paper §IV-A — the PF exposes the raw
+    /// device). This is one of exactly two sanctioned ways to mint a
+    /// [`Plba`] outside the allocator and the extent walk; it may appear
+    /// only where the device core dispatches PF requests.
+    pub fn identity_plba(self) -> Plba {
+        Plba(self.0)
+    }
 }
 
 impl Plba {
     /// The address `n` blocks after this one.
     pub fn offset(self, n: u64) -> Plba {
         Plba(self.0 + n)
+    }
+
+    /// The address `n` blocks after this one, or `None` on overflow.
+    pub fn checked_add_blocks(self, n: u64) -> Option<Plba> {
+        BlockAddr::checked_add_blocks(self, n)
+    }
+
+    /// Byte offset of this block's first byte on the physical device.
+    pub fn byte_offset(self) -> u64 {
+        BlockAddr::byte_offset(self)
+    }
+
+    /// Blocks from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    pub fn distance_from(self, earlier: Plba) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("pLBA distance underflow")
+    }
+
+    /// Re-bases one nesting level up: what a child device calls a physical
+    /// block is, to its parent, a *virtual* block of the parent's device
+    /// (paper §VI — nested NeSC instances chain translations). A guest
+    /// filesystem's pLBA on its virtual disk becomes the VF's vLBA here;
+    /// the address is unchanged, only its frame of reference moves.
+    pub fn nested_vlba(self) -> Vlba {
+        Vlba(self.0)
     }
 }
 
@@ -194,6 +308,28 @@ mod tests {
         let c = ExtentMapping::new(Vlba(10), Plba(100), 1);
         assert!(a.overlaps_logical(&b));
         assert!(!a.overlaps_logical(&c));
+    }
+
+    #[test]
+    fn byte_offset_roundtrips() {
+        assert_eq!(Vlba(3).byte_offset(), 3 * BLOCK_SIZE);
+        assert_eq!(Plba(7).byte_offset(), 7 * BLOCK_SIZE);
+        assert_eq!(Vlba::from_byte_offset(3 * BLOCK_SIZE), Vlba(3));
+        assert_eq!(Vlba::from_byte_offset(3 * BLOCK_SIZE + 17), Vlba(3));
+    }
+
+    #[test]
+    fn checked_add_saturates_to_none() {
+        assert_eq!(Vlba(10).checked_add_blocks(5), Some(Vlba(15)));
+        assert_eq!(Vlba(u64::MAX).checked_add_blocks(1), None);
+        assert_eq!(Plba(u64::MAX - 1).checked_add_blocks(2), None);
+    }
+
+    #[test]
+    fn reference_frame_conversions_preserve_the_index() {
+        assert_eq!(Vlba(42).identity_plba(), Plba(42));
+        assert_eq!(Plba(42).nested_vlba(), Vlba(42));
+        assert_eq!(Plba(9).distance_from(Plba(4)), 5);
     }
 
     #[test]

@@ -16,6 +16,18 @@ pub struct Run {
     pub len: u64,
 }
 
+impl Run {
+    /// A run covering the first `len` blocks of the device — the shape a
+    /// mkfs metadata reservation takes. Minting the physical address here
+    /// keeps callers out of the `Plba` constructor.
+    pub fn prefix(len: u64) -> Run {
+        Run {
+            start: Plba(0),
+            len,
+        }
+    }
+}
+
 /// Allocation failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocError {

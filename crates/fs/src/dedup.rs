@@ -65,10 +65,10 @@ impl Filesystem {
             let extents: Vec<ExtentMapping> = self.extent_tree(ino)?.iter().copied().collect();
             for e in extents {
                 for i in 0..e.len {
-                    let v = Vlba(e.logical.0 + i);
+                    let v = e.logical.offset(i);
                     let p = e.physical.offset(i);
                     report.scanned_blocks += 1;
-                    let data = io.read_block(p.0)?;
+                    let data = io.read_block(p)?;
                     let h = block_hash(&data);
                     let bucket = seen.entry(h).or_default();
                     let existing = bucket

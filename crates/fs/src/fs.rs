@@ -133,7 +133,7 @@ pub struct Filesystem {
     metadata_blocks: u64,
     /// Extra references to physical blocks shared by deduplication:
     /// `plba -> sharers beyond the first`. Absent means exclusively owned.
-    shared: BTreeMap<u64, u32>,
+    shared: BTreeMap<Plba, u32>,
 }
 
 impl Filesystem {
@@ -151,10 +151,7 @@ impl Filesystem {
             "device too small: {capacity_blocks} blocks"
         );
         let mut allocator = BitmapAllocator::new(capacity_blocks);
-        allocator.reserve(Run {
-            start: Plba(0),
-            len: metadata_blocks,
-        });
+        allocator.reserve(Run::prefix(metadata_blocks));
         Filesystem {
             allocator,
             inodes: BTreeMap::new(),
@@ -168,22 +165,22 @@ impl Filesystem {
 
     /// Marks a physical block as having one more sharer (deduplication).
     pub(crate) fn share_block(&mut self, p: Plba) {
-        *self.shared.entry(p.0).or_insert(0) += 1;
+        *self.shared.entry(p).or_insert(0) += 1;
     }
 
     /// Whether a physical block is currently shared by multiple mappings.
     pub fn is_shared(&self, p: Plba) -> bool {
-        self.shared.contains_key(&p.0)
+        self.shared.contains_key(&p)
     }
 
     /// Releases one reference to a physical block; frees it only when no
     /// sharer remains. Returns `true` if the block was actually freed.
     pub(crate) fn release_block(&mut self, p: Plba) -> bool {
-        match self.shared.get_mut(&p.0) {
+        match self.shared.get_mut(&p) {
             Some(count) => {
                 *count -= 1;
                 if *count == 0 {
-                    self.shared.remove(&p.0);
+                    self.shared.remove(&p);
                 }
                 false
             }
@@ -196,8 +193,8 @@ impl Filesystem {
 
     /// Releases every block of a run through the refcounting path.
     fn release_run(&mut self, run: Run) {
-        for b in run.start.0..run.start.0 + run.len {
-            self.release_block(Plba(b));
+        for i in 0..run.len {
+            self.release_block(run.start.offset(i));
         }
     }
 
@@ -486,11 +483,11 @@ impl Filesystem {
             };
             let n = ((BLOCK_SIZE as usize) - block_off).min(data.len() - cursor);
             if n == BLOCK_SIZE as usize {
-                io.write_block(plba.0, &data[cursor..cursor + n])?;
+                io.write_block(plba, &data[cursor..cursor + n])?;
             } else {
-                let mut block = io.read_block(plba.0)?;
+                let mut block = io.read_block(plba)?;
                 block[block_off..block_off + n].copy_from_slice(&data[cursor..cursor + n]);
-                io.write_block(plba.0, &block)?;
+                io.write_block(plba, &block)?;
             }
             cursor += n;
         }
@@ -516,8 +513,8 @@ impl Filesystem {
         shared: Plba,
     ) -> Result<Plba, FsError> {
         let fresh = self.allocator.allocate(1, Some(shared))?[0].start;
-        let data = io.read_block(shared.0)?;
-        io.write_block(fresh.0, &data)?;
+        let data = io.read_block(shared)?;
+        io.write_block(fresh, &data)?;
         {
             let tree = self.inode_mut(ino)?.extents_mut();
             tree.remove_range(v, 1);
@@ -564,7 +561,7 @@ impl Filesystem {
             let n = ((BLOCK_SIZE as usize) - block_off).min(len - out.len());
             match self.inode(ino)?.block_at(Vlba(b)) {
                 Some(plba) => {
-                    let block = io.read_block(plba.0)?;
+                    let block = io.read_block(plba)?;
                     out.extend_from_slice(&block[block_off..block_off + n]);
                 }
                 None => out.extend(std::iter::repeat_n(0u8, n)),

@@ -5,7 +5,14 @@
 //! runs over the raw physical device, and a *guest's* filesystem runs over
 //! whatever virtual disk its VM was given. A blanket implementation is
 //! provided for [`BlockStore`].
+//!
+//! Addresses here are [`Plba`]s: by the time the filesystem touches a
+//! block it has already resolved the file-relative (virtual) offset
+//! through its own extent maps, so handing this trait anything but a
+//! physical block would be a provenance bug — which is exactly what the
+//! typed signature (and lint rule T1) forbids.
 
+use nesc_extent::Plba;
 use nesc_storage::{BlockStore, BLOCK_SIZE};
 
 /// Error performing block I/O.
@@ -14,7 +21,7 @@ pub enum IoError {
     /// Access beyond the end of the device.
     OutOfRange {
         /// Offending block address.
-        lba: u64,
+        lba: Plba,
         /// Device capacity in blocks.
         capacity: u64,
     },
@@ -47,7 +54,7 @@ impl std::fmt::Display for IoError {
 
 impl std::error::Error for IoError {}
 
-/// A 1 KiB-block random-access device.
+/// A 1 KiB-block random-access device, addressed by physical block.
 pub trait BlockIo {
     /// Device capacity in blocks.
     fn capacity_blocks(&self) -> u64;
@@ -57,7 +64,7 @@ pub trait BlockIo {
     /// # Errors
     ///
     /// [`IoError::OutOfRange`] if `lba` is beyond the capacity.
-    fn read_block(&mut self, lba: u64) -> Result<Vec<u8>, IoError>;
+    fn read_block(&mut self, lba: Plba) -> Result<Vec<u8>, IoError>;
 
     /// Writes one block.
     ///
@@ -65,7 +72,7 @@ pub trait BlockIo {
     ///
     /// [`IoError::OutOfRange`] / [`IoError::BadLength`] on bad arguments;
     /// [`IoError::Failed`] if the backend rejects the write.
-    fn write_block(&mut self, lba: u64, data: &[u8]) -> Result<(), IoError>;
+    fn write_block(&mut self, lba: Plba, data: &[u8]) -> Result<(), IoError>;
 }
 
 impl BlockIo for BlockStore {
@@ -73,14 +80,14 @@ impl BlockIo for BlockStore {
         BlockStore::capacity_blocks(self)
     }
 
-    fn read_block(&mut self, lba: u64) -> Result<Vec<u8>, IoError> {
+    fn read_block(&mut self, lba: Plba) -> Result<Vec<u8>, IoError> {
         BlockStore::read_block(self, lba).map_err(|_| IoError::OutOfRange {
             lba,
             capacity: BlockStore::capacity_blocks(self),
         })
     }
 
-    fn write_block(&mut self, lba: u64, data: &[u8]) -> Result<(), IoError> {
+    fn write_block(&mut self, lba: Plba, data: &[u8]) -> Result<(), IoError> {
         if data.len() != BLOCK_SIZE as usize {
             return Err(IoError::BadLength { len: data.len() });
         }
@@ -99,8 +106,8 @@ mod tests {
     fn blockstore_impl_roundtrips() {
         let mut store = BlockStore::new(8);
         let data = vec![9u8; BLOCK_SIZE as usize];
-        BlockIo::write_block(&mut store, 2, &data).unwrap();
-        assert_eq!(BlockIo::read_block(&mut store, 2).unwrap(), data);
+        BlockIo::write_block(&mut store, Plba(2), &data).unwrap();
+        assert_eq!(BlockIo::read_block(&mut store, Plba(2)).unwrap(), data);
         assert_eq!(BlockIo::capacity_blocks(&store), 8);
     }
 
@@ -108,11 +115,11 @@ mod tests {
     fn blockstore_impl_surfaces_errors() {
         let mut store = BlockStore::new(2);
         assert!(matches!(
-            BlockIo::read_block(&mut store, 5),
-            Err(IoError::OutOfRange { lba: 5, .. })
+            BlockIo::read_block(&mut store, Plba(5)),
+            Err(IoError::OutOfRange { lba: Plba(5), .. })
         ));
         assert!(matches!(
-            BlockIo::write_block(&mut store, 0, &[1, 2]),
+            BlockIo::write_block(&mut store, Plba(0), &[1, 2]),
             Err(IoError::BadLength { len: 2 })
         ));
     }

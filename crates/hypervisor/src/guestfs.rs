@@ -154,9 +154,12 @@ impl GuestFilesystem {
                 .extent_tree(ino)?
                 .lookup(Vlba(file_block))
                 .expect("range was just allocated");
-            let run_end_byte = e.end_logical().0 * BLOCK_SIZE;
+            let run_end_byte = e.end_logical().byte_offset();
             let n = ((run_end_byte - (offset + cursor as u64)) as usize).min(data.len() - cursor);
-            let disk_byte = e.translate(Vlba(file_block)).expect("covered").0 * BLOCK_SIZE
+            let disk_byte = e
+                .translate(Vlba(file_block))
+                .expect("covered")
+                .byte_offset()
                 + (offset + cursor as u64) % BLOCK_SIZE;
             system.write(self.disk, disk_byte, &data[cursor..cursor + n]);
             cursor += n;
@@ -199,9 +202,12 @@ impl GuestFilesystem {
             let file_block = (offset + cursor as u64) / BLOCK_SIZE;
             match self.fs.extent_tree(ino)?.lookup(Vlba(file_block)) {
                 Some(e) => {
-                    let run_end_byte = e.end_logical().0 * BLOCK_SIZE;
+                    let run_end_byte = e.end_logical().byte_offset();
                     let n = ((run_end_byte - (offset + cursor as u64)) as usize).min(len - cursor);
-                    let disk_byte = e.translate(Vlba(file_block)).expect("covered").0 * BLOCK_SIZE
+                    let disk_byte = e
+                        .translate(Vlba(file_block))
+                        .expect("covered")
+                        .byte_offset()
                         + (offset + cursor as u64) % BLOCK_SIZE;
                     system.read(self.disk, disk_byte, &mut out[cursor..cursor + n]);
                     cursor += n;
@@ -224,9 +230,9 @@ impl GuestFilesystem {
         // plus the commit block.
         let blocks = bytes.div_ceil(4096).max(1) + 1;
         for _ in 0..blocks {
-            let lba = 1 + (self.journal_cursor % (self.journal_area_blocks - 1));
+            let jblock = Vlba(1 + (self.journal_cursor % (self.journal_area_blocks - 1)));
             self.journal_cursor += 1;
-            system.write(self.disk, lba * BLOCK_SIZE, &[0u8; BLOCK_SIZE as usize]);
+            system.write(self.disk, jblock.byte_offset(), &[0u8; BLOCK_SIZE as usize]);
         }
     }
 
@@ -234,9 +240,9 @@ impl GuestFilesystem {
     fn journal_write(&mut self, system: &mut System, bytes: u64) {
         let blocks = bytes.div_ceil(BLOCK_SIZE).max(1);
         for _ in 0..blocks {
-            let lba = 1 + (self.journal_cursor % (self.journal_area_blocks - 1));
+            let jblock = Vlba(1 + (self.journal_cursor % (self.journal_area_blocks - 1)));
             self.journal_cursor += 1;
-            system.write(self.disk, lba * BLOCK_SIZE, &[0u8; BLOCK_SIZE as usize]);
+            system.write(self.disk, jblock.byte_offset(), &[0u8; BLOCK_SIZE as usize]);
         }
     }
 }

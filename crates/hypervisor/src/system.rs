@@ -27,7 +27,7 @@ use std::rc::Rc;
 
 use nesc_core::ring::{RingDescriptor, DESCRIPTOR_BYTES};
 use nesc_core::{CompletionStatus, FuncId, IrqReason, NescConfig, NescDevice, NescOutput};
-use nesc_extent::Vlba;
+use nesc_extent::{Plba, Vlba};
 use nesc_fs::{Filesystem, FsError, Ino};
 use nesc_pcie::{HostAddr, HostMemory};
 use nesc_sim::{Metrics, ServiceUnit, SimDuration, SimTime, Span, SpanId, Throughput, Tracer};
@@ -611,7 +611,7 @@ impl System {
             let desc = RingDescriptor {
                 op,
                 id,
-                lba: first_block,
+                lba: Vlba(first_block),
                 count: nblocks as u32,
                 buffer: buf,
             };
@@ -695,11 +695,13 @@ impl System {
         } else {
             SpanId::NONE
         };
-        let pf = self.dev.pf();
-        self.dev.submit(
+        // nesc-lint::allow(T2): a HostRaw disk *is* the raw device — its
+        // byte offsets are physical by definition, so the covering block
+        // index is minted as a pLBA right here, at the hypervisor/device
+        // boundary.
+        self.dev.submit_pf(
             t_db,
-            pf,
-            BlockRequest::new(id, op, first_block, nblocks),
+            BlockRequest::new(id, op, Plba(first_block), nblocks),
             buf,
         );
         let (tc, status) = self.wait_for(id);
@@ -800,6 +802,7 @@ impl System {
                 BlkRequest::parse_chain(&mem, &chain.descriptors).expect("well-formed chain");
             drop(mem);
             debug_assert_eq!(parsed.sector, offset / 512);
+            debug_assert_eq!(parsed.start_vlba(), Vlba(offset / BLOCK_SIZE));
             let head = chain.head;
             let written = if op == BlockOp::Read {
                 len as u32 + 1
@@ -864,10 +867,8 @@ impl System {
                     if traced {
                         self.tracer.bind(id.0, dev_wait);
                     }
-                    let pf = self.dev.pf();
-                    self.dev.submit(
+                    self.dev.submit_pf(
                         t_db,
-                        pf,
                         BlockRequest::new(id, op, p, run_blocks),
                         bounce + buf_off,
                     );
@@ -925,18 +926,18 @@ impl System {
 
     /// The image's physical runs covering `[first, first+nblocks)`:
     /// `(Some(plba), len)` for mapped stretches, `(None, len)` for holes.
-    fn image_runs(&self, ino: Ino, first: u64, nblocks: u64) -> Vec<(Option<u64>, u64)> {
+    fn image_runs(&self, ino: Ino, first: u64, nblocks: u64) -> Vec<(Option<Plba>, u64)> {
         let tree = self.fs.extent_tree(ino).expect("image exists");
-        let mut runs: Vec<(Option<u64>, u64)> = Vec::new();
+        let mut runs: Vec<(Option<Plba>, u64)> = Vec::new();
         let mut b = first;
         let end = first + nblocks;
         while b < end {
             match tree.lookup(Vlba(b)) {
                 Some(e) => {
-                    let p = e.translate(Vlba(b)).expect("covered").0;
-                    let run = (e.end_logical().0.min(end)) - b;
+                    let p = e.translate(Vlba(b)).expect("covered");
+                    let run = e.end_logical().min(Vlba(end)).distance_from(Vlba(b));
                     match runs.last_mut() {
-                        Some((Some(last_p), last_len)) if *last_p + *last_len == p => {
+                        Some((Some(last_p), last_len)) if last_p.offset(*last_len) == p => {
                             *last_len += run;
                         }
                         _ => runs.push((Some(p), run)),
@@ -968,7 +969,7 @@ impl System {
                             &self
                                 .dev
                                 .store()
-                                .read_block(p + i)
+                                .read_block(p.offset(i))
                                 .map_err(|_| FsError::BadInode { ino })?,
                         );
                     }

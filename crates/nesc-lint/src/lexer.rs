@@ -10,8 +10,10 @@
 //! Handled Rust lexical subtleties:
 //!
 //! * line (`//`, `///`, `//!`) and nested block (`/* /* */ */`) comments;
-//! * string, byte-string and raw-string literals (`r#"..."#` with any
-//!   number of hashes), with escape sequences;
+//! * string, byte-string and raw-string literals (`r#"..."#` and
+//!   `br#"..."#` with any number of hashes), with escape sequences;
+//! * raw identifiers (`r#async`), which are *not* raw strings and lex as
+//!   a single identifier keeping the `r#` prefix;
 //! * character literals vs lifetimes (`'a'` vs `'a`);
 //! * numeric literals with prefixes (`0x`, `0o`, `0b`), underscores,
 //!   exponents (`1e9`) and type suffixes — `1.5`, `1e3` and `2f64` are
@@ -142,6 +144,23 @@ pub fn scan(src: &str) -> Scan {
                 });
                 bump!(j - i);
             }
+            b'r' if i + 2 < b.len()
+                && b[i + 1] == b'#'
+                && (b[i + 2] == b'_' || b[i + 2].is_ascii_alphabetic()) =>
+            {
+                // Raw identifier (`r#async`). Lexed as ONE identifier that
+                // keeps the `r#` prefix, so name-matching rules see
+                // `r#Instant`, not a bare `Instant`.
+                let mut j = i + 2;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Ident(src[i..j].to_string()),
+                });
+                bump!(j - i);
+            }
             b'"' => {
                 let start_line = line;
                 let j = skip_string(b, i);
@@ -203,7 +222,13 @@ pub fn scan(src: &str) -> Scan {
     out
 }
 
-/// Whether `b[i..]` starts a raw (byte) string: `r"`, `r#`, `br"`, `br#`.
+/// Whether `b[i..]` starts a raw (byte) string: `r"`, `br"`, or the same
+/// with any number of hashes before the quote (`r#"`, `br##"`).
+///
+/// The quote after the hashes is mandatory: `r#SystemTime` is a *raw
+/// identifier*, not a raw string, and treating it as one used to swallow
+/// the `r#` and then report the remaining identifier as a phantom rule
+/// hit.
 fn is_raw_string_start(b: &[u8], i: usize) -> bool {
     let rest = &b[i..];
     let after_prefix = if rest.starts_with(b"br") {
@@ -213,7 +238,11 @@ fn is_raw_string_start(b: &[u8], i: usize) -> bool {
     } else {
         return false;
     };
-    matches!(rest.get(after_prefix), Some(b'"') | Some(b'#'))
+    let mut j = after_prefix;
+    while j < rest.len() && rest[j] == b'#' {
+        j += 1;
+    }
+    matches!(rest.get(j), Some(b'"'))
 }
 
 /// Skips a raw string starting at `i`; returns the index past it.
@@ -423,6 +452,47 @@ mod tests {
             .map(|t| t.kind)
             .collect();
         assert_eq!(kinds, vec![TokKind::Lifetime, TokKind::Char, TokKind::Char]);
+    }
+
+    #[test]
+    fn byte_strings_are_opaque() {
+        // Identifier-looking contents of a byte string must not leak into
+        // the token stream as identifiers.
+        let got = idents(r##"let x = b"Instant::now() lba"; after"##);
+        assert_eq!(got, vec!["let", "x", "after"]);
+        let kinds: Vec<TokKind> = scan(r##"b"payload""##)
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(kinds, vec![TokKind::Str]);
+    }
+
+    #[test]
+    fn raw_byte_strings_are_opaque() {
+        let got = idents(r###"let x = br#"HashMap::new() slba: u64"#; after"###);
+        assert_eq!(got, vec!["let", "x", "after"]);
+        // Multiple hashes and embedded quotes.
+        let got = idents("let x = br##\"inner \"# quote\"##; after");
+        assert_eq!(got, vec!["let", "x", "after"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_idents() {
+        // `r#ident` is a raw identifier, not a raw string: it must lex as
+        // one identifier (keeping the prefix) and must not swallow the rest
+        // of the line the way a misdetected raw string would.
+        let got = idents("fn r#async(r#type: u64) {} tail");
+        assert_eq!(got, vec!["fn", "r#async", "r#type", "u64", "tail"]);
+        // Regression: `r#` followed by a name used to be treated as a raw
+        // string opener, emitting a phantom Str token and then re-lexing
+        // the name bare.
+        let kinds: Vec<TokKind> = scan("r#SystemTime")
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(kinds, vec![TokKind::Ident("r#SystemTime".into())]);
     }
 
     #[test]

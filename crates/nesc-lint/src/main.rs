@@ -1,22 +1,126 @@
-//! CLI driver: `cargo run -p nesc-lint [-- <paths...>]`.
+//! CLI driver: `cargo run -p nesc-lint [-- [--format text|json] <paths...>]`.
 //!
-//! With no arguments, lints every in-scope `.rs` file of the enclosing
-//! workspace and exits non-zero if any rule fires. With paths, lints just
-//! those files (classified by their workspace-relative location).
+//! With no path arguments, lints every in-scope `.rs` file of the
+//! enclosing workspace and exits non-zero if any rule fires. With paths,
+//! lints just those files (classified by their workspace-relative
+//! location).
+//!
+//! `--format json` emits one sorted JSON array of diagnostic objects —
+//! including directive-suppressed ones, flagged `"suppressed": true` —
+//! so downstream tooling can audit the suppression set. Suppressed
+//! diagnostics never affect the exit code.
 
 use std::env;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use nesc_lint::Diagnostic;
+
+const HELP: &str = "\
+nesc-lint — NeSC workspace determinism + address-provenance linter
+
+USAGE:
+    cargo run -p nesc-lint [-- [OPTIONS] [PATHS...]]
+
+With no PATHS, lints every in-scope .rs file of the enclosing workspace.
+
+OPTIONS:
+    --format text    human-readable lines (default)
+    --format json    sorted JSON array of all diagnostics, including
+                     directive-suppressed ones (\"suppressed\": true);
+                     suppressed entries do not affect the exit code
+    -h, --help       print this help
+
+RULES:
+    D1-D5  determinism (wall-clock, randomness, hashers, floats, spans)
+    T1-T3  address provenance (raw u64 LBAs, newtype unwraps, BLOCK_SIZE
+           arithmetic outside boundary modules)
+    A1-A3  suppression hygiene
+
+EXIT CODES:
+    0      clean — no active violations
+    1      at least one active (unsuppressed) violation
+    2      i/o or usage error
+";
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// the build is offline, so no serde.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(diags: &[Diagnostic]) {
+    println!("[");
+    for (i, d) in diags.iter().enumerate() {
+        let comma = if i + 1 == diags.len() { "" } else { "," };
+        println!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"hint\": \"{}\", \"suppressed\": {}}}{}",
+            esc(&d.path),
+            d.line,
+            d.rule,
+            esc(&d.message),
+            esc(d.hint),
+            d.suppressed,
+            comma
+        );
+    }
+    println!("]");
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut format = Format::Text;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!(
+                        "nesc-lint: --format expects `text` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("nesc-lint: unknown option `{flag}` (see --help)");
+                return ExitCode::from(2);
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+
     let cwd = env::current_dir().expect("cwd");
     let root = nesc_lint::find_workspace_root(&cwd)
         .or_else(|| nesc_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))))
         .expect("no enclosing cargo workspace found");
 
-    let diags = if args.is_empty() {
-        match nesc_lint::lint_workspace(&root) {
+    let diags = if paths.is_empty() {
+        match nesc_lint::lint_workspace_all(&root) {
             Ok(d) => d,
             Err(e) => {
                 eprintln!("nesc-lint: i/o error: {e}");
@@ -25,7 +129,7 @@ fn main() -> ExitCode {
         }
     } else {
         let mut out = Vec::new();
-        for a in &args {
+        for a in &paths {
             let p = PathBuf::from(a);
             let abs = if p.is_absolute() { p } else { cwd.join(p) };
             let rel = abs.strip_prefix(&root).unwrap_or(&abs);
@@ -34,7 +138,7 @@ fn main() -> ExitCode {
                 continue;
             };
             match std::fs::read_to_string(&abs) {
-                Ok(src) => out.extend(nesc_lint::lint_source(&ctx, &src)),
+                Ok(src) => out.extend(nesc_lint::lint_source_all(&ctx, &src)),
                 Err(e) => {
                     eprintln!("nesc-lint: {a}: {e}");
                     return ExitCode::from(2);
@@ -44,14 +148,23 @@ fn main() -> ExitCode {
         out
     };
 
-    for d in &diags {
-        println!("{d}");
+    let active: Vec<&Diagnostic> = diags.iter().filter(|d| !d.suppressed).collect();
+    match format {
+        Format::Json => print_json(&diags),
+        Format::Text => {
+            for d in &active {
+                println!("{d}");
+            }
+            if active.is_empty() {
+                println!("nesc-lint: clean (rules D1-D5, T1-T3, A1-A3)");
+            } else {
+                println!("nesc-lint: {} violation(s)", active.len());
+            }
+        }
     }
-    if diags.is_empty() {
-        println!("nesc-lint: clean (rules D1-D5, A1-A3)");
+    if active.is_empty() {
         ExitCode::SUCCESS
     } else {
-        println!("nesc-lint: {} violation(s)", diags.len());
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,511 @@
+//! An item-level view over the token stream.
+//!
+//! The provenance rules (T1) reason about *signatures*, not token
+//! neighborhoods: "does any public function take an LBA-named parameter
+//! typed as a raw `u64`?" cannot be asked of a flat token stream without
+//! constant false positives from locals and arithmetic. This module walks
+//! the scan once and extracts exactly the two item shapes T1 needs —
+//! public function parameter lists and public struct fields — with line
+//! numbers and a rendered type string per entry.
+//!
+//! Deliberately *not* a Rust parser: no expressions, no bodies, no name
+//! resolution. Generic parameter lists, `where` clauses, visibility
+//! qualifiers (`pub(crate)`, `pub(in ...)`) and attributes are skipped
+//! structurally; function bodies are never entered (parameter extraction
+//! stops at the matching `)`), so nothing inside a body can masquerade as
+//! a signature.
+
+use crate::lexer::{Scan, Tok, TokKind};
+
+/// One parameter of a public function.
+#[derive(Debug, Clone)]
+pub struct PubFnParam {
+    /// Binding name (the last identifier of the pattern, so `mut x` → `x`).
+    pub name: String,
+    /// Rendered type text, e.g. `u64`, `&mut u64`, `Option<Vlba>`.
+    pub ty: String,
+    /// 1-based line the parameter name sits on (multi-line signatures get
+    /// per-parameter lines).
+    pub line: u32,
+}
+
+/// One public function signature.
+#[derive(Debug, Clone)]
+pub struct PubFn {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameters, in order; `self` receivers are omitted.
+    pub params: Vec<PubFnParam>,
+}
+
+/// One public field of a public struct.
+#[derive(Debug, Clone)]
+pub struct PubField {
+    /// The struct the field belongs to.
+    pub struct_name: String,
+    /// Field name.
+    pub name: String,
+    /// Rendered type text.
+    pub ty: String,
+    /// 1-based line of the field name.
+    pub line: u32,
+}
+
+/// Everything the item-level pass extracts.
+#[derive(Debug, Default)]
+pub struct Items {
+    /// All `pub` / `pub(..)` functions.
+    pub fns: Vec<PubFn>,
+    /// All `pub` / `pub(..)` fields of `pub` structs.
+    pub fields: Vec<PubField>,
+}
+
+fn ident_at(t: &[Tok], i: usize) -> Option<&str> {
+    match t.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(t: &[Tok], i: usize, c: char) -> bool {
+    matches!(t.get(i).map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c)
+}
+
+/// Skips a balanced `( ... )` group starting at `i` (which must be `(`);
+/// returns the index past the closing paren.
+fn skip_parens(t: &[Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < t.len() {
+        match t[j].kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skips a generic parameter list starting at `i` (which must be `<`);
+/// returns the index past the matching `>`. The `>` of a `->` arrow (which
+/// lexes as `-` then `>`) does not close the list.
+fn skip_generics(t: &[Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < t.len() {
+        match t[j].kind {
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') if j == 0 || !punct_at(t, j - 1, '-') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Renders a type token slice back to compact text: identifiers are
+/// space-separated from a preceding identifier (`mut u64`), punctuation
+/// attaches directly (`&u64`, `Option<Vlba>`). Exact enough for equality
+/// tests against `u64`.
+fn render_ty(t: &[Tok]) -> String {
+    let mut out = String::new();
+    let mut prev_word = false;
+    for tok in t {
+        match &tok.kind {
+            TokKind::Ident(s) => {
+                if prev_word {
+                    out.push(' ');
+                }
+                out.push_str(s);
+                prev_word = true;
+            }
+            TokKind::Punct(c) => {
+                out.push(*c);
+                prev_word = false;
+            }
+            TokKind::Int => {
+                if prev_word {
+                    out.push(' ');
+                }
+                out.push('N');
+                prev_word = true;
+            }
+            TokKind::Lifetime => {
+                if prev_word {
+                    out.push(' ');
+                }
+                out.push('\'');
+                prev_word = false;
+            }
+            _ => prev_word = false,
+        }
+    }
+    out
+}
+
+/// Whether the token at `i` is `pub`; returns the index past the whole
+/// visibility qualifier (`pub`, `pub(crate)`, `pub(in foo)`), or `None`.
+fn skip_visibility(t: &[Tok], i: usize) -> Option<usize> {
+    if ident_at(t, i) != Some("pub") {
+        return None;
+    }
+    if punct_at(t, i + 1, '(') {
+        Some(skip_parens(t, i + 1))
+    } else {
+        Some(i + 1)
+    }
+}
+
+/// Extracts public function signatures and public struct fields from a
+/// scan. Items inside function bodies are not visited (rustc rejects
+/// `pub` on locals anyway); nested public items inside `mod` blocks are.
+pub fn parse_items(scan: &Scan) -> Items {
+    let t = &scan.tokens;
+    let mut items = Items::default();
+    let mut i = 0usize;
+    while i < t.len() {
+        let Some(mut j) = skip_visibility(t, i) else {
+            i += 1;
+            continue;
+        };
+        // Function qualifiers: `pub const unsafe extern "C" fn`.
+        loop {
+            match t.get(j).map(|t| &t.kind) {
+                Some(TokKind::Ident(s)) if matches!(s.as_str(), "const" | "unsafe" | "async") => {
+                    j += 1;
+                }
+                Some(TokKind::Ident(s)) if s == "extern" => {
+                    j += 1;
+                    if matches!(t.get(j).map(|t| &t.kind), Some(TokKind::Str)) {
+                        j += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        match ident_at(t, j) {
+            Some("fn") => {
+                let fn_line = t[j].line;
+                let Some(name) = ident_at(t, j + 1) else {
+                    i = j + 1;
+                    continue;
+                };
+                let mut k = j + 2;
+                if punct_at(t, k, '<') {
+                    k = skip_generics(t, k);
+                }
+                if !punct_at(t, k, '(') {
+                    i = k;
+                    continue;
+                }
+                let close = skip_parens(t, k);
+                items.fns.push(PubFn {
+                    name: name.to_string(),
+                    line: fn_line,
+                    params: parse_params(&t[k + 1..close.saturating_sub(1)]),
+                });
+                i = close;
+            }
+            Some("struct") => {
+                let Some(name) = ident_at(t, j + 1) else {
+                    i = j + 1;
+                    continue;
+                };
+                let mut k = j + 2;
+                if punct_at(t, k, '<') {
+                    k = skip_generics(t, k);
+                }
+                // Scan past any `where` clause to the body. Tuple structs
+                // (`(`) are skipped: their fields are unnamed, and T1 keys
+                // on names.
+                while k < t.len() && !punct_at(t, k, '{') && !punct_at(t, k, ';') {
+                    if punct_at(t, k, '(') {
+                        k = skip_parens(t, k);
+                    } else {
+                        k += 1;
+                    }
+                }
+                if punct_at(t, k, '{') {
+                    let end = parse_fields(t, k, name, &mut items.fields);
+                    i = end;
+                } else {
+                    i = k + 1;
+                }
+            }
+            _ => i = j.max(i + 1),
+        }
+    }
+    items
+}
+
+/// Parses a parameter list (the tokens strictly between the signature's
+/// parens) into named parameters. Receivers (`self`, `&mut self`) have no
+/// `name: type` split and are dropped.
+fn parse_params(t: &[Tok]) -> Vec<PubFnParam> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut round = 0i32;
+    let mut square = 0i32;
+    let mut angle = 0i32;
+    for j in 0..=t.len() {
+        let at_end = j == t.len();
+        if !at_end {
+            match t[j].kind {
+                TokKind::Punct('(') => round += 1,
+                TokKind::Punct(')') => round -= 1,
+                TokKind::Punct('[') => square += 1,
+                TokKind::Punct(']') => square -= 1,
+                TokKind::Punct('<') => angle += 1,
+                TokKind::Punct('>') if j > 0 && !matches!(t[j - 1].kind, TokKind::Punct('-')) => {
+                    angle -= 1;
+                }
+                _ => {}
+            }
+        }
+        let top_comma = !at_end && round == 0 && square == 0 && angle == 0 && punct_at(t, j, ',');
+        if top_comma || at_end {
+            if let Some(p) = parse_one_param(&t[start..j]) {
+                out.push(p);
+            }
+            start = j + 1;
+        }
+    }
+    out
+}
+
+/// One parameter slice → `name: type`, or `None` for receivers/attrs-only.
+fn parse_one_param(t: &[Tok]) -> Option<PubFnParam> {
+    // Skip leading attributes (`#[...]`).
+    let mut s = 0usize;
+    while punct_at(t, s, '#') && punct_at(t, s + 1, '[') {
+        let mut depth = 0i32;
+        let mut j = s + 1;
+        while j < t.len() {
+            match t[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        s = j;
+    }
+    let t = &t[s..];
+    // The first top-level single `:` (not part of `::`) splits pattern
+    // from type; receivers have none.
+    let mut colon = None;
+    let mut j = 0usize;
+    while j < t.len() {
+        if punct_at(t, j, ':') {
+            if punct_at(t, j + 1, ':') {
+                j += 2;
+                continue;
+            }
+            colon = Some(j);
+            break;
+        }
+        j += 1;
+    }
+    let colon = colon?;
+    let (pat, ty) = t.split_at(colon);
+    let name_tok = pat.iter().rev().find_map(|tok| match &tok.kind {
+        TokKind::Ident(s) if s != "mut" && s != "ref" => Some((s.clone(), tok.line)),
+        _ => None,
+    })?;
+    Some(PubFnParam {
+        name: name_tok.0,
+        ty: render_ty(&ty[1..]),
+        line: name_tok.1,
+    })
+}
+
+/// Parses named struct fields from the brace group opening at `open`
+/// (which must be `{`); pushes public fields and returns the index past
+/// the closing brace.
+fn parse_fields(t: &[Tok], open: usize, struct_name: &str, out: &mut Vec<PubField>) -> usize {
+    // Collect the body slice.
+    let mut depth = 0i32;
+    let mut close = open;
+    while close < t.len() {
+        match t[close].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        close += 1;
+    }
+    let body = &t[open + 1..close];
+    // Split the body at top-level commas; each piece is one field decl.
+    let mut start = 0usize;
+    let (mut round, mut square, mut angle, mut brace) = (0i32, 0i32, 0i32, 0i32);
+    for j in 0..=body.len() {
+        let at_end = j == body.len();
+        if !at_end {
+            match body[j].kind {
+                TokKind::Punct('(') => round += 1,
+                TokKind::Punct(')') => round -= 1,
+                TokKind::Punct('[') => square += 1,
+                TokKind::Punct(']') => square -= 1,
+                TokKind::Punct('{') => brace += 1,
+                TokKind::Punct('}') => brace -= 1,
+                TokKind::Punct('<') => angle += 1,
+                TokKind::Punct('>')
+                    if j > 0 && !matches!(body[j - 1].kind, TokKind::Punct('-')) =>
+                {
+                    angle -= 1;
+                }
+                _ => {}
+            }
+        }
+        let top_comma = !at_end
+            && round == 0
+            && square == 0
+            && angle == 0
+            && brace == 0
+            && punct_at(body, j, ',');
+        if top_comma || at_end {
+            parse_one_field(&body[start..j], struct_name, out);
+            start = j + 1;
+        }
+    }
+    close + 1
+}
+
+/// One field slice → a `PubField` if the field is `pub`-visible.
+fn parse_one_field(t: &[Tok], struct_name: &str, out: &mut Vec<PubField>) {
+    // Skip attributes.
+    let mut s = 0usize;
+    while punct_at(t, s, '#') && punct_at(t, s + 1, '[') {
+        let mut depth = 0i32;
+        let mut j = s + 1;
+        while j < t.len() {
+            match t[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        s = j;
+    }
+    let t = &t[s..];
+    let Some(after_vis) = skip_visibility(t, 0) else {
+        return; // private field — not part of the public API surface
+    };
+    let (Some(name), true) = (ident_at(t, after_vis), punct_at(t, after_vis + 1, ':')) else {
+        return;
+    };
+    out.push(PubField {
+        struct_name: struct_name.to_string(),
+        name: name.to_string(),
+        ty: render_ty(&t[after_vis + 2..]),
+        line: t[after_vis].line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn items(src: &str) -> Items {
+        parse_items(&scan(src))
+    }
+
+    #[test]
+    fn extracts_pub_fn_params() {
+        let it = items("pub fn submit(&mut self, now: SimTime, lba: u64, n: u64) -> bool {}");
+        assert_eq!(it.fns.len(), 1);
+        assert_eq!(it.fns[0].name, "submit");
+        let p: Vec<(&str, &str)> = it.fns[0]
+            .params
+            .iter()
+            .map(|p| (p.name.as_str(), p.ty.as_str()))
+            .collect();
+        assert_eq!(p, vec![("now", "SimTime"), ("lba", "u64"), ("n", "u64")]);
+    }
+
+    #[test]
+    fn private_fns_and_locals_are_invisible() {
+        let it = items("fn helper(lba: u64) {} pub fn f(&self) { let start_lba: u64 = 0; }");
+        assert_eq!(it.fns.len(), 1);
+        assert!(it.fns[0].params.is_empty());
+    }
+
+    #[test]
+    fn generics_and_qualifiers_are_skipped() {
+        let it = items(
+            "pub(crate) const unsafe fn g<T: Into<u64>, const N: usize>(mut slba: T, x: &mut u64) {}",
+        );
+        assert_eq!(it.fns.len(), 1);
+        assert_eq!(it.fns[0].name, "g");
+        assert_eq!(it.fns[0].params[0].name, "slba");
+        assert_eq!(it.fns[0].params[0].ty, "T");
+        assert_eq!(it.fns[0].params[1].ty, "&mut u64");
+    }
+
+    #[test]
+    fn multi_line_signatures_track_param_lines() {
+        let it = items("pub fn f(\n    a: u64,\n    dest_lba: u64,\n) {}");
+        assert_eq!(it.fns[0].params[1].name, "dest_lba");
+        assert_eq!(it.fns[0].params[1].line, 3);
+    }
+
+    #[test]
+    fn extracts_pub_struct_fields() {
+        let it = items(
+            "pub struct Cmd {\n    pub slba: u64,\n    nblocks: u64,\n    pub(crate) id: RequestId,\n}",
+        );
+        let f: Vec<(&str, &str)> = it
+            .fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.ty.as_str()))
+            .collect();
+        assert_eq!(f, vec![("slba", "u64"), ("id", "RequestId")]);
+        assert_eq!(it.fields[0].struct_name, "Cmd");
+        assert_eq!(it.fields[0].line, 2);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_yield_no_fields() {
+        let it = items("pub struct Vlba(pub u64); pub struct Marker; pub struct G<T>(T);");
+        assert!(it.fields.is_empty());
+    }
+
+    #[test]
+    fn fn_types_in_generics_do_not_derail() {
+        let it = items("pub fn h<F: Fn(u64) -> u64>(cb: F, lba: u64) {}");
+        assert_eq!(it.fns[0].params.len(), 2);
+        assert_eq!(it.fns[0].params[1].ty, "u64");
+    }
+}

@@ -1,0 +1,176 @@
+//! Address-provenance rules (T1-T3).
+//!
+//! NeSC's isolation argument is that a guest-supplied virtual LBA is
+//! translated to a physical LBA *exactly once*, at the extent-tree walk,
+//! and that nothing downstream of the walk can be handed an untranslated
+//! address. The `Vlba`/`Plba` newtypes in `nesc-extent` carry that
+//! provenance in the type system; these rules keep the newtypes honest by
+//! flagging the three ways provenance historically leaks:
+//!
+//! * **T1** — a public API carries an LBA as a raw `u64` (the newtype was
+//!   stripped at a crate boundary, so callers can pass either space);
+//! * **T2** — a `Plba` is minted (`Plba(..)`) or a newtype is unwrapped
+//!   (`.0`) outside the allowlisted boundary modules, i.e. somewhere that
+//!   is *not* supposed to be doing translation or wire serialization;
+//! * **T3** — byte/block arithmetic is open-coded (`* BLOCK_SIZE` on an
+//!   LBA-named value) instead of going through `byte_offset()` /
+//!   `from_byte_offset()`, which is how off-by-one-space bugs hide.
+//!
+//! All three apply only in address-carrying crates
+//! ([`LintContext::address_crate`]); T2/T3 are additionally off in
+//! boundary modules ([`LintContext::boundary_module`]), where unwrapping
+//! is the module's job. Violations elsewhere need a justified
+//! `// nesc-lint::allow(T2): <why>` directive, which rule A2/A3 hygiene
+//! keeps honest.
+
+use crate::lexer::{Scan, TokKind};
+use crate::parser;
+use crate::rules::{in_regions, Diagnostic, LintContext, Rule};
+
+/// Whether an identifier names an LBA-carrying value (`lba`, `slba`,
+/// `first_lba`, `Vlba`, ...).
+fn lba_named(name: &str) -> bool {
+    name.to_lowercase().contains("lba")
+}
+
+const T1_HINT: &str =
+    "type the parameter/field as Vlba or Plba (nesc-extent) so address provenance survives the API boundary";
+const T2_HINT: &str =
+    "use the newtype helpers (offset/byte_offset/distance_from/translate), or move the conversion into a boundary module, or justify with `// nesc-lint::allow(T2): <why>`";
+const T3_HINT: &str =
+    "use Vlba/Plba::byte_offset() or Vlba::from_byte_offset() so block↔byte conversion lives in the newtype";
+
+/// Runs T1-T3 over one file, appending raw (pre-suppression) diagnostics.
+pub(crate) fn check(
+    ctx: &LintContext,
+    scan: &Scan,
+    tests: &[(u32, u32)],
+    raw: &mut Vec<Diagnostic>,
+) {
+    if !ctx.address_crate || ctx.test_file {
+        return;
+    }
+    let push = |raw: &mut Vec<Diagnostic>, line: u32, rule: Rule, message: String| {
+        let hint = match rule {
+            Rule::T1 => T1_HINT,
+            Rule::T2 => T2_HINT,
+            _ => T3_HINT,
+        };
+        raw.push(Diagnostic {
+            path: ctx.path.clone(),
+            line,
+            rule,
+            message,
+            hint,
+            suppressed: false,
+        });
+    };
+
+    // ---- T1: raw u64 LBAs in public APIs (item-level) -----------------
+    let items = parser::parse_items(scan);
+    for f in &items.fns {
+        for p in &f.params {
+            if lba_named(&p.name) && p.ty == "u64" && !in_regions(tests, p.line) {
+                push(
+                    raw,
+                    p.line,
+                    Rule::T1,
+                    format!(
+                        "raw `u64` carries an LBA across a public API: parameter `{}` of fn `{}`",
+                        p.name, f.name
+                    ),
+                );
+            }
+        }
+    }
+    for fld in &items.fields {
+        if lba_named(&fld.name) && fld.ty == "u64" && !in_regions(tests, fld.line) {
+            push(
+                raw,
+                fld.line,
+                Rule::T1,
+                format!(
+                    "raw `u64` carries an LBA across a public API: field `{}.{}`",
+                    fld.struct_name, fld.name
+                ),
+            );
+        }
+    }
+
+    // ---- T2/T3: token-level unwrap / arithmetic patterns --------------
+    if ctx.boundary_module {
+        return;
+    }
+    let tokens = &scan.tokens;
+    let ident = |i: usize| -> Option<&str> {
+        match tokens.get(i).map(|t| &t.kind) {
+            Some(TokKind::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let punct = |i: usize, c: char| -> bool {
+        matches!(tokens.get(i).map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c)
+    };
+    let int = |i: usize| -> bool { matches!(tokens.get(i).map(|t| &t.kind), Some(TokKind::Int)) };
+
+    for (i, tok) in tokens.iter().enumerate() {
+        let line = tok.line;
+        if in_regions(tests, line) {
+            continue;
+        }
+        let Some(name) = ident(i) else { continue };
+
+        // T2: minting a physical address outside a boundary module.
+        // (`Vlba(..)` is fine — guest-facing entry points create virtual
+        // addresses; only the *translated* space is restricted.)
+        if name == "Plba" && punct(i + 1, '(') {
+            push(
+                raw,
+                line,
+                Rule::T2,
+                "physical address minted outside a boundary module: `Plba(..)`".into(),
+            );
+        }
+
+        // T2: unwrapping the newtype (`vlba.0`, `req.slba.0`).
+        if lba_named(name) && name != "Plba" && name != "Vlba" && punct(i + 1, '.') && int(i + 2) {
+            push(
+                raw,
+                line,
+                Rule::T2,
+                format!("address newtype unwrapped outside a boundary module: `{name}.0`"),
+            );
+            // T3 tail of the same expression: `lba.0 * BLOCK_SIZE`.
+            if punct(i + 3, '*') && ident(i + 4) == Some("BLOCK_SIZE") {
+                push(
+                    raw,
+                    line,
+                    Rule::T3,
+                    format!("open-coded block→byte conversion: `{name}.0 * BLOCK_SIZE`"),
+                );
+            }
+        }
+
+        // T3: `lba * BLOCK_SIZE` / `BLOCK_SIZE * lba` on a bare value.
+        if lba_named(name) && punct(i + 1, '*') && ident(i + 2) == Some("BLOCK_SIZE") {
+            push(
+                raw,
+                line,
+                Rule::T3,
+                format!("open-coded block→byte conversion: `{name} * BLOCK_SIZE`"),
+            );
+        }
+        if name == "BLOCK_SIZE" && punct(i + 1, '*') {
+            if let Some(rhs) = ident(i + 2) {
+                if lba_named(rhs) {
+                    push(
+                        raw,
+                        line,
+                        Rule::T3,
+                        format!("open-coded block→byte conversion: `BLOCK_SIZE * {rhs}`"),
+                    );
+                }
+            }
+        }
+    }
+}

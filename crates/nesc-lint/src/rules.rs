@@ -1,11 +1,15 @@
-//! The NeSC determinism rules (D1-D5) and suppression hygiene (A1-A3).
+//! The NeSC determinism rules (D1-D5), address-provenance rules (T1-T3)
+//! and suppression hygiene (A1-A3).
 //!
 //! Every rule is a pattern over the token stream produced by
-//! [`crate::lexer`]. See DESIGN.md ("Determinism invariants and how they
-//! are enforced") for the rationale behind each rule; the short version is
-//! that the whole evaluation rests on the simulator being bit-reproducible
-//! from a seed, and these are the ways PRs have historically broken that
-//! property in comparable codebases.
+//! [`crate::lexer`] — the T rules additionally use the item-level view
+//! from [`crate::parser`]. See DESIGN.md ("Determinism invariants and how
+//! they are enforced" and "Address provenance") for the rationale behind
+//! each rule; the short version is that the whole evaluation rests on the
+//! simulator being bit-reproducible from a seed and on guest-virtual
+//! addresses never crossing the translation boundary untyped, and these
+//! are the ways PRs have historically broken those properties in
+//! comparable codebases.
 //!
 //! # Suppressions
 //!
@@ -43,6 +47,14 @@ pub enum Rule {
     D4,
     /// Span/SpanId fabricated outside the `Tracer` implementation.
     D5,
+    /// Raw `u64` carrying an LBA across a public API in address crates.
+    T1,
+    /// `Vlba`/`Plba` unwrapped (`.0`) or `Plba` minted outside a boundary
+    /// module.
+    T2,
+    /// Byte/block arithmetic mixing (`* BLOCK_SIZE` on an LBA) outside the
+    /// conversion helpers.
+    T3,
     /// `#[allow(...)]` attribute without an adjacent `// allow:` rationale.
     A1,
     /// `nesc-lint::allow` directive without a justification.
@@ -53,12 +65,15 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, for iteration and parsing.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 11] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
         Rule::D4,
         Rule::D5,
+        Rule::T1,
+        Rule::T2,
+        Rule::T3,
         Rule::A1,
         Rule::A2,
         Rule::A3,
@@ -72,6 +87,9 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::D5 => "D5",
+            Rule::T1 => "T1",
+            Rule::T2 => "T2",
+            Rule::T3 => "T3",
             Rule::A1 => "A1",
             Rule::A2 => "A2",
             Rule::A3 => "A3",
@@ -103,6 +121,11 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it.
     pub hint: &'static str,
+    /// Whether a justified `nesc-lint::allow` directive suppressed this
+    /// diagnostic. [`check`] never returns suppressed entries;
+    /// [`check_all`] returns them flagged, for `--format json` consumers
+    /// that want the suppression state visible.
+    pub suppressed: bool,
 }
 
 impl fmt::Display for Diagnostic {
@@ -128,6 +151,13 @@ pub struct LintContext {
     /// D3/D5/A1 exempt everywhere: the file is test-only (integration
     /// tests, examples are still covered — only `tests/` tree files).
     pub test_file: bool,
+    /// T1-T3 apply: the file belongs to an address-carrying crate (one
+    /// whose types move vLBAs or pLBAs around).
+    pub address_crate: bool,
+    /// T2/T3 exempt: the file is an allowlisted boundary module where the
+    /// vLBA→pLBA translation (and the newtype plumbing it needs) is
+    /// *supposed* to happen.
+    pub boundary_module: bool,
 }
 
 impl LintContext {
@@ -138,6 +168,8 @@ impl LintContext {
             scheduling_core: true,
             trace_impl: false,
             test_file: false,
+            address_crate: true,
+            boundary_module: false,
         }
     }
 }
@@ -241,7 +273,7 @@ fn parse_directives(comments: &[Comment], tokens: &[Tok]) -> Vec<Directive> {
 
 /// Line ranges covered by `#[cfg(test)]` items (and the item after a bare
 /// `#[test]` attribute): `(first_line, last_line)` inclusive.
-fn test_regions(tokens: &[Tok]) -> Vec<(u32, u32)> {
+pub(crate) fn test_regions(tokens: &[Tok]) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -326,7 +358,7 @@ fn is_attr_start(tokens: &[Tok], i: usize, pat: &[&str]) -> bool {
     true
 }
 
-fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+pub(crate) fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
     regions.iter().any(|&(a, b)| line >= a && line <= b)
 }
 
@@ -365,8 +397,19 @@ fn generic_arg_count(tokens: &[Tok], i: usize) -> Option<(usize, usize)> {
     Some((commas + 1, j))
 }
 
-/// Runs every applicable rule over one file's scan.
+/// Runs every applicable rule over one file's scan, returning only the
+/// *active* diagnostics (directive-suppressed ones are dropped).
 pub fn check(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
+    check_all(ctx, scan)
+        .into_iter()
+        .filter(|d| !d.suppressed)
+        .collect()
+}
+
+/// Like [`check`], but keeps directive-suppressed diagnostics in the
+/// output with [`Diagnostic::suppressed`] set — what `--format json`
+/// reports, so suppression state is auditable downstream.
+pub fn check_all(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
     let tokens = &scan.tokens;
     let tests = test_regions(tokens);
     let mut directives = parse_directives(&scan.comments, tokens);
@@ -380,6 +423,7 @@ pub fn check(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
                 rule,
                 message,
                 hint,
+                suppressed: false,
             });
         };
 
@@ -558,19 +602,26 @@ pub fn check(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
         }
     }
 
-    // Apply suppressions: a directive kills same-rule diagnostics on its
-    // target line (and on its own comment line, for trailing directives).
+    // The provenance pass (T1-T3) contributes raw diagnostics *before*
+    // suppression is applied, so boundary-justified `allow(T2)` directives
+    // both suppress them and count as used.
+    crate::provenance::check(ctx, scan, &tests, &mut raw);
+
+    // Apply suppressions: a directive marks same-rule diagnostics on its
+    // target line (and on its own comment line, for trailing directives)
+    // as suppressed.
     let mut out: Vec<Diagnostic> = Vec::new();
-    for d in raw {
+    for mut d in raw {
         let suppressed = directives.iter_mut().find(|dir| {
             dir.rules.contains(&d.rule)
                 && d.line >= dir.target_line.min(dir.comment_line)
                 && d.line <= dir.end_line
         });
-        match suppressed {
-            Some(dir) => dir.used += 1,
-            None => out.push(d),
+        if let Some(dir) = suppressed {
+            dir.used += 1;
+            d.suppressed = true;
         }
+        out.push(d);
     }
 
     // A2/A3: directive hygiene.
@@ -582,6 +633,7 @@ pub fn check(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
                 rule: Rule::A2,
                 message: "suppression without a justification".into(),
                 hint: "write `// nesc-lint::allow(Dx): <non-empty reason>`",
+                suppressed: false,
             });
         }
         if dir.used == 0 {
@@ -599,10 +651,11 @@ pub fn check(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
                         .join(", ")
                 ),
                 hint: "delete the stale directive",
+                suppressed: false,
             });
         }
     }
 
-    out.sort_by_key(|a| (a.line, a.rule));
+    out.sort_by_key(|a| (a.line, a.rule, a.suppressed));
     out
 }

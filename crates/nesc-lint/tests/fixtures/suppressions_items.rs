@@ -1,0 +1,24 @@
+//! A-rule fixture: one directive covering a whole `impl` block, and one
+//! covering a multi-line function signature.
+
+// nesc-lint::allow(T2): serialization impl — every accessor unwraps.
+impl Wire {
+    pub fn a(slba: Vlba) -> u64 {
+        slba.0
+    }
+    pub fn b(plba: Plba) -> u64 {
+        plba.0
+    }
+}
+
+// nesc-lint::allow(T1): transitional API kept for the trace replayer.
+pub fn replay(
+    dest_lba: u64,
+    src_lba: u64,
+) -> bool {
+    dest_lba != src_lba
+}
+
+pub fn uncovered(raw_lba: Vlba) -> u64 {
+    raw_lba.0
+}

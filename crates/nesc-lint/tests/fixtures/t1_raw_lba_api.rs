@@ -1,0 +1,20 @@
+//! T1 fixture: raw u64 LBAs in public APIs.
+
+pub struct Command {
+    pub slba: u64,
+    pub nblocks: u64,
+    pub lba_typed: Vlba,
+}
+
+pub fn submit(dest_lba: u64, n: u64) -> bool {
+    let start_lba: u64 = dest_lba; // a local, not API surface — no T1
+    start_lba > n
+}
+
+pub fn translate(vlba: Vlba, hint: u64) -> Plba {
+    hint_path(vlba, hint)
+}
+
+fn private_lba(lba: u64) -> u64 {
+    lba
+}

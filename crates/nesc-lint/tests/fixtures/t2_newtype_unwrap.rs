@@ -1,0 +1,18 @@
+//! T2 fixture: newtype unwrapping and Plba minting outside boundaries.
+
+pub fn mint(block: u64) -> Plba {
+    Plba(block)
+}
+
+pub fn unwrap_it(vlba: Vlba) -> u64 {
+    vlba.0
+}
+
+pub fn guest_entry(block: u64) -> Vlba {
+    Vlba(block)
+}
+
+// nesc-lint::allow(T2): wire serialization demo — re-wrapped on decode.
+pub fn wire(slba: Vlba) -> u64 {
+    slba.0
+}

@@ -1,0 +1,19 @@
+//! T3 fixture: open-coded block↔byte arithmetic.
+
+pub fn bytes_of(lba: Vlba) -> u64 {
+    lba.0 * BLOCK_SIZE
+}
+
+pub fn also_bad(n: u64) -> u64 {
+    let total_lba = n;
+    BLOCK_SIZE * total_lba
+}
+
+pub fn third(x: Vlba) -> u64 {
+    let raw_lba = 7;
+    raw_lba * BLOCK_SIZE
+}
+
+pub fn fine(n: u64) -> u64 {
+    n * BLOCK_SIZE
+}

@@ -87,6 +87,61 @@ fn suppression_hygiene_rules() {
 }
 
 #[test]
+fn t1_flags_raw_u64_lba_api_surface() {
+    // Line 4 (`pub slba: u64`) and line 9 (`dest_lba: u64` parameter) are
+    // API surface; the typed field (6), the local (10), the typed
+    // parameter (14) and the private fn (18) must stay clean.
+    assert_eq!(
+        lint_fixture("t1_raw_lba_api.rs"),
+        vec![(4, Rule::T1), (9, Rule::T1)]
+    );
+}
+
+#[test]
+fn t2_flags_minting_and_unwrapping_but_not_vlba_entry() {
+    // `Plba(..)` (line 4) and `vlba.0` (line 8) fire; minting a *virtual*
+    // address (line 12) is a guest entry point and stays clean; the
+    // justified directive (line 15) suppresses the wire unwrap (line 17).
+    assert_eq!(
+        lint_fixture("t2_newtype_unwrap.rs"),
+        vec![(4, Rule::T2), (8, Rule::T2)]
+    );
+}
+
+#[test]
+fn t3_flags_block_byte_mixing_both_orders() {
+    // `lba.0 * BLOCK_SIZE` (line 4) is both an unwrap (T2) and an
+    // open-coded conversion (T3) — two reports on one line. Both operand
+    // orders fire (lines 9, 14); `n * BLOCK_SIZE` on a non-LBA name
+    // (line 18) stays clean.
+    assert_eq!(
+        lint_fixture("t3_byte_block_mixing.rs"),
+        vec![(4, Rule::T2), (4, Rule::T3), (9, Rule::T3), (14, Rule::T3),]
+    );
+}
+
+#[test]
+fn directives_cover_impl_blocks_and_multiline_signatures() {
+    // One directive above `impl Wire` (line 4) suppresses the unwraps on
+    // lines 7 and 10; one above the multi-line `replay` signature
+    // (line 14) suppresses the T1s on its parameter lines 16-17. Both
+    // count as used (no A3). Only the uncovered unwrap (line 23) remains.
+    assert_eq!(lint_fixture("suppressions_items.rs"), vec![(23, Rule::T2)]);
+}
+
+#[test]
+fn json_escaping_is_safe() {
+    // The JSON emitter lives in the binary; this pins the library-side
+    // contract it depends on: suppressed diagnostics are present in
+    // `lint_source_all` output and flagged.
+    let src = "// nesc-lint::allow(T2): demo.\npub fn wire(slba: Vlba) -> u64 { slba.0 }\n";
+    let all = nesc_lint::lint_source_all(&LintContext::strict("x.rs"), src);
+    assert_eq!(all.len(), 1);
+    assert!(all[0].suppressed);
+    assert!(lint_source(&LintContext::strict("x.rs"), src).is_empty());
+}
+
+#[test]
 fn diagnostics_render_path_line_rule_and_hint() {
     let src = "use std::time::SystemTime;\n";
     let diags = lint_source(&LintContext::strict("x.rs"), src);

@@ -13,6 +13,8 @@
 //!      [48..52] NLB (0-based)
 //! ```
 
+use nesc_extent::Vlba;
+
 /// Supported opcodes (NVM command set subset).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NvmeOpcode {
@@ -110,8 +112,10 @@ pub struct SubmissionEntry {
     pub nsid: u32,
     /// Data buffer (PRP1) in host memory.
     pub prp1: u64,
-    /// Starting logical block (in the namespace's 1 KiB blocks).
-    pub slba: u64,
+    /// Starting logical block (in the namespace's 1 KiB blocks). A
+    /// namespace is a guest-visible virtual disk, so the address is
+    /// virtual by construction.
+    pub slba: Vlba,
     /// Number of logical blocks, **0-based** per the NVMe convention
     /// (`0` means one block).
     pub nlb: u32,
@@ -130,7 +134,7 @@ impl SubmissionEntry {
         b[2..4].copy_from_slice(&self.cid.to_le_bytes());
         b[4..8].copy_from_slice(&self.nsid.to_le_bytes());
         b[24..32].copy_from_slice(&self.prp1.to_le_bytes());
-        b[40..48].copy_from_slice(&self.slba.to_le_bytes());
+        b[40..48].copy_from_slice(&self.slba.0.to_le_bytes());
         b[48..52].copy_from_slice(&self.nlb.to_le_bytes());
         b
     }
@@ -142,7 +146,7 @@ impl SubmissionEntry {
             cid: u16::from_le_bytes([b[2], b[3]]),
             nsid: u32::from_le_bytes(b[4..8].try_into().expect("4 bytes")),
             prp1: u64::from_le_bytes(b[24..32].try_into().expect("8 bytes")),
-            slba: u64::from_le_bytes(b[40..48].try_into().expect("8 bytes")),
+            slba: Vlba(u64::from_le_bytes(b[40..48].try_into().expect("8 bytes"))),
             nlb: u32::from_le_bytes(b[48..52].try_into().expect("4 bytes")),
         })
     }
@@ -221,7 +225,7 @@ mod tests {
             cid: 1,
             nsid: 1,
             prp1: 0,
-            slba: 0,
+            slba: Vlba(0),
             nlb: 0,
         };
         assert_eq!(sqe.blocks(), 1);
@@ -242,7 +246,7 @@ mod tests {
                 cid,
                 nsid,
                 prp1,
-                slba,
+                slba: Vlba(slba),
                 nlb,
             };
             prop_assert_eq!(SubmissionEntry::decode(&sqe.encode()), Some(sqe));

@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use nesc_core::{CompletionStatus, FuncId, IrqReason, NescConfig, NescDevice, NescOutput};
+use nesc_extent::Vlba;
 use nesc_pcie::{HostAddr, HostMemory};
 use nesc_sim::{SimDuration, SimTime};
 use nesc_storage::{BlockOp, BlockRequest, RequestId};
@@ -97,11 +98,11 @@ struct QueuePair {
 /// let buf = mem.borrow_mut().alloc(1024, 4096);
 /// mem.borrow_mut().write(buf, &[0x42; 1024]);
 /// let done = ctrl.submit_and_process(SimTime::ZERO, qid, &[SubmissionEntry {
-///     opcode: NvmeOpcode::Write, cid: 1, nsid: ns, prp1: buf, slba: 0, nlb: 0,
+///     opcode: NvmeOpcode::Write, cid: 1, nsid: ns, prp1: buf, slba: Vlba(0), nlb: 0,
 /// }]).unwrap();
 /// assert_eq!(done[0].0.status, NvmeStatus::Success);
 /// // The bytes landed on the namespace's *file* blocks (pLBA 64).
-/// assert_eq!(ctrl.device().store().read_block(64).unwrap(), vec![0x42; 1024]);
+/// assert_eq!(ctrl.device().store().read_block(Plba(64)).unwrap(), vec![0x42; 1024]);
 /// ```
 pub struct NvmeController {
     dev: NescDevice,
@@ -271,7 +272,13 @@ impl NvmeController {
                 self.post_now(qid, sqe.cid, sq_head, NvmeStatus::Success);
             }
             NvmeOpcode::Read | NvmeOpcode::Write => {
-                if sqe.slba + sqe.blocks() > ns.size_blocks {
+                // Wire-decoded SLBAs are untrusted: the checked add also
+                // rejects ranges that wrap the address space.
+                let in_range = sqe
+                    .slba
+                    .checked_add_blocks(sqe.blocks())
+                    .is_some_and(|end| end <= Vlba(ns.size_blocks));
+                if !in_range {
                     self.post_now(qid, sqe.cid, sq_head, NvmeStatus::LbaOutOfRange);
                     return;
                 }
@@ -436,7 +443,7 @@ mod tests {
                     cid: 1,
                     nsid: ns,
                     prp1: wbuf,
-                    slba: 8,
+                    slba: Vlba(8),
                     nlb: 3,
                 }],
             )
@@ -455,7 +462,7 @@ mod tests {
                     cid: 2,
                     nsid: ns,
                     prp1: rbuf,
-                    slba: 8,
+                    slba: Vlba(8),
                     nlb: 3,
                 }],
             )
@@ -478,7 +485,7 @@ mod tests {
                         cid: 1,
                         nsid: 99,
                         prp1: buf,
-                        slba: 0,
+                        slba: Vlba(0),
                         nlb: 0,
                     },
                     SubmissionEntry {
@@ -486,7 +493,7 @@ mod tests {
                         cid: 2,
                         nsid: ns,
                         prp1: buf,
-                        slba: 63,
+                        slba: Vlba(63),
                         nlb: 1, // two blocks: 63,64 — past the 64-block ns
                     },
                 ],
@@ -509,7 +516,7 @@ mod tests {
                     cid: 5,
                     nsid: ns,
                     prp1: 0,
-                    slba: 0,
+                    slba: Vlba(0),
                     nlb: 0,
                 }],
             )
@@ -537,7 +544,7 @@ mod tests {
                 cid: 1,
                 nsid: ns_a,
                 prp1: buf,
-                slba: 0,
+                slba: Vlba(0),
                 nlb: 0,
             }],
         )
@@ -551,17 +558,17 @@ mod tests {
                 cid: 2,
                 nsid: ns_b,
                 prp1: buf,
-                slba: 0,
+                slba: Vlba(0),
                 nlb: 0,
             }],
         )
         .unwrap();
         assert_eq!(
-            ctrl.device().store().read_block(100).unwrap(),
+            ctrl.device().store().read_block(Plba(100)).unwrap(),
             vec![0xA0; 1024]
         );
         assert_eq!(
-            ctrl.device().store().read_block(500).unwrap(),
+            ctrl.device().store().read_block(Plba(500)).unwrap(),
             vec![0xB0; 1024]
         );
     }
@@ -587,7 +594,7 @@ mod tests {
                     cid: 1,
                     nsid: ns,
                     prp1: buf,
-                    slba: 0,
+                    slba: Vlba(0),
                     nlb: 0,
                 }],
             )
@@ -613,7 +620,7 @@ mod tests {
                 cid: 9,
                 nsid: ns,
                 prp1: buf,
-                slba: 4,
+                slba: Vlba(4),
                 nlb: 0,
             },
         )
@@ -634,7 +641,7 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert!(done[0].0.status.is_success());
         assert_eq!(
-            ctrl.device().store().read_block(700).unwrap(),
+            ctrl.device().store().read_block(Plba(700)).unwrap(),
             vec![0x7E; 1024]
         );
         assert!(ctrl.pending_misses().is_empty());
@@ -650,7 +657,7 @@ mod tests {
             cid: 1,
             nsid: ns,
             prp1: buf,
-            slba: 0,
+            slba: Vlba(0),
             nlb: 0,
         };
         ctrl.push(qid, sqe).unwrap();

@@ -34,12 +34,13 @@ impl std::error::Error for QueueFull {}
 ///
 /// ```
 /// use nesc_nvme::{SubmissionQueue, SubmissionEntry, NvmeOpcode};
+/// use nesc_extent::Vlba;
 /// use nesc_pcie::HostMemory;
 ///
 /// let mut mem = HostMemory::new();
 /// let mut sq = SubmissionQueue::new(&mut mem, 4);
 /// let sqe = SubmissionEntry {
-///     opcode: NvmeOpcode::Read, cid: 7, nsid: 1, prp1: 0x9000, slba: 0, nlb: 3,
+///     opcode: NvmeOpcode::Read, cid: 7, nsid: 1, prp1: 0x9000, slba: Vlba(0), nlb: 3,
 /// };
 /// sq.push(&mut mem, sqe).unwrap();
 /// // Controller side:
@@ -213,6 +214,7 @@ impl CompletionQueue {
 mod tests {
     use super::*;
     use crate::command::{NvmeOpcode, NvmeStatus};
+    use nesc_extent::Vlba;
 
     fn sqe(cid: u16) -> SubmissionEntry {
         SubmissionEntry {
@@ -220,7 +222,7 @@ mod tests {
             cid,
             nsid: 1,
             prp1: 0x4000,
-            slba: cid as u64,
+            slba: Vlba(cid as u64),
             nlb: 0,
         }
     }

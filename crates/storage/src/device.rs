@@ -4,10 +4,17 @@
 //! and hole-semantics tests can verify actual data movement, not just
 //! timing. Like host memory, it is sparse: blocks read as zeros until first
 //! written, matching a freshly-initialized device.
+//!
+//! This is the end of the address pipeline: every API takes [`Plba`] —
+//! a *physical* block address that, by the provenance discipline (lint
+//! rules T1–T3), can only have come from the allocator, the extent walk,
+//! or the PF's identity translation. An untranslated guest vLBA cannot
+//! reach the media because nothing here accepts one.
 
 use std::collections::HashMap;
 use std::fmt;
 
+use nesc_extent::Plba;
 use nesc_sim::IntHashBuilder;
 
 use crate::request::BLOCK_SIZE;
@@ -18,18 +25,22 @@ use crate::request::BLOCK_SIZE;
 ///
 /// ```
 /// use nesc_storage::{BlockStore, BLOCK_SIZE};
+/// use nesc_extent::Plba;
 /// let mut store = BlockStore::new(1024); // 1 MiB device
-/// store.write_block(5, &vec![0xAA; BLOCK_SIZE as usize]).unwrap();
-/// let data = store.read_block(5).unwrap();
+/// store.write_block(Plba(5), &vec![0xAA; BLOCK_SIZE as usize]).unwrap();
+/// let data = store.read_block(Plba(5)).unwrap();
 /// assert!(data.iter().all(|&b| b == 0xAA));
-/// assert!(store.read_block(9999).is_err()); // beyond capacity
+/// assert!(store.read_block(Plba(9999)).is_err()); // beyond capacity
 /// ```
 pub struct BlockStore {
-    // One lookup per block moved on the data path; keyed by LBA with a
+    // One lookup per block moved on the data path; keyed by pLBA with a
     // cheap deterministic integer hasher for the same reason as host
     // memory's page map.
-    blocks: HashMap<u64, Box<[u8]>, IntHashBuilder>,
+    blocks: HashMap<Plba, Box<[u8]>, IntHashBuilder>,
     capacity_blocks: u64,
+    /// One past the last valid physical block; cached so range checks are
+    /// typed comparisons instead of repeated re-derivations.
+    end: Plba,
 }
 
 impl fmt::Debug for BlockStore {
@@ -47,7 +58,7 @@ pub enum StoreError {
     /// The address is at or beyond the device capacity.
     OutOfRange {
         /// Offending block address.
-        lba: u64,
+        lba: Plba,
         /// Device capacity in blocks.
         capacity: u64,
     },
@@ -84,6 +95,10 @@ impl BlockStore {
         BlockStore {
             blocks: HashMap::default(),
             capacity_blocks,
+            // nesc-lint::allow(T2): the media edge *defines* the physical
+            // space — device geometry is where pLBAs originate, not a
+            // translation that could be skipped.
+            end: Plba(capacity_blocks),
         }
     }
 
@@ -97,12 +112,23 @@ impl BlockStore {
         self.capacity_blocks * BLOCK_SIZE
     }
 
+    /// How many blocks lie between `lba` (inclusive) and the end of the
+    /// device — zero when `lba` is at or beyond capacity. Run-sizing
+    /// callers clamp transfers with this instead of unwrapping addresses.
+    pub fn blocks_until_end(&self, lba: Plba) -> u64 {
+        if lba >= self.end {
+            0
+        } else {
+            self.end.distance_from(lba)
+        }
+    }
+
     /// Reads one block; unwritten blocks read as zeros.
     ///
     /// # Errors
     ///
     /// [`StoreError::OutOfRange`] if `lba` is beyond capacity.
-    pub fn read_block(&self, lba: u64) -> Result<Vec<u8>, StoreError> {
+    pub fn read_block(&self, lba: Plba) -> Result<Vec<u8>, StoreError> {
         self.check(lba)?;
         Ok(match self.blocks.get(&lba) {
             Some(b) => b.to_vec(),
@@ -116,7 +142,7 @@ impl BlockStore {
     ///
     /// [`StoreError::OutOfRange`] if `lba` is beyond capacity;
     /// [`StoreError::BadLength`] if `data` is not exactly one block.
-    pub fn write_block(&mut self, lba: u64, data: &[u8]) -> Result<(), StoreError> {
+    pub fn write_block(&mut self, lba: Plba, data: &[u8]) -> Result<(), StoreError> {
         self.check(lba)?;
         if data.len() != BLOCK_SIZE as usize {
             return Err(StoreError::BadLength { len: data.len() });
@@ -135,14 +161,14 @@ impl BlockStore {
     /// [`StoreError::OutOfRange`] naming the first out-of-range block if the
     /// range crosses capacity (nothing is read); [`StoreError::BadLength`]
     /// if `out` has the wrong size.
-    pub fn read_range(&self, lba: u64, blocks: u64, out: &mut [u8]) -> Result<(), StoreError> {
+    pub fn read_range(&self, lba: Plba, blocks: u64, out: &mut [u8]) -> Result<(), StoreError> {
         self.check_range(lba, blocks)?;
         if out.len() as u64 != blocks * BLOCK_SIZE {
             return Err(StoreError::BadLength { len: out.len() });
         }
         let bs = BLOCK_SIZE as usize;
         for (i, chunk) in out.chunks_exact_mut(bs).enumerate() {
-            match self.blocks.get(&(lba + i as u64)) {
+            match self.blocks.get(&lba.offset(i as u64)) {
                 Some(b) => chunk.copy_from_slice(b),
                 None => chunk.fill(0),
             }
@@ -158,7 +184,7 @@ impl BlockStore {
     /// [`StoreError::OutOfRange`] naming the first out-of-range block if the
     /// range crosses capacity (nothing is written); [`StoreError::BadLength`]
     /// if `data` is empty or not block-aligned.
-    pub fn write_range(&mut self, lba: u64, data: &[u8]) -> Result<(), StoreError> {
+    pub fn write_range(&mut self, lba: Plba, data: &[u8]) -> Result<(), StoreError> {
         let bs = BLOCK_SIZE as usize;
         if data.is_empty() || !data.len().is_multiple_of(bs) {
             return Err(StoreError::BadLength { len: data.len() });
@@ -168,7 +194,7 @@ impl BlockStore {
         for (i, chunk) in data.chunks_exact(bs).enumerate() {
             // Reuse the existing allocation on rewrite instead of boxing a
             // fresh block per insert.
-            match self.blocks.entry(lba + i as u64) {
+            match self.blocks.entry(lba.offset(i as u64)) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     e.get_mut().copy_from_slice(chunk)
                 }
@@ -184,7 +210,7 @@ impl BlockStore {
     /// written (it reads as zeros). No capacity check — callers on the
     /// batched data path validate the whole range up front with
     /// [`check_range`](BlockStore::check_range).
-    pub fn block(&self, lba: u64) -> Option<&[u8]> {
+    pub fn block(&self, lba: Plba) -> Option<&[u8]> {
         self.blocks.get(&lba).map(|b| &b[..])
     }
 
@@ -195,7 +221,7 @@ impl BlockStore {
     /// # Errors
     ///
     /// [`StoreError::OutOfRange`] if `lba` is beyond capacity.
-    pub fn block_mut(&mut self, lba: u64) -> Result<&mut [u8], StoreError> {
+    pub fn block_mut(&mut self, lba: Plba) -> Result<&mut [u8], StoreError> {
         self.check(lba)?;
         Ok(self
             .blocks
@@ -204,7 +230,7 @@ impl BlockStore {
     }
 
     /// Whether a block has ever been written.
-    pub fn is_written(&self, lba: u64) -> bool {
+    pub fn is_written(&self, lba: Plba) -> bool {
         self.blocks.contains_key(&lba)
     }
 
@@ -221,20 +247,21 @@ impl BlockStore {
     /// # Errors
     ///
     /// [`StoreError::OutOfRange`] naming the first out-of-range block.
-    pub fn check_range(&self, lba: u64, blocks: u64) -> Result<(), StoreError> {
-        let end = lba.saturating_add(blocks);
-        if end > self.capacity_blocks || blocks == 0 {
+    pub fn check_range(&self, lba: Plba, blocks: u64) -> Result<(), StoreError> {
+        let in_range =
+            blocks > 0 && matches!(lba.checked_add_blocks(blocks), Some(end) if end <= self.end);
+        if in_range {
+            Ok(())
+        } else {
             Err(StoreError::OutOfRange {
-                lba: lba.max(self.capacity_blocks),
+                lba: lba.max(self.end),
                 capacity: self.capacity_blocks,
             })
-        } else {
-            Ok(())
         }
     }
 
-    fn check(&self, lba: u64) -> Result<(), StoreError> {
-        if lba >= self.capacity_blocks {
+    fn check(&self, lba: Plba) -> Result<(), StoreError> {
+        if lba >= self.end {
             Err(StoreError::OutOfRange {
                 lba,
                 capacity: self.capacity_blocks,
@@ -253,16 +280,16 @@ mod tests {
     #[test]
     fn unwritten_reads_zero() {
         let store = BlockStore::new(16);
-        assert!(store.read_block(3).unwrap().iter().all(|&b| b == 0));
-        assert!(!store.is_written(3));
+        assert!(store.read_block(Plba(3)).unwrap().iter().all(|&b| b == 0));
+        assert!(!store.is_written(Plba(3)));
     }
 
     #[test]
     fn write_then_read() {
         let mut store = BlockStore::new(16);
         let data = vec![7u8; BLOCK_SIZE as usize];
-        store.write_block(0, &data).unwrap();
-        assert_eq!(store.read_block(0).unwrap(), data);
+        store.write_block(Plba(0), &data).unwrap();
+        assert_eq!(store.read_block(Plba(0)).unwrap(), data);
         assert_eq!(store.resident_blocks(), 1);
     }
 
@@ -270,22 +297,25 @@ mod tests {
     fn capacity_enforced() {
         let mut store = BlockStore::new(4);
         assert_eq!(
-            store.read_block(4).unwrap_err(),
+            store.read_block(Plba(4)).unwrap_err(),
             StoreError::OutOfRange {
-                lba: 4,
+                lba: Plba(4),
                 capacity: 4
             }
         );
         assert!(store
-            .write_block(100, &vec![0; BLOCK_SIZE as usize])
+            .write_block(Plba(100), &vec![0; BLOCK_SIZE as usize])
             .is_err());
         assert_eq!(store.capacity_bytes(), 4 * BLOCK_SIZE);
+        assert_eq!(store.blocks_until_end(Plba(1)), 3);
+        assert_eq!(store.blocks_until_end(Plba(4)), 0);
+        assert_eq!(store.blocks_until_end(Plba(100)), 0);
     }
 
     #[test]
     fn bad_length_rejected() {
         let mut store = BlockStore::new(4);
-        let err = store.write_block(0, &[1, 2, 3]).unwrap_err();
+        let err = store.write_block(Plba(0), &[1, 2, 3]).unwrap_err();
         assert_eq!(err, StoreError::BadLength { len: 3 });
         assert!(err.to_string().contains("3 bytes"));
     }
@@ -297,10 +327,10 @@ mod tests {
         let mut data = vec![0u8; 3 * bs];
         data[..bs].fill(1);
         data[2 * bs..].fill(3);
-        store.write_range(4, &data).unwrap();
+        store.write_range(Plba(4), &data).unwrap();
         let mut out = vec![0xFFu8; 5 * bs];
         // Blocks 3 and 7 were never written: they must read back as zeros.
-        store.read_range(3, 5, &mut out).unwrap();
+        store.read_range(Plba(3), 5, &mut out).unwrap();
         assert!(out[..bs].iter().all(|&b| b == 0));
         assert!(out[bs..2 * bs].iter().all(|&b| b == 1));
         assert!(out[2 * bs..3 * bs].iter().all(|&b| b == 0));
@@ -312,23 +342,30 @@ mod tests {
     fn range_rejects_capacity_crossing_atomically() {
         let mut store = BlockStore::new(4);
         let bs = BLOCK_SIZE as usize;
-        let err = store.write_range(2, &vec![9u8; 3 * bs]).unwrap_err();
+        let err = store.write_range(Plba(2), &vec![9u8; 3 * bs]).unwrap_err();
         assert_eq!(
             err,
             StoreError::OutOfRange {
-                lba: 4,
+                lba: Plba(4),
                 capacity: 4
             }
         );
         // Nothing was written, even though blocks 2 and 3 were in range.
         assert_eq!(store.resident_blocks(), 0);
         let mut out = vec![0u8; 3 * bs];
-        assert!(store.read_range(2, 3, &mut out).is_err());
-        assert!(store.read_range(2, 2, &mut out[..2 * bs]).is_ok());
+        assert!(store.read_range(Plba(2), 3, &mut out).is_err());
+        assert!(store.read_range(Plba(2), 2, &mut out[..2 * bs]).is_ok());
         assert_eq!(
-            store.write_range(0, &vec![0u8; bs + 1]).unwrap_err(),
+            store.write_range(Plba(0), &vec![0u8; bs + 1]).unwrap_err(),
             StoreError::BadLength { len: bs + 1 }
         );
+    }
+
+    #[test]
+    fn overflowing_range_is_rejected_not_wrapped() {
+        let store = BlockStore::new(4);
+        assert!(store.check_range(Plba(u64::MAX - 1), 4).is_err());
+        assert!(store.check_range(Plba(0), 0).is_err());
     }
 
     proptest! {
@@ -340,12 +377,12 @@ mod tests {
             let mut store = BlockStore::new(64);
             let mut reference: std::collections::HashMap<u64, u8> = Default::default();
             for &(lba, byte) in &writes {
-                store.write_block(lba, &vec![byte; BLOCK_SIZE as usize]).unwrap();
+                store.write_block(Plba(lba), &vec![byte; BLOCK_SIZE as usize]).unwrap();
                 reference.insert(lba, byte);
             }
             for lba in 0..64 {
                 let expect = reference.get(&lba).copied().unwrap_or(0);
-                let got = store.read_block(lba).unwrap();
+                let got = store.read_block(Plba(lba)).unwrap();
                 prop_assert!(got.iter().all(|&b| b == expect));
             }
         }

@@ -24,6 +24,6 @@ pub mod device;
 pub mod media;
 pub mod request;
 
-pub use device::BlockStore;
+pub use device::{BlockStore, StoreError};
 pub use media::{FlashMedia, Media, RamMedia};
 pub use request::{BlockOp, BlockRequest, RequestId, BLOCK_SIZE};

@@ -2,9 +2,9 @@
 
 use std::fmt;
 
-/// NeSC's translation granularity: 1 KiB, "the smallest block size supported
-/// by ext4" (paper §IV-C).
-pub const BLOCK_SIZE: u64 = 1024;
+use nesc_extent::{BlockAddr, Plba, Vlba};
+
+pub use nesc_extent::BLOCK_SIZE;
 
 /// Direction of a block operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,37 +41,44 @@ impl fmt::Display for RequestId {
     }
 }
 
-/// One block-granular storage request as seen by a device: operate on
-/// `block_count` blocks starting at logical block `lba` of whatever address
-/// space the target exposes (virtual blocks for a VF, physical for the PF).
+/// One block-granular storage request: operate on `block_count` blocks
+/// starting at `lba`. The address-space parameter `A` records *which* space
+/// the address lives in — a request submitted to a virtual function carries
+/// [`Vlba`]s (the default), a request addressed to the physical function
+/// carries [`Plba`]s — so an untranslated address can no longer cross a
+/// layer boundary by decaying to `u64`.
 ///
 /// # Example
 ///
 /// ```
 /// use nesc_storage::{BlockRequest, BlockOp, RequestId, BLOCK_SIZE};
-/// let r = BlockRequest::new(RequestId(1), BlockOp::Read, 10, 4);
+/// use nesc_extent::Vlba;
+/// let r = BlockRequest::new(RequestId(1), BlockOp::Read, Vlba(10), 4);
 /// assert_eq!(r.bytes(), 4 * BLOCK_SIZE);
-/// assert_eq!(r.end_lba(), 14);
+/// assert_eq!(r.end_lba(), Vlba(14));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BlockRequest {
+pub struct BlockRequest<A = Vlba> {
     /// Request identity (for completion matching).
     pub id: RequestId,
     /// Read or write.
     pub op: BlockOp,
-    /// First logical block.
-    pub lba: u64,
+    /// First logical block, in the address space of the target function.
+    pub lba: A,
     /// Number of contiguous blocks.
     pub block_count: u64,
 }
 
-impl BlockRequest {
+/// A request addressed to the physical function: its blocks are physical.
+pub type PfBlockRequest = BlockRequest<Plba>;
+
+impl<A: BlockAddr> BlockRequest<A> {
     /// Creates a request.
     ///
     /// # Panics
     ///
     /// Panics if `block_count` is zero.
-    pub fn new(id: RequestId, op: BlockOp, lba: u64, block_count: u64) -> Self {
+    pub fn new(id: RequestId, op: BlockOp, lba: A, block_count: u64) -> Self {
         assert!(block_count > 0, "requests must cover at least one block");
         BlockRequest {
             id,
@@ -87,18 +94,18 @@ impl BlockRequest {
     }
 
     /// One past the last block touched.
-    pub fn end_lba(&self) -> u64 {
-        self.lba + self.block_count
+    pub fn end_lba(&self) -> A {
+        self.lba.offset(self.block_count)
     }
 
     /// Splits the request into per-block sub-requests, the granularity at
     /// which NeSC translates addresses.
-    pub fn split_blocks(&self) -> impl Iterator<Item = BlockRequest> + '_ {
-        let (id, op) = (self.id, self.op);
-        (self.lba..self.end_lba()).map(move |lba| BlockRequest {
+    pub fn split_blocks(&self) -> impl Iterator<Item = BlockRequest<A>> + '_ {
+        let (id, op, lba) = (self.id, self.op, self.lba);
+        (0..self.block_count).map(move |i| BlockRequest {
             id,
             op,
-            lba,
+            lba: lba.offset(i),
             block_count: 1,
         })
     }
@@ -110,18 +117,25 @@ mod tests {
 
     #[test]
     fn split_covers_range_exactly() {
-        let r = BlockRequest::new(RequestId(7), BlockOp::Write, 100, 5);
+        let r = BlockRequest::new(RequestId(7), BlockOp::Write, Vlba(100), 5);
         let parts: Vec<_> = r.split_blocks().collect();
         assert_eq!(parts.len(), 5);
-        assert_eq!(parts[0].lba, 100);
-        assert_eq!(parts[4].lba, 104);
+        assert_eq!(parts[0].lba, Vlba(100));
+        assert_eq!(parts[4].lba, Vlba(104));
         assert!(parts.iter().all(|p| p.block_count == 1 && p.id == r.id));
+    }
+
+    #[test]
+    fn physical_requests_carry_plbas() {
+        let r = BlockRequest::new(RequestId(9), BlockOp::Read, Plba(40), 2);
+        assert_eq!(r.end_lba(), Plba(42));
+        assert_eq!(r.bytes(), 2 * BLOCK_SIZE);
     }
 
     #[test]
     #[should_panic(expected = "at least one block")]
     fn zero_blocks_rejected() {
-        BlockRequest::new(RequestId(0), BlockOp::Read, 0, 0);
+        BlockRequest::new(RequestId(0), BlockOp::Read, Vlba(0), 0);
     }
 
     #[test]

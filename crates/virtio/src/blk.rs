@@ -7,9 +7,14 @@
 //! backend-side decode, with real header bytes moving through
 //! [`HostMemory`].
 
+use nesc_extent::Vlba;
 use nesc_pcie::{HostAddr, HostMemory};
 
 use crate::queue::Descriptor;
+
+/// Bytes per virtio-blk sector. The wire format always addresses in
+/// 512-byte sectors regardless of the backing device's block size.
+pub const SECTOR_BYTES: u64 = 512;
 
 /// virtio-blk command type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +118,20 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 impl BlkRequest {
+    /// The request's starting byte offset in the guest's virtual disk.
+    pub fn byte_offset(&self) -> u64 {
+        self.sector * SECTOR_BYTES
+    }
+
+    /// The virtual block containing the request's first sector.
+    ///
+    /// virtio-blk sectors are guest-disk offsets, so the provenance of the
+    /// address is virtual by construction — a backend must still walk the
+    /// file's extent map before it can touch physical blocks.
+    pub fn start_vlba(&self) -> Vlba {
+        Vlba::from_byte_offset(self.byte_offset())
+    }
+
     /// Driver side: writes the 16-byte header into guest memory at
     /// `header_addr` and returns the descriptor chain to publish.
     ///
@@ -261,6 +280,19 @@ mod tests {
             BlkStatus::from_byte(mem.read_vec(0x5000, 1)[0]),
             Some(BlkStatus::IoErr)
         );
+    }
+
+    #[test]
+    fn sector_maps_to_containing_virtual_block() {
+        let req = BlkRequest {
+            rtype: BlkRequestType::In,
+            sector: 3, // 1536 bytes in: mid-block for 1 KiB blocks
+            data: 0,
+            len: 512,
+            status: 0,
+        };
+        assert_eq!(req.byte_offset(), 1536);
+        assert_eq!(req.start_vlba(), Vlba(1));
     }
 
     #[test]

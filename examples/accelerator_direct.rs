@@ -33,7 +33,7 @@ fn main() {
     // Seed the dataset on the device.
     for b in 0..file_blocks {
         dev.store_mut()
-            .write_block(5000 + b, &vec![(b % 251) as u8; 1024])
+            .write_block(Plba(5000 + b), &vec![(b % 251) as u8; 1024])
             .expect("in capacity");
     }
 
@@ -54,7 +54,7 @@ fn main() {
     let mut dev2 = NescDevice::new(NescConfig::prototype(), Rc::clone(&mem2));
     let staging = mem2.borrow_mut().alloc(16 << 20, 4096);
     let mut host = HostMediated::new();
-    let t_host = host.fetch_via_host(SimTime::ZERO, &mut dev2, staging, 5000, 1 << 20);
+    let t_host = host.fetch_via_host(SimTime::ZERO, &mut dev2, staging, Plba(5000), 1 << 20);
 
     println!("1 MiB dataset fetch into the accelerator:");
     println!("  NeSC VF peer-to-peer DMA : {t_direct}");
@@ -78,7 +78,7 @@ fn main() {
         let staging3 = mem3.borrow_mut().alloc(1 << 20, 4096);
         let mut host2 = HostMediated::new();
         host2
-            .fetch_via_host(SimTime::ZERO, &mut dev3, staging3, 6024, 16 * 1024)
+            .fetch_via_host(SimTime::ZERO, &mut dev3, staging3, Plba(6024), 16 * 1024)
             .saturating_since(SimTime::ZERO)
     };
     println!(
@@ -97,7 +97,7 @@ fn main() {
     acc.flush_direct(t_direct, &mut dev, vf, 2 << 20, 64 * 1024, 2 << 20)
         .expect("flush");
     assert_eq!(
-        dev.store().read_block(5000 + 2048).expect("mapped"),
+        dev.store().read_block(Plba(5000 + 2048)).expect("mapped"),
         vec![0xEE; 1024]
     );
     println!(

@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use nesc_core::{NescConfig, NescDevice, NescOutput};
-use nesc_extent::{ExtentMapping, ExtentTree, Vlba};
+use nesc_extent::{ExtentMapping, ExtentTree, Plba, Vlba};
 use nesc_fs::Filesystem;
 use nesc_pcie::HostMemory;
 use nesc_sim::SimTime;
@@ -73,7 +73,7 @@ fn main() {
     dev.submit(
         t0,
         l2_vf,
-        BlockRequest::new(RequestId(1), BlockOp::Write, 0, 64),
+        BlockRequest::new(RequestId(1), BlockOp::Write, Vlba(0), 64),
         buf,
     );
     let outs = dev.advance(HORIZON);
@@ -92,7 +92,7 @@ fn main() {
         .0;
     let plba = 4096 + l1_vlba;
     assert_eq!(
-        dev.store().read_block(plba).expect("in range"),
+        dev.store().read_block(Plba(plba)).expect("in range"),
         vec![0xB2; 1024]
     );
     println!("composition verified: L2 vLBA 0 -> L1 vLBA {l1_vlba} -> pLBA {plba}");
@@ -104,7 +104,7 @@ fn main() {
     dev.submit(
         done,
         l2_vf,
-        BlockRequest::new(RequestId(2), BlockOp::Read, (8 << 20) / BLOCK_SIZE, 1),
+        BlockRequest::new(RequestId(2), BlockOp::Read, Vlba((8 << 20) / BLOCK_SIZE), 1),
         buf,
     );
     let outs = dev.advance(HORIZON);

@@ -55,7 +55,7 @@ fn main() {
             cid: 1,
             nsid: ns_db,
             prp1: dbuf,
-            slba: 0,
+            slba: Vlba(0),
             nlb: 15, // 16 blocks, NVMe 0-based
         },
         SubmissionEntry {
@@ -63,7 +63,7 @@ fn main() {
             cid: 2,
             nsid: ns_log,
             prp1: lbuf,
-            slba: 0,
+            slba: Vlba(0),
             nlb: 3,
         },
         SubmissionEntry {
@@ -71,7 +71,7 @@ fn main() {
             cid: 3,
             nsid: ns_log,
             prp1: 0,
-            slba: 0,
+            slba: Vlba(0),
             nlb: 0,
         },
     ];
@@ -84,11 +84,11 @@ fn main() {
 
     // Verify placement: namespace writes landed on *their* files' blocks.
     assert_eq!(
-        ctrl.device().store().read_block(1_000).unwrap(),
+        ctrl.device().store().read_block(Plba(1_000)).unwrap(),
         vec![0xDB; 1024]
     );
     assert_eq!(
-        ctrl.device().store().read_block(10_000).unwrap(),
+        ctrl.device().store().read_block(Plba(10_000)).unwrap(),
         vec![0x10; 1024]
     );
     println!("\nisolation: each namespace's writes landed only on its own file's blocks");

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Repo health check: build, test, compile the benches, run the
-# determinism gates (static lint + runtime divergence self-check), and
-# prove the run-batched hot path did not perturb simulated results (the
-# committed figure goldens must regenerate bit-identically).
+# determinism + address-provenance gates (static lint, with an injected-
+# violation self-test, + runtime divergence self-check), and prove the
+# run-batched hot path did not perturb simulated results (the committed
+# figure goldens must regenerate bit-identically).
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -23,12 +24,28 @@ cargo test -q
 echo "==> cargo bench --no-run (criterion harness compiles; gated offline)"
 cargo bench --no-run -p nesc-bench
 
-echo "==> nesc-lint: determinism/invariant rules (D1-D5, A1-A3)"
+echo "==> nesc-lint: determinism + address-provenance rules (D1-D5, T1-T3, A1-A3)"
 if ! cargo run --release -q -p nesc-lint; then
-    echo "FAIL: nesc-lint found determinism-rule violations (rule ids above);" >&2
-    echo "      fix them or add a justified 'nesc-lint::allow(Dx): <why>' directive" >&2
+    echo "FAIL: nesc-lint found rule violations (rule ids above);" >&2
+    echo "      fix them or add a justified 'nesc-lint::allow(Dx|Tx): <why>' directive" >&2
     exit 1
 fi
+
+echo "==> nesc-lint self-test: an injected T2 violation must fail the gate"
+# The provenance pass runs before the golden comparisons; prove it is
+# actually armed by linting a file that unwraps a vLBA outside a
+# boundary module and demanding a non-zero exit.
+inject="crates/core/src/nesc_lint_selftest_injected.rs"
+trap 'rm -f "$inject"' EXIT
+printf 'pub fn leak(vlba: Vlba) -> u64 {\n    vlba.0\n}\n' > "$inject"
+if cargo run --release -q -p nesc-lint -- "$inject" >/dev/null 2>&1; then
+    rm -f "$inject"
+    echo "FAIL: nesc-lint passed a file with a known T2 violation —" >&2
+    echo "      the provenance pass is not armed" >&2
+    exit 1
+fi
+rm -f "$inject"
+echo "OK: injected violation rejected"
 
 echo "==> divergence self-check: same-seed double run must be identical"
 if ! cargo run --release -q -p nesc-bench --bin divergence_check; then

@@ -1,9 +1,16 @@
 //! Reproducibility: every harness result must be bit-identical across
 //! runs — the property that makes the figure regeneration trustworthy.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nesc_core::{CompletionStatus, NescConfig, NescDevice, NescOutput};
+use nesc_extent::{Plba, Vlba};
 use nesc_hypervisor::{DiskKind, GuestFilesystem};
+use nesc_pcie::HostMemory;
 use nesc_sim::selfcheck::{first_divergence, self_check, Divergence};
-use nesc_storage::BlockOp;
+use nesc_sim::SimTime;
+use nesc_storage::{BlockOp, BlockRequest, RequestId, BLOCK_SIZE};
 use nesc_system_tests::system_with_disk;
 use nesc_workloads::{Dd, DdMode, FileIo, MixedVfSelfCheck, Oltp, Postmark};
 
@@ -114,6 +121,61 @@ fn mixed_multivf_different_seeds_report_first_divergence() {
         other => panic!("expected an event-level divergence, got: {other}"),
     }
     assert!(d.to_string().contains("diverg"), "report: {d}");
+}
+
+#[test]
+fn mistranslated_vlba_passed_as_plba_is_caught_by_range_check() {
+    // The Vlba/Plba newtypes (and lint rule T2) make "skipped the extent
+    // walk" hard to write; this pins the *runtime* backstop behind them.
+    // A guest block index smuggled untranslated into the PF's physical
+    // space lands outside the device and must complete OutOfRange without
+    // touching media — while the same index, properly translated to an
+    // in-range pLBA, succeeds.
+    let horizon = SimTime::from_nanos(u64::MAX / 4);
+    let mem = Rc::new(RefCell::new(HostMemory::new()));
+    let mut cfg = NescConfig::prototype();
+    cfg.capacity_blocks = 4096;
+    let mut dev = NescDevice::new(cfg, Rc::clone(&mem));
+    let buf = mem.borrow_mut().alloc(BLOCK_SIZE, 8);
+
+    // The deliberate bug: an identity conversion stands in for the real
+    // extent-walk translation of a guest address beyond PF capacity.
+    let guest_vlba = Vlba(10_000);
+    let smuggled = guest_vlba.identity_plba();
+    dev.submit_pf(
+        SimTime::ZERO,
+        BlockRequest::new(RequestId(1), BlockOp::Write, smuggled, 1),
+        buf,
+    );
+    let outs = dev.advance(horizon);
+    assert!(
+        matches!(
+            outs.last(),
+            Some(NescOutput::Completion {
+                status: CompletionStatus::OutOfRange,
+                ..
+            })
+        ),
+        "untranslated guest address must be rejected, got {outs:?}"
+    );
+
+    // A genuinely translated in-range physical address sails through.
+    dev.submit_pf(
+        SimTime::ZERO,
+        BlockRequest::new(RequestId(2), BlockOp::Write, Plba(100), 1),
+        buf,
+    );
+    let outs = dev.advance(horizon);
+    assert!(
+        matches!(
+            outs.last(),
+            Some(NescOutput::Completion {
+                status: CompletionStatus::Ok,
+                ..
+            })
+        ),
+        "translated request must succeed, got {outs:?}"
+    );
 }
 
 #[test]

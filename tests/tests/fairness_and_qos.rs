@@ -41,7 +41,7 @@ fn equal_demand_gets_equal_service() {
                 BlockRequest::new(
                     RequestId(i * 100 + vf.0 as u64),
                     BlockOp::Read,
-                    (i * 4) % 1020,
+                    Vlba((i * 4) % 1020),
                     4,
                 ),
                 buf,
@@ -64,7 +64,7 @@ fn small_client_not_starved_by_hog() {
         dev.submit(
             SimTime::ZERO,
             hog,
-            BlockRequest::new(RequestId(1000 + i), BlockOp::Read, (i * 64) % 960, 64),
+            BlockRequest::new(RequestId(1000 + i), BlockOp::Read, Vlba((i * 64) % 960), 64),
             buf,
         );
     }
@@ -72,7 +72,7 @@ fn small_client_not_starved_by_hog() {
         dev.submit(
             SimTime::ZERO,
             small,
-            BlockRequest::new(RequestId(1 + i), BlockOp::Read, i, 1),
+            BlockRequest::new(RequestId(1 + i), BlockOp::Read, Vlba(i), 1),
             buf,
         );
     }
@@ -111,7 +111,7 @@ fn high_priority_tenant_overtakes_backlog() {
                 BlockRequest::new(
                     RequestId(2000 + i * 10 + vf.0 as u64),
                     BlockOp::Read,
-                    (i * 64) % 960,
+                    Vlba((i * 64) % 960),
                     64,
                 ),
                 buf,
@@ -122,7 +122,7 @@ fn high_priority_tenant_overtakes_backlog() {
     dev.submit(
         SimTime::ZERO,
         latency,
-        BlockRequest::new(RequestId(7), BlockOp::Read, 0, 1),
+        BlockRequest::new(RequestId(7), BlockOp::Read, Vlba(0), 1),
         buf,
     );
     let outs = dev.advance(HORIZON);
@@ -150,14 +150,17 @@ fn priorities_do_not_break_isolation_or_accounting() {
     dev.submit(
         SimTime::ZERO,
         vfs[1],
-        BlockRequest::new(RequestId(1), BlockOp::Write, 0, 1),
+        BlockRequest::new(RequestId(1), BlockOp::Write, Vlba(0), 1),
         buf,
     );
     dev.advance(HORIZON);
     // Low priority still gets served, on its own blocks.
     assert_eq!(dev.function_counters(vfs[1]), (1, 1));
-    assert_eq!(dev.store().read_block(1024).unwrap(), vec![0xAD; 1024]);
-    assert!(!dev.store().is_written(0), "VF0's range untouched");
+    assert_eq!(
+        dev.store().read_block(Plba(1024)).unwrap(),
+        vec![0xAD; 1024]
+    );
+    assert!(!dev.store().is_written(Plba(0)), "VF0's range untouched");
 }
 
 mod mixed_streams {

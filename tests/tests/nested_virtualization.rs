@@ -50,13 +50,16 @@ fn three_level_chain_translates_correctly() {
     dev.submit(
         SimTime::ZERO,
         l3,
-        BlockRequest::new(RequestId(1), BlockOp::Write, 2, 1),
+        BlockRequest::new(RequestId(1), BlockOp::Write, Vlba(2), 1),
         buf,
     );
     let outs = dev.advance(HORIZON);
     assert!(outs.last().unwrap().is_completion());
     // L3 vlba 2 -> L2 vlba 10 -> L1 vlba 26 -> pLBA 1026.
-    assert_eq!(dev.store().read_block(1026).unwrap(), vec![0x88; 1024]);
+    assert_eq!(
+        dev.store().read_block(Plba(1026)).unwrap(),
+        vec![0x88; 1024]
+    );
 }
 
 #[test]
@@ -68,13 +71,15 @@ fn nested_reads_see_parent_holes_as_zeros() {
     let l2 = dev
         .create_nested_vf(l1, tree(&mem, &[(0, 0, 1), (1, 5, 1)]), 2)
         .unwrap();
-    dev.store_mut().write_block(100, &vec![0x41; 1024]).unwrap();
+    dev.store_mut()
+        .write_block(Plba(100), &vec![0x41; 1024])
+        .unwrap();
     let buf = mem.borrow_mut().alloc(2048, 4096);
     mem.borrow_mut().write(buf, &[0xFF; 2048]);
     dev.submit(
         SimTime::ZERO,
         l2,
-        BlockRequest::new(RequestId(1), BlockOp::Read, 0, 2),
+        BlockRequest::new(RequestId(1), BlockOp::Read, Vlba(0), 2),
         buf,
     );
     let outs = dev.advance(HORIZON);
@@ -131,7 +136,7 @@ proptest! {
             dev.submit(
                 t,
                 l2,
-                BlockRequest::new(RequestId(k as u64 + 1), BlockOp::Read, v, 1),
+                BlockRequest::new(RequestId(k as u64 + 1), BlockOp::Read, Vlba(v), 1),
                 buf,
             );
             let outs = dev.advance(HORIZON);
@@ -142,7 +147,7 @@ proptest! {
             dev.submit(
                 t,
                 l2,
-                BlockRequest::new(RequestId(1000 + k as u64), BlockOp::Write, v, 1),
+                BlockRequest::new(RequestId(1000 + k as u64), BlockOp::Write, Vlba(v), 1),
                 buf,
             );
             let outs = dev.advance(HORIZON);
@@ -152,9 +157,9 @@ proptest! {
                     // The write must land exactly at the composed pLBA
                     // (possibly after a stall-free path; composed holes
                     // would have stalled — resolve by failing).
-                    if dev.store().is_written(p.0) {
+                    if dev.store().is_written(p) {
                         prop_assert_eq!(
-                            dev.store().read_block(p.0).unwrap(),
+                            dev.store().read_block(p).unwrap(),
                             vec![0x5E; BLOCK_SIZE as usize]
                         );
                     } else {
@@ -184,7 +189,7 @@ proptest! {
             }
         }
         for b in 0..8192u64 {
-            if dev.store().is_written(b) {
+            if dev.store().is_written(Plba(b)) {
                 prop_assert!(allowed.contains(&b), "escape to pLBA {}", b);
             }
         }

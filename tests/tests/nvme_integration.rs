@@ -50,7 +50,7 @@ fn sustained_load_wraps_the_rings_many_times() {
                     cid: (i % 32) as u16,
                     nsid: ns,
                     prp1: buf,
-                    slba: i % 1024,
+                    slba: Vlba(i % 1024),
                     nlb: 0,
                 }],
             )
@@ -92,7 +92,7 @@ fn interleaved_queues_complete_independently() {
                 cid,
                 nsid: ns,
                 prp1: buf,
-                slba: cid as u64 * 4,
+                slba: Vlba(cid as u64 * 4),
                 nlb: 3,
             },
         )
@@ -146,7 +146,7 @@ proptest! {
                         cid: i as u16,
                         nsid: ns,
                         prp1: buf,
-                        slba,
+                        slba: Vlba(slba),
                         nlb,
                     }],
                 )

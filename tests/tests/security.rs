@@ -29,13 +29,13 @@ fn vf_cannot_read_foreign_blocks_via_any_vlba() {
     let mut dev = NescDevice::new(cfg, Rc::clone(&mem));
     for b in 0..4096 {
         dev.store_mut()
-            .write_block(b, &vec![0xE1; BLOCK_SIZE as usize])
+            .write_block(Plba(b), &vec![0xE1; BLOCK_SIZE as usize])
             .unwrap();
     }
     // The VF's file: blocks 100..110, overwritten with good data.
     for b in 100..110 {
         dev.store_mut()
-            .write_block(b, &vec![0x60; BLOCK_SIZE as usize])
+            .write_block(Plba(b), &vec![0x60; BLOCK_SIZE as usize])
             .unwrap();
     }
     let tree: ExtentTree = [ExtentMapping::new(Vlba(5), Plba(100), 10)]
@@ -50,7 +50,7 @@ fn vf_cannot_read_foreign_blocks_via_any_vlba() {
         dev.submit(
             SimTime::from_nanos(vlba * 1_000_000),
             vf,
-            BlockRequest::new(RequestId(vlba + 1), BlockOp::Read, vlba, 1),
+            BlockRequest::new(RequestId(vlba + 1), BlockOp::Read, Vlba(vlba), 1),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -87,7 +87,7 @@ fn requests_beyond_device_size_rejected_not_translated() {
         dev.submit(
             SimTime::ZERO,
             vf,
-            BlockRequest::new(RequestId(lba + count), BlockOp::Write, lba, count),
+            BlockRequest::new(RequestId(lba + count), BlockOp::Write, Vlba(lba), count),
             buf,
         );
         let outs = dev.advance(HORIZON);
@@ -113,8 +113,12 @@ fn stale_btlb_entries_do_not_survive_tree_replacement() {
     let mut cfg = NescConfig::prototype();
     cfg.capacity_blocks = 4096;
     let mut dev = NescDevice::new(cfg, Rc::clone(&mem));
-    dev.store_mut().write_block(100, &vec![0xAA; 1024]).unwrap();
-    dev.store_mut().write_block(200, &vec![0xBB; 1024]).unwrap();
+    dev.store_mut()
+        .write_block(Plba(100), &vec![0xAA; 1024])
+        .unwrap();
+    dev.store_mut()
+        .write_block(Plba(200), &vec![0xBB; 1024])
+        .unwrap();
 
     let tree_a: ExtentTree = [ExtentMapping::new(Vlba(0), Plba(100), 1)]
         .into_iter()
@@ -126,7 +130,7 @@ fn stale_btlb_entries_do_not_survive_tree_replacement() {
     dev.submit(
         SimTime::ZERO,
         vf,
-        BlockRequest::new(RequestId(1), BlockOp::Read, 0, 1),
+        BlockRequest::new(RequestId(1), BlockOp::Read, Vlba(0), 1),
         buf,
     );
     dev.advance(HORIZON);
@@ -143,7 +147,7 @@ fn stale_btlb_entries_do_not_survive_tree_replacement() {
     dev.submit(
         SimTime::from_nanos(1_000_000),
         vf,
-        BlockRequest::new(RequestId(2), BlockOp::Read, 0, 1),
+        BlockRequest::new(RequestId(2), BlockOp::Read, Vlba(0), 1),
         buf,
     );
     dev.advance(HORIZON);
@@ -195,7 +199,7 @@ fn guest_cannot_forge_pf_access() {
         .expect("block 0 of the image is mapped");
     assert_ne!(mapped.0, 0, "image data never lands on metadata blocks");
     assert_eq!(
-        sys.device().store().read_block(mapped.0).unwrap(),
+        sys.device().store().read_block(mapped).unwrap(),
         vec![0xAB; 1024]
     );
 }
@@ -244,7 +248,7 @@ proptest! {
         dev.submit(
             t,
             vf,
-            BlockRequest::new(RequestId(9999), BlockOp::Write, 0, 1),
+            BlockRequest::new(RequestId(9999), BlockOp::Write, Vlba(0), 1),
             buf,
         );
         let outs = dev.advance(SimTime::from_nanos(u64::MAX / 4));
@@ -254,7 +258,7 @@ proptest! {
             dev.advance(SimTime::from_nanos(u64::MAX / 4));
         }
         for b in 0..2048u64 {
-            if dev.store().is_written(b) {
+            if dev.store().is_written(Plba(b)) {
                 prop_assert!(
                     (100..108).contains(&b),
                     "fuzzed MMIO let the VF write block {}",
@@ -303,7 +307,7 @@ proptest! {
             dev.submit(
                 t,
                 vf,
-                BlockRequest::new(RequestId(i as u64 + 1), BlockOp::Write, lba, count),
+                BlockRequest::new(RequestId(i as u64 + 1), BlockOp::Write, Vlba(lba), count),
                 buf,
             );
             let outs = dev.advance(HORIZON);
@@ -321,7 +325,7 @@ proptest! {
         for b in 0..4096u64 {
             if !owned.contains(&b) {
                 prop_assert!(
-                    !dev.store().is_written(b),
+                    !dev.store().is_written(Plba(b)),
                     "VF escaped its extents: wrote block {}",
                     b
                 );
