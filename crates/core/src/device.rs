@@ -322,9 +322,14 @@ impl NescDevice {
         &mut self.store
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics. The BTLB lookup/hit counters are synced from
+    /// the BTLB's authoritative per-block counters here, so the per-block
+    /// translation path never touches a second counter pair.
     pub fn stats(&self) -> DeviceStats {
-        self.stats
+        let mut s = self.stats;
+        s.btlb_hits = self.btlb.hits();
+        s.btlb_lookups = self.btlb.hits() + self.btlb.misses();
+        s
     }
 
     /// BTLB statistics (hits/misses/occupancy).
@@ -362,6 +367,41 @@ impl NescDevice {
     /// Live VF count.
     pub fn live_vfs(&self) -> u16 {
         self.functions[1..].iter().filter(|f| f.alive).count() as u16
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry probes (cumulative busy times and instantaneous depths;
+    // the perfmon sampler turns deltas of these into per-window series)
+    // ------------------------------------------------------------------
+
+    /// Cumulative busy time summed over the extent-walk slots.
+    pub fn walk_busy_time(&self) -> SimDuration {
+        self.walk_slots.iter().map(|s| s.busy_time()).sum()
+    }
+
+    /// Number of parallel walk slots (the denominator for walk-unit
+    /// occupancy).
+    pub fn walk_slot_count(&self) -> usize {
+        self.walk_slots.len()
+    }
+
+    /// Cumulative busy time of the storage medium.
+    pub fn media_busy_time(&self) -> SimDuration {
+        self.media.busy_time()
+    }
+
+    /// Cumulative busy time of the PCIe link as `(upstream, downstream)`.
+    pub fn link_busy_time(&self) -> (SimDuration, SimDuration) {
+        (self.link.upstream_busy(), self.link.downstream_busy())
+    }
+
+    /// Depth of a function's client request queue right now (0 for dead or
+    /// unknown functions).
+    pub fn ring_depth(&self, func: FuncId) -> usize {
+        self.functions
+            .get(func.0 as usize)
+            .filter(|f| f.alive)
+            .map_or(0, |f| f.queue.len())
     }
 
     // ------------------------------------------------------------------

@@ -17,6 +17,10 @@ pub struct DeviceStats {
     pub blocks_written: u64,
     /// Hole reads served by zero-fill DMA (no media access).
     pub zero_fill_blocks: u64,
+    /// Per-block BTLB lookups (every translated block consults the BTLB).
+    pub btlb_lookups: u64,
+    /// Per-block BTLB lookups satisfied from a cached extent.
+    pub btlb_hits: u64,
     /// Block walks executed (BTLB misses that reached the walk unit).
     pub walks: u64,
     /// Total tree levels traversed across all walks (each level is one
@@ -38,6 +42,17 @@ impl DeviceStats {
             self.walk_levels as f64 / self.walks as f64
         }
     }
+
+    /// Fraction of per-block BTLB lookups that hit (0 if none happened) —
+    /// the windowed deltas of the underlying counters feed the perfmon
+    /// BTLB probe.
+    pub fn btlb_hit_ratio(&self) -> f64 {
+        if self.btlb_lookups == 0 {
+            0.0
+        } else {
+            self.btlb_hits as f64 / self.btlb_lookups as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -53,5 +68,16 @@ mod tests {
             ..Default::default()
         };
         assert!((s.mean_walk_depth() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn btlb_hit_ratio_handles_empty() {
+        assert_eq!(DeviceStats::default().btlb_hit_ratio(), 0.0);
+        let s = DeviceStats {
+            btlb_lookups: 8,
+            btlb_hits: 6,
+            ..Default::default()
+        };
+        assert!((s.btlb_hit_ratio() - 0.75).abs() < 1e-12);
     }
 }

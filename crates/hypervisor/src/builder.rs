@@ -26,6 +26,7 @@ use nesc_storage::Media;
 
 use crate::costs::SoftwareCosts;
 use crate::system::System;
+use crate::telemetry::TelemetryConfig;
 
 /// Fluent builder over [`NescConfig`] + [`SoftwareCosts`] + observability
 /// options. Defaults reproduce the paper's prototype
@@ -38,6 +39,7 @@ pub struct SystemBuilder {
     tracing: bool,
     request_tracing: bool,
     media_throttle: Option<u64>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for SystemBuilder {
@@ -56,6 +58,7 @@ impl SystemBuilder {
             tracing: false,
             request_tracing: false,
             media_throttle: None,
+            telemetry: None,
         }
     }
 
@@ -124,6 +127,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables deterministic time-series telemetry: a perfmon sampler
+    /// closing windows of `cfg.interval` across every layer, plus the SLO
+    /// watchdog rules in `cfg`. Off by default: disabled telemetry costs
+    /// one `Option` check per request.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
     /// Enables the device's per-request [`RequestTrace`] recording
     /// (BTLB hits, walks, stall flags) alongside or instead of spans.
     ///
@@ -149,6 +161,9 @@ impl SystemBuilder {
         }
         if let Some(b) = self.media_throttle {
             sys.device_mut().set_media_throttle(Some(b));
+        }
+        if let Some(cfg) = self.telemetry {
+            sys.set_telemetry(cfg);
         }
         sys
     }

@@ -46,12 +46,14 @@ pub mod costs;
 pub mod error;
 pub mod guestfs;
 pub mod system;
+pub mod telemetry;
 
 pub use builder::SystemBuilder;
 pub use costs::SoftwareCosts;
 pub use error::NescError;
 pub use guestfs::GuestFilesystem;
 pub use system::{DiskId, DiskKind, ProvisionedDisk, StreamResult, StreamSpec, System, VmId};
+pub use telemetry::{Telemetry, TelemetryConfig};
 
 /// One-stop imports for harnesses, examples, and tests.
 ///
@@ -66,9 +68,11 @@ pub mod prelude {
     pub use crate::system::{
         DiskId, DiskKind, ProvisionedDisk, StreamResult, StreamSpec, System, VmId,
     };
+    pub use crate::telemetry::{Telemetry, TelemetryConfig};
     pub use nesc_core::NescConfig;
     pub use nesc_sim::{
-        chrome_trace_json, Metrics, SimDuration, SimTime, Span, SpanId, SpanTree, Tracer,
+        chrome_trace_json, AnomalyEvent, Metrics, Sampler, SimDuration, SimTime, SloRule,
+        SloWatchdog, Span, SpanId, SpanTree, Tracer,
     };
     pub use nesc_storage::BlockOp;
 }

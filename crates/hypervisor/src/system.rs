@@ -36,6 +36,7 @@ use nesc_virtio::{BlkRequest, BlkRequestType, BlkStatus, Virtqueue};
 
 use crate::costs::SoftwareCosts;
 use crate::error::NescError;
+use crate::telemetry::{Telemetry, TelemetryConfig};
 
 /// Identifier of a guest VM (or the host pseudo-VM for baselines).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -160,6 +161,9 @@ pub struct System {
     tracer: Tracer,
     /// Named counters + latency histograms accumulated per request.
     metrics: Metrics,
+    /// Deterministic time-series sampling + SLO watchdog (None = off; the
+    /// request path pays one `Option` check when disabled).
+    telemetry: Option<Telemetry>,
 }
 
 impl std::fmt::Debug for System {
@@ -193,6 +197,7 @@ impl System {
             completed: BTreeMap::new(),
             tracer: Tracer::disabled(),
             metrics: Metrics::new(),
+            telemetry: None,
         }
     }
 
@@ -237,6 +242,40 @@ impl System {
         &mut self.metrics
     }
 
+    /// Enables telemetry: installs the perfmon sampler + SLO watchdog and
+    /// registers per-disk series for every already-attached disk (disks
+    /// attached later register at attach time). Replaces any previous
+    /// telemetry state.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        let mut tel = Telemetry::new(cfg);
+        for (i, d) in self.disks.iter().enumerate() {
+            tel.register_disk(DiskId(i), d.vf);
+        }
+        self.telemetry = Some(tel);
+    }
+
+    /// The telemetry subsystem, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Closes every telemetry window ending at or before the current
+    /// simulated time (the still-open partial window is dropped, keeping
+    /// exports a function of whole windows only). Call at the end of a
+    /// run, before exporting.
+    pub fn telemetry_finish(&mut self) {
+        self.poll_telemetry(self.now);
+    }
+
+    /// Drives the sampler to `at` via the take/put-back pattern (the
+    /// sampler needs `&self.dev` while living inside `self`).
+    fn poll_telemetry(&mut self, at: SimTime) {
+        if let Some(mut tel) = self.telemetry.take() {
+            tel.poll(at, &self.dev, &self.tracer);
+            self.telemetry = Some(tel);
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -245,6 +284,9 @@ impl System {
     /// Idles until `self.now + d` (think time between operations).
     pub fn think(&mut self, d: SimDuration) {
         self.now += d;
+        if self.telemetry.is_some() {
+            self.poll_telemetry(self.now);
+        }
     }
 
     /// Shared host memory (examples and tests inspect buffers through it).
@@ -382,6 +424,9 @@ impl System {
         if let Some(vf) = vf {
             self.func_to_disk.insert(vf, id);
         }
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.register_disk(id, vf);
+        }
         id
     }
 
@@ -442,6 +487,9 @@ impl System {
             .ino
             .expect("direct disks are file-backed");
         let t = self.host_cpu.serve(at, self.costs.miss_handler).end;
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.record_rewalk(t - at);
+        }
         match reason {
             IrqReason::WriteMiss {
                 miss_vlba,
@@ -566,6 +614,13 @@ impl System {
                 .record(&format!("latency_ns_{path}"), (done - issue).as_nanos());
         } else {
             self.metrics.inc(&format!("errors_{path}"), 1);
+        }
+        // Poll before recording so the observation lands in the window
+        // containing its completion time (window closes fire first).
+        if let Some(mut tel) = self.telemetry.take() {
+            tel.poll(done, &self.dev, &self.tracer);
+            tel.record_request(disk_id, len, done - issue);
+            self.telemetry = Some(tel);
         }
         (done, status)
     }

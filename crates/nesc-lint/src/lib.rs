@@ -17,6 +17,7 @@
 //! | D3 | default-hasher `HashMap`/`HashSet` in simulation-state code |
 //! | D4 | float types/literals in the event-timestamp/scheduling core |
 //! | D5 | `Span`/`SpanId` fabricated outside the `Tracer` |
+//! | D6 | raw integer literals where a sampling interval (`SimDuration`) is expected |
 //! | T1 | raw `u64` LBAs in public APIs of address-carrying crates |
 //! | T2 | `Plba` minted / newtype `.0` unwrapped outside boundary modules |
 //! | T3 | open-coded `* BLOCK_SIZE` block↔byte conversion on LBA values |
@@ -79,6 +80,7 @@ pub fn classify(rel: &Path) -> Option<LintContext> {
             "crates/sim/src/queue.rs" | "crates/sim/src/time.rs" | "crates/sim/src/sched.rs"
         ),
         trace_impl: s == "crates/sim/src/trace.rs",
+        time_impl: s == "crates/sim/src/time.rs",
         // Integration-test trees: still covered by D1/D2 (nondeterministic
         // tests are flaky tests), exempt from state-shape rules.
         test_file: s.starts_with("tests/tests/") || s.contains("/tests/"),
@@ -218,6 +220,8 @@ mod tests {
         assert!(q.scheduling_core);
         let t = classify(Path::new("crates/sim/src/trace.rs")).unwrap();
         assert!(t.trace_impl && !t.scheduling_core);
+        let ti = classify(Path::new("crates/sim/src/time.rs")).unwrap();
+        assert!(ti.time_impl && ti.scheduling_core);
         let it = classify(Path::new("tests/tests/determinism.rs")).unwrap();
         assert!(it.test_file);
     }

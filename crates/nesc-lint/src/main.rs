@@ -32,7 +32,7 @@ OPTIONS:
     -h, --help       print this help
 
 RULES:
-    D1-D5  determinism (wall-clock, randomness, hashers, floats, spans)
+    D1-D6  determinism (wall-clock, randomness, hashers, floats, spans, intervals)
     T1-T3  address provenance (raw u64 LBAs, newtype unwraps, BLOCK_SIZE
            arithmetic outside boundary modules)
     A1-A3  suppression hygiene
@@ -156,7 +156,7 @@ fn main() -> ExitCode {
                 println!("{d}");
             }
             if active.is_empty() {
-                println!("nesc-lint: clean (rules D1-D5, T1-T3, A1-A3)");
+                println!("nesc-lint: clean (rules D1-D6, T1-T3, A1-A3)");
             } else {
                 println!("nesc-lint: {} violation(s)", active.len());
             }

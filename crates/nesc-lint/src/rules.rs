@@ -1,4 +1,4 @@
-//! The NeSC determinism rules (D1-D5), address-provenance rules (T1-T3)
+//! The NeSC determinism rules (D1-D6), address-provenance rules (T1-T3)
 //! and suppression hygiene (A1-A3).
 //!
 //! Every rule is a pattern over the token stream produced by
@@ -47,6 +47,9 @@ pub enum Rule {
     D4,
     /// Span/SpanId fabricated outside the `Tracer` implementation.
     D5,
+    /// Raw integer literal passed where a sampling interval
+    /// (`SimDuration`) is expected, outside the time implementation.
+    D6,
     /// Raw `u64` carrying an LBA across a public API in address crates.
     T1,
     /// `Vlba`/`Plba` unwrapped (`.0`) or `Plba` minted outside a boundary
@@ -65,12 +68,13 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, for iteration and parsing.
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 12] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
         Rule::D4,
         Rule::D5,
+        Rule::D6,
         Rule::T1,
         Rule::T2,
         Rule::T3,
@@ -87,6 +91,7 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::D5 => "D5",
+            Rule::D6 => "D6",
             Rule::T1 => "T1",
             Rule::T2 => "T2",
             Rule::T3 => "T3",
@@ -148,6 +153,9 @@ pub struct LintContext {
     pub scheduling_core: bool,
     /// D5 exempt: this file *is* the tracer implementation.
     pub trace_impl: bool,
+    /// D6 exempt: this file *is* the time implementation (`sim/time.rs`),
+    /// where `SimDuration` constructors legitimately take raw integers.
+    pub time_impl: bool,
     /// D3/D5/A1 exempt everywhere: the file is test-only (integration
     /// tests, examples are still covered — only `tests/` tree files).
     pub test_file: bool,
@@ -167,6 +175,7 @@ impl LintContext {
             path: path.to_string(),
             scheduling_core: true,
             trace_impl: false,
+            time_impl: false,
             test_file: false,
             address_crate: true,
             boundary_module: false,
@@ -568,6 +577,27 @@ pub fn check_all(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
                             "use ids returned by Tracer::start (or SpanId::NONE for 'no span')",
                         );
                     }
+                }
+                // ---- D6: raw interval literals ------------------------
+                // Any call whose name mentions "interval" taking a bare
+                // integer literal — `.interval(50)`, `set_interval(1000)`,
+                // `windowed_interval(25)` — hides the unit. Like D1/D2 it
+                // applies in tests too: a mis-scaled interval makes a test
+                // silently sample nothing.
+                n if !ctx.time_impl
+                    && n.to_ascii_lowercase().contains("interval")
+                    && punct(i + 1, '(')
+                    && matches!(tokens.get(i + 2).map(|t| &t.kind), Some(TokKind::Int)) =>
+                {
+                    push(
+                        &mut raw,
+                        line,
+                        Rule::D6,
+                        format!(
+                            "raw integer literal passed to `{n}(...)` where a sampling interval is expected"
+                        ),
+                        "pass a SimDuration (from_nanos/from_micros/from_millis) so the unit is explicit",
+                    );
                 }
                 _ => {}
             },

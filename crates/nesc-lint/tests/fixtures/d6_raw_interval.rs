@@ -1,0 +1,9 @@
+//! D6 fixture: raw integer literals where a sampling interval is expected.
+
+pub fn configure(sampler: &mut Sampler, cfg: TelemetryConfig) {
+    sampler.set_interval(50000);
+    let cfg = cfg.poll_interval(25);
+    let _ = cfg.interval(SimDuration::from_micros(50));
+    let _ = sampler.interval();
+    sampler.set_interval(tick_len);
+}

@@ -75,6 +75,17 @@ fn d5_flags_orphan_spans_but_not_type_uses() {
 }
 
 #[test]
+fn d6_flags_raw_interval_literals() {
+    // Typed construction (line 6), the zero-arg getter (line 7) and a
+    // non-literal argument (line 8) must stay clean; only the bare
+    // integer intervals on lines 4-5 fire.
+    assert_eq!(
+        lint_fixture("d6_raw_interval.rs"),
+        vec![(4, Rule::D6), (5, Rule::D6)]
+    );
+}
+
+#[test]
 fn suppression_hygiene_rules() {
     // The justified D1 directive (line 3) silently works; the unjustified
     // D2 one (line 9) still suppresses but earns an A2; the dead D5 one

@@ -205,6 +205,14 @@ impl NvmeController {
         (self.qpairs.len() - 1) as u16
     }
 
+    /// Telemetry probe: the instantaneous `(SQ depth, CQ depth)` of a
+    /// queue pair — commands the driver has pushed but the controller has
+    /// not consumed, and completions posted but not yet reaped.
+    pub fn queue_depths(&self, qid: u16) -> Option<(u16, u16)> {
+        let qp = self.qpairs.get(qid as usize)?;
+        Some((qp.sq.len(), qp.cq.len()))
+    }
+
     /// Driver side: pushes one encoded command into a queue (no doorbell
     /// yet — batch then ring, like a real driver).
     ///
@@ -645,6 +653,66 @@ mod tests {
             vec![0x7E; 1024]
         );
         assert!(ctrl.pending_misses().is_empty());
+    }
+
+    #[test]
+    fn queue_depth_probes_feed_a_sampler() {
+        use nesc_sim::{Sampler, SeriesKind};
+
+        let (mem, mut ctrl, ns, qid) = setup();
+        let mut sampler = Sampler::new(SimDuration::from_micros(10), 16);
+        let sq = sampler.register("nvme.sq_depth.q0", "entries", SeriesKind::Gauge);
+        let cq = sampler.register("nvme.cq_depth.q0", "entries", SeriesKind::Gauge);
+        let poll = |sampler: &mut Sampler, ctrl: &NvmeController, now: SimTime| {
+            while sampler.due(now).is_some() {
+                let (s, c) = ctrl.queue_depths(qid).unwrap();
+                sampler.sample(sq, s as u64);
+                sampler.sample(cq, c as u64);
+            }
+        };
+        let t = |us: u64| SimTime::ZERO + SimDuration::from_micros(us);
+        let buf = mem.borrow_mut().alloc(1024, 4096);
+        // Window 0: the driver batches four commands, doorbell unrung.
+        for cid in 0..4 {
+            ctrl.push(
+                qid,
+                SubmissionEntry {
+                    opcode: NvmeOpcode::Read,
+                    cid,
+                    nsid: ns,
+                    prp1: buf,
+                    slba: Vlba(cid as u64),
+                    nlb: 0,
+                },
+            )
+            .unwrap();
+        }
+        poll(&mut sampler, &ctrl, t(10));
+        // Window 1: doorbell rung, device drained, completions posted.
+        ctrl.ring_doorbell(qid, t(10)).unwrap();
+        ctrl.process(SimTime::from_nanos(u64::MAX / 4));
+        poll(&mut sampler, &ctrl, t(20));
+        // Window 2: the driver reaps everything.
+        while ctrl.reap(qid).is_some() {}
+        poll(&mut sampler, &ctrl, t(30));
+        let depths = |name: &str| {
+            sampler
+                .series_by_name(name)
+                .unwrap()
+                .samples()
+                .map(|(_, v)| v)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            depths("nvme.sq_depth.q0"),
+            vec![4, 0, 0],
+            "SQ fills then drains"
+        );
+        assert_eq!(
+            depths("nvme.cq_depth.q0"),
+            vec![0, 4, 0],
+            "CQ fills after dispatch, empties on reap"
+        );
     }
 
     #[test]

@@ -192,6 +192,17 @@ impl CompletionQueue {
         }
     }
 
+    /// Completions the controller has posted but the driver has not yet
+    /// reaped.
+    pub fn len(&self) -> u16 {
+        self.tail.wrapping_sub(self.head) % self.entries
+    }
+
+    /// Whether no completions are waiting to be reaped.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Driver: reaps the next completion if its phase tag matches the
     /// expected phase (i.e. the controller has produced it).
     pub fn reap(&mut self, mem: &HostMemory) -> Option<CompletionEntry> {

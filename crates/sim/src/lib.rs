@@ -21,6 +21,10 @@
 //!   into (plus the Chrome/Perfetto trace-event exporter), and [`metrics`] —
 //!   the named counter/histogram registry the observability exporters
 //!   serialize. Both are zero-cost no-ops until explicitly enabled.
+//! * [`perfmon`] — deterministic windowed time-series sampling driven by
+//!   simulated time (gauge/counter-delta series in ring buffers), the SLO
+//!   watchdog with declarative threshold rules, and the JSON/CSV/Perfetto
+//!   counter-track exporters.
 //! * [`rng`] — a small deterministic RNG facade plus the distributions the
 //!   workloads need (uniform, exponential, Zipf, Pareto).
 //! * [`sched`] — round-robin scheduling helpers used by the NeSC virtual
@@ -51,6 +55,7 @@
 
 pub mod hash;
 pub mod metrics;
+pub mod perfmon;
 pub mod queue;
 pub mod resource;
 pub mod rng;
@@ -62,6 +67,7 @@ pub mod trace;
 
 pub use hash::{IntHashBuilder, IntHasher};
 pub use metrics::Metrics;
+pub use perfmon::{AnomalyEvent, Sampler, SeriesId, SeriesKind, SloRule, SloWatchdog, TimeSeries};
 pub use queue::EventQueue;
 pub use resource::{Pipe, ServiceUnit};
 pub use rng::SimRng;

@@ -190,6 +190,83 @@ mod tests {
     }
 
     #[test]
+    fn merge_sums_every_counter_exactly() {
+        let mut a = Metrics::new();
+        a.inc("x", 10);
+        a.inc("only_a", 3);
+        let mut b = Metrics::new();
+        b.inc("x", 32);
+        b.inc("only_b", 5);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 42, "shared counters add");
+        assert_eq!(a.counter("only_a"), 3, "lhs-only counters survive");
+        assert_eq!(a.counter("only_b"), 5, "rhs-only counters are adopted");
+        // The source registry is untouched.
+        assert_eq!(b.counter("x"), 32);
+        assert_eq!(b.counter("only_a"), 0);
+    }
+
+    #[test]
+    fn merge_combines_histogram_buckets_like_one_recorder() {
+        // Recording a sample stream split across two registries and
+        // merging must be bucket-for-bucket identical to recording the
+        // whole stream into one registry — counts, extremes, mean and
+        // every percentile.
+        let samples: Vec<u64> = (0..200u64).map(|i| (i * i * 7 + 13) % 100_000).collect();
+        let (left, right) = samples.split_at(73);
+        let mut a = Metrics::new();
+        for &v in left {
+            a.record("lat", v);
+        }
+        let mut b = Metrics::new();
+        for &v in right {
+            b.record("lat", v);
+        }
+        a.merge(&b);
+        let mut whole = Metrics::new();
+        for &v in &samples {
+            whole.record("lat", v);
+        }
+        let (m, w) = (a.histogram("lat").unwrap(), whole.histogram("lat").unwrap());
+        assert_eq!(m.count(), w.count());
+        assert_eq!(m.min(), w.min());
+        assert_eq!(m.max(), w.max());
+        assert_eq!(m.mean(), w.mean());
+        for p in [1.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(m.percentile(p), w.percentile(p), "p{p} differs");
+        }
+    }
+
+    #[test]
+    fn merge_percentiles_stay_stable_under_repeat_and_empty_merges() {
+        let mut a = Metrics::new();
+        for v in [100u64, 200, 400, 800, 1600, 3200] {
+            a.record("lat", v);
+        }
+        let p50 = a.histogram("lat").unwrap().percentile(50.0);
+        let p99 = a.histogram("lat").unwrap().percentile(99.0);
+        // Merging an empty registry changes nothing.
+        a.merge(&Metrics::new());
+        assert_eq!(a.histogram("lat").unwrap().percentile(50.0), p50);
+        assert_eq!(a.histogram("lat").unwrap().percentile(99.0), p99);
+        // Merging an identical sample population doubles the count but
+        // leaves every quantile of the distribution where it was.
+        let copy = a.clone();
+        a.merge(&copy);
+        let h = a.histogram("lat").unwrap();
+        assert_eq!(h.count(), 12);
+        assert_eq!(h.percentile(50.0), p50, "p50 moved under self-merge");
+        assert_eq!(h.percentile(99.0), p99, "p99 moved under self-merge");
+        // A histogram present only in the source is cloned, not aliased.
+        let mut src = Metrics::new();
+        src.record("other", 7);
+        a.merge(&src);
+        src.record("other", 9);
+        assert_eq!(a.histogram("other").unwrap().count(), 1);
+        assert_eq!(src.histogram("other").unwrap().count(), 2);
+    }
+
+    #[test]
     fn export_is_deterministic() {
         let mut m = Metrics::new();
         m.inc("zeta", 1);

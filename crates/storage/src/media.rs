@@ -197,6 +197,11 @@ impl FlashMedia {
         self.channels.len()
     }
 
+    /// Cumulative busy time summed over all channels.
+    pub fn busy_time(&self) -> SimDuration {
+        self.channels.iter().map(|c| c.busy_time()).sum()
+    }
+
     /// Serves a transfer of `bytes` at byte address `addr`, striping pages
     /// across channels by address; the returned interval ends when the
     /// *last* page completes. Sub-page accesses that hit the controller's
@@ -287,6 +292,15 @@ impl Media {
     pub fn set_throttle(&mut self, bytes_per_sec: Option<u64>) {
         if let Media::Ram(m) = self {
             m.set_throttle(bytes_per_sec);
+        }
+    }
+
+    /// Cumulative busy time of the medium (summed over channels for
+    /// flash) — the raw value behind the perfmon media-utilization probe.
+    pub fn busy_time(&self) -> SimDuration {
+        match self {
+            Media::Ram(m) => m.busy_time(),
+            Media::Flash(m) => m.busy_time(),
         }
     }
 }

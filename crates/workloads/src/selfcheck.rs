@@ -14,9 +14,9 @@
 //! part of the compared surface), and the metrics registry folded in at
 //! the end.
 
-use nesc_hypervisor::{DiskId, DiskKind, System, SystemBuilder};
+use nesc_hypervisor::{DiskId, DiskKind, System, SystemBuilder, TelemetryConfig};
 use nesc_sim::selfcheck::{fnv1a, RunDigest};
-use nesc_sim::SimRng;
+use nesc_sim::{perfmon, SimDuration, SimRng};
 use nesc_storage::BlockOp;
 
 /// Configuration for the mixed multi-VF self-check run.
@@ -53,13 +53,14 @@ impl MixedVfSelfCheck {
     /// Builds the system and runs the seeded request mix, returning the
     /// run's digest. Everything observable goes into the digest: one
     /// record per request completion (VF, op, offset, latency, payload
-    /// hash for reads), every span, the span-tree shape, and the metrics
-    /// registry.
+    /// hash for reads), every span, the span-tree shape, the metrics
+    /// registry, and the perfmon time series.
     pub fn digest(&self, seed: u64) -> RunDigest {
         let mut sys = SystemBuilder::new()
             .capacity_blocks((self.disk_bytes / 512) * (self.vfs as u64 + 1))
             .max_vfs(self.vfs as u16 + 2)
             .tracing(true)
+            .telemetry(TelemetryConfig::windowed(SimDuration::from_micros(50)).capacity(4096))
             .build();
         let disks: Vec<DiskId> = (0..self.vfs)
             .map(|i| {
@@ -99,6 +100,9 @@ impl MixedVfSelfCheck {
         digest.record_spans(&spans);
         digest.span_tree_section(&spans);
         digest.metrics_section(sys.metrics());
+        sys.telemetry_finish();
+        let sampler = sys.telemetry().expect("telemetry enabled").sampler();
+        digest.section("telemetry", perfmon::digest_hash(sampler));
         digest
     }
 }

@@ -24,7 +24,7 @@ cargo test -q
 echo "==> cargo bench --no-run (criterion harness compiles; gated offline)"
 cargo bench --no-run -p nesc-bench
 
-echo "==> nesc-lint: determinism + address-provenance rules (D1-D5, T1-T3, A1-A3)"
+echo "==> nesc-lint: determinism + address-provenance rules (D1-D6, T1-T3, A1-A3)"
 if ! cargo run --release -q -p nesc-lint; then
     echo "FAIL: nesc-lint found rule violations (rule ids above);" >&2
     echo "      fix them or add a justified 'nesc-lint::allow(Dx|Tx): <why>' directive" >&2
@@ -54,11 +54,24 @@ if ! cargo run --release -q -p nesc-bench --bin divergence_check; then
     exit 1
 fi
 
+echo "==> golden check: nesc-report telemetry must be bit-identical"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+tel_golden="results/telemetry_mixed.json"
+[ -f "$tel_golden" ] || { echo "missing golden $tel_golden" >&2; exit 1; }
+cp "$tel_golden" "$tmp/telemetry_mixed.json"
+cargo run --release -q -p nesc-bench --bin nesc_report >/dev/null
+if cmp -s "$tmp/telemetry_mixed.json" "$tel_golden"; then
+    echo "OK: telemetry_mixed.json regenerated bit-identical (watchdog anomaly fired)"
+else
+    echo "FAIL: telemetry_mixed.json changed after regeneration" >&2
+    diff "$tmp/telemetry_mixed.json" "$tel_golden" >&2 || true
+    exit 1
+fi
+
 echo "==> golden check: fig10_bandwidth must be bit-identical"
 golden="results/fig10_bandwidth.json"
 [ -f "$golden" ] || { echo "missing golden $golden" >&2; exit 1; }
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
 cp "$golden" "$tmp/golden.json"
 cargo run --release -q -p nesc-bench --bin fig10_bandwidth >/dev/null
 if cmp -s "$tmp/golden.json" "$golden"; then

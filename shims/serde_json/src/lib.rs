@@ -156,6 +156,14 @@ impl Value {
         }
     }
 
+    /// Mutable object lookup by key; `None` for non-objects or missing keys.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         const STEP: usize = 2;
         match self {

@@ -1,0 +1,146 @@
+//! Telemetry cross-checks: the perfmon sampler's windowed per-VF latency
+//! gauges must agree with a reference recomputation from the raw span log.
+//!
+//! The sampler and the tracer observe the same requests through different
+//! code paths — the sampler folds each completion into a per-window
+//! histogram at `issue_once` time, the tracer records the request root
+//! span. If windowing (half-open `[k·I, (k+1)·I)` keyed by completion
+//! time), per-VF attribution, or the percentile math ever drift between
+//! the two, these tests catch it on a randomized mixed multi-VF workload.
+
+use nesc_hypervisor::prelude::*;
+use nesc_sim::Histogram;
+use proptest::prelude::*;
+
+const INTERVAL_US: u64 = 25;
+const VFS: usize = 3;
+const DISK_BYTES: u64 = 4 << 20;
+
+fn telemetry_system() -> (System, Vec<DiskId>) {
+    let mut sys = SystemBuilder::new()
+        .capacity_blocks((DISK_BYTES / 512) * (VFS as u64 + 1))
+        .max_vfs(8)
+        .tracing(true)
+        .telemetry(TelemetryConfig::windowed(SimDuration::from_micros(INTERVAL_US)).capacity(4096))
+        .build();
+    let disks = (0..VFS)
+        .map(|i| {
+            sys.quick_disk(DiskKind::NescDirect, &format!("vf{i}.img"), DISK_BYTES)
+                .disk
+        })
+        .collect();
+    (sys, disks)
+}
+
+/// Per-(VF, window) latency histograms rebuilt from the request root
+/// spans: a root span's `disk` attribute names the VF, its end time picks
+/// the window, and its extent is the recorded latency.
+fn reference_hists(spans: &[Span], disk: DiskId, windows: u64, interval_ns: u64) -> Vec<Histogram> {
+    let mut hists: Vec<Histogram> = (0..windows).map(|_| Histogram::new()).collect();
+    for s in spans
+        .iter()
+        .filter(|s| s.parent == SpanId::NONE && s.name == "request")
+    {
+        let d = s.attrs.iter().find(|(k, _)| *k == "disk").map(|&(_, v)| v);
+        if d != Some(disk.0 as u64) {
+            continue;
+        }
+        let w = s.end.as_nanos() / interval_ns;
+        if w < windows {
+            hists[w as usize].record((s.end - s.start).as_nanos());
+        }
+    }
+    hists
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Windowed p50/p99 gauges equal the reference recomputation from the
+    /// span log, for every VF and every closed window, on a random mix of
+    /// reads and writes with random think time.
+    #[test]
+    fn prop_windowed_percentiles_match_span_log(
+        ops in proptest::collection::vec(
+            (0usize..VFS, 0usize..4usize, any::<bool>(), 1u64..30),
+            8..40,
+        )
+    ) {
+        let sizes = [2048u64, 4096, 8192, 16384];
+        let (mut sys, disks) = telemetry_system();
+        let mut buf = vec![0u8; 16384];
+        for &(vf, szi, is_read, think_us) in &ops {
+            let bytes = sizes[szi] as usize;
+            let offset = szi as u64 * 16384;
+            if is_read {
+                sys.read(disks[vf], offset, &mut buf[..bytes]);
+            } else {
+                sys.write(disks[vf], offset, &buf[..bytes]);
+            }
+            sys.think(SimDuration::from_micros(think_us));
+        }
+        // Idle past the open window, then drop the partial tail.
+        sys.think(SimDuration::from_micros(2 * INTERVAL_US));
+        sys.telemetry_finish();
+
+        let spans = sys.take_spans();
+        let sampler = sys.telemetry().expect("telemetry enabled").sampler();
+        let windows = sampler.closed_windows();
+        let interval_ns = SimDuration::from_micros(INTERVAL_US).as_nanos();
+        prop_assert!(windows > 0, "workload must close at least one window");
+
+        for (vf, disk) in disks.iter().enumerate() {
+            let hists = reference_hists(&spans, *disk, windows, interval_ns);
+            for (p, series) in [(50.0, format!("hv.vf{vf}.p50_ns")), (99.0, format!("hv.vf{vf}.p99_ns"))] {
+                let ts = sampler.series_by_name(&series).expect("per-VF series exists");
+                let mut checked = 0u64;
+                for (w, v) in ts.samples() {
+                    prop_assert_eq!(
+                        v,
+                        hists[w as usize].percentile(p),
+                        "vf{} p{} window {}", vf, p, w
+                    );
+                    checked += 1;
+                }
+                prop_assert_eq!(checked, windows, "gauge must cover every closed window");
+            }
+        }
+    }
+}
+
+/// The same invariant holds for the windowed request counters: summed over
+/// windows they equal the number of request root spans per VF (determinism
+/// of attribution, not just of percentiles).
+#[test]
+fn windowed_request_counters_match_span_log() {
+    let (mut sys, disks) = telemetry_system();
+    let mut buf = vec![0u8; 8192];
+    for i in 0..30u64 {
+        let vf = (i % VFS as u64) as usize;
+        if i % 3 == 0 {
+            sys.read(disks[vf], (i % 8) * 8192, &mut buf);
+        } else {
+            sys.write(disks[vf], (i % 8) * 8192, &buf);
+        }
+        sys.think(SimDuration::from_micros(7));
+    }
+    sys.think(SimDuration::from_micros(2 * INTERVAL_US));
+    sys.telemetry_finish();
+
+    let spans = sys.take_spans();
+    let sampler = sys.telemetry().expect("telemetry enabled").sampler();
+    for (vf, disk) in disks.iter().enumerate() {
+        let roots = spans
+            .iter()
+            .filter(|s| s.parent == SpanId::NONE && s.name == "request")
+            .filter(|s| s.attrs.contains(&("disk", disk.0 as u64)))
+            .count() as u64;
+        let counted: u64 = sampler
+            .series_by_name(&format!("hv.vf{vf}.requests"))
+            .expect("per-VF series exists")
+            .samples()
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(counted, roots, "vf{vf} request count");
+    }
+}
