@@ -106,6 +106,9 @@ pub fn measure(cfg: HotpathConfig) -> HotpathRun {
     let horizon = SimTime::from_nanos(u64::MAX / 4);
     let mut t = SimTime::ZERO;
     let mut last = SimTime::ZERO;
+    // Reused across the whole run so the steady-state loop never touches
+    // the allocator (asserted by the `alloc_steady` integration test).
+    let mut outs: Vec<nesc_core::NescOutput> = Vec::with_capacity(64);
     // nesc-lint::allow(D1): this harness *measures host wall-clock* per
     // simulated block — the one place wall time is the subject, not an
     // input; it never feeds simulated state.
@@ -119,7 +122,9 @@ pub fn measure(cfg: HotpathConfig) -> HotpathRun {
             BlockRequest::new(RequestId(i + 1), BlockOp::Read, lba, cfg.req_blocks),
             buf,
         );
-        for out in std::hint::black_box(dev.advance(horizon)) {
+        outs.clear();
+        dev.advance_into(horizon, &mut outs);
+        for out in std::hint::black_box(&outs) {
             last = last.max(out.at());
         }
     }
@@ -134,14 +139,38 @@ pub fn measure(cfg: HotpathConfig) -> HotpathRun {
     }
 }
 
+/// Interleaved A/B repeats per mode: alternating per-block and batched
+/// runs means thermal / frequency drift hits both modes equally instead
+/// of biasing whichever ran last, and the per-mode *minimum* is the run
+/// least disturbed by the host — the standard way to read a wall-clock
+/// microbenchmark on a shared machine.
+pub const MEASURE_REPEATS: usize = 5;
+
 /// Measures a config both per-block (`max_run_blocks = 1`) and batched
-/// (unbounded), panicking if any simulated quantity diverges — the
-/// timing-neutrality invariant this whole optimization rests on.
+/// (unbounded) — interleaved, min-of-[`MEASURE_REPEATS`] wall time —
+/// panicking if any simulated quantity diverges across modes or repeats:
+/// the timing-neutrality invariant this whole optimization rests on.
 pub fn measure_pair(mut cfg: HotpathConfig) -> (HotpathRun, HotpathRun) {
     cfg.max_run_blocks = 1;
-    let per_block = measure(cfg);
+    let mut per_block = measure(cfg);
     cfg.max_run_blocks = u64::MAX;
-    let batched = measure(cfg);
+    let mut batched = measure(cfg);
+    for _ in 1..MEASURE_REPEATS {
+        cfg.max_run_blocks = 1;
+        let p = measure(cfg);
+        cfg.max_run_blocks = u64::MAX;
+        let b = measure(cfg);
+        assert_eq!(
+            p.simulated_last_ns, per_block.simulated_last_ns,
+            "simulated results must not vary across repeats ({cfg:?})"
+        );
+        assert_eq!(
+            b.simulated_last_ns, batched.simulated_last_ns,
+            "simulated results must not vary across repeats ({cfg:?})"
+        );
+        per_block.wall_ns_per_block = per_block.wall_ns_per_block.min(p.wall_ns_per_block);
+        batched.wall_ns_per_block = batched.wall_ns_per_block.min(b.wall_ns_per_block);
+    }
     assert_eq!(
         per_block.simulated_last_ns, batched.simulated_last_ns,
         "run batching changed simulated completion time ({cfg:?})"

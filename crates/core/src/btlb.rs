@@ -16,9 +16,12 @@
 //! vLBA, so a probe is a binary search plus a bounded stab scan instead of
 //! a linear pass over every function's entries (the old representation
 //! scanned the whole cache even at ablation capacities of hundreds of
-//! entries). FIFO order lives in a side queue of insertion stamps;
-//! `flush_func` drops a function's index bucket in one map removal and
-//! leaves stale stamps behind as tombstones that eviction skips.
+//! entries). Function ids are dense small integers, so the per-function
+//! buckets live in a flat `Vec` indexed directly by id — a probe touches
+//! one predictable cache line to find its bucket instead of hashing.
+//! FIFO order lives in a side queue of insertion stamps; `flush_func`
+//! empties a function's bucket in place and leaves stale stamps behind as
+//! tombstones that eviction skips.
 //!
 //! Two layers of statistics coexist:
 //!
@@ -30,7 +33,7 @@
 //!   probes and the blocks each probe's extent served, which is the honest
 //!   accounting for the batched translation unit.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use nesc_extent::{ExtentMapping, Plba, Vlba};
 
@@ -89,7 +92,9 @@ impl FuncEntries {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Btlb {
-    index: HashMap<u16, FuncEntries, nesc_sim::IntHashBuilder>,
+    /// Struct-of-arrays per-function buckets, indexed by dense function
+    /// id; grown on first insert for a function.
+    index: Vec<FuncEntries>,
     /// FIFO of `(func, stamp, logical)` in insertion order. Entries removed
     /// by `flush_func`/`flush_all` stay here as tombstones; eviction skips
     /// stamps that no longer exist in the index.
@@ -130,7 +135,7 @@ impl Btlb {
     /// result it must say so through [`Btlb::credit_hits`] so legacy
     /// accounting stays per-block.
     pub fn lookup_run(&mut self, func: u16, vlba: Vlba, max_blocks: u64) -> Option<(Plba, u64)> {
-        match self.index.get(&func).and_then(|fe| fe.find(vlba)) {
+        match self.index.get(func as usize).and_then(|fe| fe.find(vlba)) {
             Some(e) => {
                 self.hits += 1;
                 self.probe_hits += 1;
@@ -164,7 +169,7 @@ impl Btlb {
     /// counting — the device's run re-bounding check after a nested
     /// chain's inserts have settled.
     pub fn covered_at(&self, func: u16, vlba: Vlba) -> Option<(Plba, u64)> {
-        let e = self.index.get(&func)?.find(vlba)?;
+        let e = self.index.get(func as usize)?.find(vlba)?;
         let plba = e
             .extent
             .translate(vlba)
@@ -178,7 +183,11 @@ impl Btlb {
         if self.capacity == 0 {
             return;
         }
-        let fe = self.index.entry(func).or_default();
+        if self.index.len() <= func as usize {
+            self.index
+                .resize_with(func as usize + 1, FuncEntries::default);
+        }
+        let fe = &self.index[func as usize];
         let pos = fe.partition(extent.logical);
         // Duplicate check: equal extents share a start, so they sit in the
         // contiguous equal-logical range at `pos`.
@@ -194,7 +203,7 @@ impl Btlb {
         }
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        let fe = self.index.entry(func).or_default();
+        let fe = &mut self.index[func as usize];
         // Re-derive the slot: eviction may have shifted this bucket.
         let pos = fe.partition(extent.logical);
         let pos = pos
@@ -211,7 +220,7 @@ impl Btlb {
     /// Removes the oldest live entry (skipping tombstones left by flushes).
     fn evict_oldest(&mut self) {
         while let Some((func, stamp, logical)) = self.fifo.pop_front() {
-            let Some(fe) = self.index.get_mut(&func) else {
+            let Some(fe) = self.index.get_mut(func as usize) else {
                 continue; // function flushed wholesale
             };
             let start = fe.partition(logical);
@@ -229,18 +238,25 @@ impl Btlb {
         unreachable!("evict_oldest called with live == capacity > 0");
     }
 
-    /// Drops every entry (the PF-initiated global flush).
+    /// Drops every entry (the PF-initiated global flush). Bucket storage
+    /// is retained for reuse.
     pub fn flush_all(&mut self) {
-        self.index.clear();
+        for fe in &mut self.index {
+            fe.entries.clear();
+            fe.max_len = 0;
+        }
         self.fifo.clear();
         self.live = 0;
     }
 
     /// Drops one function's entries (tree-root replacement). One bucket
-    /// removal; the FIFO keeps tombstones that eviction skips lazily.
+    /// emptied in place; the FIFO keeps tombstones that eviction skips
+    /// lazily.
     pub fn flush_func(&mut self, func: u16) {
-        if let Some(fe) = self.index.remove(&func) {
+        if let Some(fe) = self.index.get_mut(func as usize) {
             self.live -= fe.entries.len();
+            fe.entries.clear();
+            fe.max_len = 0;
         }
     }
 

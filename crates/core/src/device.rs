@@ -39,7 +39,7 @@ use crate::config::NescConfig;
 use crate::function::{FunctionContext, FunctionKind, PendingRequest, StalledRequest};
 use crate::regs::{offsets, FunctionRegisters};
 use crate::ring::RingState;
-use crate::stats::DeviceStats;
+use crate::stats::{DeviceStats, FuncStats};
 use crate::trace::RequestTrace;
 
 /// Index of a function on the device; `FuncId(0)` is always the PF.
@@ -217,6 +217,10 @@ pub struct NescDevice {
     btlb: Btlb,
     events: EventQueue<Event>,
     outputs: Vec<NescOutput>,
+    /// Reusable partition buffer for [`Self::advance_into`]: outputs
+    /// beyond the horizon are parked here, then swapped back into
+    /// `outputs` — no per-call allocation.
+    outputs_later: Vec<NescOutput>,
     mux_scheduled: bool,
     /// While a VF is stalled on a miss, the (shared) translation pipeline
     /// is blocked; only the PF's OOB channel makes progress.
@@ -225,6 +229,8 @@ pub struct NescDevice {
     /// `stalled_func` for nested VFs, where a parent level can miss).
     stall_level: Option<FuncId>,
     stats: DeviceStats,
+    /// Per-function service counters, struct-of-arrays by dense func id.
+    func_stats: FuncStats,
     tracing: bool,
     /// `tracing || tracer.is_enabled()`, cached so the request hot path
     /// pays a single flag test when both are off.
@@ -287,10 +293,12 @@ impl NescDevice {
             btlb,
             events: EventQueue::new(),
             outputs: Vec::new(),
+            outputs_later: Vec::new(),
             mux_scheduled: false,
             stalled_func: None,
             stall_level: None,
             stats: DeviceStats::default(),
+            func_stats: FuncStats::with_len(1),
             tracing: false,
             instrumented: false,
             traces: Vec::new(),
@@ -421,6 +429,7 @@ impl NescDevice {
         if let Some(i) = self.functions[1..].iter().position(|f| !f.alive) {
             let idx = i + 1;
             self.functions[idx] = FunctionContext::new(FunctionKind::Virtual, regs);
+            self.func_stats.reset(idx);
             return Ok(FuncId(idx as u16));
         }
         if self.live_vfs() >= self.cfg.max_vfs {
@@ -431,6 +440,7 @@ impl NescDevice {
         self.functions
             .push(FunctionContext::new(FunctionKind::Virtual, regs));
         self.rr.grow_to(self.functions.len());
+        self.func_stats.grow_to(self.functions.len());
         Ok(FuncId((self.functions.len() - 1) as u16))
     }
 
@@ -523,10 +533,7 @@ impl NescDevice {
     /// Per-function service counters `(requests, blocks)` — the fairness
     /// and QoS harnesses read these.
     pub fn function_counters(&self, func: FuncId) -> (u64, u64) {
-        self.functions
-            .get(func.0 as usize)
-            .map(|f| (f.served_requests, f.served_blocks))
-            .unwrap_or((0, 0))
+        self.func_stats.get(func.0 as usize)
     }
 
     fn vf_mut(&mut self, func: FuncId) -> Result<&mut FunctionContext, VfError> {
@@ -690,24 +697,46 @@ impl NescDevice {
     /// Advances internal machinery to `until` and returns every output
     /// whose time is at or before `until`, in time order.
     pub fn advance(&mut self, until: SimTime) -> Vec<NescOutput> {
+        let mut due = Vec::new();
+        self.advance_into(until, &mut due);
+        due
+    }
+
+    /// Allocation-free variant of [`Self::advance`]: due outputs are
+    /// appended to `out` (which the caller clears and reuses across
+    /// calls), in time order with FIFO ties, exactly as `advance` returns
+    /// them. The steady-state device loop is heap-allocation-free through
+    /// this entry point.
+    // nesc-lint: hot
+    pub fn advance_into(&mut self, until: SimTime, out: &mut Vec<NescOutput>) {
         while let Some((t, ev)) = self.events.pop_due(until) {
             match ev {
                 Event::MuxTick => self.mux_tick(t),
             }
         }
-        // Outputs computed eagerly may lie beyond the horizon; hold them.
-        let mut due: Vec<NescOutput> = Vec::new();
-        let mut later: Vec<NescOutput> = Vec::new();
+        // Outputs computed eagerly may lie beyond the horizon; hold them
+        // in the reusable partition buffer.
+        let start = out.len();
         for o in self.outputs.drain(..) {
             if o.at() <= until {
-                due.push(o);
+                out.push(o);
             } else {
-                later.push(o);
+                self.outputs_later.push(o);
             }
         }
-        self.outputs = later;
-        due.sort_by_key(NescOutput::at);
-        due
+        std::mem::swap(&mut self.outputs, &mut self.outputs_later);
+        // Stable insertion sort on `at`: outputs per horizon are few, the
+        // buffer is usually already ordered, and — unlike `sort_by_key` —
+        // it allocates nothing. Stability preserves emission order on
+        // equal timestamps, matching the historical stable sort.
+        let due = &mut out[start..];
+        for i in 1..due.len() {
+            let mut j = i;
+            while j > 0 && due[j - 1].at() > due[j].at() {
+                due.swap(j - 1, j);
+                j -= 1;
+            }
+        }
     }
 
     /// Earliest time at which the device has something to do or report,
@@ -866,8 +895,7 @@ impl NescDevice {
         let last_done = times.last().copied().unwrap_or(start);
         self.time_scratch = times;
         self.count_blocks(req.op, req.block_count);
-        self.functions[0].served_requests += 1;
-        self.functions[0].served_blocks += req.block_count;
+        self.func_stats.credit(0, 1, req.block_count);
         self.complete(last_done, self.pf(), req.id, CompletionStatus::Ok);
     }
 
@@ -980,10 +1008,19 @@ impl NescDevice {
         let mut last_done = start;
         let mut blocks_done = 0u64;
         let lookup_cost = self.cfg.btlb_lookup;
+        // A zero-capacity BTLB rebounds every run to one block *after*
+        // translation (`rebound_run`); clamping up front makes the batched
+        // loop take exactly the per-block path instead of sizing walks for
+        // runs it can never keep.
+        let run_cap = if self.btlb.capacity() == 0 {
+            1
+        } else {
+            self.cfg.max_run_blocks
+        };
         let mut i = from_block;
         while i < req.block_count {
             let vlba = req.lba.offset(i);
-            let max_run = (req.block_count - i).min(self.cfg.max_run_blocks);
+            let max_run = (req.block_count - i).min(run_cap);
             // --- Translation unit: BTLB, then the block-walk unit —
             // composed across nesting levels for nested VFs, and sized to
             // the longest run every level's extent covers. ---
@@ -1146,9 +1183,7 @@ impl NescDevice {
             }
         }
         self.count_blocks(req.op, blocks_done);
-        let ctx = &mut self.functions[func.0 as usize];
-        ctx.served_requests += 1;
-        ctx.served_blocks += blocks_done;
+        self.func_stats.credit(func.0 as usize, 1, blocks_done);
         self.complete(last_done, func, req.id, CompletionStatus::Ok);
     }
 
@@ -1296,6 +1331,12 @@ impl NescDevice {
         if run <= 1 {
             return run.max(1);
         }
+        if !chain.is_empty() && self.btlb.capacity() == 0 {
+            // BTLB-ablation fast path: a zero-capacity cache holds
+            // nothing, so every probe below would miss — identical
+            // outcome, none of the probe cost.
+            return 1;
+        }
         for &(f, lba, plba) in chain {
             match self.btlb.covered_at(f, lba.offset(1)) {
                 Some((p, covered)) if p == plba.offset(1) => run = run.min(1 + covered),
@@ -1360,15 +1401,22 @@ impl NescDevice {
             BlockOp::Read => {
                 let store = &self.store;
                 let mut mem = self.mem.borrow_mut();
-                for k in 0..blocks {
-                    let a = host_addr + k * BLOCK_SIZE;
-                    match store.block(plba.offset(k)) {
-                        // Written blocks move their actual bytes; reading a
-                        // never-written (all-zero) block zero-fills
-                        // sparsely, so untouched destination pages stay
-                        // unmaterialized.
-                        Some(b) => mem.write(a, b),
-                        None => mem.fill_zero(a, BLOCK_SIZE),
+                if !store.maybe_written_in(plba, blocks) {
+                    // The whole run is provably unwritten: one sparse
+                    // zero-fill (per destination page, not per block)
+                    // replaces the per-block store probes below.
+                    mem.fill_zero(host_addr, blocks * BLOCK_SIZE);
+                } else {
+                    for k in 0..blocks {
+                        let a = host_addr + k * BLOCK_SIZE;
+                        match store.block(plba.offset(k)) {
+                            // Written blocks move their actual bytes;
+                            // reading a never-written (all-zero) block
+                            // zero-fills sparsely, so untouched destination
+                            // pages stay unmaterialized.
+                            Some(b) => mem.write(a, b),
+                            None => mem.fill_zero(a, BLOCK_SIZE),
+                        }
                     }
                 }
             }

@@ -68,10 +68,6 @@ pub struct FunctionContext {
     /// the lowest-numbered priority class with pending work, round-robin
     /// within it — the per-VF priority extension of paper §IV-D.
     pub priority: u8,
-    /// Requests served to completion for this function.
-    pub served_requests: u64,
-    /// Blocks moved for this function.
-    pub served_blocks: u64,
     /// Device-side consumer index of the function's command ring.
     pub ring_head: u32,
     /// For a *nested* VF (paper §IV-A's aside on nested virtualization):
@@ -90,8 +86,6 @@ impl FunctionContext {
             stalled: None,
             alive: true,
             priority: DEFAULT_PRIORITY,
-            served_requests: 0,
-            served_blocks: 0,
             ring_head: 0,
             parent: None,
         }

@@ -84,5 +84,5 @@ pub use device::{CompletionStatus, FuncId, IrqReason, NescDevice, NescOutput, Vf
 pub use function::{FunctionContext, FunctionKind};
 pub use regs::FunctionRegisters;
 pub use ring::{RingDescriptor, RingState};
-pub use stats::DeviceStats;
+pub use stats::{DeviceStats, FuncStats};
 pub use trace::RequestTrace;

@@ -47,7 +47,7 @@ impl NodeKind {
 }
 
 /// A node-pointer entry of an internal node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeEntry {
     /// First logical block the child subtree covers.
     pub first_logical: Vlba,
@@ -102,13 +102,66 @@ impl std::fmt::Display for LayoutError {
 
 impl std::error::Error for LayoutError {}
 
+/// Fixed-capacity inline list of decoded node entries. A node holds at
+/// most [`FANOUT`] entries, so decoding never needs the heap — the walk
+/// unit's hot loop reads nodes without touching the allocator. Derefs to a
+/// slice of the live entries.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeList<T> {
+    items: [T; FANOUT],
+    len: usize,
+}
+
+impl<T: Copy + Default> NodeList<T> {
+    /// Builds a list of `len` entries, entry `i` produced by `f(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > FANOUT`.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> T) -> Self {
+        assert!(len <= FANOUT, "node overflow: {len}");
+        let mut items = [T::default(); FANOUT];
+        for (i, slot) in items[..len].iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        NodeList { items, len }
+    }
+}
+
+impl<T> std::ops::Deref for NodeList<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.items[..self.len]
+    }
+}
+
+impl<T: PartialEq> PartialEq for NodeList<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.items[..self.len] == other.items[..other.len]
+    }
+}
+
+impl<T: Eq> Eq for NodeList<T> {}
+
+impl<T: PartialEq> PartialEq<[T]> for NodeList<T> {
+    fn eq(&self, other: &[T]) -> bool {
+        &self.items[..self.len] == other
+    }
+}
+
+impl<T: PartialEq> PartialEq<Vec<T>> for NodeList<T> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        &self.items[..self.len] == other.as_slice()
+    }
+}
+
 /// A decoded node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Node {
     /// Internal node with child pointers.
-    Internal(Vec<NodeEntry>),
+    Internal(NodeList<NodeEntry>),
     /// Leaf node with extent pointers.
-    Leaf(Vec<ExtentMapping>),
+    Leaf(NodeList<ExtentMapping>),
 }
 
 impl Node {
@@ -188,29 +241,25 @@ pub fn decode(buf: &[u8; NODE_SIZE]) -> Result<Node, LayoutError> {
         |off: usize| u64::from_le_bytes(buf[off..off + 8].try_into().expect("8-byte slice"));
     match kind {
         1 => {
-            let entries = (0..count as usize)
-                .map(|i| {
-                    let off = HEADER_SIZE + i * ENTRY_SIZE;
-                    NodeEntry {
-                        first_logical: Vlba(read_u64(off)),
-                        blocks: read_u64(off + 8),
-                        child: read_u64(off + 16),
-                    }
-                })
-                .collect();
+            let entries = NodeList::from_fn(count as usize, |i| {
+                let off = HEADER_SIZE + i * ENTRY_SIZE;
+                NodeEntry {
+                    first_logical: Vlba(read_u64(off)),
+                    blocks: read_u64(off + 8),
+                    child: read_u64(off + 16),
+                }
+            });
             Ok(Node::Internal(entries))
         }
         2 => {
-            let extents = (0..count as usize)
-                .map(|i| {
-                    let off = HEADER_SIZE + i * ENTRY_SIZE;
-                    ExtentMapping {
-                        logical: Vlba(read_u64(off)),
-                        len: read_u64(off + 8),
-                        physical: Plba(read_u64(off + 16)),
-                    }
-                })
-                .collect();
+            let extents = NodeList::from_fn(count as usize, |i| {
+                let off = HEADER_SIZE + i * ENTRY_SIZE;
+                ExtentMapping {
+                    logical: Vlba(read_u64(off)),
+                    len: read_u64(off + 8),
+                    physical: Plba(read_u64(off + 16)),
+                }
+            });
             Ok(Node::Leaf(extents))
         }
         other => Err(LayoutError::BadKind { found: other }),
@@ -245,7 +294,10 @@ mod tests {
             ExtentMapping::new(Vlba(8), Plba(200), 2),
         ];
         let buf = encode_leaf(&extents);
-        assert_eq!(decode(&buf).unwrap(), Node::Leaf(extents));
+        match decode(&buf).unwrap() {
+            Node::Leaf(got) => assert_eq!(got, extents),
+            other => panic!("decoded wrong kind: {other:?}"),
+        }
     }
 
     #[test]
@@ -335,7 +387,10 @@ mod tests {
                 .map(|&(l, p, n)| ExtentMapping::new(Vlba(l), Plba(p), n))
                 .collect();
             let buf = encode_leaf(&extents);
-            prop_assert_eq!(decode(&buf).unwrap(), Node::Leaf(extents));
+            match decode(&buf).unwrap() {
+                Node::Leaf(got) => prop_assert_eq!(got, extents),
+                other => return Err(TestCaseError::fail(format!("wrong kind: {other:?}"))),
+            }
         }
     }
 }

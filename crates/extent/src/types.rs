@@ -179,7 +179,7 @@ impl fmt::Display for Plba {
 /// assert!(!e.contains(Vlba(116)));
 /// assert_eq!(e.translate(Vlba(103)), Some(Plba(5003)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct ExtentMapping {
     /// First virtual block covered.
     pub logical: Vlba,

@@ -267,12 +267,12 @@ impl System {
         self.poll_telemetry(self.now);
     }
 
-    /// Drives the sampler to `at` via the take/put-back pattern (the
-    /// sampler needs `&self.dev` while living inside `self`).
+    /// Drives the sampler to `at`. Disjoint-field borrows let the
+    /// telemetry subsystem read the device and tracer in place — no
+    /// take/put-back move of the whole subsystem per call.
     fn poll_telemetry(&mut self, at: SimTime) {
-        if let Some(mut tel) = self.telemetry.take() {
+        if let Some(tel) = self.telemetry.as_mut() {
             tel.poll(at, &self.dev, &self.tracer);
-            self.telemetry = Some(tel);
         }
     }
 
@@ -615,12 +615,17 @@ impl System {
         } else {
             self.metrics.inc(&format!("errors_{path}"), 1);
         }
-        // Poll before recording so the observation lands in the window
-        // containing its completion time (window closes fire first).
-        if let Some(mut tel) = self.telemetry.take() {
-            tel.poll(done, &self.dev, &self.tracer);
-            tel.record_request(disk_id, len, done - issue);
-            self.telemetry = Some(tel);
+        // Deferred telemetry: append one fixed-size observation record and
+        // poll only when this completion crosses a window boundary. The
+        // poll folds records into windows by timestamp, so the observation
+        // lands in the window containing its completion time exactly as
+        // the historical poll-then-record sequence did.
+        // nesc-lint: hot
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.record_request(done, disk_id, len, done - issue);
+            if tel.due(done) {
+                tel.poll(done, &self.dev, &self.tracer);
+            }
         }
         (done, status)
     }

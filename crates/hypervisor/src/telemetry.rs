@@ -11,12 +11,20 @@
 //!   latency (from a histogram that resets each window), plus the miss
 //!   handler's rewalk service rate and p99.
 //!
-//! Everything is driven by *simulated* time: [`System`][crate::System]
-//! calls [`Telemetry::poll`] at each request completion (and on idle
-//! think time), which closes any windows whose end has passed, commits
-//! one sample per series per window, and runs the watchdog. No wall
-//! clock, no background thread — the same seed produces byte-identical
-//! time series.
+//! Everything is driven by *simulated* time, and sampling is *deferred*
+//! off the hot path: each request completion appends one fixed-size
+//! observation record ([`Telemetry::record_request`]) and performs a
+//! single integer compare against the cached next window end
+//! ([`Telemetry::due`]). Only when a completion (or idle think time)
+//! crosses a window boundary does [`Telemetry::poll`] run: it folds the
+//! pending records into their windows by timestamp, closes every window
+//! whose end has passed, commits one sample per series per window, and
+//! runs the watchdog. The fold is exact — an observation at time `t` is
+//! visible to a window ending at `W` iff `t < W`, which is precisely the
+//! window an eager record-after-poll would have landed it in — so the
+//! exported series are byte-identical to inline polling while the
+//! per-request cost drops to an append. No wall clock, no background
+//! thread — the same seed produces byte-identical time series.
 //!
 //! # Example
 //!
@@ -36,8 +44,6 @@
 //! assert!(sampler.closed_windows() > 0);
 //! assert!(sampler.series_by_name("hv.vf0.requests").is_some());
 //! ```
-
-use std::collections::BTreeMap;
 
 use nesc_core::{FuncId, NescDevice};
 use nesc_sim::perfmon::{utilization_ppm, SeriesKind};
@@ -114,6 +120,20 @@ struct VfSeries {
     hist: Histogram,
 }
 
+/// One deferred per-request observation: appended by the hot path, folded
+/// into its disk's raw counters when the window containing `t_ns` closes.
+#[derive(Debug, Clone, Copy)]
+struct PendingObs {
+    /// Completion time (nanoseconds) — decides the window it lands in.
+    t_ns: u64,
+    /// Disk index (dense attach order).
+    disk: u32,
+    /// Request payload bytes.
+    bytes: u64,
+    /// Completion latency in nanoseconds.
+    latency_ns: u64,
+}
+
 /// The assembled telemetry subsystem (see the module docs).
 #[derive(Debug)]
 pub struct Telemetry {
@@ -132,8 +152,16 @@ pub struct Telemetry {
     // Hypervisor probes.
     s_rewalks: SeriesId,
     s_rewalk_p99: SeriesId,
-    /// Per-disk accounting, keyed by disk index (attach order).
-    vfs: BTreeMap<usize, VfSeries>,
+    /// Per-disk accounting, indexed by dense disk index (attach order).
+    /// `None` marks an index whose disk was never registered.
+    vfs: Vec<Option<VfSeries>>,
+    /// Deferred per-request observations since the last window close (the
+    /// hot path appends; [`poll`](Self::poll) drains at window
+    /// boundaries). Capacity is retained across drains.
+    pending: Vec<PendingObs>,
+    /// Cached end of the oldest unclosed window, in nanoseconds — the hot
+    /// path's single-compare test for "is any window due".
+    next_due_ns: u64,
     rewalk_count: u64,
     rewalk_hist: Histogram,
     // Previous cumulative raws for windowed-ratio gauges.
@@ -162,6 +190,7 @@ impl Telemetry {
         }
         let ops = SeriesKind::Counter;
         let gauge = SeriesKind::Gauge;
+        let next_due_ns = (SimTime::ZERO + cfg.interval).as_nanos();
         Telemetry {
             s_btlb_lookups: sampler.register("core.btlb_lookups", "ops", ops),
             s_btlb_hits: sampler.register("core.btlb_hits", "ops", ops),
@@ -175,7 +204,9 @@ impl Telemetry {
             s_rewalk_p99: sampler.register("hv.rewalk_p99_ns", "ns", gauge),
             sampler,
             watchdog,
-            vfs: BTreeMap::new(),
+            vfs: Vec::new(),
+            pending: Vec::new(),
+            next_due_ns,
             rewalk_count: 0,
             rewalk_hist: Histogram::new(),
             prev_btlb_lookups: 0,
@@ -220,17 +251,60 @@ impl Telemetry {
             raw_bytes: 0,
             hist: Histogram::new(),
         };
-        self.vfs.insert(d, vf);
+        if self.vfs.len() <= d {
+            self.vfs.resize_with(d + 1, || None);
+        }
+        self.vfs[d] = Some(vf);
     }
 
-    /// Accounts one completed request against its disk. Call after
-    /// [`poll`](Self::poll) at the completion time, so the observation
-    /// lands in the window containing that time.
-    pub fn record_request(&mut self, disk: DiskId, bytes: u64, latency: SimDuration) {
-        if let Some(vf) = self.vfs.get_mut(&disk.0) {
-            vf.raw_requests += 1;
-            vf.raw_bytes += bytes;
-            vf.hist.record(latency.as_nanos());
+    /// Accounts one completed request against its disk — the hot-path
+    /// append. The observation is *deferred*: nothing but a fixed-size
+    /// record push happens here; [`poll`](Self::poll) folds it into the
+    /// disk's raw counters when the window containing `done` closes, so it
+    /// lands in exactly the window an eager record-after-poll would have
+    /// (a record at `t` is visible to a window ending at `W` iff `t < W`).
+    // nesc-lint: hot
+    #[inline]
+    pub fn record_request(
+        &mut self,
+        done: SimTime,
+        disk: DiskId,
+        bytes: u64,
+        latency: SimDuration,
+    ) {
+        self.pending.push(PendingObs {
+            t_ns: done.as_nanos(),
+            disk: disk.0 as u32,
+            bytes,
+            latency_ns: latency.as_nanos(),
+        });
+    }
+
+    /// Whether any telemetry window ends at or before `now` — the hot
+    /// path's single branch deciding if [`poll`](Self::poll) must run.
+    // nesc-lint: hot
+    #[inline]
+    pub fn due(&self, now: SimTime) -> bool {
+        now.as_nanos() >= self.next_due_ns
+    }
+
+    /// Folds every deferred observation earlier than `window_end_ns` into
+    /// its disk's raw counters, removing it from the pending list.
+    /// Application order does not matter: the raws are sums and a
+    /// histogram, both commutative.
+    fn fold_pending(&mut self, window_end_ns: u64) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].t_ns < window_end_ns {
+                let r = self.pending.swap_remove(i);
+                if let Some(Some(vf)) = self.vfs.get_mut(r.disk as usize) {
+                    vf.raw_requests += 1;
+                    vf.raw_bytes += r.bytes;
+                    vf.hist.record(r.latency_ns);
+                }
+            } else {
+                i += 1;
+            }
         }
     }
 
@@ -246,7 +320,11 @@ impl Telemetry {
     /// probes are read from the device; an idle stretch closes several
     /// windows in one call (counters record zeros after the first).
     pub fn poll(&mut self, now: SimTime, dev: &NescDevice, tracer: &Tracer) {
-        while self.sampler.due(now).is_some() {
+        if !self.due(now) {
+            return;
+        }
+        while let Some(end) = self.sampler.due(now) {
+            self.fold_pending(end.as_nanos());
             let interval = self.sampler.interval();
             let stats = dev.stats();
             self.sampler.sample(self.s_btlb_lookups, stats.btlb_lookups);
@@ -295,25 +373,29 @@ impl Telemetry {
                 self.rewalk_hist.percentile(99.0)
             };
             self.sampler.sample(self.s_rewalk_p99, rewalk_p99);
-            self.rewalk_hist = Histogram::new();
+            self.rewalk_hist.reset();
 
-            for vf in self.vfs.values_mut() {
+            for vf in self.vfs.iter_mut().flatten() {
                 self.sampler.sample(vf.requests, vf.raw_requests);
                 self.sampler.sample(vf.bytes, vf.raw_bytes);
                 let (p50, p99) = if vf.hist.count() == 0 {
                     (0, 0)
                 } else {
-                    (vf.hist.percentile(50.0), vf.hist.percentile(99.0))
+                    vf.hist.percentile_pair(50.0, 99.0)
                 };
                 self.sampler.sample(vf.p50, p50);
                 self.sampler.sample(vf.p99, p99);
-                vf.hist = Histogram::new();
+                vf.hist.reset();
                 if let Some((id, func)) = vf.ring {
                     self.sampler.sample(id, dev.ring_depth(func) as u64);
                 }
             }
             self.watchdog.evaluate(&self.sampler, tracer);
         }
+        self.next_due_ns = self
+            .sampler
+            .window_end(self.sampler.closed_windows())
+            .as_nanos();
     }
 
     /// The sampler (series, windows, exporters).

@@ -18,6 +18,7 @@
 //! | D4 | float types/literals in the event-timestamp/scheduling core |
 //! | D5 | `Span`/`SpanId` fabricated outside the `Tracer` |
 //! | D6 | raw integer literals where a sampling interval (`SimDuration`) is expected |
+//! | D7 | heap-allocating calls inside `// nesc-lint: hot` regions of device-loop modules |
 //! | T1 | raw `u64` LBAs in public APIs of address-carrying crates |
 //! | T2 | `Plba` minted / newtype `.0` unwrapped outside boundary modules |
 //! | T3 | open-coded `* BLOCK_SIZE` block↔byte conversion on LBA values |
@@ -81,6 +82,19 @@ pub fn classify(rel: &Path) -> Option<LintContext> {
         ),
         trace_impl: s == "crates/sim/src/trace.rs",
         time_impl: s == "crates/sim/src/time.rs",
+        // Device-loop modules: the per-request completion path whose
+        // steady state must stay allocation-free (D7 hot regions). The
+        // bench alloc harness proves it dynamically; D7 keeps new code
+        // from regressing it between bench runs.
+        device_loop: matches!(
+            s.as_str(),
+            "crates/core/src/device.rs"
+                | "crates/core/src/btlb.rs"
+                | "crates/core/src/function.rs"
+                | "crates/sim/src/queue.rs"
+                | "crates/hypervisor/src/system.rs"
+                | "crates/hypervisor/src/telemetry.rs"
+        ),
         // Integration-test trees: still covered by D1/D2 (nondeterministic
         // tests are flaky tests), exempt from state-shape rules.
         test_file: s.starts_with("tests/tests/") || s.contains("/tests/"),
@@ -222,6 +236,10 @@ mod tests {
         assert!(t.trace_impl && !t.scheduling_core);
         let ti = classify(Path::new("crates/sim/src/time.rs")).unwrap();
         assert!(ti.time_impl && ti.scheduling_core);
+        let dev = classify(Path::new("crates/core/src/device.rs")).unwrap();
+        assert!(dev.device_loop);
+        let rep = classify(Path::new("crates/hypervisor/src/report.rs"));
+        assert!(rep.is_none_or(|c| !c.device_loop));
         let it = classify(Path::new("tests/tests/determinism.rs")).unwrap();
         assert!(it.test_file);
     }

@@ -1,4 +1,4 @@
-//! The NeSC determinism rules (D1-D6), address-provenance rules (T1-T3)
+//! The NeSC determinism rules (D1-D7), address-provenance rules (T1-T3)
 //! and suppression hygiene (A1-A3).
 //!
 //! Every rule is a pattern over the token stream produced by
@@ -50,6 +50,10 @@ pub enum Rule {
     /// Raw integer literal passed where a sampling interval
     /// (`SimDuration`) is expected, outside the time implementation.
     D6,
+    /// Heap-allocating call (`Box::new`, `Vec::new`, `collect()`,
+    /// `format!`, `to_vec()`, ...) inside a `// nesc-lint: hot` region of
+    /// a device-loop module.
+    D7,
     /// Raw `u64` carrying an LBA across a public API in address crates.
     T1,
     /// `Vlba`/`Plba` unwrapped (`.0`) or `Plba` minted outside a boundary
@@ -68,13 +72,14 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, for iteration and parsing.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 13] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
         Rule::D4,
         Rule::D5,
         Rule::D6,
+        Rule::D7,
         Rule::T1,
         Rule::T2,
         Rule::T3,
@@ -92,6 +97,7 @@ impl Rule {
             Rule::D4 => "D4",
             Rule::D5 => "D5",
             Rule::D6 => "D6",
+            Rule::D7 => "D7",
             Rule::T1 => "T1",
             Rule::T2 => "T2",
             Rule::T3 => "T3",
@@ -156,6 +162,10 @@ pub struct LintContext {
     /// D6 exempt: this file *is* the time implementation (`sim/time.rs`),
     /// where `SimDuration` constructors legitimately take raw integers.
     pub time_impl: bool,
+    /// D7 applies: this file is part of the device loop (the completion
+    /// path that runs once per simulated block), where `// nesc-lint: hot`
+    /// markers pin allocation-free regions.
+    pub device_loop: bool,
     /// D3/D5/A1 exempt everywhere: the file is test-only (integration
     /// tests, examples are still covered — only `tests/` tree files).
     pub test_file: bool,
@@ -176,6 +186,7 @@ impl LintContext {
             scheduling_core: true,
             trace_impl: false,
             time_impl: false,
+            device_loop: true,
             test_file: false,
             address_crate: true,
             boundary_module: false,
@@ -228,6 +239,36 @@ fn item_end_line(tokens: &[Tok], from_line: u32) -> u32 {
 }
 
 const DIRECTIVE: &str = "nesc-lint::allow(";
+
+/// The hot-region marker: a plain comment whose whole text is exactly
+/// `nesc-lint: hot`. It governs the statement or braced item that begins
+/// on the next code line (attributes like `#[inline]` between the marker
+/// and the `fn` are part of the item), through that item's closing brace
+/// — the same coverage rule suppression directives use.
+const HOT_MARKER: &str = "nesc-lint: hot";
+
+/// Line ranges `(first, last)` pinned allocation-free by `// nesc-lint:
+/// hot` markers. Doc comments never open a region, so documentation
+/// *showing* the marker does not arm D7.
+fn hot_regions(comments: &[Comment], tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut code_lines: Vec<u32> = tokens.iter().map(|t| t.line).collect();
+    code_lines.dedup();
+    let mut out = Vec::new();
+    for c in comments {
+        if c.doc || c.text != HOT_MARKER {
+            continue;
+        }
+        let start = match code_lines.binary_search(&(c.line + 1)) {
+            Ok(i) => code_lines[i],
+            Err(i) => match code_lines.get(i) {
+                Some(&l) => l,
+                None => continue, // trailing marker with no item after it
+            },
+        };
+        out.push((start, item_end_line(tokens, start)));
+    }
+    out
+}
 
 /// Parses suppression directives out of the comment list. `line_has_code`
 /// maps a line number to whether any token sits on it — a trailing
@@ -421,6 +462,7 @@ pub fn check(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
 pub fn check_all(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
     let tokens = &scan.tokens;
     let tests = test_regions(tokens);
+    let hot = hot_regions(&scan.comments, tokens);
     let mut directives = parse_directives(&scan.comments, tokens);
     let mut raw: Vec<Diagnostic> = Vec::new();
 
@@ -577,6 +619,69 @@ pub fn check_all(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
                             "use ids returned by Tracer::start (or SpanId::NONE for 'no span')",
                         );
                     }
+                }
+                // ---- D7: heap allocation in hot regions ---------------
+                // Constructor paths that allocate (or exist to be grown):
+                // `Box::new`, `Vec::with_capacity`, `Vec::<T>::new`
+                // turbofish included, `String::from`, ...
+                "Box" | "Vec" | "VecDeque" | "String" | "BTreeMap" | "BTreeSet"
+                    if ctx.device_loop
+                        && !exempt_nontiming
+                        && in_regions(&hot, line)
+                        && punct(i + 1, ':')
+                        && punct(i + 2, ':') =>
+                {
+                    let j = match generic_arg_count(tokens, i + 3) {
+                        Some((_, past)) if punct(past, ':') && punct(past + 1, ':') => past + 2,
+                        _ => i + 3,
+                    };
+                    if matches!(ident(j), Some("new" | "with_capacity" | "from"))
+                        && punct(j + 1, '(')
+                    {
+                        push(
+                            &mut raw,
+                            line,
+                            Rule::D7,
+                            format!(
+                                "heap allocation in hot region: `{name}::{}`",
+                                ident(j).unwrap_or("?")
+                            ),
+                            "hoist the buffer out of the device loop and reuse it; the alloc_steady harness asserts the steady state allocates nothing",
+                        );
+                    }
+                }
+                // Allocating macros.
+                "vec" | "format"
+                    if ctx.device_loop
+                        && !exempt_nontiming
+                        && in_regions(&hot, line)
+                        && punct(i + 1, '!') =>
+                {
+                    push(
+                        &mut raw,
+                        line,
+                        Rule::D7,
+                        format!("heap allocation in hot region: `{name}!`"),
+                        "hoist the buffer out of the device loop and reuse it; the alloc_steady harness asserts the steady state allocates nothing",
+                    );
+                }
+                // Allocating method calls: `.collect()` into a fresh
+                // container (turbofish included), owned copies.
+                "collect" | "to_vec" | "to_owned" | "to_string"
+                    if ctx.device_loop
+                        && !exempt_nontiming
+                        && in_regions(&hot, line)
+                        && i > 0
+                        && matches!(tokens[i - 1].kind, TokKind::Punct('.'))
+                        && (punct(i + 1, '(') || (punct(i + 1, ':') && punct(i + 2, ':'))) =>
+                {
+                    push(
+                        &mut raw,
+                        line,
+                        Rule::D7,
+                        format!("heap allocation in hot region: `.{name}()`"),
+                        "hoist the buffer out of the device loop and reuse it; the alloc_steady harness asserts the steady state allocates nothing",
+                    );
                 }
                 // ---- D6: raw interval literals ------------------------
                 // Any call whose name mentions "interval" taking a bare

@@ -1,0 +1,28 @@
+//! D7 fixture: heap-allocating calls inside `// nesc-lint: hot` regions.
+
+// nesc-lint: hot
+pub fn drain(&mut self, pending: &[Event], out: &mut Vec<Event>) {
+    let staged: Vec<Event> = pending.iter().copied().collect();
+    let boxed = Box::new(staged.len());
+    let mut fresh = Vec::new();
+    let label = format!("events-{boxed}");
+    let copied = staged.to_vec();
+    out.extend(copied);
+}
+
+pub fn cold_rebuild(pending: &[Event]) -> Vec<Event> {
+    pending.to_vec()
+}
+
+// nesc-lint: hot
+#[inline]
+pub fn record(&mut self, v: u64) {
+    self.ring.push(v);
+}
+
+// nesc-lint: hot
+pub fn scratch(&mut self) {
+    // nesc-lint::allow(D7): one-time warm-up fill, never the steady state.
+    let warm = vec![0u8; 4096];
+    self.seed(&warm);
+}

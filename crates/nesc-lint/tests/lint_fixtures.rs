@@ -86,6 +86,42 @@ fn d6_flags_raw_interval_literals() {
 }
 
 #[test]
+fn d7_flags_hot_region_allocations_only() {
+    // The five allocating calls inside `drain`'s hot region (lines 5-9)
+    // fire; the identical `.to_vec()` in the unmarked `cold_rebuild`
+    // (line 14) stays clean; the `#[inline]` between marker and fn
+    // (line 18) does not break coverage, and `record`'s push to a
+    // pre-sized ring is not an allocation site; the justified directive
+    // (line 25) suppresses the warm-up `vec!` (line 26) without going
+    // stale (no A3).
+    assert_eq!(
+        lint_fixture("d7_hot_alloc.rs"),
+        vec![
+            (5, Rule::D7),
+            (6, Rule::D7),
+            (7, Rule::D7),
+            (8, Rule::D7),
+            (9, Rule::D7),
+        ]
+    );
+}
+
+#[test]
+fn d7_applies_only_in_device_loop_modules() {
+    let src = "// nesc-lint: hot\npub fn f(out: &mut O) { out.v = Vec::new(); }\n";
+    let mut ctx = LintContext::strict("x.rs");
+    assert_eq!(
+        lint_source(&ctx, src)
+            .into_iter()
+            .map(|d| (d.line, d.rule))
+            .collect::<Vec<_>>(),
+        vec![(2, Rule::D7)]
+    );
+    ctx.device_loop = false;
+    assert!(lint_source(&ctx, src).is_empty());
+}
+
+#[test]
 fn suppression_hygiene_rules() {
     // The justified D1 directive (line 3) silently works; the unjustified
     // D2 one (line 9) still suppresses but earns an A2; the dead D5 one

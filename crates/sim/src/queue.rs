@@ -1,27 +1,46 @@
 //! Timed event queue.
 //!
-//! [`EventQueue`] is a min-heap keyed on [`SimTime`] with a monotonic
-//! sequence number as tie-breaker, so events scheduled for the same instant
-//! pop in FIFO order. Determinism of the whole simulation rests on this
-//! tie-breaking rule.
+//! [`EventQueue`] is a deterministic priority queue keyed on [`SimTime`]
+//! with a monotonic sequence number as tie-breaker, so events scheduled
+//! for the same instant pop in FIFO order. Determinism of the whole
+//! simulation rests on this tie-breaking rule.
 //!
 //! Device models overwhelmingly schedule in non-decreasing time order (a
 //! request's completion chain, a batch of per-block media events), so the
 //! queue keeps a *fast lane*: a `VecDeque` that absorbs any push not
-//! earlier than its tail in O(1), bypassing the heap's `log n` sift
-//! entirely. Out-of-order pushes fall back to the heap; `pop` merges the
-//! two lanes on `(time, seq)`, which preserves the exact global FIFO
-//! tie-break the single-heap implementation had.
+//! earlier than its tail in O(1), bypassing the slow lane entirely.
+//!
+//! Out-of-order pushes land in the slow lane, which is a flat event
+//! calendar (a single-level bucketed timing wheel): `WHEEL_BUCKETS`
+//! buckets of `2^WHEEL_SHIFT` ns each cover a sliding ~1 ms window, and
+//! events beyond the window spill into an overflow vector that is
+//! refilled into the wheel as the window advances. Each bucket is a plain
+//! `Vec` holding entries inline — the buckets double as the slab for
+//! in-flight events, so steady-state push/pop cycles reuse retained
+//! capacity and perform no heap allocation. `pop` merges the lanes on
+//! `(time, seq)`, which preserves the exact global FIFO tie-break the
+//! original single-heap implementation had: within a bucket the minimum
+//! is selected by scanning on `(time, seq)`, never by insertion position,
+//! so bucket-internal order is irrelevant to the observable pop order.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::time::SimTime;
 
-/// A deterministic min-heap of `(time, event)` pairs.
+/// Number of near-future buckets in the calendar. A power of two so the
+/// bucket index is a mask, not a modulo.
+const WHEEL_BUCKETS: usize = 256;
+
+/// log2 of the bucket granularity in nanoseconds: 4096 ns per bucket,
+/// giving a ~1.05 ms near-future window — wider than the completion
+/// horizon of a single request chain, so device-model events essentially
+/// never touch the overflow spill.
+const WHEEL_SHIFT: u32 = 12;
+
+/// A deterministic min-queue of `(time, event)` pairs.
 ///
 /// Ties on `time` are broken by insertion order (FIFO), which keeps runs
-/// reproducible regardless of heap internals.
+/// reproducible regardless of the calendar internals.
 ///
 /// # Example
 ///
@@ -39,7 +58,23 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Near-future calendar: bucket `i` holds entries whose wheel slot
+    /// `s` (see [`slot_of`]) satisfies `s % WHEEL_BUCKETS == i` and
+    /// `cursor <= s < cursor + WHEEL_BUCKETS`. Entries scheduled earlier
+    /// than the cursor (a push into the past) are filed under the cursor
+    /// bucket itself, which is always the first bucket scanned.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Events beyond the calendar window, unsorted; refilled into the
+    /// buckets when the window slides over them.
+    overflow: Vec<Entry<E>>,
+    /// Absolute slot number of the earliest (first-scanned) bucket.
+    cursor: u64,
+    /// Entries currently in `buckets` (not counting `overflow`).
+    in_buckets: usize,
+    /// Cached `(time, seq)` minimum over `buckets` / `overflow`; kept
+    /// exact on every mutation so `peek_time` is O(1) and `&self`.
+    bucket_min: Option<(SimTime, u64)>,
+    overflow_min: Option<(SimTime, u64)>,
     /// Monotonic lane: entries here are non-decreasing in `(time, seq)`
     /// front-to-back, so the earliest is always at the front.
     fast: VecDeque<Entry<E>>,
@@ -53,27 +88,9 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// Absolute wheel slot of a timestamp.
+fn slot_of(time: SimTime) -> u64 {
+    time.as_nanos() >> WHEEL_SHIFT
 }
 
 impl<E> Default for EventQueue<E> {
@@ -85,8 +102,15 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(WHEEL_BUCKETS);
+        buckets.resize_with(WHEEL_BUCKETS, Vec::new);
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets,
+            overflow: Vec::new(),
+            cursor: 0,
+            in_buckets: 0,
+            bucket_min: None,
+            overflow_min: None,
             fast: VecDeque::new(),
             seq: 0,
         }
@@ -100,7 +124,7 @@ impl<E> EventQueue<E> {
         // seq is strictly increasing, so `time >= back.time` alone keeps
         // the lane sorted on (time, seq).
         match self.fast.back() {
-            Some(back) if time < back.time => self.heap.push(entry),
+            Some(back) if time < back.time => self.push_slow(entry),
             _ => self.fast.push_back(entry),
         }
     }
@@ -120,12 +144,46 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Whether the next pop should come from the fast lane rather than the
-    /// heap, comparing front entries on `(time, seq)`.
+    /// Files an out-of-order entry into the calendar.
+    fn push_slow(&mut self, entry: Entry<E>) {
+        let key = (entry.time, entry.seq);
+        let slot = slot_of(entry.time);
+        if self.in_buckets == 0 && self.overflow.is_empty() {
+            // Empty calendar: re-anchor the window at this event.
+            self.cursor = slot;
+        }
+        if slot >= self.cursor + WHEEL_BUCKETS as u64 {
+            if self.overflow_min.is_none_or(|m| key < m) {
+                self.overflow_min = Some(key);
+            }
+            self.overflow.push(entry);
+        } else {
+            // Pushes into the past (slot < cursor) file under the cursor
+            // bucket: it is scanned first, and min-selection inside a
+            // bucket is on (time, seq), so ordering is unaffected.
+            let slot = slot.max(self.cursor);
+            self.buckets[(slot as usize) & (WHEEL_BUCKETS - 1)].push(entry);
+            self.in_buckets += 1;
+            if self.bucket_min.is_none_or(|m| key < m) {
+                self.bucket_min = Some(key);
+            }
+        }
+    }
+
+    /// Cached `(time, seq)` of the earliest slow-lane entry.
+    fn slow_min(&self) -> Option<(SimTime, u64)> {
+        match (self.bucket_min, self.overflow_min) {
+            (Some(b), Some(o)) => Some(b.min(o)),
+            (b, o) => b.or(o),
+        }
+    }
+
+    /// Whether the next pop should come from the fast lane rather than
+    /// the calendar, comparing front entries on `(time, seq)`.
     fn fast_is_next(&self) -> bool {
-        match (self.fast.front(), self.heap.peek()) {
+        match (self.fast.front(), self.slow_min()) {
             (Some(_), None) => true,
-            (Some(f), Some(h)) => (f.time, f.seq) < (h.time, h.seq),
+            (Some(f), Some(s)) => (f.time, f.seq) < s,
             _ => false,
         }
     }
@@ -135,16 +193,106 @@ impl<E> EventQueue<E> {
         if self.fast_is_next() {
             self.fast.pop_front().map(|e| (e.time, e.event))
         } else {
-            self.heap.pop().map(|e| (e.time, e.event))
+            self.pop_slow().map(|e| (e.time, e.event))
         }
+    }
+
+    /// Removes the earliest calendar entry and refreshes the cached
+    /// minima.
+    fn pop_slow(&mut self) -> Option<Entry<E>> {
+        let min = self.slow_min()?;
+        if self.bucket_min == Some(min) {
+            // The window's first non-empty bucket holds the earliest
+            // bucketed entry: every entry files at a slot >= its own
+            // (time >> WHEEL_SHIFT), so earlier buckets mean earlier
+            // times; ties never span buckets.
+            while self.buckets[(self.cursor as usize) & (WHEEL_BUCKETS - 1)].is_empty() {
+                self.cursor += 1;
+            }
+            let idx = (self.cursor as usize) & (WHEEL_BUCKETS - 1);
+            let pos = min_pos(&self.buckets[idx]).expect("bucket_min points at empty wheel");
+            let entry = self.buckets[idx].swap_remove(pos);
+            self.in_buckets -= 1;
+            debug_assert_eq!((entry.time, entry.seq), min);
+            self.refresh_bucket_min();
+            self.maybe_refill();
+            Some(entry)
+        } else {
+            // Calendar window is empty (or behind): pop straight from the
+            // overflow spill, then slide the window onto what remains.
+            let pos = min_pos(&self.overflow).expect("overflow_min points at empty spill");
+            let entry = self.overflow.swap_remove(pos);
+            debug_assert_eq!((entry.time, entry.seq), min);
+            self.refresh_overflow_min();
+            self.maybe_refill();
+            Some(entry)
+        }
+    }
+
+    /// Recomputes `bucket_min` by scanning from the cursor to the first
+    /// non-empty bucket. Bounded by the window width; amortized O(1) as
+    /// the cursor only moves forward while the window is occupied.
+    fn refresh_bucket_min(&mut self) {
+        if self.in_buckets == 0 {
+            self.bucket_min = None;
+            return;
+        }
+        while self.buckets[(self.cursor as usize) & (WHEEL_BUCKETS - 1)].is_empty() {
+            self.cursor += 1;
+        }
+        let idx = (self.cursor as usize) & (WHEEL_BUCKETS - 1);
+        let pos = min_pos(&self.buckets[idx]).expect("in_buckets > 0");
+        let e = &self.buckets[idx][pos];
+        self.bucket_min = Some((e.time, e.seq));
+    }
+
+    fn refresh_overflow_min(&mut self) {
+        self.overflow_min = min_pos(&self.overflow).map(|p| {
+            let e = &self.overflow[p];
+            (e.time, e.seq)
+        });
+    }
+
+    /// Slides the window onto the overflow spill: once the earliest
+    /// spilled event falls inside (or behind) the calendar window, move
+    /// every in-window spill entry into its bucket. Keeps the invariant
+    /// that the spill only holds events beyond the window, so bucketed
+    /// events always pop before spilled ones.
+    fn maybe_refill(&mut self) {
+        let Some((t, _)) = self.overflow_min else {
+            return;
+        };
+        if self.in_buckets == 0 {
+            // Nothing ahead of the spill: jump the window to it.
+            self.cursor = slot_of(t);
+        } else if slot_of(t) >= self.cursor + WHEEL_BUCKETS as u64 {
+            return;
+        }
+        let end = self.cursor + WHEEL_BUCKETS as u64;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if slot_of(self.overflow[i].time) < end {
+                let entry = self.overflow.swap_remove(i);
+                let key = (entry.time, entry.seq);
+                let slot = slot_of(entry.time).max(self.cursor);
+                self.buckets[(slot as usize) & (WHEEL_BUCKETS - 1)].push(entry);
+                self.in_buckets += 1;
+                if self.bucket_min.is_none_or(|m| key < m) {
+                    self.bucket_min = Some(key);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.refresh_overflow_min();
     }
 
     /// The firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        match (self.fast.front(), self.heap.peek()) {
-            (Some(f), Some(h)) => Some(f.time.min(h.time)),
-            (Some(f), None) => Some(f.time),
-            (None, Some(h)) => Some(h.time),
+        match (self.fast.front().map(|f| f.time), self.slow_min()) {
+            (Some(f), Some((s, _))) => Some(f.min(s)),
+            (Some(f), None) => Some(f),
+            (None, Some((s, _))) => Some(s),
             (None, None) => None,
         }
     }
@@ -160,25 +308,46 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() + self.fast.len()
+        self.in_buckets + self.overflow.len() + self.fast.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.fast.is_empty()
+        self.len() == 0
     }
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.in_buckets = 0;
+        self.bucket_min = None;
+        self.overflow_min = None;
         self.fast.clear();
     }
+}
+
+/// Index of the `(time, seq)`-minimal entry, or `None` if empty. The
+/// scan is what makes bucket-internal order (and `swap_remove` churn)
+/// invisible: selection is by key, never by position.
+fn min_pos<E>(entries: &[Entry<E>]) -> Option<usize> {
+    let mut best: Option<(usize, (SimTime, u64))> = None;
+    for (i, e) in entries.iter().enumerate() {
+        let key = (e.time, e.seq);
+        if best.is_none_or(|(_, b)| key < b) {
+            best = Some((i, key));
+        }
+    }
+    best.map(|(i, _)| i)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::BinaryHeap;
 
     #[test]
     fn orders_by_time() {
@@ -235,8 +404,8 @@ mod tests {
 
     #[test]
     fn interleaved_lanes_merge_in_order() {
-        // Alternate monotonic pushes (fast lane) with earlier ones (heap)
-        // and check the merged pop order globally.
+        // Alternate monotonic pushes (fast lane) with earlier ones (the
+        // wheel) and check the merged pop order globally.
         let mut q = EventQueue::new();
         let times = [10u64, 20, 5, 30, 7, 30, 1];
         for (i, &t) in times.iter().enumerate() {
@@ -248,6 +417,76 @@ mod tests {
         let got: Vec<(u64, usize)> =
             std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_nanos(), e))).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn far_future_events_spill_and_return() {
+        // Events far beyond the calendar window spill to overflow and
+        // still pop in global order — including one near the end of the
+        // representable time range.
+        let mut q = EventQueue::new();
+        let far = u64::MAX / 4;
+        q.push(SimTime::from_nanos(far), "far");
+        q.push(SimTime::from_nanos(100), "soon");
+        q.push(SimTime::from_nanos(far + 1), "farther");
+        q.push(SimTime::from_nanos(50), "sooner");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(50)));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["sooner", "soon", "far", "farther"]);
+    }
+
+    #[test]
+    fn overflow_refills_into_wheel_as_window_slides() {
+        // Spread events across many windows (forcing spill + refill on
+        // every window slide) with FIFO ties inside each cluster.
+        let window_ns = (WHEEL_BUCKETS as u64) << WHEEL_SHIFT;
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        // Seed the wheel with an early anchor so every later cluster is
+        // out-of-window at push time.
+        q.push(SimTime::from_nanos(1), 0usize);
+        q.push(SimTime::ZERO, 1); // past push: files under the cursor bucket
+        expect.push((0u64, 1usize));
+        expect.push((1u64, 0usize));
+        let mut id = 2usize;
+        for w in 1..20u64 {
+            for k in 0..3u64 {
+                let t = w * window_ns + (k % 2) * 17;
+                q.push(SimTime::from_nanos(t), id);
+                expect.push((t, id));
+                id += 1;
+            }
+        }
+        // Sorting on (time, insertion id) is exactly the FIFO tie-break.
+        expect.sort();
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_nanos(), e))).collect();
+        assert_eq!(got, expect);
+    }
+
+    /// Reference model: the exact `BinaryHeap` the wheel replaced.
+    struct HeapModel {
+        heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+        seq: usize,
+    }
+
+    impl HeapModel {
+        fn new() -> Self {
+            HeapModel {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }
+        }
+        fn push(&mut self, t: u64) -> usize {
+            let id = self.seq;
+            self.seq += 1;
+            self.heap.push(std::cmp::Reverse((t, id)));
+            id
+        }
+        fn pop(&mut self) -> Option<(u64, usize)> {
+            self.heap.pop().map(|std::cmp::Reverse(p)| p)
+        }
     }
 
     proptest! {
@@ -276,8 +515,8 @@ mod tests {
         }
 
         /// Mixed push / push_batch / pop interleavings agree with a sort on
-        /// (time, insertion index): two-lane merging is externally
-        /// indistinguishable from the old single heap.
+        /// (time, insertion index): lane merging and wheel bucketing are
+        /// externally indistinguishable from the old single heap.
         #[test]
         fn prop_two_lane_merge_matches_single_heap(
             ops in proptest::collection::vec((0u8..4, 0u64..100, 1usize..5), 1..80)
@@ -322,6 +561,44 @@ mod tests {
             let mut got = popped.clone();
             got.sort();
             prop_assert_eq!(got, all);
+        }
+
+        /// Lock-step conformance against a reference `BinaryHeap` keyed on
+        /// `(time, seq)` — the exact structure the wheel replaced. Every
+        /// interleaved pop must return the identical `(time, id)` pair,
+        /// which pins same-timestamp FIFO ties, overflow-bucket spill and
+        /// refill (times span many windows), and far-future events.
+        #[test]
+        fn prop_wheel_matches_heap_reference(
+            ops in proptest::collection::vec((0u8..3, 0u8..3, 0u64..1000), 1..200)
+        ) {
+            let mut q = EventQueue::new();
+            let mut model = HeapModel::new();
+            for &(kind, band, raw) in &ops {
+                // Three time bands: a dense near cluster (lots of ties),
+                // a few calendar windows out (exercises bucketing and the
+                // sliding window), and the far future (overflow spill).
+                let t = match band {
+                    0 => raw % 200,
+                    1 => raw << (WHEEL_SHIFT + 1),
+                    _ => u64::MAX / 4 + raw,
+                };
+                if kind < 2 {
+                    let id = model.push(t);
+                    q.push(SimTime::from_nanos(t), id);
+                } else {
+                    let got = q.pop().map(|(pt, e)| (pt.as_nanos(), e));
+                    prop_assert_eq!(got, model.pop());
+                }
+            }
+            loop {
+                let got = q.pop().map(|(pt, e)| (pt.as_nanos(), e));
+                let want = model.pop();
+                prop_assert_eq!(got, want);
+                if want.is_none() {
+                    break;
+                }
+            }
         }
     }
 }

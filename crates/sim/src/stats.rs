@@ -98,6 +98,24 @@ impl Histogram {
         self.record(d.as_nanos());
     }
 
+    /// Empties the histogram in place, retaining bucket storage — the
+    /// windowed-telemetry reset path, equivalent to `*self =
+    /// Histogram::new()` without the allocator round trip. Only the dirty
+    /// bucket range is re-zeroed: every recorded sample lies in
+    /// `min..=max`, and the bucket mapping is monotone, so buckets outside
+    /// `bucket_index(min)..=bucket_index(max)` are already zero.
+    pub fn reset(&mut self) {
+        if self.total > 0 {
+            let lo = bucket_index(self.min);
+            let hi = bucket_index(self.max);
+            self.counts[lo..=hi].fill(0);
+        }
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.total
@@ -139,11 +157,13 @@ impl Histogram {
             return 0;
         }
         let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        // Buckets before min's are zero (monotone mapping); start there.
+        let start = bucket_index(self.min);
         let mut seen = 0;
-        for (i, &c) in self.counts.iter().enumerate() {
+        for (j, &c) in self.counts[start..].iter().enumerate() {
             seen += c;
             if seen >= target {
-                return bucket_high(i).min(self.max).max(self.min);
+                return bucket_high(start + j).min(self.max).max(self.min);
             }
         }
         self.max
@@ -152,6 +172,45 @@ impl Histogram {
     /// Median (p50) sample.
     pub fn median(&self) -> u64 {
         self.percentile(50.0)
+    }
+
+    /// Two percentiles in one bucket scan — exactly
+    /// `(self.percentile(p_lo), self.percentile(p_hi))`, at half the
+    /// traversal cost. The windowed telemetry close path reads p50/p99
+    /// for every disk every window, where the second scan is measurable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either percentile is outside `[0, 100]` or `p_lo > p_hi`.
+    pub fn percentile_pair(&self, p_lo: f64, p_hi: f64) -> (u64, u64) {
+        assert!(
+            (0.0..=100.0).contains(&p_lo) && (0.0..=100.0).contains(&p_hi),
+            "percentile out of range: {p_lo} {p_hi}"
+        );
+        assert!(
+            p_lo <= p_hi,
+            "percentile pair out of order: {p_lo} > {p_hi}"
+        );
+        if self.total == 0 {
+            return (0, 0);
+        }
+        let target = |p: f64| ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let (t_lo, t_hi) = (target(p_lo), target(p_hi));
+        // Buckets before min's are zero (monotone mapping); start there.
+        let start = bucket_index(self.min);
+        let mut seen = 0;
+        let mut lo = None;
+        for (j, &c) in self.counts[start..].iter().enumerate() {
+            seen += c;
+            if lo.is_none() && seen >= t_lo {
+                lo = Some(bucket_high(start + j).min(self.max).max(self.min));
+            }
+            if seen >= t_hi {
+                let hi = bucket_high(start + j).min(self.max).max(self.min);
+                return (lo.unwrap_or(hi), hi);
+            }
+        }
+        (lo.unwrap_or(self.max), self.max)
     }
 
     /// Merges another histogram's samples into this one.
@@ -408,6 +467,69 @@ mod tests {
         let mut t = Throughput::starting_at(SimTime::ZERO);
         t.record_op(100);
         assert_eq!(t.megabytes_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn histogram_reset_equals_fresh() {
+        let mut h = Histogram::new();
+        for v in [5u64, 70_000, 1_000_000] {
+            h.record(v);
+        }
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        // Recording after reset behaves exactly like a fresh histogram.
+        let mut fresh = Histogram::new();
+        for v in [300u64, 40_000, 90_000] {
+            h.record(v);
+            fresh.record(v);
+        }
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), fresh.percentile(p));
+        }
+        assert_eq!(h.min(), fresh.min());
+        assert_eq!(h.max(), fresh.max());
+    }
+
+    #[test]
+    fn percentile_pair_empty_is_zero() {
+        assert_eq!(Histogram::new().percentile_pair(50.0, 99.0), (0, 0));
+    }
+
+    proptest! {
+        /// `percentile_pair` is exactly two `percentile` calls, and reset
+        /// + re-record matches a fresh histogram, across arbitrary sample
+        /// sets — the equivalences the telemetry close path relies on.
+        #[test]
+        fn prop_percentile_pair_and_reset_equivalences(
+            first in proptest::collection::vec(1u64..u64::MAX / 2, 1..200),
+            second in proptest::collection::vec(1u64..u64::MAX / 2, 1..200),
+            lo in 0u8..=100,
+            hi in 0u8..=100,
+        ) {
+            let (lo, hi) = (lo.min(hi) as f64, lo.max(hi) as f64);
+            let mut h = Histogram::new();
+            for &v in &first {
+                h.record(v);
+            }
+            prop_assert_eq!(
+                h.percentile_pair(lo, hi),
+                (h.percentile(lo), h.percentile(hi))
+            );
+            h.reset();
+            let mut fresh = Histogram::new();
+            for &v in &second {
+                h.record(v);
+                fresh.record(v);
+            }
+            prop_assert_eq!(h.percentile_pair(lo, hi), fresh.percentile_pair(lo, hi));
+            prop_assert_eq!(h.count(), fresh.count());
+            prop_assert_eq!(h.min(), fresh.min());
+            prop_assert_eq!(h.max(), fresh.max());
+        }
     }
 
     proptest! {

@@ -41,6 +41,11 @@ pub struct BlockStore {
     /// One past the last valid physical block; cached so range checks are
     /// typed comparisons instead of repeated re-derivations.
     end: Plba,
+    /// Inclusive bounds of every block ever written (`None` while the
+    /// store is pristine). Blocks are never deleted, so the bounds only
+    /// widen — a constant-time conservative residency filter for the
+    /// batched read path ([`maybe_written_in`](BlockStore::maybe_written_in)).
+    written_bounds: Option<(Plba, Plba)>,
 }
 
 impl fmt::Debug for BlockStore {
@@ -99,7 +104,16 @@ impl BlockStore {
             // space — device geometry is where pLBAs originate, not a
             // translation that could be skipped.
             end: Plba(capacity_blocks),
+            written_bounds: None,
         }
+    }
+
+    /// Widens the written bounds to include `lba`.
+    fn note_written(&mut self, lba: Plba) {
+        self.written_bounds = Some(match self.written_bounds {
+            None => (lba, lba),
+            Some((lo, hi)) => (lo.min(lba), hi.max(lba)),
+        });
     }
 
     /// Device capacity in blocks.
@@ -148,6 +162,7 @@ impl BlockStore {
             return Err(StoreError::BadLength { len: data.len() });
         }
         self.blocks.insert(lba, data.into());
+        self.note_written(lba);
         Ok(())
     }
 
@@ -191,6 +206,8 @@ impl BlockStore {
         }
         let blocks = (data.len() / bs) as u64;
         self.check_range(lba, blocks)?;
+        self.note_written(lba);
+        self.note_written(lba.offset(blocks - 1));
         for (i, chunk) in data.chunks_exact(bs).enumerate() {
             // Reuse the existing allocation on rewrite instead of boxing a
             // fresh block per insert.
@@ -223,6 +240,7 @@ impl BlockStore {
     /// [`StoreError::OutOfRange`] if `lba` is beyond capacity.
     pub fn block_mut(&mut self, lba: Plba) -> Result<&mut [u8], StoreError> {
         self.check(lba)?;
+        self.note_written(lba);
         Ok(self
             .blocks
             .entry(lba)
@@ -232,6 +250,25 @@ impl BlockStore {
     /// Whether a block has ever been written.
     pub fn is_written(&self, lba: Plba) -> bool {
         self.blocks.contains_key(&lba)
+    }
+
+    /// Conservative residency filter: `false` means *no* block in
+    /// `[lba, lba + blocks)` has ever been written (the whole run reads as
+    /// zeros); `true` means some block in the range *may* be resident.
+    /// Constant time — it compares against the store's written bounds
+    /// rather than probing per block, so the batched read path can replace
+    /// `blocks` hash probes with one sparse zero-fill on cold ranges.
+    pub fn maybe_written_in(&self, lba: Plba, blocks: u64) -> bool {
+        match self.written_bounds {
+            None => false,
+            Some((lo, hi)) => {
+                lba <= hi
+                    && match lba.checked_add_blocks(blocks) {
+                        Some(end) => end > lo,
+                        None => true,
+                    }
+            }
+        }
     }
 
     /// Number of blocks that have been written at least once.

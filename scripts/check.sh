@@ -24,7 +24,7 @@ cargo test -q
 echo "==> cargo bench --no-run (criterion harness compiles; gated offline)"
 cargo bench --no-run -p nesc-bench
 
-echo "==> nesc-lint: determinism + address-provenance rules (D1-D6, T1-T3, A1-A3)"
+echo "==> nesc-lint: determinism + address-provenance rules (D1-D7, T1-T3, A1-A3)"
 if ! cargo run --release -q -p nesc-lint; then
     echo "FAIL: nesc-lint found rule violations (rule ids above);" >&2
     echo "      fix them or add a justified 'nesc-lint::allow(Dx|Tx): <why>' directive" >&2
@@ -94,5 +94,59 @@ else
     diff "$tmp/golden_trace.json" "$trace_golden" >&2 || true
     exit 1
 fi
+
+echo "==> throughput gate: hot-path blocks/sec floor (interleaved A/B, min of 5)"
+# The harness itself interleaves per-block/batched repeats and keeps each
+# mode's minimum, so one invocation here is already noise-dodged. Floors
+# are env-overridable for slower CI hosts.
+#   NESC_GATE_NS_PER_BLOCK  — batched ns/block ceiling on seq-64k/btlb8
+#                             (12.5 == the >= 25% improvement over the
+#                             16.653 ns/block BinaryHeap-era baseline,
+#                             == a floor of 80M simulated blocks/sec)
+#   NESC_GATE_SPEEDUP       — batched/per-block floor on every btlb>0 series
+# btlb=0 series execute identical code in both modes (run cap clamps to 1),
+# so they are checked only for parity within noise (>= 0.95).
+cargo run --release -q -p nesc-bench --bin bench_hotpath >/dev/null
+NESC_GATE_NS_PER_BLOCK="${NESC_GATE_NS_PER_BLOCK:-12.5}" \
+NESC_GATE_SPEEDUP="${NESC_GATE_SPEEDUP:-1.2}" \
+python3 - <<'PY'
+import json, os, sys
+data = json.load(open("results/BENCH_hotpath.json"))
+ns_ceiling = float(os.environ["NESC_GATE_NS_PER_BLOCK"])
+speedup_floor = float(os.environ["NESC_GATE_SPEEDUP"])
+fail = []
+for s in data["series"]:
+    key = f"btlb{s['btlb_entries']}/{s['stream']}/{s['request']}"
+    floor = speedup_floor if s["btlb_entries"] > 0 else 0.95
+    if s["speedup"] < floor:
+        fail.append(f"{key}: speedup {s['speedup']:.2f} < floor {floor}")
+    if s["btlb_entries"] == 8 and s["stream"] == "seq" and s["request"] == "64k":
+        ns = s["batched_ns_per_block"]
+        if ns > ns_ceiling:
+            fail.append(f"{key}: batched {ns:.2f} ns/block > ceiling {ns_ceiling}")
+        else:
+            print(f"OK: seq-64k/btlb8 batched {ns:.2f} ns/block "
+                  f"({1e9 / ns / 1e6:.0f}M blocks/sec, ceiling {ns_ceiling} ns)")
+if fail:
+    print("FAIL: hot-path throughput gate:\n  " + "\n  ".join(fail), file=sys.stderr)
+    sys.exit(1)
+print("OK: all series within speedup floors")
+PY
+
+echo "==> telemetry gate: enabled-sampler overhead ceiling at the 50 us interval"
+#   NESC_GATE_TELEMETRY_PCT — max % host overhead with telemetry on at 50 us
+cargo run --release -q -p nesc-bench --bin telemetry_overhead >/dev/null
+NESC_GATE_TELEMETRY_PCT="${NESC_GATE_TELEMETRY_PCT:-20}" \
+python3 - <<'PY'
+import json, os, sys
+data = json.load(open("results/BENCH_telemetry.json"))
+ceiling = float(os.environ["NESC_GATE_TELEMETRY_PCT"])
+pct = data["overhead_50us_percent"]
+if pct > ceiling:
+    print(f"FAIL: telemetry overhead at 50 us is {pct:.1f}% > ceiling {ceiling}%",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"OK: telemetry overhead at 50 us is {pct:.1f}% (ceiling {ceiling}%)")
+PY
 
 echo "==> all checks passed"
