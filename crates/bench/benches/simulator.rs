@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use nesc_core::NescConfig;
 use nesc_hypervisor::{DiskKind, SoftwareCosts, System};
 use nesc_storage::BlockOp;
-use nesc_workloads::{Dd, DdMode};
+use nesc_workloads::{Dd, DdMode, TenantIo, Workload};
 
 fn bench_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("system_dd_64ops");
@@ -25,7 +25,8 @@ fn bench_paths(c: &mut Criterion) {
                 let mut sys = System::new(cfg, SoftwareCosts::calibrated());
                 let disk = sys.quick_disk(kind, "bench.img", 16 << 20).disk;
                 std::hint::black_box(
-                    Dd::new(BlockOp::Write, 4096, 64, DdMode::Sync).run(&mut sys, disk),
+                    Dd::new(BlockOp::Write, 4096, 64, DdMode::Sync)
+                        .run(&mut TenantIo::attached(&mut sys, disk)),
                 )
             })
         });

@@ -14,7 +14,7 @@ use nesc_bench::{emit_json, fmt, print_table};
 use nesc_core::NescConfig;
 use nesc_hypervisor::{DiskKind, SystemBuilder};
 use nesc_storage::{BlockOp, FlashMedia, Media};
-use nesc_workloads::{Dd, DdMode};
+use nesc_workloads::{Dd, DdMode, TenantIo, Workload};
 
 const IMAGE_BYTES: u64 = 256 << 20;
 
@@ -28,7 +28,7 @@ fn run(kind: DiskKind, op: BlockOp, bs: u64, qd: usize) -> f64 {
     let mut sys = SystemBuilder::new().config(flash_config()).build();
     let disk = sys.quick_disk(kind, "flash.img", IMAGE_BYTES).disk;
     Dd::new(op, bs, (32 << 20) / bs, DdMode::Pipelined { qd })
-        .run(&mut sys, disk)
+        .run(&mut TenantIo::attached(&mut sys, disk))
         .mbps()
 }
 

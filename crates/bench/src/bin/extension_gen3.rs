@@ -11,7 +11,7 @@ use nesc_bench::{emit_json, fmt, print_table};
 use nesc_core::NescConfig;
 use nesc_hypervisor::{DiskKind, SystemBuilder};
 use nesc_storage::BlockOp;
-use nesc_workloads::{Dd, DdMode};
+use nesc_workloads::{Dd, DdMode, TenantIo, Workload};
 
 const IMAGE_BYTES: u64 = 256 << 20;
 
@@ -19,7 +19,7 @@ fn run(cfg: NescConfig, kind: DiskKind, bs: u64, qd: usize) -> f64 {
     let mut sys = SystemBuilder::new().config(cfg).build();
     let disk = sys.quick_disk(kind, "g3.img", IMAGE_BYTES).disk;
     Dd::new(BlockOp::Read, bs, (32 << 20) / bs, DdMode::Pipelined { qd })
-        .run(&mut sys, disk)
+        .run(&mut TenantIo::attached(&mut sys, disk))
         .mbps()
 }
 

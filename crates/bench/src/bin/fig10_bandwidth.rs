@@ -15,7 +15,7 @@
 
 use nesc_bench::{all_paths, emit_json, fmt, paper_block_sizes, print_table, standard_system};
 use nesc_storage::BlockOp;
-use nesc_workloads::{Dd, DdMode};
+use nesc_workloads::{Dd, DdMode, TenantIo, Workload};
 
 const IMAGE_BYTES: u64 = 256 << 20;
 const TOTAL_PER_POINT: u64 = 8 << 20; // bytes moved per measured point
@@ -35,7 +35,8 @@ fn measure(op: BlockOp) -> Vec<Vec<f64>> {
         let mut mbps = Vec::new();
         for &bs in &sizes {
             let count = (TOTAL_PER_POINT / bs).max(4);
-            let rep = Dd::new(op, bs, count, DdMode::Sync).run(&mut sys, disk);
+            let rep =
+                Dd::new(op, bs, count, DdMode::Sync).run(&mut TenantIo::attached(&mut sys, disk));
             mbps.push(rep.mbps());
         }
         per_path.push(mbps);

@@ -11,7 +11,7 @@
 use nesc_bench::{emit_json, fmt, paper_block_sizes, print_table, standard_system};
 use nesc_hypervisor::{DiskKind, GuestFilesystem};
 use nesc_storage::BlockOp;
-use nesc_workloads::{Dd, DdMode};
+use nesc_workloads::{Dd, DdMode, TenantIo, Workload};
 
 const IMAGE_BYTES: u64 = 64 << 20;
 const SAMPLES: u64 = 16;
@@ -20,9 +20,10 @@ const SAMPLES: u64 = 16;
 fn raw_write_us(kind: DiskKind, bs: u64) -> f64 {
     let (mut sys, _vm, disk) = standard_system(kind, IMAGE_BYTES);
     // Steady state: pre-touch.
-    Dd::new(BlockOp::Write, bs.max(1024), 4, DdMode::Sync).run(&mut sys, disk);
+    Dd::new(BlockOp::Write, bs.max(1024), 4, DdMode::Sync)
+        .run(&mut TenantIo::attached(&mut sys, disk));
     Dd::new(BlockOp::Write, bs, SAMPLES, DdMode::Sync)
-        .run(&mut sys, disk)
+        .run(&mut TenantIo::attached(&mut sys, disk))
         .mean_latency_us()
 }
 

@@ -10,14 +10,14 @@
 //! facilities: virtio, emulation or a NeSC VF").
 
 use nesc_bench::{emit_json, print_table, standard_system};
-use nesc_hypervisor::{DiskKind, GuestFilesystem};
-use nesc_workloads::{FileIo, Oltp, Postmark, WorkloadReport};
+use nesc_hypervisor::DiskKind;
+use nesc_workloads::{FileIo, Oltp, Postmark, TenantIo, Workload, WorkloadReport};
 
 const IMAGE_BYTES: u64 = 192 << 20;
 
 fn run_app(app: &str, kind: DiskKind) -> WorkloadReport {
-    let (mut sys, vm, disk) = standard_system(kind, IMAGE_BYTES);
-    let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+    let (mut sys, _vm, disk) = standard_system(kind, IMAGE_BYTES);
+    let mut io = TenantIo::attached(&mut sys, disk);
     match app {
         "OLTP" => Oltp {
             rows: 20_000,
@@ -25,23 +25,20 @@ fn run_app(app: &str, kind: DiskKind) -> WorkloadReport {
             buffer_pool_pages: 64,
             ..Default::default()
         }
-        .run_full(&mut sys, &mut gfs),
+        .run(&mut io),
         "Postmark" => Postmark {
             initial_files: 48,
             transactions: 150,
             ..Default::default()
         }
-        .run(&mut sys, &mut gfs),
-        "SysBench" => {
-            let wl = FileIo {
-                files: 8,
-                file_bytes: 2 << 20,
-                ops: 250,
-                ..Default::default()
-            };
-            let inos = wl.prepare(&mut sys, &mut gfs);
-            wl.run(&mut sys, &mut gfs, &inos)
+        .run(&mut io),
+        "SysBench" => FileIo {
+            files: 8,
+            file_bytes: 2 << 20,
+            ops: 250,
+            ..Default::default()
         }
+        .run(&mut io),
         other => panic!("unknown app {other}"),
     }
 }

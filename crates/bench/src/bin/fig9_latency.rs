@@ -8,7 +8,7 @@
 
 use nesc_bench::{all_paths, emit_json, fmt, paper_block_sizes, print_table, standard_system};
 use nesc_storage::BlockOp;
-use nesc_workloads::{Dd, DdMode};
+use nesc_workloads::{Dd, DdMode, TenantIo, Workload};
 
 const IMAGE_BYTES: u64 = 64 << 20;
 const SAMPLES: u64 = 32;
@@ -21,10 +21,12 @@ fn measure(op: BlockOp) -> Vec<Vec<String>> {
         let (mut sys, _vm, disk) = standard_system(kind, IMAGE_BYTES);
         // Warm-up: touch the range so first-allocation effects don't skew
         // the steady-state latency (the paper measures a prepared device).
-        Dd::new(BlockOp::Write, 32768, 8, DdMode::Sync).run(&mut sys, disk);
+        Dd::new(BlockOp::Write, 32768, 8, DdMode::Sync)
+            .run(&mut TenantIo::attached(&mut sys, disk));
         let mut lat_us = Vec::new();
         for &bs in &sizes {
-            let rep = Dd::new(op, bs, SAMPLES, DdMode::Sync).run(&mut sys, disk);
+            let rep =
+                Dd::new(op, bs, SAMPLES, DdMode::Sync).run(&mut TenantIo::attached(&mut sys, disk));
             lat_us.push(rep.mean_latency_us());
         }
         per_path.push((label.to_string(), lat_us));

@@ -5,9 +5,9 @@
 //! its profile, proving each generator is wired and live.
 
 use nesc_bench::{emit_json, print_table, standard_system};
-use nesc_hypervisor::{DiskKind, GuestFilesystem};
+use nesc_hypervisor::DiskKind;
 use nesc_storage::BlockOp;
-use nesc_workloads::{Dd, DdMode, FileIo, Oltp, Postmark};
+use nesc_workloads::{Dd, DdMode, FileIo, Oltp, Postmark, TenantIo, Workload};
 
 fn main() {
     println!("Table II reproduction: benchmarks (each run briefly on the NeSC path)");
@@ -16,7 +16,8 @@ fn main() {
     // dd — microbenchmark.
     {
         let (mut sys, _vm, disk) = standard_system(DiskKind::NescDirect, 64 << 20);
-        let rep = Dd::new(BlockOp::Read, 4096, 64, DdMode::Sync).run(&mut sys, disk);
+        let rep = Dd::new(BlockOp::Read, 4096, 64, DdMode::Sync)
+            .run(&mut TenantIo::attached(&mut sys, disk));
         rows.push(vec![
             "GNU dd".into(),
             "microbenchmark: read/write files with different parameters".into(),
@@ -25,16 +26,14 @@ fn main() {
     }
     // SysBench File I/O.
     {
-        let (mut sys, vm, disk) = standard_system(DiskKind::NescDirect, 64 << 20);
-        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
-        let wl = FileIo {
+        let (mut sys, _vm, disk) = standard_system(DiskKind::NescDirect, 64 << 20);
+        let rep = FileIo {
             files: 4,
             file_bytes: 512 * 1024,
             ops: 80,
             ..Default::default()
-        };
-        let inos = wl.prepare(&mut sys, &mut gfs);
-        let rep = wl.run(&mut sys, &mut gfs, &inos);
+        }
+        .run(&mut TenantIo::attached(&mut sys, disk));
         rows.push(vec![
             "Sysbench I/O".into(),
             "a sequence of random file operations".into(),
@@ -43,14 +42,13 @@ fn main() {
     }
     // Postmark.
     {
-        let (mut sys, vm, disk) = standard_system(DiskKind::NescDirect, 64 << 20);
-        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+        let (mut sys, _vm, disk) = standard_system(DiskKind::NescDirect, 64 << 20);
         let rep = Postmark {
             initial_files: 16,
             transactions: 60,
             ..Default::default()
         }
-        .run(&mut sys, &mut gfs);
+        .run(&mut TenantIo::attached(&mut sys, disk));
         rows.push(vec![
             "Postmark".into(),
             "mail server simulation".into(),
@@ -59,14 +57,13 @@ fn main() {
     }
     // MySQL / SysBench OLTP.
     {
-        let (mut sys, vm, disk) = standard_system(DiskKind::NescDirect, 64 << 20);
-        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+        let (mut sys, _vm, disk) = standard_system(DiskKind::NescDirect, 64 << 20);
         let rep = Oltp {
             rows: 8_000,
             transactions: 60,
             ..Default::default()
         }
-        .run_full(&mut sys, &mut gfs);
+        .run(&mut TenantIo::attached(&mut sys, disk));
         rows.push(vec![
             "MySQL".into(),
             "relational database serving the SysBench OLTP workload".into(),

@@ -31,7 +31,7 @@ use std::rc::Rc;
 
 use nesc_extent::{walk_run, Plba, Vlba, WalkOutcome};
 use nesc_pcie::{HostAddr, HostMemory, PcieLink};
-use nesc_sim::{EventQueue, Pipe, RoundRobin, ServiceUnit, SimDuration, SimTime, SpanId, Tracer};
+use nesc_sim::{EventQueue, Pipe, ReadyTable, ServiceUnit, SimDuration, SimTime, SpanId, Tracer};
 use nesc_storage::{BlockOp, BlockRequest, BlockStore, Media, RequestId, BLOCK_SIZE};
 
 use crate::btlb::Btlb;
@@ -206,7 +206,12 @@ pub struct NescDevice {
     store: BlockStore,
     media: Media,
     functions: Vec<FunctionContext>,
-    rr: RoundRobin,
+    /// Incremental dispatch state for the VF multiplexer: per-priority
+    /// ready bitmaps plus a min-heap of future arrivals, maintained by
+    /// [`Self::refresh_ready`] at every queue/stall/liveness/priority
+    /// mutation so a tick never scans all functions (O(changed state) at
+    /// 1000+ VFs).
+    mux_ready: ReadyTable,
     mux: ServiceUnit,
     oob: ServiceUnit,
     translate_unit: ServiceUnit,
@@ -282,7 +287,11 @@ impl NescDevice {
             store,
             media,
             functions: vec![FunctionContext::new(FunctionKind::Physical, pf_regs)],
-            rr: RoundRobin::new(1),
+            mux_ready: {
+                let mut rt = ReadyTable::new(crate::function::NUM_PRIORITIES as usize);
+                rt.grow_to(1);
+                rt
+            },
             mux: ServiceUnit::new(),
             oob: ServiceUnit::new(),
             translate_unit: ServiceUnit::new(),
@@ -430,6 +439,7 @@ impl NescDevice {
             let idx = i + 1;
             self.functions[idx] = FunctionContext::new(FunctionKind::Virtual, regs);
             self.func_stats.reset(idx);
+            self.refresh_ready(idx);
             return Ok(FuncId(idx as u16));
         }
         if self.live_vfs() >= self.cfg.max_vfs {
@@ -439,7 +449,7 @@ impl NescDevice {
         }
         self.functions
             .push(FunctionContext::new(FunctionKind::Virtual, regs));
-        self.rr.grow_to(self.functions.len());
+        self.mux_ready.grow_to(self.functions.len());
         self.func_stats.grow_to(self.functions.len());
         Ok(FuncId((self.functions.len() - 1) as u16))
     }
@@ -495,6 +505,7 @@ impl NescDevice {
             self.stalled_func = None;
             self.stall_level = None;
         }
+        self.refresh_ready(func.0 as usize);
         self.btlb.flush_func(func.0);
         Ok(())
     }
@@ -527,6 +538,8 @@ impl NescDevice {
     /// [`delete_vf`](Self::delete_vf).
     pub fn set_priority(&mut self, func: FuncId, priority: u8) -> Result<(), VfError> {
         self.vf_mut(func)?.priority = priority.min(crate::function::NUM_PRIORITIES - 1);
+        // Re-arm so a pending promotion re-reads the new class.
+        self.refresh_ready(func.0 as usize);
         Ok(())
     }
 
@@ -655,6 +668,7 @@ impl NescDevice {
             self.process_pf_request(svc.end, pending);
         } else {
             self.functions[func.0 as usize].queue.push_back(pending);
+            self.refresh_ready(func.0 as usize);
             self.schedule_mux(now);
         }
     }
@@ -690,6 +704,7 @@ impl NescDevice {
                 self.stalled_func = None;
                 self.stall_level = None;
             }
+            self.refresh_ready(func.0 as usize);
             self.schedule_mux(now);
         }
     }
@@ -761,36 +776,43 @@ impl NescDevice {
         }
     }
 
+    /// Synchronizes one function's entry in the ready table with its
+    /// visible dispatch state. Must run after every mutation of the
+    /// function's queue front, stall flag, liveness, or priority — the
+    /// table is what [`Self::mux_tick`] dispatches from, in place of a
+    /// per-tick scan over all functions.
+    fn refresh_ready(&mut self, idx: usize) {
+        match self.functions[idx].next_arrival() {
+            Some(at) => self.mux_ready.arm(idx, at),
+            None => self.mux_ready.clear(idx),
+        }
+    }
+
     fn mux_tick(&mut self, now: SimTime) {
         self.mux_scheduled = false;
         if self.stalled_func.is_some() {
             // Translation pipeline blocked; the resume path re-kicks us.
             return;
         }
-        let funcs = &self.functions;
         // QoS: serve the most urgent (lowest-numbered) priority class with
-        // pending work; round-robin within the class (paper §IV-D).
-        let urgent = funcs
-            .iter()
-            .enumerate()
-            .filter(|&(i, f)| i != 0 && f.dispatchable_at(now))
-            .map(|(_, f)| f.priority)
-            .min();
-        let Some(pick) = self
-            .rr
-            .next(|i| i != 0 && funcs[i].dispatchable_at(now) && Some(funcs[i].priority) == urgent)
-        else {
+        // pending work; round-robin within the class (paper §IV-D). The
+        // ready table is maintained incrementally at every queue/stall
+        // mutation; here we only promote arrivals that matured by `now`
+        // (reading each function's current priority class) and pick.
+        let funcs = &self.functions;
+        self.mux_ready
+            .promote_due(now, |i| funcs[i].priority as usize);
+        let Some(pick) = self.mux_ready.pick() else {
             // Nothing has arrived yet; sleep until the next doorbell lands.
-            if let Some(next) = self
-                .functions
-                .iter()
-                .filter_map(FunctionContext::next_arrival)
-                .min()
-            {
+            if let Some(next) = self.mux_ready.next_arrival() {
                 self.schedule_mux(next.max(now));
             }
             return;
         };
+        debug_assert!(
+            pick != 0 && self.functions[pick].dispatchable_at(now),
+            "ready table out of sync with function {pick}"
+        );
         let pending = self.functions[pick]
             .queue
             .pop_front()
@@ -798,6 +820,7 @@ impl NescDevice {
         let cost = self.cfg.mux_per_request + self.cfg.split_per_block * pending.req.block_count;
         let svc = self.mux.serve(now, cost);
         self.process_vf_request(svc.end, FuncId(pick as u16), pending, 0, false);
+        self.refresh_ready(pick);
         self.schedule_mux(svc.end);
     }
 
@@ -837,6 +860,7 @@ impl NescDevice {
         // point; the paper guarantees the retried lookup now succeeds
         // (unless the host pruned again, in which case we stall again).
         self.process_vf_request(now, func, st.pending, st.resume_block, true);
+        self.refresh_ready(func.0 as usize);
         self.schedule_mux(now);
     }
 

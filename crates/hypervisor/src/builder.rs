@@ -22,6 +22,7 @@
 
 use nesc_core::NescConfig;
 use nesc_pcie::LinkParams;
+use nesc_sim::SimDuration;
 use nesc_storage::Media;
 
 use crate::costs::SoftwareCosts;
@@ -136,6 +137,41 @@ impl SystemBuilder {
         self
     }
 
+    /// Adds one declarative SLO watchdog rule (the `perfmon` rule
+    /// grammar, e.g. `"hv.vf3.p99_ns above 500000 for 2"`) at build time.
+    /// Enables telemetry with the default 50 µs window if
+    /// [`telemetry`](Self::telemetry) was not called first; call it
+    /// before this to control the window or capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule does not parse.
+    pub fn slo_rule(mut self, rule: &str) -> Self {
+        let cfg = self
+            .telemetry
+            .take()
+            .unwrap_or_else(|| TelemetryConfig::windowed(SimDuration::from_micros(50)));
+        self.telemetry = Some(cfg.rule_text(rule));
+        self
+    }
+
+    /// Adds a batch of declarative SLO rules — the per-tenant form used
+    /// by scenario specs, where every tenant contributes one rule string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rule does not parse.
+    pub fn slo_rules<I>(mut self, rules: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        for r in rules {
+            self = self.slo_rule(r.as_ref());
+        }
+        self
+    }
+
     /// Enables the device's per-request [`RequestTrace`] recording
     /// (BTLB hits, walks, stall flags) alongside or instead of spans.
     ///
@@ -185,6 +221,24 @@ mod tests {
         let la = a.write(da, 0, &[1u8; 1024]);
         let lb = b.write(db, 0, &[1u8; 1024]);
         assert_eq!(la, lb, "builder must not perturb timing");
+    }
+
+    #[test]
+    fn slo_rules_enable_telemetry_and_register_every_rule() {
+        let sys = SystemBuilder::new()
+            .slo_rules([
+                "hv.vf0.p99_ns above 500000 for 2",
+                "hv.vf1.p99_ns above 500000 for 2",
+            ])
+            .build();
+        let tel = sys.telemetry().expect("slo_rules must enable telemetry");
+        assert_eq!(tel.watchdog().rules().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rule")]
+    fn malformed_slo_rule_panics_at_build_configuration() {
+        let _ = SystemBuilder::new().slo_rule("this is not a rule");
     }
 
     #[test]

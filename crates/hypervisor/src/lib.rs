@@ -47,13 +47,17 @@ pub mod error;
 pub mod guestfs;
 pub mod system;
 pub mod telemetry;
+pub mod workload;
 
 pub use builder::SystemBuilder;
 pub use costs::SoftwareCosts;
 pub use error::NescError;
 pub use guestfs::GuestFilesystem;
-pub use system::{DiskId, DiskKind, ProvisionedDisk, StreamResult, StreamSpec, System, VmId};
+pub use system::{
+    DiskId, DiskKind, OpenRequest, ProvisionedDisk, StreamResult, StreamSpec, System, VmId,
+};
 pub use telemetry::{Telemetry, TelemetryConfig};
+pub use workload::{ScenarioSpec, TenantClass, TenantIo, TenantSpec, Workload, WorkloadReport};
 
 /// One-stop imports for harnesses, examples, and tests.
 ///
@@ -66,9 +70,12 @@ pub mod prelude {
     pub use crate::error::NescError;
     pub use crate::guestfs::GuestFilesystem;
     pub use crate::system::{
-        DiskId, DiskKind, ProvisionedDisk, StreamResult, StreamSpec, System, VmId,
+        DiskId, DiskKind, OpenRequest, ProvisionedDisk, StreamResult, StreamSpec, System, VmId,
     };
     pub use crate::telemetry::{Telemetry, TelemetryConfig};
+    pub use crate::workload::{
+        ScenarioSpec, TenantClass, TenantIo, TenantSpec, Workload, WorkloadReport,
+    };
     pub use nesc_core::NescConfig;
     pub use nesc_sim::{
         chrome_trace_json, AnomalyEvent, Metrics, Sampler, SimDuration, SimTime, SloRule,

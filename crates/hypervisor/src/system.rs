@@ -88,6 +88,23 @@ pub struct StreamSpec {
     pub count: u64,
 }
 
+/// One arrival of an open-loop schedule for
+/// [`System::run_open_loop`]: a request that enters the system at a
+/// predetermined instant regardless of earlier completions.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenRequest {
+    /// Target disk.
+    pub disk: DiskId,
+    /// Read or write.
+    pub op: BlockOp,
+    /// First byte offset.
+    pub offset: u64,
+    /// Request size in bytes.
+    pub bytes: u64,
+    /// Arrival instant (absolute simulated time).
+    pub at: SimTime,
+}
+
 /// Result of a pipelined stream run.
 #[derive(Debug, Clone, Copy)]
 pub struct StreamResult {
@@ -1233,6 +1250,51 @@ impl System {
                 }
             })
             .collect()
+    }
+
+    /// Drives a pre-computed open-loop arrival schedule: each request is
+    /// issued at its own `at`, *not* gated on earlier completions — the
+    /// datacenter traffic model, where tenants keep sending regardless of
+    /// how the device is coping. Queueing is modeled by the per-resource
+    /// service units, so a saturated path shows up as growing latency.
+    ///
+    /// `observe` is invoked once per request with its index in
+    /// `arrivals`, the completion time, the arrival→completion latency,
+    /// and the completion status (open-loop runs outlive transient
+    /// `WriteFailed`/`OutOfRange` tenants, so errors are reported, not
+    /// panicked on). Advances the clock to the last completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is not sorted by arrival time, starts before
+    /// the current clock, or contains a request larger than
+    /// [`MAX_REQUEST_BYTES`].
+    pub fn run_open_loop(
+        &mut self,
+        arrivals: &[OpenRequest],
+        mut observe: impl FnMut(usize, SimTime, SimDuration, CompletionStatus),
+    ) {
+        let max_write = arrivals
+            .iter()
+            .filter(|a| a.op == BlockOp::Write)
+            .map(|a| a.bytes)
+            .max()
+            .unwrap_or(0);
+        assert!(max_write <= MAX_REQUEST_BYTES, "request too large");
+        // One shared pattern payload serves every write (the simulation
+        // cares about sizes and offsets, not tenant-unique bytes).
+        let payload = vec![0x9Au8; max_write as usize];
+        let mut prev = self.now;
+        let mut end = self.now;
+        for (i, a) in arrivals.iter().enumerate() {
+            assert!(a.at >= prev, "open-loop arrivals must be sorted in time");
+            prev = a.at;
+            let data = (a.op == BlockOp::Write).then(|| &payload[..a.bytes as usize]);
+            let (done, status) = self.issue_once(a.disk, a.op, a.offset, a.bytes, a.at, data);
+            end = end.max(done);
+            observe(i, done, done.saturating_since(a.at), status);
+        }
+        self.now = end;
     }
 
     /// Charges pure CPU time on a VM's vCPU (guest filesystem logic,

@@ -1,0 +1,453 @@
+//! The common workload API: one trait, one I/O context, one report.
+//!
+//! Historically every workload generator (dd, sysbench fileio/oltp,
+//! postmark) hand-rolled its own setup — build a system, provision a
+//! disk, maybe mkfs, thread `(&mut System, &mut GuestFilesystem, ...)`
+//! argument lists around. [`Workload`] + [`TenantIo`] replace that
+//! plumbing: a workload is a value describing *what* to run, `run`
+//! receives a [`TenantIo`] saying *where*, and every run yields the same
+//! [`WorkloadReport`].
+//!
+//! The declarative scale-out layer builds on the same vocabulary:
+//! [`TenantSpec`] describes a population of tenants (class, traffic
+//! shape, working-set skew, SLO), and [`ScenarioSpec`] aggregates tenant
+//! populations into a named, seeded scenario — data that a scenario
+//! engine (see `nesc_workloads::scenario`) turns into arrivals. Both are
+//! plain data: scenarios are declared, not coded.
+
+use nesc_sim::{Histogram, SimDuration};
+
+use crate::guestfs::GuestFilesystem;
+use crate::system::{DiskId, DiskKind, System, VmId};
+
+/// What every workload run reports.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Workload name (for harness output).
+    pub name: String,
+    /// Operations (or transactions) completed.
+    pub ops: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Simulated wall-clock the run took.
+    pub elapsed: SimDuration,
+    /// Per-operation latency histogram (nanoseconds).
+    pub latency: Histogram,
+}
+
+impl WorkloadReport {
+    /// Creates an empty report.
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkloadReport {
+            name: name.into(),
+            ops: 0,
+            bytes: 0,
+            elapsed: SimDuration::ZERO,
+            latency: Histogram::new(),
+        }
+    }
+
+    /// Records one completed operation.
+    pub fn record(&mut self, bytes: u64, latency: SimDuration) {
+        self.ops += 1;
+        self.bytes += bytes;
+        self.latency.record_duration(latency);
+    }
+
+    /// Operations per second over the run.
+    pub fn ops_per_sec(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / s
+        }
+    }
+
+    /// Decimal MB/s over the run.
+    pub fn mbps(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / 1e6 / s
+        }
+    }
+
+    /// Mean operation latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latency.mean() / 1e3
+    }
+
+    /// A one-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} ops, {:.2} MB, {:.3} s -> {:.0} ops/s, {:.1} MB/s, mean {:.1} us, p99 {:.1} us",
+            self.name,
+            self.ops,
+            self.bytes as f64 / 1e6,
+            self.elapsed.as_secs_f64(),
+            self.ops_per_sec(),
+            self.mbps(),
+            self.mean_latency_us(),
+            self.latency.percentile(99.0) as f64 / 1e3,
+        )
+    }
+}
+
+/// One tenant's I/O context: the system, its VM, its disk, and (lazily)
+/// a guest filesystem on that disk.
+///
+/// Filesystem workloads call [`fs`](Self::fs), which formats the disk on
+/// first use; raw-block workloads just use [`system`](Self::system) +
+/// [`disk`](Self::disk). Formatting is untimed (as [`GuestFilesystem::mkfs`]
+/// always was), so wrapping an existing disk perturbs no timing.
+#[derive(Debug)]
+pub struct TenantIo<'a> {
+    system: &'a mut System,
+    vm: VmId,
+    disk: DiskId,
+    gfs: Option<GuestFilesystem>,
+}
+
+impl<'a> TenantIo<'a> {
+    /// Wraps an already-attached disk.
+    pub fn attached(system: &'a mut System, disk: DiskId) -> Self {
+        let vm = system.disk_vm(disk);
+        TenantIo {
+            system,
+            vm,
+            disk,
+            gfs: None,
+        }
+    }
+
+    /// Provisions a fresh VM + disk of `size_bytes` on `kind` and wraps
+    /// it (the common one-tenant benchmark setup).
+    pub fn provision(system: &'a mut System, kind: DiskKind, name: &str, size_bytes: u64) -> Self {
+        let p = system.quick_disk(kind, name, size_bytes);
+        TenantIo {
+            system,
+            vm: p.vm,
+            disk: p.disk,
+            gfs: None,
+        }
+    }
+
+    /// The underlying system.
+    pub fn system(&mut self) -> &mut System {
+        self.system
+    }
+
+    /// The tenant's disk.
+    pub fn disk(&self) -> DiskId {
+        self.disk
+    }
+
+    /// The tenant's VM.
+    pub fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    /// The system together with a guest filesystem on the disk,
+    /// formatting on first use. Returned as a pair because every
+    /// [`GuestFilesystem`] operation takes the system as an argument.
+    pub fn fs(&mut self) -> (&mut System, &mut GuestFilesystem) {
+        if self.gfs.is_none() {
+            self.gfs = Some(GuestFilesystem::mkfs(self.system, self.vm, self.disk));
+        }
+        (self.system, self.gfs.as_mut().expect("just initialized"))
+    }
+}
+
+/// A runnable workload: a value describing the work, executed against
+/// any [`TenantIo`].
+pub trait Workload {
+    /// Short family name ("dd", "sysbench-oltp", ...), used for labels.
+    fn name(&self) -> String;
+
+    /// Runs the workload (including any prepare phase) to completion.
+    fn run(&self, io: &mut TenantIo<'_>) -> WorkloadReport;
+}
+
+/// Tenant behavior classes for scale-out scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantClass {
+    /// A well-behaved tenant issuing small requests at a steady rate.
+    Steady,
+    /// An ON/OFF tenant: bursts of closely spaced requests separated by
+    /// long idle gaps.
+    Bursty,
+    /// A noisy neighbor: large requests at a sustained high rate,
+    /// typically demoted to a lower QoS priority class.
+    NoisyNeighbor,
+}
+
+impl TenantClass {
+    /// Class label used in reports and rule names.
+    pub fn label(self) -> &'static str {
+        match self {
+            TenantClass::Steady => "steady",
+            TenantClass::Bursty => "bursty",
+            TenantClass::NoisyNeighbor => "noisy",
+        }
+    }
+}
+
+/// A population of identically configured tenants in a scenario.
+///
+/// Construct with a class constructor ([`steady`](Self::steady),
+/// [`bursty`](Self::bursty), [`noisy`](Self::noisy)), then override
+/// fields with the fluent setters. All rates are expressed as integer
+/// nanosecond gaps and permille fractions so the whole spec is usable in
+/// the deterministic core (nesc-lint D rules).
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Behavior class.
+    pub class: TenantClass,
+    /// Number of tenants (VFs) in this population.
+    pub count: u32,
+    /// Each tenant's virtual disk size in bytes.
+    pub disk_bytes: u64,
+    /// Request size in bytes.
+    pub req_bytes: u64,
+    /// Open-loop arrivals generated per tenant.
+    pub requests: u64,
+    /// Writes per 1000 requests (rest are reads).
+    pub write_permille: u64,
+    /// Working-set skew: hot fraction of the disk, in permille.
+    pub hot_permille: u64,
+    /// Working-set skew: fraction of accesses hitting the hot end,
+    /// in permille.
+    pub weight_permille: u64,
+    /// Nominal gap between arrivals inside a burst (and between all
+    /// arrivals, for steady tenants).
+    pub gap: SimDuration,
+    /// Nominal idle gap between bursts (ignored for steady tenants).
+    pub idle_gap: SimDuration,
+    /// Mean burst length in requests (ignored for steady tenants).
+    pub mean_burst: u64,
+    /// Device QoS priority class (0 = highest).
+    pub priority: u8,
+    /// Per-tenant p99 SLO bound; generates one watchdog rule per tenant
+    /// when set.
+    pub slo_p99: Option<SimDuration>,
+}
+
+impl TenantSpec {
+    /// `count` steady tenants: 4 KiB requests every ~12 ms (≈0.33 MB/s
+    /// each — 850 of them fill about a third of the prototype's 800 MB/s
+    /// engine), skewed working set, 2 ms p99 SLO armed.
+    pub fn steady(count: u32) -> Self {
+        TenantSpec {
+            class: TenantClass::Steady,
+            count,
+            disk_bytes: 1 << 20,
+            req_bytes: 4 * 1024,
+            requests: 64,
+            write_permille: 300,
+            hot_permille: 200,
+            weight_permille: 800,
+            gap: SimDuration::from_millis(12),
+            idle_gap: SimDuration::from_millis(12),
+            mean_burst: u64::MAX,
+            priority: 1,
+            slo_p99: Some(SimDuration::from_millis(2)),
+        }
+    }
+
+    /// `count` bursty tenants: 4 KiB requests in ~24-request bursts
+    /// spaced ~100 µs apart, with ~48 ms idle gaps between bursts
+    /// (≈2.3 MB/s mean, heavily clumped).
+    pub fn bursty(count: u32) -> Self {
+        TenantSpec {
+            class: TenantClass::Bursty,
+            mean_burst: 24,
+            gap: SimDuration::from_micros(100),
+            idle_gap: SimDuration::from_millis(48),
+            ..Self::steady(count)
+        }
+    }
+
+    /// `count` noisy neighbors: 16 KiB requests at a sustained ~6 ms
+    /// cadence (≈2.7 MB/s each — 50 of them push a mixed fleet toward the
+    /// engine's bandwidth limit), demoted to priority 2, no SLO of their own.
+    pub fn noisy(count: u32) -> Self {
+        TenantSpec {
+            class: TenantClass::NoisyNeighbor,
+            req_bytes: 16 * 1024,
+            gap: SimDuration::from_millis(6),
+            idle_gap: SimDuration::from_millis(6),
+            priority: 2,
+            slo_p99: None,
+            ..Self::steady(count)
+        }
+    }
+
+    /// Sets the per-tenant disk size in bytes.
+    pub fn disk_bytes(mut self, bytes: u64) -> Self {
+        self.disk_bytes = bytes;
+        self
+    }
+
+    /// Sets the request size in bytes.
+    pub fn req_bytes(mut self, bytes: u64) -> Self {
+        self.req_bytes = bytes;
+        self
+    }
+
+    /// Sets the number of open-loop arrivals per tenant.
+    pub fn requests(mut self, n: u64) -> Self {
+        self.requests = n;
+        self
+    }
+
+    /// Sets the write fraction in permille.
+    pub fn write_permille(mut self, permille: u64) -> Self {
+        self.write_permille = permille;
+        self
+    }
+
+    /// Sets the working-set skew (hot fraction, access weight), permille.
+    pub fn skew(mut self, hot_permille: u64, weight_permille: u64) -> Self {
+        self.hot_permille = hot_permille;
+        self.weight_permille = weight_permille;
+        self
+    }
+
+    /// Sets the device QoS priority class (0 = highest).
+    pub fn priority(mut self, p: u8) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Sets (or clears) the per-tenant p99 SLO bound.
+    pub fn slo_p99(mut self, bound: Option<SimDuration>) -> Self {
+        self.slo_p99 = bound;
+        self
+    }
+}
+
+/// A declarative scale-out scenario: tenant populations plus the system
+/// knobs the engine needs to assemble them.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (report labels, JSON output).
+    pub name: String,
+    /// Master seed; every tenant derives a private stream from it.
+    pub seed: u64,
+    /// Tenant populations, in VF-assignment order.
+    pub tenants: Vec<TenantSpec>,
+    /// Virtualization path for every tenant disk.
+    pub disk_kind: DiskKind,
+    /// Telemetry window; per-VF series and SLO rules sample at this
+    /// granularity.
+    pub telemetry_interval: SimDuration,
+    /// Ring capacity per telemetry series (windows retained).
+    pub telemetry_capacity: usize,
+}
+
+impl ScenarioSpec {
+    /// An empty scenario with a default 200 µs telemetry window on the
+    /// NeSC direct path.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            seed: 0x5CA1_AB1E,
+            tenants: Vec::new(),
+            disk_kind: DiskKind::NescDirect,
+            telemetry_interval: SimDuration::from_micros(200),
+            telemetry_capacity: 64,
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Appends a tenant population.
+    pub fn tenants(mut self, spec: TenantSpec) -> Self {
+        self.tenants.push(spec);
+        self
+    }
+
+    /// Sets the virtualization path for all tenant disks.
+    pub fn disk_kind(mut self, kind: DiskKind) -> Self {
+        self.disk_kind = kind;
+        self
+    }
+
+    /// Sets the telemetry window and per-series ring capacity.
+    pub fn telemetry(mut self, interval: SimDuration, capacity: usize) -> Self {
+        self.telemetry_interval = interval;
+        self.telemetry_capacity = capacity;
+        self
+    }
+
+    /// Total tenant (VF) count across all populations.
+    pub fn total_tenants(&self) -> u32 {
+        self.tenants.iter().map(|t| t.count).sum()
+    }
+
+    /// Total open-loop arrivals across all tenants.
+    pub fn total_requests(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|t| t.count as u64 * t.requests)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_math() {
+        let mut r = WorkloadReport::new("t");
+        r.record(1_000_000, SimDuration::from_micros(10));
+        r.record(1_000_000, SimDuration::from_micros(30));
+        r.elapsed = SimDuration::from_millis(1);
+        assert_eq!(r.ops, 2);
+        assert!((r.ops_per_sec() - 2000.0).abs() < 1e-9);
+        assert!((r.mbps() - 2000.0).abs() < 1e-9);
+        assert!((r.mean_latency_us() - 20.0).abs() < 0.5);
+        assert!(r.summary().contains("t:"));
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = WorkloadReport::new("e");
+        assert_eq!(r.ops_per_sec(), 0.0);
+        assert_eq!(r.mbps(), 0.0);
+    }
+
+    #[test]
+    fn tenant_io_lazy_fs() {
+        let mut sys = crate::builder::SystemBuilder::new()
+            .capacity_blocks(64 * 1024)
+            .build();
+        let mut io = TenantIo::provision(&mut sys, DiskKind::NescDirect, "t.img", 4 << 20);
+        let disk = io.disk();
+        let (sys_ref, gfs) = io.fs();
+        let ino = gfs.create(sys_ref, "hello").expect("fresh fs");
+        gfs.write(sys_ref, ino, 0, &[7u8; 512]).expect("space");
+        assert_eq!(gfs.size_bytes(ino).expect("exists"), 512);
+        assert_eq!(io.disk(), disk);
+    }
+
+    #[test]
+    fn scenario_spec_counts() {
+        let spec = ScenarioSpec::new("mix")
+            .seed(42)
+            .tenants(TenantSpec::steady(10).requests(8))
+            .tenants(TenantSpec::bursty(5).requests(4))
+            .tenants(TenantSpec::noisy(2));
+        assert_eq!(spec.total_tenants(), 17);
+        assert_eq!(spec.total_requests(), 10 * 8 + 5 * 4 + 2 * 64);
+        assert_eq!(spec.tenants[2].class.label(), "noisy");
+        assert_eq!(spec.tenants[2].priority, 2);
+    }
+}

@@ -1,0 +1,347 @@
+//! Deterministic, integer-only traffic generators for scale-out scenarios.
+//!
+//! The scenario engine drives hundreds to thousands of tenants from these
+//! two primitives:
+//!
+//! * [`ZipfLike`] — a working-set skew generator. The classic [`Zipf`]
+//!   sampler in [`crate::rng`] precomputes a float CDF, which is fine for
+//!   a workload's private key popularity but is banned from anything that
+//!   feeds simulated time (nesc-lint D3). `ZipfLike` produces the same
+//!   hot/cold shape with pure integer arithmetic: a self-similar
+//!   recursive split (the "80/20 rule applied recursively", as in
+//!   hot-spot generators from TPC benchmarks), so it is usable anywhere
+//!   in the deterministic core.
+//! * [`BurstyArrivals`] — an open-loop inter-arrival process emitting
+//!   integer-nanosecond gaps: bursts of closely spaced arrivals separated
+//!   by long idle gaps, the standard cloud-tenant ON/OFF traffic shape.
+//!
+//! Both are seeded through [`SimRng`] and advance nothing but their own
+//! stream: same seed ⇒ byte-identical arrival tapes.
+//!
+//! [`Zipf`]: crate::rng::Zipf
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Integer-only Zipf-like working-set skew over `0..n`.
+///
+/// Each draw recursively descends into the "hot" fraction of the current
+/// subrange with probability `weight_permille`/1000; the hot fraction is
+/// `hot_permille`/1000 of the span. With the default 200‰/800‰ split this
+/// is the classic 80/20 rule applied `depth` times, producing a heavy
+/// head: rank 0's neighborhood absorbs most draws while the tail stays
+/// reachable.
+///
+/// # Example
+///
+/// ```
+/// use nesc_sim::{gen::ZipfLike, SimRng};
+/// let zipf = ZipfLike::new(1_000, 200, 800);
+/// let mut rng = SimRng::seed(9);
+/// let mut head = 0u64;
+/// for _ in 0..10_000 {
+///     if zipf.sample(&mut rng) < 200 {
+///         head += 1;
+///     }
+/// }
+/// assert!(head > 7_000); // top 20% of ranks absorb ~80% of draws
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ZipfLike {
+    n: u64,
+    hot_permille: u64,
+    weight_permille: u64,
+    depth: u32,
+}
+
+impl ZipfLike {
+    /// Number of recursive hot/cold splits per draw. Eight levels of an
+    /// 80/20 split concentrate ~17% of draws on ~0.0003% of the range —
+    /// deeper than any real storage working set needs.
+    const DEPTH: u32 = 8;
+
+    /// Builds a sampler over `0..n` where the hottest
+    /// `hot_permille`/1000 of each subrange receives
+    /// `weight_permille`/1000 of its draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or either permille is outside `1..=999`.
+    pub fn new(n: u64, hot_permille: u64, weight_permille: u64) -> Self {
+        assert!(n > 0, "ZipfLike needs at least one item");
+        assert!(
+            (1..=999).contains(&hot_permille) && (1..=999).contains(&weight_permille),
+            "permille parameters must be in 1..=999"
+        );
+        ZipfLike {
+            n,
+            hot_permille,
+            weight_permille,
+            depth: Self::DEPTH,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether the range is empty (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Draws a rank in `0..len()`; rank 0 is the hottest.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let mut lo = 0u64;
+        let mut span = self.n;
+        for _ in 0..self.depth {
+            if span <= 1 {
+                break;
+            }
+            // Hot prefix of the current subrange, at least one item and
+            // strictly smaller than the span so descent always narrows.
+            let hot = (span * self.hot_permille / 1000).clamp(1, span - 1);
+            if rng.range(0, 1000) < self.weight_permille {
+                span = hot;
+            } else {
+                lo += hot;
+                span -= hot;
+            }
+        }
+        lo + rng.range(0, span.max(1))
+    }
+}
+
+/// Deterministic ON/OFF bursty inter-arrival process.
+///
+/// Emits integer-nanosecond gaps: while a burst is active, gaps are drawn
+/// around `burst_gap`; when a burst is exhausted the next gap is drawn
+/// around `idle_gap` and a new burst length is drawn around `mean_burst`.
+/// A `steady` process is the degenerate single-gap case.
+///
+/// Jitter is uniform in `[d/2, 3d/2]` around each nominal gap `d`, so the
+/// mean rate is the configured rate but arrival tapes are not periodic.
+#[derive(Debug, Clone)]
+pub struct BurstyArrivals {
+    rng: SimRng,
+    burst_gap: u64,
+    idle_gap: u64,
+    mean_burst: u64,
+    remaining: u64,
+}
+
+impl BurstyArrivals {
+    /// A steady open-loop process: every gap is drawn around `gap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gap` is zero.
+    pub fn steady(rng: SimRng, gap: SimDuration) -> Self {
+        Self::bursty(rng, gap, gap, u64::MAX)
+    }
+
+    /// A bursty process: bursts of ~`mean_burst` arrivals spaced around
+    /// `burst_gap`, separated by idle gaps around `idle_gap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either gap or `mean_burst` is zero.
+    pub fn bursty(
+        mut rng: SimRng,
+        burst_gap: SimDuration,
+        idle_gap: SimDuration,
+        mean_burst: u64,
+    ) -> Self {
+        let burst_gap = burst_gap.as_nanos();
+        let idle_gap = idle_gap.as_nanos();
+        assert!(burst_gap > 0 && idle_gap > 0, "gaps must be positive");
+        assert!(mean_burst > 0, "mean burst length must be positive");
+        let remaining = Self::draw_burst(&mut rng, mean_burst);
+        BurstyArrivals {
+            rng,
+            burst_gap,
+            idle_gap,
+            mean_burst,
+            remaining,
+        }
+    }
+
+    /// Burst length uniform in `[1, 2·mean]` (mean ≈ `mean + 1/2`);
+    /// saturates so `steady`'s `u64::MAX` mean never redraws.
+    fn draw_burst(rng: &mut SimRng, mean: u64) -> u64 {
+        if mean >= u64::MAX / 2 {
+            return u64::MAX;
+        }
+        1 + rng.range(0, 2 * mean)
+    }
+
+    /// Uniform jitter in `[d/2, 3d/2]` around the nominal gap `d`.
+    fn jitter(rng: &mut SimRng, d: u64) -> u64 {
+        d / 2 + rng.range(0, d + 1)
+    }
+
+    /// Returns the gap to the next arrival and advances the process.
+    pub fn next_gap(&mut self) -> SimDuration {
+        let gap = if self.remaining > 0 {
+            self.remaining -= 1;
+            Self::jitter(&mut self.rng, self.burst_gap)
+        } else {
+            self.remaining = Self::draw_burst(&mut self.rng, self.mean_burst);
+            Self::jitter(&mut self.rng, self.idle_gap)
+        };
+        SimDuration::from_nanos(gap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zipf_like_same_seed_identical() {
+        let zipf = ZipfLike::new(100_000, 200, 800);
+        let mut a = SimRng::seed(0xCAFE);
+        let mut b = SimRng::seed(0xCAFE);
+        for _ in 0..1_000 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn zipf_like_head_dominates() {
+        let n = 10_000u64;
+        let zipf = ZipfLike::new(n, 200, 800);
+        let mut rng = SimRng::seed(11);
+        let draws = 50_000;
+        let mut head = 0u64;
+        for _ in 0..draws {
+            let v = zipf.sample(&mut rng);
+            assert!(v < n);
+            if v < n / 5 {
+                head += 1;
+            }
+        }
+        // 80/20 split applied recursively: the head gets well over half.
+        assert!(head * 10 > draws * 7, "head draws {head}/{draws}");
+    }
+
+    #[test]
+    fn zipf_like_single_item() {
+        let zipf = ZipfLike::new(1, 200, 800);
+        let mut rng = SimRng::seed(1);
+        assert_eq!(zipf.sample(&mut rng), 0);
+        assert_eq!(zipf.len(), 1);
+        assert!(!zipf.is_empty());
+    }
+
+    #[test]
+    fn bursty_same_seed_identical() {
+        let mk = || {
+            BurstyArrivals::bursty(
+                SimRng::seed(77),
+                SimDuration::from_micros(5),
+                SimDuration::from_millis(1),
+                16,
+            )
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..1_000 {
+            assert_eq!(a.next_gap(), b.next_gap());
+        }
+    }
+
+    #[test]
+    fn steady_gaps_stay_near_nominal() {
+        let gap = SimDuration::from_micros(10);
+        let mut arr = BurstyArrivals::steady(SimRng::seed(3), gap);
+        let mut total = 0u64;
+        let n = 10_000u64;
+        for _ in 0..n {
+            let g = arr.next_gap().as_nanos();
+            assert!(g >= gap.as_nanos() / 2 && g <= gap.as_nanos() * 3 / 2 + 1);
+            total += g;
+        }
+        let mean = total / n;
+        let nominal = gap.as_nanos();
+        assert!(
+            mean > nominal * 9 / 10 && mean < nominal * 11 / 10,
+            "mean gap {mean} vs nominal {nominal}"
+        );
+    }
+
+    #[test]
+    fn bursty_mixes_short_and_long_gaps() {
+        let mut arr = BurstyArrivals::bursty(
+            SimRng::seed(5),
+            SimDuration::from_micros(2),
+            SimDuration::from_millis(2),
+            8,
+        );
+        let (mut short, mut long) = (0u64, 0u64);
+        for _ in 0..5_000 {
+            let g = arr.next_gap().as_nanos();
+            if g >= SimDuration::from_millis(1).as_nanos() {
+                long += 1;
+            } else {
+                short += 1;
+            }
+        }
+        assert!(short > long, "bursts dominate arrival count");
+        assert!(long > 100, "idle gaps actually occur ({long})");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_zipf_like_in_range(
+            n in 1u64..100_000,
+            hot in 1u64..1000,
+            weight in 1u64..1000,
+            seed in 0u64..1_000,
+        ) {
+            let zipf = ZipfLike::new(n, hot, weight);
+            let mut rng = SimRng::seed(seed);
+            for _ in 0..64 {
+                prop_assert!(zipf.sample(&mut rng) < n);
+            }
+        }
+
+        #[test]
+        fn prop_zipf_like_skew_monotone_in_weight(seed in 0u64..200) {
+            // A heavier hot weight must put at least as many draws in the
+            // head as a lighter one (same seed, same split point).
+            let n = 10_000u64;
+            let head_of = |weight: u64| {
+                let zipf = ZipfLike::new(n, 200, weight);
+                let mut rng = SimRng::seed(seed);
+                (0..2_000).filter(|_| zipf.sample(&mut rng) < n / 5).count()
+            };
+            let light = head_of(500);
+            let heavy = head_of(900);
+            prop_assert!(heavy + 100 >= light,
+                "weight 900 head {heavy} << weight 500 head {light}");
+        }
+
+        #[test]
+        fn prop_bursty_gaps_positive_and_bounded(
+            burst_us in 1u64..100,
+            idle_us in 1u64..10_000,
+            mean_burst in 1u64..64,
+            seed in 0u64..500,
+        ) {
+            let mut arr = BurstyArrivals::bursty(
+                SimRng::seed(seed),
+                SimDuration::from_micros(burst_us),
+                SimDuration::from_micros(idle_us),
+                mean_burst,
+            );
+            let cap = SimDuration::from_micros(burst_us.max(idle_us)).as_nanos();
+            for _ in 0..256 {
+                let g = arr.next_gap().as_nanos();
+                prop_assert!(g > 0);
+                prop_assert!(g <= cap * 3 / 2 + 1);
+            }
+        }
+    }
+}

@@ -27,8 +27,11 @@
 //!   counter-track exporters.
 //! * [`rng`] — a small deterministic RNG facade plus the distributions the
 //!   workloads need (uniform, exponential, Zipf, Pareto).
+//! * [`gen`] — integer-only traffic generators for scale-out scenarios:
+//!   Zipf-like working-set skew and bursty open-loop inter-arrival tapes.
 //! * [`sched`] — round-robin scheduling helpers used by the NeSC virtual
-//!   function multiplexer.
+//!   function multiplexer, including the bitmap/heap [`ReadyTable`] that
+//!   keeps 1000-function dispatch O(changed state) per event.
 //! * [`selfcheck`] — the runtime divergence self-check: digest a run's
 //!   event sequence, span tree and metrics, run it twice from one seed,
 //!   and report the first diverging event if reproducibility ever breaks.
@@ -53,6 +56,7 @@
 //! assert_eq!(t.as_nanos(), 1_000);
 //! ```
 
+pub mod gen;
 pub mod hash;
 pub mod metrics;
 pub mod perfmon;
@@ -65,13 +69,14 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use gen::{BurstyArrivals, ZipfLike};
 pub use hash::{IntHashBuilder, IntHasher};
 pub use metrics::Metrics;
 pub use perfmon::{AnomalyEvent, Sampler, SeriesId, SeriesKind, SloRule, SloWatchdog, TimeSeries};
 pub use queue::EventQueue;
 pub use resource::{Pipe, ServiceUnit};
 pub use rng::SimRng;
-pub use sched::RoundRobin;
+pub use sched::{ReadyTable, RoundRobin};
 pub use selfcheck::{Divergence, EventRecord, RunDigest};
 pub use stats::{Histogram, Summary, Throughput};
 pub use time::{SimDuration, SimTime};

@@ -4,6 +4,288 @@
 //! round-robin manner in order to prevent client starvation" (paper §V-A).
 //! [`RoundRobin`] implements that pointer: given which queues are currently
 //! non-empty, it picks the next one after the last-served position.
+//!
+//! [`ReadyTable`] is the scale-out successor: it keeps the same
+//! round-robin-within-priority-class semantics but replaces the per-tick
+//! O(functions) readiness scan with incrementally maintained per-class
+//! bitmaps plus an indexed min-heap of future arrivals, so a multiplexer
+//! over 1000+ functions pays O(changed state), not O(all functions), per
+//! event.
+
+use crate::time::SimTime;
+
+/// Sentinel for "not in the heap" in [`ReadyTable::pos`].
+const NO_POS: u32 = u32::MAX;
+
+/// Where a slot currently lives inside a [`ReadyTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Not tracked: no pending work.
+    Idle,
+    /// Pending work whose arrival time may still be in the future; the
+    /// slot sits in the arrival heap.
+    Armed,
+    /// Arrived work: the slot's bit is set in the class bitmap.
+    Ready(u8),
+}
+
+/// An incrementally maintained ready-set for round-robin dispatch across
+/// priority classes.
+///
+/// The owner calls [`arm`](ReadyTable::arm) / [`clear`](ReadyTable::clear)
+/// whenever a slot's visible work changes, [`promote_due`](ReadyTable::promote_due)
+/// at each dispatch instant to move matured arrivals into their class
+/// bitmap, and [`pick`](ReadyTable::pick) to select the next slot:
+/// lowest-numbered non-empty class, first set bit cyclically from the
+/// shared round-robin cursor. Picking does **not** consume the slot — the
+/// owner re-arms or clears it after processing, mirroring how a function's
+/// queue front changes.
+///
+/// All storage is pre-sized by [`grow_to`](ReadyTable::grow_to); the
+/// steady-state path never allocates.
+///
+/// # Example
+///
+/// ```
+/// use nesc_sim::{ReadyTable, SimTime};
+/// let mut rt = ReadyTable::new(2);
+/// rt.grow_to(3);
+/// rt.arm(1, SimTime::from_nanos(10));
+/// rt.arm(2, SimTime::from_nanos(5));
+/// let now = SimTime::from_nanos(10);
+/// rt.promote_due(now, |_| 0);
+/// assert_eq!(rt.pick(), Some(1)); // cursor starts at 0; slot 1 is first
+/// assert_eq!(rt.pick(), Some(2));
+/// assert_eq!(rt.pick(), Some(1)); // wraps; nothing was cleared
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReadyTable {
+    /// Number of priority classes (class 0 dispatches first).
+    classes: usize,
+    /// Number of slots.
+    n: usize,
+    /// Round-robin position shared by all classes: the slot considered
+    /// first on the next [`pick`](ReadyTable::pick).
+    cursor: usize,
+    state: Vec<SlotState>,
+    /// One bitmap per class, `ceil(n / 64)` words each.
+    words: Vec<Vec<u64>>,
+    /// Set-bit count per class, so empty classes are skipped in O(1).
+    counts: Vec<usize>,
+    /// Min-heap of `(arrival, slot)` for armed slots.
+    heap: Vec<(SimTime, u32)>,
+    /// `pos[slot]` = index in `heap`, or [`NO_POS`].
+    pos: Vec<u32>,
+}
+
+impl ReadyTable {
+    /// Creates an empty table with `classes` priority classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero or does not fit a `u8`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0 && classes <= 256, "bad class count {classes}");
+        ReadyTable {
+            classes,
+            n: 0,
+            cursor: 0,
+            state: Vec::new(),
+            words: vec![Vec::new(); classes],
+            counts: vec![0; classes],
+            heap: Vec::new(),
+            pos: Vec::new(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Grows the slot count (never shrinks), pre-sizing every container so
+    /// subsequent operations are allocation-free.
+    pub fn grow_to(&mut self, n: usize) {
+        if n <= self.n {
+            return;
+        }
+        self.n = n;
+        self.state.resize(n, SlotState::Idle);
+        self.pos.resize(n, NO_POS);
+        let nw = n.div_ceil(64);
+        for w in &mut self.words {
+            w.resize(nw, 0);
+        }
+        // Capacity for one heap entry per slot, so arming never allocates.
+        self.heap.reserve(n - self.heap.len());
+    }
+
+    /// Tracks `slot` with pending work visible at `at`, replacing any
+    /// previous registration. The slot becomes pickable once
+    /// [`promote_due`](ReadyTable::promote_due) runs with `now >= at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn arm(&mut self, slot: usize, at: SimTime) {
+        assert!(slot < self.n, "slot {slot} out of range {}", self.n);
+        // Fast path: re-arming an armed slot at its existing key (the
+        // common "queue front unchanged" refresh) is a no-op.
+        if self.state[slot] == SlotState::Armed && self.heap[self.pos[slot] as usize].0 == at {
+            return;
+        }
+        self.detach(slot);
+        self.state[slot] = SlotState::Armed;
+        self.heap_push(at, slot as u32);
+    }
+
+    /// Stops tracking `slot` (no pending work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn clear(&mut self, slot: usize) {
+        assert!(slot < self.n, "slot {slot} out of range {}", self.n);
+        self.detach(slot);
+        self.state[slot] = SlotState::Idle;
+    }
+
+    /// Moves every armed slot whose arrival is at or before `now` into its
+    /// class bitmap; `class_of` reads the slot's *current* priority
+    /// (clamped to the class count).
+    pub fn promote_due(&mut self, now: SimTime, class_of: impl Fn(usize) -> usize) {
+        while let Some(&(t, slot)) = self.heap.first() {
+            if t > now {
+                break;
+            }
+            self.heap_remove(slot as usize);
+            let c = class_of(slot as usize).min(self.classes - 1);
+            self.state[slot as usize] = SlotState::Ready(c as u8);
+            self.set_bit(c, slot as usize);
+        }
+    }
+
+    /// Picks the next ready slot: lowest non-empty class, first set bit at
+    /// or after the cursor (cyclic); advances the cursor past the pick.
+    /// The slot stays ready until the owner re-arms or clears it.
+    pub fn pick(&mut self) -> Option<usize> {
+        if self.n == 0 {
+            return None;
+        }
+        for c in 0..self.classes {
+            if self.counts[c] == 0 {
+                continue;
+            }
+            let slot = self.scan_from(c, self.cursor % self.n);
+            self.cursor = (slot + 1) % self.n;
+            return Some(slot);
+        }
+        None
+    }
+
+    /// Earliest armed arrival, if any — the instant to sleep until when
+    /// nothing is ready.
+    pub fn next_arrival(&self) -> Option<SimTime> {
+        self.heap.first().map(|&(t, _)| t)
+    }
+
+    /// First set bit of `class` at or after `start`, wrapping. The caller
+    /// guarantees the class is non-empty.
+    fn scan_from(&self, class: usize, start: usize) -> usize {
+        let words = &self.words[class];
+        let nw = words.len();
+        let mut w = start / 64;
+        let mut masked = words[w] & (!0u64 << (start % 64));
+        // nw + 1 reads: the start word masked, then every word wrapping
+        // around, re-reading the start word unmasked last.
+        for _ in 0..=nw {
+            if masked != 0 {
+                return w * 64 + masked.trailing_zeros() as usize;
+            }
+            w = (w + 1) % nw;
+            masked = words[w];
+        }
+        unreachable!("scan_from called on an empty class");
+    }
+
+    fn detach(&mut self, slot: usize) {
+        match self.state[slot] {
+            SlotState::Idle => {}
+            SlotState::Armed => self.heap_remove(slot),
+            SlotState::Ready(c) => self.clear_bit(c as usize, slot),
+        }
+    }
+
+    fn set_bit(&mut self, class: usize, slot: usize) {
+        self.words[class][slot / 64] |= 1u64 << (slot % 64);
+        self.counts[class] += 1;
+    }
+
+    fn clear_bit(&mut self, class: usize, slot: usize) {
+        self.words[class][slot / 64] &= !(1u64 << (slot % 64));
+        self.counts[class] -= 1;
+    }
+
+    fn heap_push(&mut self, at: SimTime, slot: u32) {
+        let i = self.heap.len();
+        self.heap.push((at, slot));
+        self.pos[slot as usize] = i as u32;
+        self.sift_up(i);
+    }
+
+    fn heap_remove(&mut self, slot: usize) {
+        let i = self.pos[slot] as usize;
+        self.pos[slot] = NO_POS;
+        let last = self.heap.len() - 1;
+        self.heap.swap(i, last);
+        self.heap.pop();
+        if i < self.heap.len() {
+            self.pos[self.heap[i].1 as usize] = i as u32;
+            self.sift_up(i);
+            self.sift_down(i);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if self.heap[i] < self.heap[p] {
+                self.heap.swap(i, p);
+                self.pos[self.heap[i].1 as usize] = i as u32;
+                i = p;
+            } else {
+                break;
+            }
+        }
+        self.pos[self.heap[i].1 as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let mut m = l;
+            if l + 1 < self.heap.len() && self.heap[l + 1] < self.heap[l] {
+                m = l + 1;
+            }
+            if self.heap[m] < self.heap[i] {
+                self.heap.swap(i, m);
+                self.pos[self.heap[i].1 as usize] = i as u32;
+                i = m;
+            } else {
+                break;
+            }
+        }
+        self.pos[self.heap[i].1 as usize] = i as u32;
+    }
+}
 
 /// A round-robin pointer over `n` slots.
 ///
@@ -116,6 +398,132 @@ mod tests {
             for _ in 0..picks {
                 if let Some(i) = rr.next(|i| mask & (1 << i) != 0) {
                     prop_assert!(mask & (1 << i) != 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ready_table_round_robins_within_class() {
+        let mut rt = ReadyTable::new(4);
+        rt.grow_to(5);
+        for s in 1..5 {
+            rt.arm(s, SimTime::ZERO);
+        }
+        rt.promote_due(SimTime::ZERO, |_| 3);
+        let picks: Vec<usize> = (0..8).map(|_| rt.pick().unwrap()).collect();
+        assert_eq!(picks, vec![1, 2, 3, 4, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ready_table_prefers_lower_class() {
+        let mut rt = ReadyTable::new(4);
+        rt.grow_to(4);
+        rt.arm(1, SimTime::ZERO);
+        rt.arm(2, SimTime::ZERO);
+        rt.arm(3, SimTime::ZERO);
+        rt.promote_due(SimTime::ZERO, |s| if s == 2 { 0 } else { 3 });
+        assert_eq!(rt.pick(), Some(2));
+        rt.clear(2);
+        assert_eq!(rt.pick(), Some(3)); // cursor moved past 2
+        rt.clear(3);
+        assert_eq!(rt.pick(), Some(1));
+    }
+
+    #[test]
+    fn ready_table_holds_future_arrivals() {
+        let mut rt = ReadyTable::new(1);
+        rt.grow_to(2);
+        rt.arm(1, SimTime::from_nanos(100));
+        rt.promote_due(SimTime::from_nanos(99), |_| 0);
+        assert_eq!(rt.pick(), None);
+        assert_eq!(rt.next_arrival(), Some(SimTime::from_nanos(100)));
+        rt.promote_due(SimTime::from_nanos(100), |_| 0);
+        assert_eq!(rt.pick(), Some(1));
+        assert_eq!(rt.next_arrival(), None);
+    }
+
+    #[test]
+    fn ready_table_rearm_and_clear() {
+        let mut rt = ReadyTable::new(2);
+        rt.grow_to(3);
+        rt.arm(1, SimTime::from_nanos(5));
+        rt.arm(1, SimTime::from_nanos(5)); // identical re-arm is a no-op
+        rt.arm(1, SimTime::from_nanos(9)); // key change re-heaps
+        rt.promote_due(SimTime::from_nanos(9), |_| 0);
+        assert_eq!(rt.pick(), Some(1));
+        rt.arm(1, SimTime::from_nanos(20)); // ready -> armed again
+        assert_eq!(rt.pick(), None);
+        rt.clear(1);
+        assert_eq!(rt.next_arrival(), None);
+        assert_eq!(rt.pick(), None);
+    }
+
+    #[test]
+    fn ready_table_scales_past_word_boundaries() {
+        let mut rt = ReadyTable::new(4);
+        rt.grow_to(1024);
+        for s in (3..1024).step_by(97) {
+            rt.arm(s, SimTime::from_nanos(s as u64));
+        }
+        rt.promote_due(SimTime::from_nanos(2000), |s| s % 4);
+        let mut seen = Vec::new();
+        for _ in 0..11 {
+            let s = rt.pick().unwrap();
+            seen.push(s);
+            rt.clear(s);
+        }
+        assert_eq!(rt.pick(), None);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 11, "every armed slot picked once: {seen:?}");
+    }
+
+    proptest! {
+        /// ReadyTable must agree with the reference implementation — a
+        /// RoundRobin cursor over a linear scan with priority filtering —
+        /// across an arbitrary schedule of arm/clear/pick operations.
+        #[test]
+        fn prop_ready_table_matches_linear_scan(
+            n in 1usize..70,
+            classes in 1usize..5,
+            ops in proptest::collection::vec((0u8..4, 0usize..70, 0u64..50), 1..120),
+        ) {
+            let mut rt = ReadyTable::new(classes);
+            rt.grow_to(n);
+            let mut rr = RoundRobin::new(n);
+            // Reference state: slot -> (arrival, class) when armed.
+            let mut armed: Vec<Option<(u64, usize)>> = vec![None; n];
+            let mut now = 0u64;
+            for (kind, slot, arg) in ops {
+                let slot = slot % n;
+                match kind {
+                    0 => {
+                        let at = now + arg;
+                        rt.arm(slot, SimTime::from_nanos(at));
+                        armed[slot] = Some((at, arg as usize % classes));
+                    }
+                    1 => {
+                        rt.clear(slot);
+                        armed[slot] = None;
+                    }
+                    2 => now += arg,
+                    _ => {
+                        let armed_ref = &armed;
+                        rt.promote_due(
+                            SimTime::from_nanos(now),
+                            |s| armed_ref[s].map_or(0, |(_, c)| c),
+                        );
+                        let best = armed
+                            .iter()
+                            .filter_map(|a| a.filter(|&(t, _)| t <= now).map(|(_, c)| c))
+                            .min();
+                        let expect = best.and_then(|b| rr.next(|i| {
+                            armed[i].is_some_and(|(t, c)| t <= now && c == b)
+                        }));
+                        prop_assert_eq!(rt.pick(), expect);
+                    }
                 }
             }
         }

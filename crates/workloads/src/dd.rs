@@ -8,8 +8,11 @@
 //!   latency measurements of Figs. 9 and 11;
 //! * [`DdMode::Pipelined`] — a queue of requests in flight (page-cache
 //!   readahead/writeback): the bandwidth measurements of Figs. 2 and 10.
+//!
+//! `dd` is a raw-block workload: its [`Workload::run`] uses the tenant's
+//! disk directly and never touches the guest filesystem.
 
-use nesc_hypervisor::{DiskId, System};
+use nesc_hypervisor::{TenantIo, Workload};
 use nesc_storage::BlockOp;
 
 use crate::report::WorkloadReport;
@@ -52,18 +55,26 @@ impl Dd {
             start_offset: 0,
         }
     }
+}
 
-    /// Runs against a raw virtual disk.
+impl Workload for Dd {
+    fn name(&self) -> String {
+        format!(
+            "dd {} bs={} count={}",
+            self.op, self.block_bytes, self.count
+        )
+    }
+
+    /// Runs against the tenant's raw virtual disk.
     ///
     /// # Panics
     ///
     /// Panics if the run is empty.
-    pub fn run(&self, system: &mut System, disk: DiskId) -> WorkloadReport {
+    fn run(&self, io: &mut TenantIo<'_>) -> WorkloadReport {
         assert!(self.count > 0 && self.block_bytes > 0, "empty dd run");
-        let mut report = WorkloadReport::new(format!(
-            "dd {} bs={} count={}",
-            self.op, self.block_bytes, self.count
-        ));
+        let mut report = WorkloadReport::new(self.name());
+        let disk = io.disk();
+        let system = io.system();
         let start = system.now();
         match self.mode {
             DdMode::Sync => {
@@ -103,7 +114,7 @@ impl Dd {
 mod tests {
     use super::*;
     use nesc_core::NescConfig;
-    use nesc_hypervisor::{DiskKind, SoftwareCosts};
+    use nesc_hypervisor::{DiskKind, SoftwareCosts, System};
 
     fn system() -> System {
         let mut cfg = NescConfig::prototype();
@@ -115,7 +126,8 @@ mod tests {
     fn sync_dd_reports_per_op_latency() {
         let mut sys = system();
         let disk = sys.quick_disk(DiskKind::NescDirect, "dd.img", 8 << 20).disk;
-        let rep = Dd::new(BlockOp::Write, 4096, 16, DdMode::Sync).run(&mut sys, disk);
+        let rep = Dd::new(BlockOp::Write, 4096, 16, DdMode::Sync)
+            .run(&mut TenantIo::attached(&mut sys, disk));
         assert_eq!(rep.ops, 16);
         assert_eq!(rep.bytes, 16 * 4096);
         assert!(rep.latency.count() == 16);
@@ -128,9 +140,10 @@ mod tests {
         let disk = sys
             .quick_disk(DiskKind::NescDirect, "dd2.img", 16 << 20)
             .disk;
-        let sync = Dd::new(BlockOp::Read, 4096, 256, DdMode::Sync).run(&mut sys, disk);
-        let piped =
-            Dd::new(BlockOp::Read, 4096, 256, DdMode::Pipelined { qd: 16 }).run(&mut sys, disk);
+        let sync = Dd::new(BlockOp::Read, 4096, 256, DdMode::Sync)
+            .run(&mut TenantIo::attached(&mut sys, disk));
+        let piped = Dd::new(BlockOp::Read, 4096, 256, DdMode::Pipelined { qd: 16 })
+            .run(&mut TenantIo::attached(&mut sys, disk));
         assert!(
             piped.mbps() > sync.mbps() * 1.5,
             "pipelined {:.0} vs sync {:.0} MB/s",
@@ -147,7 +160,7 @@ mod tests {
             .disk;
         let mut dd = Dd::new(BlockOp::Write, 1024, 4, DdMode::Sync);
         dd.start_offset = 1 << 20;
-        dd.run(&mut sys, disk);
+        dd.run(&mut TenantIo::attached(&mut sys, disk));
         let mut buf = vec![0u8; 1024];
         sys.read(disk, 1 << 20, &mut buf);
         assert!(buf.iter().all(|&b| b == 0x6D));

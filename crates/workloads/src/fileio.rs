@@ -6,9 +6,12 @@
 //! `rndrw` mix; the other modes exist because real sysbench runs sweep
 //! them and they exercise different filesystem paths (append vs in-place,
 //! readahead-friendly vs not).
+//!
+//! The [`Workload::run`] implementation covers both sysbench phases:
+//! `prepare` (file-set creation) then the random-op run.
 
 use nesc_fs::Ino;
-use nesc_hypervisor::{GuestFilesystem, System};
+use nesc_hypervisor::{GuestFilesystem, System, TenantIo, Workload};
 use nesc_sim::{SimDuration, SimRng};
 
 use crate::report::WorkloadReport;
@@ -27,6 +30,18 @@ pub enum FileTestMode {
     /// Random mixed read/write (`rndrw`, the default and the paper's row).
     #[default]
     RndRw,
+}
+
+impl FileTestMode {
+    fn label(self) -> &'static str {
+        match self {
+            FileTestMode::SeqWr => "seqwr",
+            FileTestMode::SeqRd => "seqrd",
+            FileTestMode::RndRd => "rndrd",
+            FileTestMode::RndWr => "rndwr",
+            FileTestMode::RndRw => "rndrw",
+        }
+    }
 }
 
 /// A SysBench-fileio-style run.
@@ -70,7 +85,7 @@ impl FileIo {
     /// Prepares the file set (sysbench's `prepare` phase). Untimed cost is
     /// irrelevant; the data writes do advance the clock like a real
     /// prepare phase would.
-    pub fn prepare(&self, system: &mut System, gfs: &mut GuestFilesystem) -> Vec<Ino> {
+    fn prepare(&self, system: &mut System, gfs: &mut GuestFilesystem) -> Vec<Ino> {
         let chunk = vec![0x51u8; 64 * 1024];
         (0..self.files)
             .map(|i| {
@@ -93,7 +108,7 @@ impl FileIo {
     /// # Panics
     ///
     /// Panics if `files` or `ops` is zero.
-    pub fn run(
+    fn run_prepared(
         &self,
         system: &mut System,
         gfs: &mut GuestFilesystem,
@@ -101,14 +116,7 @@ impl FileIo {
     ) -> WorkloadReport {
         assert!(!inos.is_empty() && self.ops > 0, "empty fileio run");
         let mut rng = SimRng::seed(self.seed);
-        let mode_name = match self.mode {
-            FileTestMode::SeqWr => "seqwr",
-            FileTestMode::SeqRd => "seqrd",
-            FileTestMode::RndRd => "rndrd",
-            FileTestMode::RndWr => "rndwr",
-            FileTestMode::RndRw => "rndrw",
-        };
-        let mut report = WorkloadReport::new(format!("sysbench-fileio {mode_name}"));
+        let mut report = WorkloadReport::new(Workload::name(self));
         let start = system.now();
         let payload = vec![0xF1u8; self.io_bytes as usize];
         let max_off = self.file_bytes.saturating_sub(self.io_bytes).max(1);
@@ -151,18 +159,28 @@ impl FileIo {
     }
 }
 
+impl Workload for FileIo {
+    fn name(&self) -> String {
+        format!("sysbench-fileio {}", self.mode.label())
+    }
+
+    fn run(&self, io: &mut TenantIo<'_>) -> WorkloadReport {
+        let (system, gfs) = io.fs();
+        let inos = self.prepare(system, gfs);
+        self.run_prepared(system, gfs, &inos)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use nesc_core::NescConfig;
-    use nesc_hypervisor::{DiskKind, ProvisionedDisk, SoftwareCosts};
+    use nesc_hypervisor::{DiskKind, SoftwareCosts};
 
     fn quick(kind: DiskKind) -> WorkloadReport {
         let mut cfg = NescConfig::prototype();
         cfg.capacity_blocks = 128 * 1024;
         let mut sys = System::new(cfg, SoftwareCosts::calibrated());
-        let ProvisionedDisk { vm, disk, .. } = sys.quick_disk(kind, "fio.img", 64 << 20);
-        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
         let wl = FileIo {
             files: 4,
             file_bytes: 256 * 1024,
@@ -170,8 +188,12 @@ mod tests {
             ops: 60,
             ..Default::default()
         };
-        let inos = wl.prepare(&mut sys, &mut gfs);
-        wl.run(&mut sys, &mut gfs, &inos)
+        wl.run(&mut TenantIo::provision(
+            &mut sys,
+            kind,
+            "fio.img",
+            64 << 20,
+        ))
     }
 
     #[test]
@@ -200,9 +222,6 @@ mod tests {
             let mut cfg = NescConfig::prototype();
             cfg.capacity_blocks = 128 * 1024;
             let mut sys = System::new(cfg, SoftwareCosts::calibrated());
-            let ProvisionedDisk { vm, disk, .. } =
-                sys.quick_disk(DiskKind::NescDirect, "m.img", 64 << 20);
-            let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
             let wl = FileIo {
                 files: 4,
                 file_bytes: 256 * 1024,
@@ -211,8 +230,12 @@ mod tests {
                 mode,
                 ..Default::default()
             };
-            let inos = wl.prepare(&mut sys, &mut gfs);
-            wl.run(&mut sys, &mut gfs, &inos)
+            wl.run(&mut TenantIo::provision(
+                &mut sys,
+                DiskKind::NescDirect,
+                "m.img",
+                64 << 20,
+            ))
         };
         let seqrd = run_mode(FileTestMode::SeqRd);
         let rndrd = run_mode(FileTestMode::RndRd);

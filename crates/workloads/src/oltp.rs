@@ -11,7 +11,7 @@
 use std::collections::VecDeque;
 
 use nesc_fs::Ino;
-use nesc_hypervisor::{GuestFilesystem, System};
+use nesc_hypervisor::{GuestFilesystem, System, TenantIo, Workload};
 use nesc_sim::{rng::Zipf, SimDuration, SimRng};
 
 use crate::report::WorkloadReport;
@@ -104,7 +104,7 @@ impl Engine {
 impl Oltp {
     /// Creates the table and log files and bulk-loads the table
     /// (sysbench `prepare`).
-    pub fn prepare(&self, system: &mut System, gfs: &mut GuestFilesystem) -> (Ino, Ino) {
+    fn prepare(&self, system: &mut System, gfs: &mut GuestFilesystem) -> (Ino, Ino) {
         let table = gfs.create(system, "ibdata_table").expect("fresh fs");
         let log = gfs.create(system, "ib_logfile0").expect("fresh fs");
         let pages = self.rows.div_ceil(ROWS_PER_PAGE);
@@ -121,7 +121,7 @@ impl Oltp {
     /// # Panics
     ///
     /// Panics on a zero-transaction configuration.
-    pub fn run(
+    fn run_prepared(
         &self,
         system: &mut System,
         gfs: &mut GuestFilesystem,
@@ -194,11 +194,17 @@ impl Oltp {
         report.elapsed = system.now() - start;
         report
     }
+}
 
-    /// Convenience: prepare + run.
-    pub fn run_full(&self, system: &mut System, gfs: &mut GuestFilesystem) -> WorkloadReport {
+impl Workload for Oltp {
+    fn name(&self) -> String {
+        "sysbench-oltp".to_string()
+    }
+
+    fn run(&self, io: &mut TenantIo<'_>) -> WorkloadReport {
+        let (system, gfs) = io.fs();
         let (table, log) = self.prepare(system, gfs);
-        self.run(system, gfs, table, log)
+        self.run_prepared(system, gfs, table, log)
     }
 }
 
@@ -206,21 +212,19 @@ impl Oltp {
 mod tests {
     use super::*;
     use nesc_core::NescConfig;
-    use nesc_hypervisor::{DiskKind, ProvisionedDisk, SoftwareCosts};
+    use nesc_hypervisor::{DiskKind, SoftwareCosts};
 
     fn quick(kind: DiskKind) -> WorkloadReport {
         let mut cfg = NescConfig::prototype();
         cfg.capacity_blocks = 128 * 1024;
         let mut sys = System::new(cfg, SoftwareCosts::calibrated());
-        let ProvisionedDisk { vm, disk, .. } = sys.quick_disk(kind, "db.img", 64 << 20);
-        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
         Oltp {
             rows: 4_000,
             transactions: 30,
             buffer_pool_pages: 16,
             ..Default::default()
         }
-        .run_full(&mut sys, &mut gfs)
+        .run(&mut TenantIo::provision(&mut sys, kind, "db.img", 64 << 20))
     }
 
     #[test]
@@ -258,16 +262,18 @@ mod tests {
             let mut cfg = NescConfig::prototype();
             cfg.capacity_blocks = 128 * 1024;
             let mut sys = System::new(cfg, SoftwareCosts::calibrated());
-            let ProvisionedDisk { vm, disk, .. } =
-                sys.quick_disk(DiskKind::NescDirect, "bp.img", 64 << 20);
-            let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
             Oltp {
                 rows: 4_000,
                 transactions: 30,
                 buffer_pool_pages: pages,
                 ..Default::default()
             }
-            .run_full(&mut sys, &mut gfs);
+            .run(&mut TenantIo::provision(
+                &mut sys,
+                DiskKind::NescDirect,
+                "bp.img",
+                64 << 20,
+            ));
             sys.device().stats().blocks_read
         };
         assert!(run_with_pool(64) <= run_with_pool(2));

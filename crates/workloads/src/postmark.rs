@@ -6,7 +6,7 @@
 //! append}, and finally report transactions per second.
 
 use nesc_fs::Ino;
-use nesc_hypervisor::{GuestFilesystem, System};
+use nesc_hypervisor::{GuestFilesystem, System, TenantIo, Workload};
 use nesc_sim::{SimDuration, SimRng};
 
 use crate::report::WorkloadReport;
@@ -51,7 +51,7 @@ impl Postmark {
     /// # Panics
     ///
     /// Panics if configured with zero files or transactions.
-    pub fn run(&self, system: &mut System, gfs: &mut GuestFilesystem) -> WorkloadReport {
+    fn run_on(&self, system: &mut System, gfs: &mut GuestFilesystem) -> WorkloadReport {
         assert!(self.initial_files > 0 && self.transactions > 0, "empty run");
         let mut rng = SimRng::seed(self.seed);
         let mut next_name = 0u64;
@@ -139,25 +139,34 @@ impl Postmark {
     }
 }
 
+impl Workload for Postmark {
+    fn name(&self) -> String {
+        "postmark".to_string()
+    }
+
+    fn run(&self, io: &mut TenantIo<'_>) -> WorkloadReport {
+        let (system, gfs) = io.fs();
+        self.run_on(system, gfs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use nesc_core::NescConfig;
-    use nesc_hypervisor::{DiskKind, ProvisionedDisk, SoftwareCosts};
+    use nesc_hypervisor::{DiskKind, SoftwareCosts};
 
     fn quick(kind: DiskKind) -> WorkloadReport {
         let mut cfg = NescConfig::prototype();
         cfg.capacity_blocks = 128 * 1024;
         let mut sys = System::new(cfg, SoftwareCosts::calibrated());
-        let ProvisionedDisk { vm, disk, .. } = sys.quick_disk(kind, "pm.img", 64 << 20);
-        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
         Postmark {
             initial_files: 12,
             transactions: 40,
             max_file_bytes: 16 * 1024,
             ..Default::default()
         }
-        .run(&mut sys, &mut gfs)
+        .run(&mut TenantIo::provision(&mut sys, kind, "pm.img", 64 << 20))
     }
 
     #[test]

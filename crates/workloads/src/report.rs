@@ -1,103 +1,8 @@
 //! Common workload reporting.
+//!
+//! [`WorkloadReport`] lives in `nesc_hypervisor::workload` alongside the
+//! [`Workload`](nesc_hypervisor::Workload) trait it reports for; this
+//! module re-exports it so `nesc_workloads::WorkloadReport` keeps
+//! working.
 
-use nesc_sim::{Histogram, SimDuration};
-
-/// What every workload run reports.
-#[derive(Debug, Clone)]
-pub struct WorkloadReport {
-    /// Workload name (for harness output).
-    pub name: String,
-    /// Operations (or transactions) completed.
-    pub ops: u64,
-    /// Payload bytes moved.
-    pub bytes: u64,
-    /// Simulated wall-clock the run took.
-    pub elapsed: SimDuration,
-    /// Per-operation latency histogram (nanoseconds).
-    pub latency: Histogram,
-}
-
-impl WorkloadReport {
-    /// Creates an empty report.
-    pub fn new(name: impl Into<String>) -> Self {
-        WorkloadReport {
-            name: name.into(),
-            ops: 0,
-            bytes: 0,
-            elapsed: SimDuration::ZERO,
-            latency: Histogram::new(),
-        }
-    }
-
-    /// Records one completed operation.
-    pub fn record(&mut self, bytes: u64, latency: SimDuration) {
-        self.ops += 1;
-        self.bytes += bytes;
-        self.latency.record_duration(latency);
-    }
-
-    /// Operations per second over the run.
-    pub fn ops_per_sec(&self) -> f64 {
-        let s = self.elapsed.as_secs_f64();
-        if s == 0.0 {
-            0.0
-        } else {
-            self.ops as f64 / s
-        }
-    }
-
-    /// Decimal MB/s over the run.
-    pub fn mbps(&self) -> f64 {
-        let s = self.elapsed.as_secs_f64();
-        if s == 0.0 {
-            0.0
-        } else {
-            self.bytes as f64 / 1e6 / s
-        }
-    }
-
-    /// Mean operation latency in microseconds.
-    pub fn mean_latency_us(&self) -> f64 {
-        self.latency.mean() / 1e3
-    }
-
-    /// A one-line human summary.
-    pub fn summary(&self) -> String {
-        format!(
-            "{}: {} ops, {:.2} MB, {:.3} s -> {:.0} ops/s, {:.1} MB/s, mean {:.1} us, p99 {:.1} us",
-            self.name,
-            self.ops,
-            self.bytes as f64 / 1e6,
-            self.elapsed.as_secs_f64(),
-            self.ops_per_sec(),
-            self.mbps(),
-            self.mean_latency_us(),
-            self.latency.percentile(99.0) as f64 / 1e3,
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn report_math() {
-        let mut r = WorkloadReport::new("t");
-        r.record(1_000_000, SimDuration::from_micros(10));
-        r.record(1_000_000, SimDuration::from_micros(30));
-        r.elapsed = SimDuration::from_millis(1);
-        assert_eq!(r.ops, 2);
-        assert!((r.ops_per_sec() - 2000.0).abs() < 1e-9);
-        assert!((r.mbps() - 2000.0).abs() < 1e-9);
-        assert!((r.mean_latency_us() - 20.0).abs() < 0.5);
-        assert!(r.summary().contains("t:"));
-    }
-
-    #[test]
-    fn empty_report_is_zero() {
-        let r = WorkloadReport::new("e");
-        assert_eq!(r.ops_per_sec(), 0.0);
-        assert_eq!(r.mbps(), 0.0);
-    }
-}
+pub use nesc_hypervisor::workload::WorkloadReport;

@@ -95,6 +95,31 @@ else
     exit 1
 fi
 
+echo "==> scale-out gate: 1000-VF mixed scenario must replay bit-identical, fast"
+# The full datacenter mix (850 steady + 100 bursty + 50 noisy VFs) must
+# (a) regenerate its fairness golden byte-for-byte and (b) finish in
+# seconds of host time — the acceptance bar for the scenario engine.
+#   NESC_GATE_SCALE_SECS — host wall-clock ceiling (env-overridable for
+#                          slower CI hosts)
+scale_golden="results/scale_mixed.json"
+[ -f "$scale_golden" ] || { echo "missing golden $scale_golden" >&2; exit 1; }
+cp "$scale_golden" "$tmp/scale_mixed.json"
+scale_start=$SECONDS
+cargo run --release -q -p nesc-bench --bin scale_out >/dev/null
+scale_secs=$((SECONDS - scale_start))
+scale_ceiling="${NESC_GATE_SCALE_SECS:-120}"
+if cmp -s "$tmp/scale_mixed.json" "$scale_golden"; then
+    echo "OK: scale_mixed.json regenerated bit-identical (${scale_secs}s host)"
+else
+    echo "FAIL: scale_mixed.json changed after regeneration" >&2
+    diff "$tmp/scale_mixed.json" "$scale_golden" >&2 || true
+    exit 1
+fi
+if [ "$scale_secs" -gt "$scale_ceiling" ]; then
+    echo "FAIL: 1000-VF scenario took ${scale_secs}s > ceiling ${scale_ceiling}s" >&2
+    exit 1
+fi
+
 echo "==> throughput gate: hot-path blocks/sec floor (interleaved A/B, min of 5)"
 # The harness itself interleaves per-block/batched repeats and keeps each
 # mode's minimum, so one invocation here is already noise-dodged. Floors

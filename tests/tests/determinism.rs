@@ -6,20 +6,20 @@ use std::rc::Rc;
 
 use nesc_core::{CompletionStatus, NescConfig, NescDevice, NescOutput};
 use nesc_extent::{Plba, Vlba};
-use nesc_hypervisor::{DiskKind, GuestFilesystem};
+use nesc_hypervisor::DiskKind;
 use nesc_pcie::HostMemory;
 use nesc_sim::selfcheck::{first_divergence, self_check, Divergence};
 use nesc_sim::SimTime;
 use nesc_storage::{BlockOp, BlockRequest, RequestId, BLOCK_SIZE};
 use nesc_system_tests::system_with_disk;
-use nesc_workloads::{Dd, DdMode, FileIo, MixedVfSelfCheck, Oltp, Postmark};
+use nesc_workloads::{Dd, DdMode, FileIo, MixedVfSelfCheck, Oltp, Postmark, TenantIo, Workload};
 
 #[test]
 fn dd_streams_are_deterministic() {
     let run = || {
         let (mut sys, _vm, disk) = system_with_disk(DiskKind::NescDirect, 16 << 20);
-        let rep =
-            Dd::new(BlockOp::Write, 8192, 128, DdMode::Pipelined { qd: 8 }).run(&mut sys, disk);
+        let rep = Dd::new(BlockOp::Write, 8192, 128, DdMode::Pipelined { qd: 8 })
+            .run(&mut TenantIo::attached(&mut sys, disk));
         (rep.elapsed, rep.bytes, sys.now())
     };
     assert_eq!(run(), run());
@@ -29,15 +29,14 @@ fn dd_streams_are_deterministic() {
 fn macro_workloads_are_deterministic_on_every_path() {
     for kind in [DiskKind::NescDirect, DiskKind::Virtio, DiskKind::Emulated] {
         let run = || {
-            let (mut sys, vm, disk) = system_with_disk(kind, 32 << 20);
-            let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+            let (mut sys, _vm, disk) = system_with_disk(kind, 32 << 20);
             let pm = Postmark {
                 initial_files: 8,
                 transactions: 25,
                 max_file_bytes: 8 * 1024,
                 ..Default::default()
             }
-            .run(&mut sys, &mut gfs);
+            .run(&mut TenantIo::attached(&mut sys, disk));
             (pm.elapsed, pm.bytes, sys.device().stats())
         };
         assert_eq!(run(), run(), "{kind:?} diverged");
@@ -47,15 +46,14 @@ fn macro_workloads_are_deterministic_on_every_path() {
 #[test]
 fn oltp_device_stats_are_deterministic() {
     let run = || {
-        let (mut sys, vm, disk) = system_with_disk(DiskKind::NescDirect, 32 << 20);
-        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
+        let (mut sys, _vm, disk) = system_with_disk(DiskKind::NescDirect, 32 << 20);
         Oltp {
             rows: 2_000,
             transactions: 20,
             buffer_pool_pages: 8,
             ..Default::default()
         }
-        .run_full(&mut sys, &mut gfs);
+        .run(&mut TenantIo::attached(&mut sys, disk));
         sys.device().stats()
     };
     assert_eq!(run(), run());
@@ -64,16 +62,14 @@ fn oltp_device_stats_are_deterministic() {
 #[test]
 fn fileio_latency_histogram_is_deterministic() {
     let run = || {
-        let (mut sys, vm, disk) = system_with_disk(DiskKind::Virtio, 32 << 20);
-        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
-        let wl = FileIo {
+        let (mut sys, _vm, disk) = system_with_disk(DiskKind::Virtio, 32 << 20);
+        let rep = FileIo {
             files: 3,
             file_bytes: 128 * 1024,
             ops: 30,
             ..Default::default()
-        };
-        let inos = wl.prepare(&mut sys, &mut gfs);
-        let rep = wl.run(&mut sys, &mut gfs, &inos);
+        }
+        .run(&mut TenantIo::attached(&mut sys, disk));
         (
             rep.latency.percentile(50.0),
             rep.latency.percentile(99.0),
@@ -183,17 +179,16 @@ fn different_seeds_differ() {
     // Sanity check that determinism is seed-scoped, not accidental
     // constantness.
     let run = |seed| {
-        let (mut sys, vm, disk) = system_with_disk(DiskKind::NescDirect, 32 << 20);
-        let mut gfs = GuestFilesystem::mkfs(&sys, vm, disk);
-        let wl = FileIo {
+        let (mut sys, _vm, disk) = system_with_disk(DiskKind::NescDirect, 32 << 20);
+        FileIo {
             files: 3,
             file_bytes: 128 * 1024,
             ops: 30,
             seed,
             ..Default::default()
-        };
-        let inos = wl.prepare(&mut sys, &mut gfs);
-        wl.run(&mut sys, &mut gfs, &inos).elapsed
+        }
+        .run(&mut TenantIo::attached(&mut sys, disk))
+        .elapsed
     };
     assert_ne!(run(1), run(2));
 }

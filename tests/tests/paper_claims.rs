@@ -8,7 +8,7 @@
 use nesc_core::NescConfig;
 use nesc_hypervisor::{DiskKind, GuestFilesystem, ProvisionedDisk, SoftwareCosts, System};
 use nesc_storage::BlockOp;
-use nesc_workloads::{Dd, DdMode};
+use nesc_workloads::{Dd, DdMode, TenantIo, Workload};
 
 fn prototype_system(kind: DiskKind) -> (System, nesc_hypervisor::VmId, nesc_hypervisor::DiskId) {
     let mut cfg = NescConfig::prototype();
@@ -22,7 +22,7 @@ fn prototype_system(kind: DiskKind) -> (System, nesc_hypervisor::VmId, nesc_hype
 fn small_write_us(kind: DiskKind) -> f64 {
     let (mut sys, _vm, disk) = prototype_system(kind);
     Dd::new(BlockOp::Write, 512, 16, DdMode::Sync)
-        .run(&mut sys, disk)
+        .run(&mut TenantIo::attached(&mut sys, disk))
         .mean_latency_us()
 }
 
@@ -30,7 +30,7 @@ fn small_write_us(kind: DiskKind) -> f64 {
 fn bandwidth(kind: DiskKind, op: BlockOp, bs: u64) -> f64 {
     let (mut sys, _vm, disk) = prototype_system(kind);
     Dd::new(op, bs, (4 << 20) / bs, DdMode::Sync)
-        .run(&mut sys, disk)
+        .run(&mut TenantIo::attached(&mut sys, disk))
         .mbps()
 }
 
@@ -103,7 +103,7 @@ fn fig11_claims_fs_overheads() {
     let raw_write_us = |kind: DiskKind| {
         let (mut sys, _vm, disk) = prototype_system(kind);
         Dd::new(BlockOp::Write, 4096, 8, DdMode::Sync)
-            .run(&mut sys, disk)
+            .run(&mut TenantIo::attached(&mut sys, disk))
             .mean_latency_us()
     };
     let nesc_overhead = fs_write_us(DiskKind::NescDirect) - raw_write_us(DiskKind::NescDirect);

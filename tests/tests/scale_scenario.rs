@@ -1,0 +1,71 @@
+//! Scale-out scenario smoke: a reduced copy of the `scale_out` bench
+//! mix (same 85/10/5 class proportions, same seed) must complete every
+//! request, replay byte-identically from its seed, and keep per-class
+//! QoS ordering sane — all fast enough to live in the tier-1 suite.
+
+use nesc_sim::selfcheck::first_divergence;
+use nesc_workloads::scenario::Scenario;
+use nesc_workloads::{ScenarioSpec, TenantClass, TenantSpec};
+
+/// A 60-VF copy of the datacenter mix: 51 steady + 6 bursty + 3 noisy.
+fn reduced_mix(seed: u64) -> Scenario {
+    Scenario::new(
+        ScenarioSpec::new("scale_smoke")
+            .seed(seed)
+            .tenants(TenantSpec::steady(51).requests(14))
+            .tenants(TenantSpec::bursty(6).requests(12))
+            .tenants(TenantSpec::noisy(3).requests(24)),
+    )
+}
+
+#[test]
+fn reduced_datacenter_mix_completes_every_request() {
+    let rep = reduced_mix(0xD47A_CE17).run();
+    assert_eq!(rep.tenants.len(), 60);
+    assert_eq!(rep.total_requests, 51 * 14 + 6 * 12 + 24 * 3);
+    assert_eq!(
+        rep.tenants.iter().map(|t| t.errors).sum::<u64>(),
+        0,
+        "preallocated images must not fault"
+    );
+    // Every tenant observed real latencies.
+    assert!(rep.tenants.iter().all(|t| t.p99_ns > 0));
+    assert!(rep.makespan.as_nanos() > 0);
+    // Fairness metrics land in their domains.
+    assert!(rep.jain_permille > 0 && rep.jain_permille <= 1000);
+    assert_eq!(rep.lorenz_permille.len(), 11);
+    assert_eq!(*rep.lorenz_permille.last().unwrap(), 1000);
+}
+
+#[test]
+fn reduced_mix_is_seed_deterministic() {
+    let (rep_a, dig_a) = reduced_mix(7).run_with_digest();
+    let (rep_b, dig_b) = reduced_mix(7).run_with_digest();
+    assert_eq!(dig_a.final_hash(), dig_b.final_hash());
+    assert_eq!(first_divergence(&dig_a, &dig_b), None);
+    assert_eq!(rep_a.digest, rep_b.digest);
+    assert_eq!(rep_a.makespan, rep_b.makespan);
+
+    let (_, dig_c) = reduced_mix(8).run_with_digest();
+    assert!(
+        first_divergence(&dig_a, &dig_c).is_some(),
+        "different seeds must shuffle the tape"
+    );
+}
+
+#[test]
+fn every_class_is_represented_in_the_report() {
+    let rep = reduced_mix(11).run();
+    for class in [
+        TenantClass::Steady,
+        TenantClass::Bursty,
+        TenantClass::NoisyNeighbor,
+    ] {
+        assert!(rep.class_count(class) > 0, "{} missing", class.label());
+        assert!(
+            rep.class_worst_p99_ns(class) > 0,
+            "{} has no latency",
+            class.label()
+        );
+    }
+}
