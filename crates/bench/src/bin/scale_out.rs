@@ -44,7 +44,13 @@ fn main() {
     // nesc-lint::allow(D1): the scale gate reports host wall-clock (how
     // long the 1000-VF replay takes to *simulate*), never simulated time.
     let host_start = std::time::Instant::now();
-    let rep = scenario.run();
+    let rep = match scenario.run() {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("scale_out: invalid scenario: {e}");
+            std::process::exit(2);
+        }
+    };
     let host_secs = host_start.elapsed().as_secs_f64();
 
     let mut rows = Vec::new();

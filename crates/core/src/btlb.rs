@@ -135,17 +135,24 @@ impl Btlb {
     /// result it must say so through [`Btlb::credit_hits`] so legacy
     /// accounting stays per-block.
     pub fn lookup_run(&mut self, func: u16, vlba: Vlba, max_blocks: u64) -> Option<(Plba, u64)> {
-        match self.index.get(func as usize).and_then(|fe| fe.find(vlba)) {
-            Some(e) => {
+        // find() checked containment, so translate() only fails if an
+        // entry's extent is inconsistent with its index position — degrade
+        // that to a miss (the walk path re-derives the truth).
+        let hit = self
+            .index
+            .get(func as usize)
+            .and_then(|fe| fe.find(vlba))
+            .and_then(|e| {
+                let plba = e.extent.translate(vlba);
+                debug_assert!(plba.is_some(), "find() checked containment");
+                Some((plba?, e.extent.covered_run(vlba, max_blocks.max(1))))
+            });
+        match hit {
+            Some(found) => {
                 self.hits += 1;
                 self.probe_hits += 1;
                 self.blocks_covered += 1;
-                let plba = e
-                    .extent
-                    .translate(vlba)
-                    .expect("find() checked containment");
-                let run = e.extent.covered_run(vlba, max_blocks.max(1));
-                Some((plba, run))
+                Some(found)
             }
             None => {
                 self.misses += 1;
@@ -170,11 +177,9 @@ impl Btlb {
     /// chain's inserts have settled.
     pub fn covered_at(&self, func: u16, vlba: Vlba) -> Option<(Plba, u64)> {
         let e = self.index.get(func as usize)?.find(vlba)?;
-        let plba = e
-            .extent
-            .translate(vlba)
-            .expect("find() checked containment");
-        Some((plba, e.extent.end_logical().distance_from(vlba)))
+        let plba = e.extent.translate(vlba);
+        debug_assert!(plba.is_some(), "find() checked containment");
+        Some((plba?, e.extent.end_logical().distance_from(vlba)))
     }
 
     /// Inserts a freshly walked extent, evicting the oldest entry when
@@ -235,7 +240,11 @@ impl Btlb {
             }
             // Stale stamp (entry flushed); keep draining.
         }
-        unreachable!("evict_oldest called with live == capacity > 0");
+        // The FIFO drained without finding a live victim — the live count
+        // is out of sync with the index. The insert that asked for the
+        // eviction still proceeds; the cache merely runs one entry over
+        // its nominal capacity.
+        debug_assert!(false, "evict_oldest called with live == capacity > 0");
     }
 
     /// Drops every entry (the PF-initiated global flush). Bucket storage

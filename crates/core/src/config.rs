@@ -91,20 +91,18 @@ impl NescConfig {
         }
     }
 
-    /// Validates internal consistency.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any parameter is degenerate (zero bandwidth, no VFs, no
-    /// walk slots).
+    /// Validates internal consistency: debug builds reject degenerate
+    /// parameters (zero bandwidth, no VFs, no walk slots) at construction
+    /// time. Release builds let the lower layers clamp — every consumer of
+    /// these parameters degrades a zero to its smallest legal value.
     pub fn validate(&self) {
-        assert!(self.capacity_blocks > 0, "device needs capacity");
-        assert!(self.max_vfs > 0, "device must support VFs");
-        assert!(self.dma_read_bytes_per_sec > 0, "DMA read bandwidth");
-        assert!(self.dma_write_bytes_per_sec > 0, "DMA write bandwidth");
-        assert!(self.walk_overlap > 0, "walk unit needs at least one slot");
-        assert!(self.tree_node_bytes > 0, "tree nodes have a size");
-        assert!(self.max_run_blocks > 0, "runs cover at least one block");
+        debug_assert!(self.capacity_blocks > 0, "device needs capacity");
+        debug_assert!(self.max_vfs > 0, "device must support VFs");
+        debug_assert!(self.dma_read_bytes_per_sec > 0, "DMA read bandwidth");
+        debug_assert!(self.dma_write_bytes_per_sec > 0, "DMA write bandwidth");
+        debug_assert!(self.walk_overlap > 0, "walk unit needs at least one slot");
+        debug_assert!(self.tree_node_bytes > 0, "tree nodes have a size");
+        debug_assert!(self.max_run_blocks > 0, "runs cover at least one block");
     }
 }
 

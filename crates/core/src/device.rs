@@ -32,7 +32,7 @@ use std::rc::Rc;
 use nesc_extent::{walk_run, Plba, Vlba, WalkOutcome};
 use nesc_pcie::{HostAddr, HostMemory, PcieLink};
 use nesc_sim::{EventQueue, Pipe, ReadyTable, ServiceUnit, SimDuration, SimTime, SpanId, Tracer};
-use nesc_storage::{BlockOp, BlockRequest, BlockStore, Media, RequestId, BLOCK_SIZE};
+use nesc_storage::{BlockOp, BlockRequest, BlockStore, Media, RequestId, StoreError, BLOCK_SIZE};
 
 use crate::btlb::Btlb;
 use crate::config::NescConfig;
@@ -744,10 +744,17 @@ impl NescDevice {
         // buffer is usually already ordered, and — unlike `sort_by_key` —
         // it allocates nothing. Stability preserves emission order on
         // equal timestamps, matching the historical stable sort.
-        let due = &mut out[start..];
+        let Some(due) = out.get_mut(start..) else {
+            return;
+        };
         for i in 1..due.len() {
             let mut j = i;
-            while j > 0 && due[j - 1].at() > due[j].at() {
+            while j > 0
+                && due
+                    .get(j - 1)
+                    .zip(due.get(j))
+                    .is_some_and(|(a, b)| a.at() > b.at())
+            {
                 due.swap(j - 1, j);
                 j -= 1;
             }
@@ -813,10 +820,13 @@ impl NescDevice {
             pick != 0 && self.functions[pick].dispatchable_at(now),
             "ready table out of sync with function {pick}"
         );
-        let pending = self.functions[pick]
-            .queue
-            .pop_front()
-            .expect("dispatchable implies non-empty");
+        let Some(pending) = self.functions[pick].queue.pop_front() else {
+            // The ready table said dispatchable but the queue is empty —
+            // drop the stale entry and wait for the next doorbell.
+            debug_assert!(false, "dispatchable implies non-empty");
+            self.refresh_ready(pick);
+            return;
+        };
         let cost = self.cfg.mux_per_request + self.cfg.split_per_block * pending.req.block_count;
         let svc = self.mux.serve(now, cost);
         self.process_vf_request(svc.end, FuncId(pick as u16), pending, 0, false);
@@ -1254,7 +1264,22 @@ impl NescDevice {
                         WalkOutcome::Mapped(e) => {
                             self.btlb.insert(level.0, e);
                             run = run.min(wr.run);
-                            let plba = e.translate(lba).expect("walk hit covers lba");
+                            let plba = e.translate(lba);
+                            debug_assert!(plba.is_some(), "walk hit covers lba");
+                            let Some(plba) = plba else {
+                                // The walk returned an extent that does not
+                                // cover the probed lba — treat the mapping
+                                // as absent and let the miss handler
+                                // rebuild the tree.
+                                break RunTranslation {
+                                    outcome: Translated::Hole { level, lba },
+                                    at: t_walk,
+                                    pipeline_free,
+                                    run: self.rebound_run(run.min(wr.run), &chain),
+                                    chain_levels,
+                                    hole_levels: wr.result.levels,
+                                };
+                            };
                             chain.push((level.0, lba, plba));
                             (plba, t_walk)
                         }
@@ -1384,11 +1409,12 @@ impl NescDevice {
         let per_level = self.cfg.link.read_round_trip
             + self.cfg.link.wire_time(self.cfg.tree_node_bytes)
             + self.cfg.walk_level_processing;
-        let slot = self
-            .walk_slots
-            .iter_mut()
-            .min_by_key(|s| s.free_at())
-            .expect("walk_overlap >= 1");
+        let slot = self.walk_slots.iter_mut().min_by_key(|s| s.free_at());
+        debug_assert!(slot.is_some(), "walk_overlap >= 1");
+        let Some(slot) = slot else {
+            // Degenerate config with zero walk slots: charge nothing.
+            return ready;
+        };
         let end = slot.serve(ready, per_level * levels as u64).end;
         if self.cur_span.is_some() {
             self.trace_walk(ready, end, levels);
@@ -1408,9 +1434,10 @@ impl NescDevice {
     /// — the wall-clock half of a run transfer. Bytes move in a single
     /// copy: reads render store blocks straight into the backing host
     /// pages, writes DMA host bytes straight into the store's block
-    /// buffers; no staging buffer in between. `Err` means an invalid
-    /// physical range (corrupt tree / bad PF request); the range is
-    /// validated atomically up front and nothing simulated happens here.
+    /// buffers; no staging buffer in between. `Err` carries the store's
+    /// typed error for an invalid physical range (corrupt tree / bad PF
+    /// request); the range is validated atomically up front and nothing
+    /// simulated happens here.
     fn move_run_data(
         &mut self,
         op: BlockOp,
@@ -1418,9 +1445,9 @@ impl NescDevice {
         buf: HostAddr,
         block_index: u64,
         blocks: u64,
-    ) -> Result<(), ()> {
+    ) -> Result<(), StoreError> {
         let host_addr = buf + block_index * BLOCK_SIZE;
-        self.store.check_range(plba, blocks).map_err(|_| ())?;
+        self.store.check_range(plba, blocks)?;
         match op {
             BlockOp::Read => {
                 let store = &self.store;
@@ -1447,11 +1474,16 @@ impl NescDevice {
             BlockOp::Write => {
                 let mem = self.mem.borrow();
                 for k in 0..blocks {
-                    let dst = self
-                        .store
-                        .block_mut(plba.offset(k))
-                        .expect("range checked above");
-                    mem.read(host_addr + k * BLOCK_SIZE, dst);
+                    match self.store.block_mut(plba.offset(k)) {
+                        Ok(dst) => mem.read(host_addr + k * BLOCK_SIZE, dst),
+                        Err(e) => {
+                            // check_range validated the whole run; a block
+                            // failing mid-run means the store changed under
+                            // us. Surface the device error.
+                            debug_assert!(false, "range checked above: {e}");
+                            return Err(e);
+                        }
+                    }
                 }
             }
         }

@@ -66,16 +66,26 @@ impl RingDescriptor {
             2 => BlockOp::Write,
             _ => return None,
         };
-        let count = u32::from_le_bytes(b[24..28].try_into().expect("4 bytes"));
+        let le32 = |off: usize| {
+            b.get(off..off + 4)
+                .and_then(|s| s.try_into().ok())
+                .map(u32::from_le_bytes)
+        };
+        let le64 = |off: usize| {
+            b.get(off..off + 8)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+        };
+        let count = le32(24)?;
         if count == 0 {
             return None;
         }
         Some(RingDescriptor {
             op,
-            id: RequestId(u64::from_le_bytes(b[8..16].try_into().expect("8 bytes"))),
-            lba: Vlba(u64::from_le_bytes(b[16..24].try_into().expect("8 bytes"))),
+            id: RequestId(le64(8)?),
+            lba: Vlba(le64(16)?),
             count,
-            buffer: u64::from_le_bytes(b[32..40].try_into().expect("8 bytes")),
+            buffer: le64(32)?,
         })
     }
 

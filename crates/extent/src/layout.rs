@@ -114,12 +114,11 @@ pub struct NodeList<T> {
 
 impl<T: Copy + Default> NodeList<T> {
     /// Builds a list of `len` entries, entry `i` produced by `f(i)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `len > FANOUT`.
+    /// A `len` beyond [`FANOUT`] (a contract violation: [`decode`] bounds
+    /// the count first) is truncated.
     pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> T) -> Self {
-        assert!(len <= FANOUT, "node overflow: {len}");
+        debug_assert!(len <= FANOUT, "node overflow: {len}");
+        let len = len.min(FANOUT);
         let mut items = [T::default(); FANOUT];
         for (i, slot) in items[..len].iter_mut().enumerate() {
             *slot = f(i);
@@ -179,13 +178,11 @@ impl Node {
     }
 }
 
-/// Encodes an internal node.
-///
-/// # Panics
-///
-/// Panics if more than [`FANOUT`] entries are supplied.
+/// Encodes an internal node. More than [`FANOUT`] entries (a contract
+/// violation: the builder splits nodes first) are truncated.
 pub fn encode_internal(entries: &[NodeEntry]) -> [u8; NODE_SIZE] {
-    assert!(entries.len() <= FANOUT, "node overflow: {}", entries.len());
+    debug_assert!(entries.len() <= FANOUT, "node overflow: {}", entries.len());
+    let entries = &entries[..entries.len().min(FANOUT)];
     let mut buf = [0u8; NODE_SIZE];
     write_header(&mut buf, NodeKind::Internal, entries.len() as u32);
     for (i, e) in entries.iter().enumerate() {
@@ -197,13 +194,11 @@ pub fn encode_internal(entries: &[NodeEntry]) -> [u8; NODE_SIZE] {
     buf
 }
 
-/// Encodes a leaf node.
-///
-/// # Panics
-///
-/// Panics if more than [`FANOUT`] entries are supplied.
+/// Encodes a leaf node. More than [`FANOUT`] extents (a contract
+/// violation: the builder splits nodes first) are truncated.
 pub fn encode_leaf(extents: &[ExtentMapping]) -> [u8; NODE_SIZE] {
-    assert!(extents.len() <= FANOUT, "node overflow: {}", extents.len());
+    debug_assert!(extents.len() <= FANOUT, "node overflow: {}", extents.len());
+    let extents = &extents[..extents.len().min(FANOUT)];
     let mut buf = [0u8; NODE_SIZE];
     write_header(&mut buf, NodeKind::Leaf, extents.len() as u32);
     for (i, e) in extents.iter().enumerate() {
@@ -237,8 +232,12 @@ pub fn decode(buf: &[u8; NODE_SIZE]) -> Result<Node, LayoutError> {
     if count as usize > FANOUT {
         return Err(LayoutError::BadCount { found: count });
     }
-    let read_u64 =
-        |off: usize| u64::from_le_bytes(buf[off..off + 8].try_into().expect("8-byte slice"));
+    let read_u64 = |off: usize| {
+        // The count check above bounds every entry offset inside the node.
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&buf[off..off + 8]);
+        u64::from_le_bytes(w)
+    };
     match kind {
         1 => {
             let entries = NodeList::from_fn(count as usize, |i| {

@@ -96,15 +96,12 @@ impl Vlba {
         Vlba(bytes / BLOCK_SIZE)
     }
 
-    /// Blocks from `earlier` to `self`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `earlier` is after `self`.
+    /// Blocks from `earlier` to `self`. An `earlier` after `self` (a
+    /// contract violation) yields zero — run lengths degrade to empty
+    /// rather than killing the translation path.
     pub fn distance_from(self, earlier: Vlba) -> u64 {
-        self.0
-            .checked_sub(earlier.0)
-            .expect("vLBA distance underflow")
+        debug_assert!(earlier.0 <= self.0, "vLBA distance underflow");
+        self.0.saturating_sub(earlier.0)
     }
 
     /// The PF's identity translation: the physical function is not
@@ -134,15 +131,12 @@ impl Plba {
         BlockAddr::byte_offset(self)
     }
 
-    /// Blocks from `earlier` to `self`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `earlier` is after `self`.
+    /// Blocks from `earlier` to `self`. An `earlier` after `self` (a
+    /// contract violation) yields zero — run lengths degrade to empty
+    /// rather than killing the translation path.
     pub fn distance_from(self, earlier: Plba) -> u64 {
-        self.0
-            .checked_sub(earlier.0)
-            .expect("pLBA distance underflow")
+        debug_assert!(earlier.0 <= self.0, "pLBA distance underflow");
+        self.0.saturating_sub(earlier.0)
     }
 
     /// Re-bases one nesting level up: what a child device calls a physical
@@ -190,17 +184,14 @@ pub struct ExtentMapping {
 }
 
 impl ExtentMapping {
-    /// Creates an extent.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `len` is zero.
+    /// Creates an extent. A zero length (a contract violation: the
+    /// allocator never returns empty runs) is widened to one block.
     pub fn new(logical: Vlba, physical: Plba, len: u64) -> Self {
-        assert!(len > 0, "extents cover at least one block");
+        debug_assert!(len > 0, "extents cover at least one block");
         ExtentMapping {
             logical,
             physical,
-            len,
+            len: len.max(1),
         }
     }
 

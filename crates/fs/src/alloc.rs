@@ -75,13 +75,11 @@ pub struct BitmapAllocator {
 }
 
 impl BitmapAllocator {
-    /// Creates an allocator over `capacity` blocks, all free.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
+    /// Creates an allocator over `capacity` blocks, all free. A zero
+    /// capacity (a contract violation) is widened to one block.
     pub fn new(capacity: u64) -> Self {
-        assert!(capacity > 0, "allocator needs at least one block");
+        debug_assert!(capacity > 0, "allocator needs at least one block");
+        let capacity = capacity.max(1);
         BitmapAllocator {
             words: vec![0u64; capacity.div_ceil(64) as usize],
             capacity,
@@ -113,18 +111,21 @@ impl BitmapAllocator {
     }
 
     /// Marks a specific run as allocated (journal replay / format-time
-    /// reservations).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any block is out of range or already allocated.
+    /// reservations). Out-of-range or already-set blocks (contract
+    /// violations: reservations come from the journal we wrote) are
+    /// skipped, keeping the free count consistent with the bitmap.
     pub fn reserve(&mut self, run: Run) {
         for b in run.start.0..run.start.0 + run.len {
-            assert!(b < self.capacity, "reserve beyond capacity");
-            assert!(!self.is_set(b), "double reservation of block {b}");
-            self.set(b);
+            debug_assert!(b < self.capacity, "reserve beyond capacity");
+            if b >= self.capacity {
+                continue;
+            }
+            debug_assert!(!self.is_set(b), "double reservation of block {b}");
+            if !self.is_set(b) {
+                self.set(b);
+                self.free = self.free.saturating_sub(1);
+            }
         }
-        self.free -= run.len;
     }
 
     /// Allocates `count` blocks, preferring a contiguous run at `goal`.
@@ -136,11 +137,13 @@ impl BitmapAllocator {
     /// [`AllocError::NoSpace`] (allocating nothing) if fewer than `count`
     /// blocks are free.
     ///
-    /// # Panics
-    ///
-    /// Panics if `count` is zero.
+    /// A zero `count` (a contract violation: the write paths round byte
+    /// ranges up to covering blocks) allocates nothing.
     pub fn allocate(&mut self, count: u64, goal: Option<Plba>) -> Result<Vec<Run>, AllocError> {
-        assert!(count > 0, "cannot allocate zero blocks");
+        debug_assert!(count > 0, "cannot allocate zero blocks");
+        if count == 0 {
+            return Ok(Vec::new());
+        }
         if count > self.free {
             return Err(AllocError::NoSpace {
                 requested: count,
@@ -153,9 +156,19 @@ impl BitmapAllocator {
             .map(|g| g.0.min(self.capacity - 1))
             .unwrap_or(self.cursor);
         while remaining > 0 {
-            let run = self
-                .find_run(search_from, remaining)
-                .expect("free count guarantees space");
+            let Some(run) = self.find_run(search_from, remaining) else {
+                // The free count said there was space but the scan found
+                // none — the bitmap and counter are out of sync. Roll the
+                // partial allocation back and report exhaustion.
+                debug_assert!(false, "free count guarantees space");
+                for r in runs.drain(..) {
+                    self.free(r);
+                }
+                return Err(AllocError::NoSpace {
+                    requested: count,
+                    free: self.free,
+                });
+            };
             for b in run.start.0..run.start.0 + run.len {
                 self.set(b);
             }
@@ -196,19 +209,22 @@ impl BitmapAllocator {
         None
     }
 
-    /// Frees a previously allocated run.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any block in the run is not currently allocated (double
-    /// free) or is out of range.
+    /// Frees a previously allocated run. Out-of-range or already-free
+    /// blocks (contract violations: runs come from the extent maps we
+    /// maintain) are skipped, keeping the free count consistent with the
+    /// bitmap.
     pub fn free(&mut self, run: Run) {
         for b in run.start.0..run.start.0 + run.len {
-            assert!(b < self.capacity, "free beyond capacity");
-            assert!(self.is_set(b), "double free of block {b}");
-            self.clear(b);
+            debug_assert!(b < self.capacity, "free beyond capacity");
+            if b >= self.capacity {
+                continue;
+            }
+            debug_assert!(self.is_set(b), "double free of block {b}");
+            if self.is_set(b) {
+                self.clear(b);
+                self.free = (self.free + 1).min(self.capacity);
+            }
         }
-        self.free += run.len;
     }
 
     /// Whether a specific block is allocated.

@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use nesc_extent::{ExtentMapping, ExtentTree, Plba, Vlba};
+use nesc_extent::{ExtentMapping, ExtentTree, InsertError, Plba, Vlba};
 use nesc_storage::BLOCK_SIZE;
 
 use crate::alloc::{AllocError, BitmapAllocator, Run};
@@ -59,6 +59,22 @@ pub enum FsError {
     },
     /// The underlying device failed.
     Io(IoError),
+    /// An extent insert collided with a live mapping — the extent map is
+    /// inconsistent with the allocator.
+    Mapping(InsertError),
+    /// A block that must be mapped (its range was just allocated) is not.
+    Unmapped {
+        /// The inode whose map lost the range.
+        ino: Ino,
+        /// The unmapped file block.
+        vlba: Vlba,
+    },
+}
+
+impl From<InsertError> for FsError {
+    fn from(e: InsertError) -> Self {
+        FsError::Mapping(e)
+    }
 }
 
 impl fmt::Display for FsError {
@@ -71,6 +87,10 @@ impl fmt::Display for FsError {
                 write!(f, "no space: requested {requested} blocks, {free} free")
             }
             FsError::Io(e) => write!(f, "I/O error: {e}"),
+            FsError::Mapping(e) => write!(f, "extent map inconsistency: {e}"),
+            FsError::Unmapped { ino, vlba } => {
+                write!(f, "allocated range lost from {ino} at {vlba}")
+            }
         }
     }
 }
@@ -139,14 +159,15 @@ pub struct Filesystem {
 impl Filesystem {
     /// Formats a filesystem over `capacity_blocks` blocks, reserving a
     /// small metadata region at the front (superblock, inode table,
-    /// journal area) like a real mkfs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the device is too small to hold the metadata region.
+    /// journal area) like a real mkfs. A device too small for the nominal
+    /// metadata region (a contract violation: systems are built with
+    /// thousands of blocks) shrinks the region to leave at least one data
+    /// block.
     pub fn format(capacity_blocks: u64) -> Self {
-        let metadata_blocks = (capacity_blocks / 64).clamp(16, 4096);
-        assert!(
+        let metadata_blocks = (capacity_blocks / 64)
+            .clamp(16, 4096)
+            .min(capacity_blocks.saturating_sub(1));
+        debug_assert!(
             capacity_blocks > metadata_blocks,
             "device too small: {capacity_blocks} blocks"
         );
@@ -374,10 +395,7 @@ impl Filesystem {
             let mut logical = v;
             for run in runs {
                 let mapping = ExtentMapping::new(logical, run.start, run.len);
-                self.inode_mut(ino)?
-                    .extents_mut()
-                    .insert(mapping)
-                    .expect("allocating only unmapped ranges");
+                self.inode_mut(ino)?.extents_mut().insert(mapping)?;
                 self.journal
                     .append(JournalRecord::AddExtent { ino, mapping });
                 logical = logical.offset(run.len);
@@ -403,11 +421,17 @@ impl Filesystem {
                 let lo = e.logical.max(start);
                 let hi = e.end_logical().min(end);
                 if lo < hi {
-                    let p = e.translate(lo).expect("lo within extent");
-                    freed.push(Run {
-                        start: p,
-                        len: hi.distance_from(lo),
-                    });
+                    // lo is clamped inside the extent, so translate only
+                    // fails on a corrupt mapping — skip the run (leaking
+                    // the blocks) rather than killing the truncate path.
+                    let p = e.translate(lo);
+                    debug_assert!(p.is_some(), "lo within extent");
+                    if let Some(p) = p {
+                        freed.push(Run {
+                            start: p,
+                            len: hi.distance_from(lo),
+                        });
+                    }
                 }
             }
         }
@@ -467,10 +491,11 @@ impl Filesystem {
         for b in first_block..=last_block {
             // Copy-on-write: never overwrite a deduplicated shared block in
             // place — break the sharing first.
-            let mapped = self
-                .inode(ino)?
-                .block_at(Vlba(b))
-                .expect("range was just allocated");
+            let mapped = self.inode(ino)?.block_at(Vlba(b)).ok_or({
+                // allocate_range succeeded above, so an unmapped block
+                // means the extent map lost the range.
+                FsError::Unmapped { ino, vlba: Vlba(b) }
+            })?;
             let plba = if self.is_shared(mapped) {
                 self.cow_block(io, ino, Vlba(b), mapped)?
             } else {
@@ -518,8 +543,7 @@ impl Filesystem {
         {
             let tree = self.inode_mut(ino)?.extents_mut();
             tree.remove_range(v, 1);
-            tree.insert(ExtentMapping::new(v, fresh, 1))
-                .expect("slot was just vacated");
+            tree.insert(ExtentMapping::new(v, fresh, 1))?;
         }
         self.release_block(shared);
         self.journal.append(JournalRecord::RemoveRange {

@@ -36,6 +36,42 @@ impl NescError {
     }
 }
 
+// The lower-layer error enums collapse into the three public categories
+// here, at the hypervisor boundary, so `?` threads typed errors through
+// the whole data path without the callers ever seeing crate internals.
+// (The layering DAG keeps nvme out of this crate, so `NvmeError` has no
+// impl — NVMe completions reach the guest as status codes, not errors.)
+
+impl From<nesc_fs::FsError> for NescError {
+    fn from(e: nesc_fs::FsError) -> Self {
+        match e {
+            nesc_fs::FsError::NoSpace { .. } => NescError::WriteFailed,
+            _ => NescError::Device,
+        }
+    }
+}
+
+impl From<nesc_storage::StoreError> for NescError {
+    fn from(e: nesc_storage::StoreError) -> Self {
+        match e {
+            nesc_storage::StoreError::OutOfRange { .. } => NescError::OutOfRange,
+            _ => NescError::Device,
+        }
+    }
+}
+
+impl From<nesc_core::VfError> for NescError {
+    fn from(_: nesc_core::VfError) -> Self {
+        NescError::Device
+    }
+}
+
+impl From<nesc_virtio::QueueError> for NescError {
+    fn from(_: nesc_virtio::QueueError) -> Self {
+        NescError::Device
+    }
+}
+
 impl fmt::Display for NescError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

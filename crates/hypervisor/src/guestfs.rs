@@ -149,16 +149,18 @@ impl GuestFilesystem {
         let mut cursor = 0usize;
         while cursor < data.len() {
             let file_block = (offset + cursor as u64) / BLOCK_SIZE;
+            // allocate_range succeeded above, so the block is mapped and
+            // covered; losing it mid-write is map corruption.
             let e = self
                 .fs
                 .extent_tree(ino)?
                 .lookup(Vlba(file_block))
-                .expect("range was just allocated");
+                .ok_or(FsError::BadInode { ino })?;
             let run_end_byte = e.end_logical().byte_offset();
             let n = ((run_end_byte - (offset + cursor as u64)) as usize).min(data.len() - cursor);
             let disk_byte = e
                 .translate(Vlba(file_block))
-                .expect("covered")
+                .ok_or(FsError::BadInode { ino })?
                 .byte_offset()
                 + (offset + cursor as u64) % BLOCK_SIZE;
             system.write(self.disk, disk_byte, &data[cursor..cursor + n]);
@@ -206,7 +208,7 @@ impl GuestFilesystem {
                     let n = ((run_end_byte - (offset + cursor as u64)) as usize).min(len - cursor);
                     let disk_byte = e
                         .translate(Vlba(file_block))
-                        .expect("covered")
+                        .ok_or(FsError::BadInode { ino })?
                         .byte_offset()
                         + (offset + cursor as u64) % BLOCK_SIZE;
                     system.read(self.disk, disk_byte, &mut out[cursor..cursor + n]);

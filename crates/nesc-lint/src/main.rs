@@ -32,10 +32,15 @@ OPTIONS:
     -h, --help       print this help
 
 RULES:
-    D1-D6  determinism (wall-clock, randomness, hashers, floats, spans, intervals)
+    D1-D7  determinism (wall-clock, randomness, hashers, floats, spans,
+           intervals, hot-region allocations)
     T1-T3  address provenance (raw u64 LBAs, newtype unwraps, BLOCK_SIZE
            arithmetic outside boundary modules)
     A1-A3  suppression hygiene
+    P1-P3  panic freedom on the conservative data-path call graph
+           (no unwrap/expect/panic!/assert!, no hot-region slice
+           indexing, no stringly errors on reachable pub fns)
+    L1     crate layering (use nesc_* edges must follow the declared DAG)
 
 EXIT CODES:
     0      clean — no active violations
@@ -67,12 +72,15 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn print_json(diags: &[Diagnostic]) {
-    println!("[");
+fn print_json(report: &nesc_lint::LintReport) {
+    let diags = &report.diagnostics;
+    println!("{{");
+    println!("  \"reachable_functions\": {},", report.reachable_functions);
+    println!("  \"diagnostics\": [");
     for (i, d) in diags.iter().enumerate() {
         let comma = if i + 1 == diags.len() { "" } else { "," };
         println!(
-            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"hint\": \"{}\", \"suppressed\": {}}}{}",
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"hint\": \"{}\", \"suppressed\": {}}}{}",
             esc(&d.path),
             d.line,
             d.rule,
@@ -82,7 +90,8 @@ fn print_json(diags: &[Diagnostic]) {
             comma
         );
     }
-    println!("]");
+    println!("  ]");
+    println!("}}");
 }
 
 fn main() -> ExitCode {
@@ -119,16 +128,19 @@ fn main() -> ExitCode {
         .or_else(|| nesc_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))))
         .expect("no enclosing cargo workspace found");
 
-    let diags = if paths.is_empty() {
-        match nesc_lint::lint_workspace_all(&root) {
-            Ok(d) => d,
+    let report = if paths.is_empty() {
+        match nesc_lint::lint_workspace_report(&root) {
+            Ok(r) => r,
             Err(e) => {
                 eprintln!("nesc-lint: i/o error: {e}");
                 return ExitCode::from(2);
             }
         }
     } else {
-        let mut out = Vec::new();
+        // Explicit paths are linted as one file *set*, so the call-graph
+        // rules run over exactly these files (an entry point defined in
+        // the set arms P1 — what the check.sh injection self-test uses).
+        let mut files = Vec::new();
         for a in &paths {
             let p = PathBuf::from(a);
             let abs = if p.is_absolute() { p } else { cwd.join(p) };
@@ -138,25 +150,32 @@ fn main() -> ExitCode {
                 continue;
             };
             match std::fs::read_to_string(&abs) {
-                Ok(src) => out.extend(nesc_lint::lint_source_all(&ctx, &src)),
+                Ok(src) => files.push((ctx, src)),
                 Err(e) => {
                     eprintln!("nesc-lint: {a}: {e}");
                     return ExitCode::from(2);
                 }
             }
         }
-        out
+        nesc_lint::lint_files_all(&files)
     };
 
-    let active: Vec<&Diagnostic> = diags.iter().filter(|d| !d.suppressed).collect();
+    let active: Vec<&Diagnostic> = report
+        .diagnostics
+        .iter()
+        .filter(|d| !d.suppressed)
+        .collect();
     match format {
-        Format::Json => print_json(&diags),
+        Format::Json => print_json(&report),
         Format::Text => {
             for d in &active {
                 println!("{d}");
             }
             if active.is_empty() {
-                println!("nesc-lint: clean (rules D1-D6, T1-T3, A1-A3)");
+                println!(
+                    "nesc-lint: clean (rules D1-D7, T1-T3, A1-A3, P1-P3, L1; {} data-path fns)",
+                    report.reachable_functions
+                );
             } else {
                 println!("nesc-lint: {} violation(s)", active.len());
             }

@@ -62,6 +62,230 @@ pub struct Items {
     pub fields: Vec<PubField>,
 }
 
+/// One function definition, any visibility — the call-graph node shape.
+///
+/// Unlike [`PubFn`] (the T1 signature view), this carries enough position
+/// information to attribute call sites to their enclosing function: the
+/// token index of the `fn` keyword and the token range of the body braces.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// The `Self` type of the innermost enclosing `impl` block, if any
+    /// (`impl Trait for Type` records `Type`).
+    pub impl_type: Option<String>,
+    /// Whether the function is `pub` / `pub(..)`.
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Rendered return type (`""` for unit).
+    pub ret: String,
+    /// Token indices of the body's `{` and its matching `}`; `None` for
+    /// bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// `impl` block body ranges with their `Self` type name: `(open_brace,
+/// close_brace, type_name)`. `impl Trait for Type` records `Type`; the
+/// last path segment wins (`impl fmt::Display for NescError` → `NescError`).
+fn impl_regions(t: &[Tok]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        if ident_at(t, i) != Some("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if punct_at(t, j, '<') {
+            j = skip_generics(t, j);
+        }
+        // Walk the header up to the body brace, tracking the last path
+        // segment; a `for` resets it so the implementing type (not the
+        // trait) is recorded.
+        let mut last: Option<String> = None;
+        while j < t.len() && !punct_at(t, j, '{') {
+            match &t[j].kind {
+                TokKind::Ident(s) if s == "for" => {
+                    last = None;
+                    j += 1;
+                }
+                TokKind::Ident(s) if s == "where" => break,
+                TokKind::Ident(s) => {
+                    last = Some(s.clone());
+                    j += 1;
+                }
+                TokKind::Punct('<') => j = skip_generics(t, j),
+                TokKind::Punct('(') => j = skip_parens(t, j),
+                _ => j += 1,
+            }
+        }
+        while j < t.len() && !punct_at(t, j, '{') {
+            j += 1;
+        }
+        let (Some(name), true) = (last, j < t.len()) else {
+            i = j.max(i + 1);
+            continue;
+        };
+        // Find the matching close brace.
+        let mut depth = 0i32;
+        let mut e = j;
+        while e < t.len() {
+            match t[e].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            e += 1;
+        }
+        out.push((j, e, name));
+        // Continue scanning *inside* the impl body (nested impls are rare
+        // but legal), so step just past the open brace.
+        i = j + 1;
+    }
+    out
+}
+
+/// Whether the tokens directly before `fn_idx` carry a `pub` visibility,
+/// scanning back over qualifiers (`const`, `unsafe`, `async`, `extern
+/// "C"`) and the parenthesized part of `pub(crate)` / `pub(in foo)`.
+fn pub_before(t: &[Tok], fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    while j > 0 {
+        j -= 1;
+        match &t[j].kind {
+            TokKind::Ident(s)
+                if matches!(
+                    s.as_str(),
+                    "const" | "unsafe" | "async" | "crate" | "super" | "in" | "self"
+                ) => {}
+            TokKind::Ident(s) if s == "extern" => {}
+            TokKind::Ident(s) if s == "pub" => return true,
+            TokKind::Str => {}
+            TokKind::Punct('(') | TokKind::Punct(')') => {}
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Harvests *every* function definition in the scan — any visibility,
+/// free or inside `impl`/`trait` blocks, including functions nested in
+/// other functions' bodies. This is the node set of the conservative
+/// call graph ([`crate::callgraph`]).
+pub fn parse_fns(scan: &Scan) -> Vec<FnDef> {
+    let t = &scan.tokens;
+    let impls = impl_regions(t);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        if ident_at(t, i) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        // `fn(u64) -> u64` function-pointer types have no name ident.
+        let Some(name) = ident_at(t, i + 1) else {
+            i += 1;
+            continue;
+        };
+        let fn_tok = i;
+        let line = t[i].line;
+        let is_pub = pub_before(t, i);
+        let mut k = i + 2;
+        if punct_at(t, k, '<') {
+            k = skip_generics(t, k);
+        }
+        if !punct_at(t, k, '(') {
+            i += 1;
+            continue;
+        }
+        let after_params = skip_parens(t, k);
+        // Return type: tokens between `->` and the body/`;`/`where`, with
+        // bracket tracking so `-> [u8; 4]` does not stop at the `;`.
+        let mut ret = String::new();
+        let mut m = after_params;
+        if punct_at(t, m, '-') && punct_at(t, m + 1, '>') {
+            let start = m + 2;
+            let (mut angle, mut round, mut square) = (0i32, 0i32, 0i32);
+            m = start;
+            while m < t.len() {
+                match t[m].kind {
+                    TokKind::Punct('<') => angle += 1,
+                    TokKind::Punct('>') if m > 0 && !punct_at(t, m - 1, '-') => angle -= 1,
+                    TokKind::Punct('(') => round += 1,
+                    TokKind::Punct(')') => round -= 1,
+                    TokKind::Punct('[') => square += 1,
+                    TokKind::Punct(']') => square -= 1,
+                    TokKind::Punct('{') | TokKind::Punct(';')
+                        if angle <= 0 && round <= 0 && square <= 0 =>
+                    {
+                        break;
+                    }
+                    TokKind::Ident(ref s)
+                        if s == "where" && angle <= 0 && round <= 0 && square <= 0 =>
+                    {
+                        break;
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            ret = render_ty(&t[start..m]);
+        }
+        // Body: first top-level `{` (or `;` for bodyless declarations)
+        // after the signature / `where` clause.
+        let mut b = m;
+        while b < t.len() && !punct_at(t, b, '{') && !punct_at(t, b, ';') {
+            b += 1;
+        }
+        let body = if punct_at(t, b, '{') {
+            let mut depth = 0i32;
+            let mut e = b;
+            while e < t.len() {
+                match t[e].kind {
+                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                e += 1;
+            }
+            Some((b, e))
+        } else {
+            None
+        };
+        let impl_type = impls
+            .iter()
+            .filter(|&&(open, close, _)| open < fn_tok && fn_tok < close)
+            .max_by_key(|&&(open, _, _)| open)
+            .map(|(_, _, name)| name.clone());
+        out.push(FnDef {
+            name: name.to_string(),
+            impl_type,
+            is_pub,
+            line,
+            fn_tok,
+            ret,
+            body,
+        });
+        // Keep scanning from just past the parameter list so functions
+        // nested inside this body are harvested too.
+        i = after_params;
+    }
+    out
+}
+
 fn ident_at(t: &[Tok], i: usize) -> Option<&str> {
     match t.get(i).map(|t| &t.kind) {
         Some(TokKind::Ident(s)) => Some(s.as_str()),
@@ -507,5 +731,59 @@ mod tests {
         let it = items("pub fn h<F: Fn(u64) -> u64>(cb: F, lba: u64) {}");
         assert_eq!(it.fns[0].params.len(), 2);
         assert_eq!(it.fns[0].params[1].ty, "u64");
+    }
+
+    #[test]
+    fn parse_fns_harvests_private_and_impl_fns() {
+        let src = "\
+fn free(x: u64) -> u64 { x }
+pub struct Dev;
+impl Dev {
+    pub fn submit(&mut self) -> Result<(), ()> { self.tick() }
+    fn tick(&mut self) -> Result<(), ()> { Ok(()) }
+}
+impl std::fmt::Display for Dev {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+}
+";
+        let fns = parse_fns(&scan(src));
+        let v: Vec<(&str, Option<&str>, bool)> = fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref(), f.is_pub))
+            .collect();
+        assert_eq!(
+            v,
+            vec![
+                ("free", None, false),
+                ("submit", Some("Dev"), true),
+                ("tick", Some("Dev"), false),
+                ("fmt", Some("Dev"), false),
+            ]
+        );
+        assert_eq!(fns[1].ret, "Result<(),()>");
+        assert!(fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn parse_fns_finds_nested_fns_and_bodyless_decls() {
+        let src = "\
+pub trait W {
+    fn run(&mut self);
+    fn name(&self) -> &'static str { \"w\" }
+}
+fn outer() {
+    fn inner(v: u64) -> u64 { v }
+    inner(3);
+}
+";
+        let fns = parse_fns(&scan(src));
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["run", "name", "outer", "inner"]);
+        assert!(fns[0].body.is_none(), "trait decl has no body");
+        assert!(fns[3].body.is_some());
+        // `inner`'s body nests inside `outer`'s.
+        let (ob, oe) = fns[2].body.unwrap();
+        let (ib, ie) = fns[3].body.unwrap();
+        assert!(ob < ib && ie < oe);
     }
 }

@@ -68,11 +68,27 @@ pub enum Rule {
     A2,
     /// `nesc-lint::allow` directive that suppresses nothing (dead).
     A3,
+    /// Panic site (`unwrap()`, `expect()`, `panic!`, `unreachable!`,
+    /// `todo!`, `assert!`) on the data path — a function reachable from a
+    /// data-path entry point in the conservative call graph
+    /// ([`crate::callgraph`]).
+    P1,
+    /// Direct slice indexing (`x[i]`, `&buf[a..b]`) inside a
+    /// `// nesc-lint: hot` region of a device-loop module — a latent
+    /// panic D7's allocation scan cannot see.
+    P2,
+    /// Data-path `pub fn` returning `Result<_, String>` / `Result<_, ()>`
+    /// / `Result<_, &str>` (or `try_*` returning bare `Option`) where the
+    /// crate's typed error enum should travel instead.
+    P3,
+    /// `use nesc_*` / `nesc_*::` edge that violates the declared crate
+    /// layering DAG ([`LAYERING`]).
+    L1,
 }
 
 impl Rule {
     /// All rules, for iteration and parsing.
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 17] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
@@ -86,6 +102,10 @@ impl Rule {
         Rule::A1,
         Rule::A2,
         Rule::A3,
+        Rule::P1,
+        Rule::P2,
+        Rule::P3,
+        Rule::L1,
     ];
 
     /// The rule's id string (`"D1"`).
@@ -104,6 +124,10 @@ impl Rule {
             Rule::A1 => "A1",
             Rule::A2 => "A2",
             Rule::A3 => "A3",
+            Rule::P1 => "P1",
+            Rule::P2 => "P2",
+            Rule::P3 => "P3",
+            Rule::L1 => "L1",
         }
     }
 
@@ -176,10 +200,16 @@ pub struct LintContext {
     /// vLBA→pLBA translation (and the newtype plumbing it needs) is
     /// *supposed* to happen.
     pub boundary_module: bool,
+    /// L1 applies: the crate this file belongs to, as its `nesc_*`
+    /// import name (`"nesc_core"`). Empty for files outside the layered
+    /// crate set (tests, examples), where L1 is skipped.
+    pub crate_name: String,
 }
 
 impl LintContext {
-    /// A context with every rule enabled — what fixtures use.
+    /// A context with every rule enabled — what fixtures use. The crate
+    /// name is `nesc_sim` (the DAG's bottom), so *any* `nesc_*` edge in a
+    /// fixture is an upward edge.
     pub fn strict(path: &str) -> Self {
         LintContext {
             path: path.to_string(),
@@ -190,8 +220,100 @@ impl LintContext {
             test_file: false,
             address_crate: true,
             boundary_module: false,
+            crate_name: "nesc_sim".to_string(),
         }
     }
+}
+
+/// The crate-layering DAG rule L1 enforces: each crate may import (`use
+/// nesc_*` or an inline `nesc_*::` path) only the crates listed as its
+/// dependencies here. The table mirrors the workspace `Cargo.toml` edges
+/// on purpose — `sim` and `pcie`/`extent` sit at the bottom, `hypervisor`
+/// and `workloads` at the top, and the harness crates (`bench`) see
+/// everything — so an upward or cyclic `use` fails the lint even before
+/// Cargo would reject the dependency edge it implies.
+pub const LAYERING: &[(&str, &[&str])] = &[
+    ("nesc_sim", &[]),
+    ("nesc_pcie", &["nesc_sim"]),
+    ("nesc_extent", &["nesc_pcie"]),
+    ("nesc_storage", &["nesc_sim", "nesc_extent"]),
+    ("nesc_virtio", &["nesc_sim", "nesc_pcie", "nesc_extent"]),
+    (
+        "nesc_core",
+        &["nesc_sim", "nesc_pcie", "nesc_storage", "nesc_extent"],
+    ),
+    (
+        "nesc_fs",
+        &["nesc_extent", "nesc_pcie", "nesc_storage", "nesc_sim"],
+    ),
+    (
+        "nesc_nvme",
+        &[
+            "nesc_sim",
+            "nesc_pcie",
+            "nesc_core",
+            "nesc_storage",
+            "nesc_extent",
+        ],
+    ),
+    (
+        "nesc_accel",
+        &[
+            "nesc_sim",
+            "nesc_pcie",
+            "nesc_core",
+            "nesc_storage",
+            "nesc_extent",
+        ],
+    ),
+    (
+        "nesc_hypervisor",
+        &[
+            "nesc_sim",
+            "nesc_pcie",
+            "nesc_storage",
+            "nesc_extent",
+            "nesc_fs",
+            "nesc_core",
+            "nesc_virtio",
+        ],
+    ),
+    (
+        "nesc_workloads",
+        &[
+            "nesc_sim",
+            "nesc_hypervisor",
+            "nesc_storage",
+            "nesc_fs",
+            "nesc_core",
+        ],
+    ),
+    (
+        "nesc_bench",
+        &[
+            "nesc_sim",
+            "nesc_pcie",
+            "nesc_storage",
+            "nesc_extent",
+            "nesc_fs",
+            "nesc_core",
+            "nesc_virtio",
+            "nesc_hypervisor",
+            "nesc_workloads",
+            "nesc_nvme",
+            "nesc_accel",
+        ],
+    ),
+    ("nesc_lint", &[]),
+];
+
+/// The crates `who` may import under the layering DAG; `None` if `who` is
+/// not a layered crate (L1 then stays silent).
+pub fn allowed_imports(who: &str) -> Option<&'static [&'static str]> {
+    LAYERING
+        .iter()
+        .find(|(name, _)| *name == who)
+        .map(|(_, deps)| *deps)
 }
 
 /// A parsed `nesc-lint::allow(...)` directive.
@@ -459,11 +581,21 @@ pub fn check(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
 /// Like [`check`], but keeps directive-suppressed diagnostics in the
 /// output with [`Diagnostic::suppressed`] set — what `--format json`
 /// reports, so suppression state is auditable downstream.
+///
+/// Single-file entry point: the call-graph rules (P1/P3) need the whole
+/// workspace and run only through [`crate::lint_files_all`].
 pub fn check_all(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
+    finish(ctx, scan, raw_diags(ctx, scan))
+}
+
+/// Token-pattern + provenance diagnostics, pre-suppression. The
+/// workspace driver appends call-graph (P1/P3) diagnostics to this list
+/// before [`finish`] applies directives, so `allow(P1)` suppresses and
+/// counts as used like every other rule.
+pub(crate) fn raw_diags(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
     let tokens = &scan.tokens;
     let tests = test_regions(tokens);
     let hot = hot_regions(&scan.comments, tokens);
-    let mut directives = parse_directives(&scan.comments, tokens);
     let mut raw: Vec<Diagnostic> = Vec::new();
 
     let push =
@@ -704,6 +836,32 @@ pub fn check_all(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
                         "pass a SimDuration (from_nanos/from_micros/from_millis) so the unit is explicit",
                     );
                 }
+                // ---- L1: crate-layering violations ---------------------
+                // Any `use nesc_x` import or inline `nesc_x::` path is a
+                // dependency edge; it must exist in the declared DAG.
+                n if n.starts_with("nesc_")
+                    && !ctx.crate_name.is_empty()
+                    && *n != ctx.crate_name
+                    && !exempt_nontiming
+                    && ((punct(i + 1, ':') && punct(i + 2, ':'))
+                        || (i > 0
+                            && matches!(&tokens[i - 1].kind, TokKind::Ident(k) if k == "use"))) =>
+                {
+                    if let Some(deps) = allowed_imports(&ctx.crate_name) {
+                        if !deps.contains(&n) {
+                            push(
+                                &mut raw,
+                                line,
+                                Rule::L1,
+                                format!(
+                                    "layering violation: `{}` must not depend on `{n}`",
+                                    ctx.crate_name
+                                ),
+                                "keep crate edges on the declared DAG (rules.rs LAYERING); move the shared type down a layer instead",
+                            );
+                        }
+                    }
+                }
                 _ => {}
             },
             TokKind::Float if ctx.scheduling_core && !exempt_nontiming => {
@@ -713,6 +871,63 @@ pub fn check_all(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
                     Rule::D4,
                     "float literal in event-timestamp/scheduling code".into(),
                     "keep simulated time in integer nanoseconds; floats are for annotated reporting helpers only",
+                );
+            }
+            // ---- P2: direct slice indexing in hot regions -------------
+            // `x[i]` / `&buf[a..b]` after an identifier or a closing
+            // bracket is an index expression — a latent panic the D7
+            // allocation scan cannot see. Array literals (`= [0; 4]`),
+            // types (`: [u8; 4]`), attributes (`#[..]`) and slice
+            // patterns (`for [a, b] in`) have non-expression contexts
+            // before the `[` and stay clean.
+            TokKind::Punct('[')
+                if ctx.device_loop
+                    && !exempt_nontiming
+                    && in_regions(&hot, line)
+                    && i > 0
+                    && match &tokens[i - 1].kind {
+                        TokKind::Punct(')') | TokKind::Punct(']') => true,
+                        TokKind::Ident(base) => !matches!(
+                            base.as_str(),
+                            "let"
+                                | "return"
+                                | "break"
+                                | "in"
+                                | "if"
+                                | "else"
+                                | "match"
+                                | "mut"
+                                | "ref"
+                                | "as"
+                                | "move"
+                                | "for"
+                                | "while"
+                                | "loop"
+                                | "dyn"
+                                | "impl"
+                                | "fn"
+                                | "use"
+                                | "pub"
+                                | "const"
+                                | "static"
+                                | "type"
+                                | "enum"
+                                | "struct"
+                                | "trait"
+                                | "mod"
+                                | "unsafe"
+                                | "where"
+                                | "box"
+                        ),
+                        _ => false,
+                    } =>
+            {
+                push(
+                    &mut raw,
+                    line,
+                    Rule::P2,
+                    "direct slice indexing in a hot region".into(),
+                    "index with .get()/.get_mut() or iterate; a hot-path out-of-bounds must surface as an error, not a panic",
                 );
             }
             // ---- A1: unexplained #[allow] attributes ------------------
@@ -741,6 +956,14 @@ pub fn check_all(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
     // suppression is applied, so boundary-justified `allow(T2)` directives
     // both suppress them and count as used.
     crate::provenance::check(ctx, scan, &tests, &mut raw);
+    raw
+}
+
+/// Applies suppression directives to `raw`, emits the A2/A3 hygiene
+/// diagnostics, and sorts by `(line, rule, suppressed)`.
+pub(crate) fn finish(ctx: &LintContext, scan: &Scan, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let tokens = &scan.tokens;
+    let mut directives = parse_directives(&scan.comments, tokens);
 
     // Apply suppressions: a directive marks same-rule diagnostics on its
     // target line (and on its own comment line, for trailing directives)

@@ -1,0 +1,8 @@
+//! L1 fixture: upward imports from the bottom-layer crate.
+
+use nesc_core::NescDevice;
+use nesc_extent::Vlba;
+
+pub fn peek(dev: &NescDevice, v: Vlba) -> u64 {
+    nesc_hypervisor::magic(dev, v)
+}

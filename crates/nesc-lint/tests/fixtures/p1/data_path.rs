@@ -1,0 +1,24 @@
+//! P1 fixture: panic sites on functions reachable from an entry point.
+
+pub fn process_vf_request(x: Option<u64>) -> u64 {
+    let v = x.unwrap();
+    helper(v)
+}
+
+fn helper(v: u64) -> u64 {
+    assert!(v > 0, "positive");
+    if v == 7 {
+        panic!("seven");
+    }
+    debug_assert!(v < 100, "bounded");
+    sidecar(v)
+}
+
+fn sidecar(v: u64) -> u64 {
+    // nesc-lint::allow(P1): fixture: a justified boundary-wrapper site.
+    v.checked_add(1).expect("no overflow")
+}
+
+fn off_path(x: Option<u64>) -> u64 {
+    x.expect("not reachable from any entry point")
+}

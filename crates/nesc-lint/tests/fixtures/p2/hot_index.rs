@@ -1,0 +1,12 @@
+//! P2 fixture: direct slice indexing inside hot regions.
+
+// nesc-lint: hot
+pub fn fold(buf: &[u64], idx: usize) -> u64 {
+    let a = buf[idx];
+    let window = &buf[1..3];
+    a + window[0]
+}
+
+pub fn cold(buf: &[u64]) -> u64 {
+    buf[0]
+}

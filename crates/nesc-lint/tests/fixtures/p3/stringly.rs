@@ -1,0 +1,28 @@
+//! P3 fixture: stringly / opaque errors on reachable public API.
+
+pub fn process_vf_request(v: u64) -> u64 {
+    let a = lookup(v).unwrap_or(0);
+    let b = parse(v).unwrap_or(0);
+    let c = try_pick(v).unwrap_or(0);
+    a + b + c + total(v).unwrap_or(0)
+}
+
+pub fn lookup(v: u64) -> Result<u64, String> {
+    Err(format!("no {v}"))
+}
+
+pub fn parse(v: u64) -> Result<u64, ()> {
+    if v > 0 {
+        Ok(v)
+    } else {
+        Err(())
+    }
+}
+
+pub fn try_pick(v: u64) -> Option<u64> {
+    Some(v)
+}
+
+pub fn total(v: u64) -> Result<u64, FixtureError> {
+    Ok(v)
+}

@@ -1,4 +1,5 @@
-//! Fixture corpus for the determinism rules.
+//! Fixture corpus for the determinism, provenance, panic-freedom, and
+//! layering rules.
 //!
 //! Each file under `tests/fixtures/` is bad on purpose; the linter must
 //! report exactly the expected rule ids at exactly the expected line
@@ -197,6 +198,98 @@ fn diagnostics_render_path_line_rule_and_hint() {
     assert!(
         rendered.starts_with("x.rs:1: [D1]") && rendered.contains("(fix:"),
         "unexpected rendering: {rendered}"
+    );
+}
+
+/// Lints a fixture *set* through the whole-workspace pipeline, so the
+/// call-graph rules (P1/P3) run. Suppressed diagnostics are dropped, as
+/// the exit-code path does.
+fn lint_fixture_set(names: &[&str]) -> Vec<(String, u32, Rule)> {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let files: Vec<_> = names
+        .iter()
+        .map(|n| {
+            let src =
+                std::fs::read_to_string(base.join(n)).unwrap_or_else(|e| panic!("read {n}: {e}"));
+            (LintContext::strict(n), src)
+        })
+        .collect();
+    nesc_lint::lint_files_all(&files)
+        .diagnostics
+        .into_iter()
+        .filter(|d| !d.suppressed)
+        .map(|d| (d.path, d.line, d.rule))
+        .collect()
+}
+
+#[test]
+fn p1_flags_reachable_panic_sites_only() {
+    // The entry's own unwrap (line 4) and the transitively reached
+    // helper's assert!/panic! (lines 9, 11) fire; the debug_assert!
+    // (line 13) is a legal pure invariant; the justified directive
+    // (line 18) suppresses sidecar's expect (line 19) without going
+    // stale; off_path's expect (line 23) is unreachable and stays clean.
+    let p = "p1/data_path.rs".to_string();
+    assert_eq!(
+        lint_fixture_set(&["p1/data_path.rs"]),
+        vec![
+            (p.clone(), 4, Rule::P1),
+            (p.clone(), 9, Rule::P1),
+            (p, 11, Rule::P1)
+        ]
+    );
+}
+
+#[test]
+fn p1_reachability_counts_only_the_connected_component() {
+    // process_vf_request -> helper -> sidecar are on the data path;
+    // off_path is defined but never called from it.
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src = std::fs::read_to_string(base.join("p1/data_path.rs")).expect("fixture");
+    let report = nesc_lint::lint_files_all(&[(LintContext::strict("p1/data_path.rs"), src)]);
+    assert_eq!(report.reachable_functions, 3);
+}
+
+#[test]
+fn p2_flags_hot_region_indexing_only() {
+    // Direct indexing and range-slicing inside `fold`'s hot region
+    // (lines 5-7) fire; the identical indexing in the unmarked `cold`
+    // (line 11) stays clean.
+    let p = "p2/hot_index.rs".to_string();
+    assert_eq!(
+        lint_fixture_set(&["p2/hot_index.rs"]),
+        vec![
+            (p.clone(), 5, Rule::P2),
+            (p.clone(), 6, Rule::P2),
+            (p, 7, Rule::P2)
+        ]
+    );
+}
+
+#[test]
+fn p3_flags_stringly_errors_on_reachable_public_api() {
+    // `Result<_, String>` (line 10), `Result<_, ()>` (line 14), and the
+    // opaque `try_* -> Option` (line 22) fire; the typed-error `total`
+    // (line 26) stays clean.
+    let p = "p3/stringly.rs".to_string();
+    assert_eq!(
+        lint_fixture_set(&["p3/stringly.rs"]),
+        vec![
+            (p.clone(), 10, Rule::P3),
+            (p.clone(), 14, Rule::P3),
+            (p, 22, Rule::P3)
+        ]
+    );
+}
+
+#[test]
+fn l1_flags_upward_imports_and_inline_paths() {
+    // The strict context places the file in `nesc_sim`, the bottom layer
+    // with no dependencies: both `use` imports (lines 3-4) and the
+    // inline `nesc_hypervisor::` path (line 7) violate the DAG.
+    assert_eq!(
+        lint_fixture("l1/upward.rs"),
+        vec![(3, Rule::L1), (4, Rule::L1), (7, Rule::L1)]
     );
 }
 

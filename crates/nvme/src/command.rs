@@ -141,13 +141,23 @@ impl SubmissionEntry {
 
     /// Decodes the wire form; `None` for unknown opcodes.
     pub fn decode(b: &[u8; SQE_BYTES as usize]) -> Option<Self> {
+        let le32 = |off: usize| {
+            b.get(off..off + 4)
+                .and_then(|s| s.try_into().ok())
+                .map(u32::from_le_bytes)
+        };
+        let le64 = |off: usize| {
+            b.get(off..off + 8)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+        };
         Some(SubmissionEntry {
             opcode: NvmeOpcode::from_byte(b[0])?,
             cid: u16::from_le_bytes([b[2], b[3]]),
-            nsid: u32::from_le_bytes(b[4..8].try_into().expect("4 bytes")),
-            prp1: u64::from_le_bytes(b[24..32].try_into().expect("8 bytes")),
-            slba: Vlba(u64::from_le_bytes(b[40..48].try_into().expect("8 bytes"))),
-            nlb: u32::from_le_bytes(b[48..52].try_into().expect("4 bytes")),
+            nsid: le32(4)?,
+            prp1: le64(24)?,
+            slba: Vlba(le64(40)?),
+            nlb: le32(48)?,
         })
     }
 }

@@ -69,16 +69,16 @@ impl Bdf {
 
     /// Routing ID arithmetic used by SR-IOV: this address plus `offset`
     /// routing-ID steps. VF *n* of a PF is
-    /// `pf.offset_by(first_vf_offset + n * vf_stride)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the result overflows the 16-bit routing-ID space.
+    /// `pf.offset_by(first_vf_offset + n * vf_stride)`. Overflowing the
+    /// 16-bit routing-ID space (a contract violation: the SR-IOV
+    /// capability bounds VF counts well below it) saturates at the last
+    /// routing ID.
     pub fn offset_by(self, offset: u16) -> Bdf {
-        Bdf(self
-            .0
-            .checked_add(offset)
-            .expect("SR-IOV routing id overflow"))
+        debug_assert!(
+            self.0.checked_add(offset).is_some(),
+            "SR-IOV routing id overflow"
+        );
+        Bdf(self.0.saturating_add(offset))
     }
 }
 

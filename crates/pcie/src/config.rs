@@ -138,13 +138,11 @@ impl SriovCapability {
         self.num_vfs = 0;
     }
 
-    /// The PCIe address of VF `index` for a PF at `pf`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= total_vfs()`.
+    /// The PCIe address of VF `index` for a PF at `pf`. An out-of-range
+    /// index (a contract violation) is clamped to the last VF.
     pub fn vf_bdf(&self, pf: Bdf, index: u16) -> Bdf {
-        assert!(index < self.total_vfs, "VF index out of range");
+        debug_assert!(index < self.total_vfs, "VF index out of range");
+        let index = index.min(self.total_vfs.saturating_sub(1));
         pf.offset_by(self.first_vf_offset + index * self.vf_stride)
     }
 }

@@ -76,18 +76,16 @@ impl Interconnect {
         Self::default()
     }
 
-    /// Attaches a device function at the given address.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a function with the same BDF is already attached, or if
-    /// called after [`enumerate`](Interconnect::enumerate).
+    /// Attaches a device function at the given address. Attaching after
+    /// enumeration or at an occupied BDF (contract violations — hotplug
+    /// is modeled at the VF layer, not here) is ignored.
     pub fn attach(&mut self, bdf: Bdf, config: ConfigSpace) {
-        assert!(!self.enumerated, "cannot attach after enumeration");
-        assert!(
-            !self.devices.iter().any(|(b, _)| *b == bdf),
-            "duplicate BDF {bdf}"
-        );
+        debug_assert!(!self.enumerated, "cannot attach after enumeration");
+        let duplicate = self.devices.iter().any(|(b, _)| *b == bdf);
+        debug_assert!(!duplicate, "duplicate BDF {bdf}");
+        if self.enumerated || duplicate {
+            return;
+        }
         self.devices.push((bdf, config));
     }
 

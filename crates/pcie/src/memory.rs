@@ -77,11 +77,11 @@ impl HostMemory {
     /// the bounded experiments we run (and mirrors pinned DMA regions that
     /// live for the lifetime of a device).
     ///
-    /// # Panics
-    ///
-    /// Panics if `align` is not a power of two.
+    /// A non-power-of-two alignment (a contract violation) is rounded up
+    /// to the next power of two.
     pub fn alloc(&mut self, len: u64, align: u64) -> HostAddr {
-        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let align = align.max(1).next_power_of_two();
         let base = (self.next_free + align - 1) & !(align - 1);
         self.next_free = base + len.max(1);
         base

@@ -64,19 +64,19 @@ impl ZipfLike {
     /// `hot_permille`/1000 of each subrange receives
     /// `weight_permille`/1000 of its draws.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0` or either permille is outside `1..=999`.
+    /// Degenerate parameters (an empty range, permilles outside
+    /// `1..=999`) are clamped into the valid domain — skew generators
+    /// must not kill a scenario run.
     pub fn new(n: u64, hot_permille: u64, weight_permille: u64) -> Self {
-        assert!(n > 0, "ZipfLike needs at least one item");
-        assert!(
+        debug_assert!(n > 0, "ZipfLike needs at least one item");
+        debug_assert!(
             (1..=999).contains(&hot_permille) && (1..=999).contains(&weight_permille),
             "permille parameters must be in 1..=999"
         );
         ZipfLike {
-            n,
-            hot_permille,
-            weight_permille,
+            n: n.max(1),
+            hot_permille: hot_permille.clamp(1, 999),
+            weight_permille: weight_permille.clamp(1, 999),
             depth: Self::DEPTH,
         }
     }
@@ -153,10 +153,10 @@ impl BurstyArrivals {
         idle_gap: SimDuration,
         mean_burst: u64,
     ) -> Self {
-        let burst_gap = burst_gap.as_nanos();
-        let idle_gap = idle_gap.as_nanos();
-        assert!(burst_gap > 0 && idle_gap > 0, "gaps must be positive");
-        assert!(mean_burst > 0, "mean burst length must be positive");
+        let burst_gap = burst_gap.as_nanos().max(1);
+        let idle_gap = idle_gap.as_nanos().max(1);
+        debug_assert!(mean_burst > 0, "mean burst length must be positive");
+        let mean_burst = mean_burst.max(1);
         let remaining = Self::draw_burst(&mut rng, mean_burst);
         BurstyArrivals {
             rng,

@@ -186,12 +186,14 @@ impl Sampler {
     /// Creates a sampler closing a window every `interval`, retaining the
     /// most recent `capacity` samples per series.
     ///
-    /// # Panics
-    ///
-    /// Panics on a zero interval or zero capacity.
+    /// A zero interval (a contract violation: windows must advance
+    /// simulated time) is widened to one nanosecond, and a zero capacity
+    /// retains one sample.
     pub fn new(interval: SimDuration, capacity: usize) -> Self {
-        assert!(!interval.is_zero(), "sampling interval must be positive");
-        assert!(capacity > 0, "ring capacity must be positive");
+        debug_assert!(!interval.is_zero(), "sampling interval must be positive");
+        debug_assert!(capacity > 0, "ring capacity must be positive");
+        let interval = interval.max(SimDuration::from_nanos(1));
+        let capacity = capacity.max(1);
         let mut ticks = EventQueue::new();
         ticks.push(SimTime::ZERO + interval, Tick { window: 0 });
         Sampler {
@@ -277,12 +279,14 @@ impl Sampler {
     /// [`due`](Self::due). Gauges store `raw`; counters store the delta
     /// since the previous window's raw value.
     ///
-    /// # Panics
-    ///
-    /// Panics if no window has been closed yet; debug-asserts that each
-    /// series receives exactly one sample per closed window.
+    /// A sample outside a window close (a contract violation) is dropped;
+    /// debug builds assert that each series receives exactly one sample
+    /// per closed window.
     pub fn sample(&mut self, id: SeriesId, raw: u64) {
-        assert!(self.closed > 0, "sample() outside a window close");
+        debug_assert!(self.closed > 0, "sample() outside a window close");
+        if self.closed == 0 {
+            return;
+        }
         let s = &mut self.series[id.0];
         debug_assert_eq!(
             s.total + 1,
@@ -386,6 +390,59 @@ pub struct SloRule {
     pub guard: Option<Condition>,
 }
 
+/// Why an [`SloRule`] text failed to parse — the first token that does
+/// not fit the grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleParseError {
+    /// A required token (series name, threshold, window count) was
+    /// missing; the payload names which one.
+    Missing(&'static str),
+    /// A token that should have been `above`/`below` (or `>`/`<`) was
+    /// something else (`None` = end of input).
+    BadComparator(Option<String>),
+    /// A numeric field did not parse; `what` names the field.
+    BadNumber {
+        /// Which numeric field was malformed.
+        what: &'static str,
+        /// The offending token.
+        text: String,
+    },
+    /// `for 0`: a rule must watch at least one window.
+    ZeroWindowCount,
+    /// A keyword position held an unexpected token (`expected` names the
+    /// keyword, `found` the token).
+    BadKeyword {
+        /// The keyword that was expected.
+        expected: &'static str,
+        /// The token found instead.
+        found: String,
+    },
+    /// Input continued past a complete rule.
+    TrailingToken(String),
+}
+
+impl fmt::Display for RuleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleParseError::Missing(what) => write!(f, "missing {what}"),
+            RuleParseError::BadComparator(Some(t)) => {
+                write!(f, "expected above|below, got {t:?}")
+            }
+            RuleParseError::BadComparator(None) => {
+                write!(f, "expected above|below, got end of input")
+            }
+            RuleParseError::BadNumber { what, text } => write!(f, "bad {what}: {text:?}"),
+            RuleParseError::ZeroWindowCount => write!(f, "window count must be at least 1"),
+            RuleParseError::BadKeyword { expected, found } => {
+                write!(f, "expected `{expected}`, got {found:?}")
+            }
+            RuleParseError::TrailingToken(t) => write!(f, "trailing token {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleParseError {}
+
 impl SloRule {
     /// Parses the rule grammar:
     ///
@@ -398,26 +455,28 @@ impl SloRule {
     ///
     /// # Errors
     ///
-    /// A description of the first token that does not fit the grammar.
-    pub fn parse(text: &str) -> Result<SloRule, String> {
+    /// A [`RuleParseError`] naming the first token that does not fit the
+    /// grammar.
+    pub fn parse(text: &str) -> Result<SloRule, RuleParseError> {
         fn cond<'a>(
             toks: &mut impl Iterator<Item = &'a str>,
-            what: &str,
-        ) -> Result<Condition, String> {
+            series_what: &'static str,
+            threshold_what: &'static str,
+        ) -> Result<Condition, RuleParseError> {
             let series = toks
                 .next()
-                .ok_or_else(|| format!("missing {what} series name"))?
+                .ok_or(RuleParseError::Missing(series_what))?
                 .to_string();
             let cmp = match toks.next() {
                 Some("above") | Some(">") => Cmp::Above,
                 Some("below") | Some("<") => Cmp::Below,
-                other => return Err(format!("expected above|below, got {other:?}")),
+                other => return Err(RuleParseError::BadComparator(other.map(str::to_string))),
             };
-            let threshold = toks
-                .next()
-                .ok_or_else(|| format!("missing {what} threshold"))?
-                .parse::<u64>()
-                .map_err(|e| format!("bad {what} threshold: {e}"))?;
+            let text = toks.next().ok_or(RuleParseError::Missing(threshold_what))?;
+            let threshold = text.parse::<u64>().map_err(|_| RuleParseError::BadNumber {
+                what: threshold_what,
+                text: text.to_string(),
+            })?;
             Ok(Condition {
                 series,
                 cmp,
@@ -425,29 +484,41 @@ impl SloRule {
             })
         }
         let mut toks = text.split_whitespace();
-        let primary = cond(&mut toks, "primary")?;
+        let primary = cond(&mut toks, "primary series name", "primary threshold")?;
         let consecutive = match toks.next() {
             Some("for") => {
-                let k = toks
+                let text = toks
                     .next()
-                    .ok_or("missing window count after `for`")?
-                    .parse::<u32>()
-                    .map_err(|e| format!("bad window count: {e}"))?;
+                    .ok_or(RuleParseError::Missing("window count after `for`"))?;
+                let k = text.parse::<u32>().map_err(|_| RuleParseError::BadNumber {
+                    what: "window count",
+                    text: text.to_string(),
+                })?;
                 if k == 0 {
-                    return Err("window count must be at least 1".to_string());
+                    return Err(RuleParseError::ZeroWindowCount);
                 }
                 k
             }
             None => 1,
-            other => return Err(format!("expected `for`, got {other:?}")),
+            Some(other) => {
+                return Err(RuleParseError::BadKeyword {
+                    expected: "for",
+                    found: other.to_string(),
+                })
+            }
         };
         let guard = match toks.next() {
-            Some("while") => Some(cond(&mut toks, "guard")?),
+            Some("while") => Some(cond(&mut toks, "guard series name", "guard threshold")?),
             None => None,
-            other => return Err(format!("expected `while`, got {other:?}")),
+            Some(other) => {
+                return Err(RuleParseError::BadKeyword {
+                    expected: "while",
+                    found: other.to_string(),
+                })
+            }
         };
         if let Some(extra) = toks.next() {
-            return Err(format!("trailing token {extra:?}"));
+            return Err(RuleParseError::TrailingToken(extra.to_string()));
         }
         Ok(SloRule {
             name: text.to_string(),

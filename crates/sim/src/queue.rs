@@ -210,7 +210,13 @@ impl<E> EventQueue<E> {
                 self.cursor += 1;
             }
             let idx = (self.cursor as usize) & (WHEEL_BUCKETS - 1);
-            let pos = min_pos(&self.buckets[idx]).expect("bucket_min points at empty wheel");
+            let Some(pos) = min_pos(&self.buckets[idx]) else {
+                // bucket_min points at an empty wheel — the cached minima
+                // are out of sync. Report the queue as drained rather than
+                // dying; the event loop treats that as an idle device.
+                debug_assert!(false, "bucket_min points at empty wheel");
+                return None;
+            };
             let entry = self.buckets[idx].swap_remove(pos);
             self.in_buckets -= 1;
             debug_assert_eq!((entry.time, entry.seq), min);
@@ -220,7 +226,10 @@ impl<E> EventQueue<E> {
         } else {
             // Calendar window is empty (or behind): pop straight from the
             // overflow spill, then slide the window onto what remains.
-            let pos = min_pos(&self.overflow).expect("overflow_min points at empty spill");
+            let Some(pos) = min_pos(&self.overflow) else {
+                debug_assert!(false, "overflow_min points at empty spill");
+                return None;
+            };
             let entry = self.overflow.swap_remove(pos);
             debug_assert_eq!((entry.time, entry.seq), min);
             self.refresh_overflow_min();
@@ -241,7 +250,11 @@ impl<E> EventQueue<E> {
             self.cursor += 1;
         }
         let idx = (self.cursor as usize) & (WHEEL_BUCKETS - 1);
-        let pos = min_pos(&self.buckets[idx]).expect("in_buckets > 0");
+        let Some(pos) = min_pos(&self.buckets[idx]) else {
+            debug_assert!(false, "in_buckets > 0 but no occupied bucket");
+            self.bucket_min = None;
+            return;
+        };
         let e = &self.buckets[idx][pos];
         self.bucket_min = Some((e.time, e.seq));
     }

@@ -65,13 +65,11 @@ impl Pipe {
     /// Creates a pipe with the given bandwidth and fixed per-transfer
     /// overhead.
     ///
-    /// # Panics
-    ///
-    /// Panics if `bytes_per_sec` is zero.
+    /// A zero bandwidth (a contract violation) is treated as 1 B/s.
     pub fn new(bytes_per_sec: u64, per_transfer: SimDuration) -> Self {
-        assert!(bytes_per_sec > 0, "pipe bandwidth must be positive");
+        debug_assert!(bytes_per_sec > 0, "pipe bandwidth must be positive");
         Pipe {
-            bytes_per_sec,
+            bytes_per_sec: bytes_per_sec.max(1),
             per_transfer,
             free_at: SimTime::ZERO,
             busy: SimDuration::ZERO,

@@ -67,14 +67,12 @@ impl SimRng {
         SimRng::seed(s)
     }
 
-    /// Uniform integer in `[lo, hi)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lo >= hi`.
+    /// Uniform integer in `[lo, hi)`. An empty range (a contract
+    /// violation) collapses to `lo`, still consuming one draw so the
+    /// stream stays aligned.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        assert!(lo < hi, "empty range [{lo}, {hi})");
-        let span = hi - lo;
+        debug_assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi.saturating_sub(lo).max(1);
         // Lemire's multiply-shift maps the raw draw onto the span with bias
         // at most 2^-64 per value — indistinguishable at simulation scale.
         let wide = (self.next_u64() as u128) * (span as u128);
@@ -183,10 +181,9 @@ impl Zipf {
     /// Draws a rank in `0..len()`.
     pub fn sample(&self, rng: &mut SimRng) -> u64 {
         let u = rng.unit();
-        match self
-            .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
-        {
+        // total_cmp: the cdf holds finite probabilities in [0, 1], where
+        // the total order agrees with the partial one.
+        match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) => i as u64,
             Err(i) => (i as u64).min(self.len() - 1),
         }

@@ -146,13 +146,11 @@ impl Histogram {
 
     /// Value at the given percentile (0–100), within bucket resolution.
     ///
-    /// Returns 0 for an empty histogram.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 100]`.
+    /// Returns 0 for an empty histogram. A percentile outside `[0, 100]`
+    /// (a contract violation) is clamped.
     pub fn percentile(&self, p: f64) -> u64 {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        debug_assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        let p = p.clamp(0.0, 100.0);
         if self.total == 0 {
             return 0;
         }
@@ -178,18 +176,20 @@ impl Histogram {
     /// `(self.percentile(p_lo), self.percentile(p_hi))`, at half the
     /// traversal cost. The windowed telemetry close path reads p50/p99
     /// for every disk every window, where the second scan is measurable.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either percentile is outside `[0, 100]` or `p_lo > p_hi`.
+    /// Out-of-range or out-of-order percentiles (contract violations) are
+    /// clamped and reordered.
     pub fn percentile_pair(&self, p_lo: f64, p_hi: f64) -> (u64, u64) {
-        assert!(
+        debug_assert!(
             (0.0..=100.0).contains(&p_lo) && (0.0..=100.0).contains(&p_hi),
             "percentile out of range: {p_lo} {p_hi}"
         );
-        assert!(
+        debug_assert!(
             p_lo <= p_hi,
             "percentile pair out of order: {p_lo} > {p_hi}"
+        );
+        let (p_lo, p_hi) = (
+            p_lo.clamp(0.0, 100.0).min(p_hi.clamp(0.0, 100.0)),
+            p_hi.clamp(0.0, 100.0),
         );
         if self.total == 0 {
             return (0, 0);

@@ -152,14 +152,15 @@ impl SimDuration {
     /// This is the workhorse conversion for every bandwidth-limited resource
     /// in the model (PCIe links, DMA engines, storage media).
     ///
-    /// # Panics
-    ///
-    /// Panics if `bytes_per_sec` is zero.
+    /// A zero bandwidth (a contract violation: every modeled channel moves
+    /// data) is treated as 1 B/s, and a transfer longer than `u64`
+    /// nanoseconds saturates — misconfigured channels slow the simulation
+    /// down instead of killing the data path.
     pub fn for_bytes(bytes: u64, bytes_per_sec: u64) -> SimDuration {
-        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        debug_assert!(bytes_per_sec > 0, "bandwidth must be positive");
         // ceil(bytes * 1e9 / bw) using u128 to avoid overflow.
-        let ns = ((bytes as u128) * 1_000_000_000u128).div_ceil(bytes_per_sec as u128);
-        SimDuration(u64::try_from(ns).expect("transfer time overflows u64 nanoseconds"))
+        let ns = ((bytes as u128) * 1_000_000_000u128).div_ceil(bytes_per_sec.max(1) as u128);
+        SimDuration(u64::try_from(ns).unwrap_or(u64::MAX))
     }
 }
 

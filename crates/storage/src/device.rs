@@ -90,16 +90,13 @@ impl fmt::Display for StoreError {
 impl std::error::Error for StoreError {}
 
 impl BlockStore {
-    /// Creates an empty store of `capacity_blocks` 1 KiB blocks.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity_blocks` is zero.
+    /// Creates an empty store of `capacity_blocks` 1 KiB blocks. A zero
+    /// capacity (a contract violation) is widened to one block.
     pub fn new(capacity_blocks: u64) -> Self {
-        assert!(capacity_blocks > 0, "device needs at least one block");
+        debug_assert!(capacity_blocks > 0, "device needs at least one block");
         BlockStore {
             blocks: HashMap::default(),
-            capacity_blocks,
+            capacity_blocks: capacity_blocks.max(1),
             // nesc-lint::allow(T2): the media edge *defines* the physical
             // space — device geometry is where pLBAs originate, not a
             // translation that could be skipped.

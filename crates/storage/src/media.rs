@@ -51,16 +51,13 @@ pub struct RamMedia {
 }
 
 impl RamMedia {
-    /// Creates a DRAM medium.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `peak_bytes_per_sec` is zero.
+    /// Creates a DRAM medium. A zero bandwidth (a contract violation) is
+    /// treated as 1 B/s.
     pub fn new(access_latency: SimDuration, peak_bytes_per_sec: u64) -> Self {
-        assert!(peak_bytes_per_sec > 0, "bandwidth must be positive");
+        debug_assert!(peak_bytes_per_sec > 0, "bandwidth must be positive");
         RamMedia {
             access_latency,
-            peak_bytes_per_sec,
+            peak_bytes_per_sec: peak_bytes_per_sec.max(1),
             throttle_bytes_per_sec: None,
             channel: ServiceUnit::new(),
         }
@@ -78,16 +75,14 @@ impl RamMedia {
     }
 
     /// Sets (or clears) a bandwidth throttle in bytes/second, emulating a
-    /// device of that speed — the method behind the paper's Fig. 2.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a zero bandwidth is supplied.
+    /// device of that speed — the method behind the paper's Fig. 2. A zero
+    /// throttle (a contract violation) is treated as 1 B/s.
     pub fn set_throttle(&mut self, bytes_per_sec: Option<u64>) {
-        if let Some(b) = bytes_per_sec {
-            assert!(b > 0, "throttle bandwidth must be positive");
-        }
-        self.throttle_bytes_per_sec = bytes_per_sec;
+        debug_assert!(
+            bytes_per_sec.is_none_or(|b| b > 0),
+            "throttle bandwidth must be positive"
+        );
+        self.throttle_bytes_per_sec = bytes_per_sec.map(|b| b.max(1));
     }
 
     /// The effective bandwidth after throttling.

@@ -73,18 +73,16 @@ pub struct BlockRequest<A = Vlba> {
 pub type PfBlockRequest = BlockRequest<Plba>;
 
 impl<A: BlockAddr> BlockRequest<A> {
-    /// Creates a request.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `block_count` is zero.
+    /// Creates a request. A zero block count (a contract violation: the
+    /// I/O paths round byte ranges up to covering blocks) is widened to
+    /// one block.
     pub fn new(id: RequestId, op: BlockOp, lba: A, block_count: u64) -> Self {
-        assert!(block_count > 0, "requests must cover at least one block");
+        debug_assert!(block_count > 0, "requests must cover at least one block");
         BlockRequest {
             id,
             op,
             lba,
-            block_count,
+            block_count: block_count.max(1),
         }
     }
 

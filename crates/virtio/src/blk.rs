@@ -177,8 +177,16 @@ impl BlkRequest {
             return Err(ParseError::BadLayout);
         }
         let bytes = mem.read_vec(header.addr, 16);
-        let code = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
-        let sector = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let code = bytes
+            .get(0..4)
+            .and_then(|s| s.try_into().ok())
+            .map(u32::from_le_bytes)
+            .ok_or(ParseError::BadLayout)?;
+        let sector = bytes
+            .get(8..16)
+            .and_then(|s| s.try_into().ok())
+            .map(u64::from_le_bytes)
+            .ok_or(ParseError::BadLayout)?;
         let rtype = BlkRequestType::from_code(code).ok_or(ParseError::BadType { code })?;
         match (rtype, rest) {
             (BlkRequestType::Flush, [status]) if status.device_writes && status.len == 1 => {

@@ -125,14 +125,12 @@ pub struct Virtqueue {
 }
 
 impl Virtqueue {
-    /// Creates a queue with `size` descriptors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `size` is zero or not a power of two (the virtio spec
-    /// requires power-of-two ring sizes).
+    /// Creates a queue with `size` descriptors. A size that is zero or
+    /// not a power of two (the virtio spec requires power-of-two rings)
+    /// is a contract violation and rounds up to the next power of two.
     pub fn new(size: u16) -> Self {
-        assert!(size > 0 && size.is_power_of_two(), "ring size must be 2^n");
+        debug_assert!(size > 0 && size.is_power_of_two(), "ring size must be 2^n");
+        let size = size.max(1).next_power_of_two();
         Virtqueue {
             slots: vec![None; size as usize],
             free: (0..size).rev().collect(),
@@ -171,9 +169,23 @@ impl Virtqueue {
                 free: self.free.len(),
             });
         }
-        let indices: Vec<u16> = (0..chain.len())
-            .map(|_| self.free.pop().expect("checked free count"))
-            .collect();
+        let mut indices: Vec<u16> = Vec::with_capacity(chain.len());
+        for _ in 0..chain.len() {
+            match self.free.pop() {
+                Some(idx) => indices.push(idx),
+                None => {
+                    // The free count said there was room — the free list is
+                    // out of sync. Roll back and report the ring full.
+                    debug_assert!(false, "free list shorter than free count");
+                    let needed = chain.len();
+                    self.free.append(&mut indices);
+                    return Err(QueueError::Full {
+                        needed,
+                        free: self.free.len(),
+                    });
+                }
+            }
+        }
         for (i, (&idx, &desc)) in indices.iter().zip(chain.iter()).enumerate() {
             self.slots[idx as usize] = Some(Slot {
                 desc,
@@ -196,13 +208,16 @@ impl Virtqueue {
         self.kicks
     }
 
-    /// Device side: pops the next available chain, if any.
+    /// Device side: pops the next available chain, if any. A published
+    /// chain with a missing link (a protocol violation) reads as absent.
     pub fn pop_avail(&mut self) -> Option<Chain> {
         let head = self.avail.pop_front()?;
         let mut descriptors = Vec::new();
         let mut cur = Some(head);
         while let Some(idx) = cur {
-            let slot = self.slots[idx as usize].expect("published chain is intact");
+            let slot = self.slots.get(idx as usize).copied().flatten();
+            debug_assert!(slot.is_some(), "published chain is intact");
+            let slot = slot?;
             descriptors.push(slot.desc);
             cur = slot.next;
         }
@@ -210,18 +225,16 @@ impl Virtqueue {
     }
 
     /// Device side: marks a chain as used (completed), writing back how
-    /// many bytes the device produced, and frees its descriptors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `head` does not name a live chain (protocol violation).
+    /// many bytes the device produced, and frees its descriptors. A `head`
+    /// that does not name a live chain (a protocol violation) frees
+    /// whatever prefix of the chain still exists.
     pub fn push_used(&mut self, head: u16, written: u32) {
         // Free the chain's descriptors.
         let mut cur = Some(head);
         while let Some(idx) = cur {
-            let slot = self.slots[idx as usize]
-                .take()
-                .expect("push_used of unknown chain");
+            let slot = self.slots.get_mut(idx as usize).and_then(Option::take);
+            debug_assert!(slot.is_some(), "push_used of unknown chain");
+            let Some(slot) = slot else { break };
             self.free.push(idx);
             cur = slot.next;
         }

@@ -35,5 +35,5 @@ pub use nesc_hypervisor::{ScenarioSpec, TenantClass, TenantIo, TenantSpec, Workl
 pub use oltp::Oltp;
 pub use postmark::Postmark;
 pub use report::WorkloadReport;
-pub use scenario::{ScenarioReport, TenantOutcome};
+pub use scenario::{ScenarioError, ScenarioReport, TenantOutcome};
 pub use selfcheck::MixedVfSelfCheck;

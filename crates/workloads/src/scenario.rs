@@ -24,13 +24,89 @@
 //! (how much of the total latency "pain" the luckiest k/10 of tenants
 //! absorb).
 
+use std::fmt;
+
 use nesc_core::{CompletionStatus, FuncId};
 use nesc_hypervisor::{
-    OpenRequest, ScenarioSpec, System, SystemBuilder, TelemetryConfig, TenantClass,
+    NescError, OpenRequest, ScenarioSpec, System, SystemBuilder, TelemetryConfig, TenantClass,
 };
 use nesc_sim::selfcheck::fnv1a_word;
 use nesc_sim::{BurstyArrivals, Histogram, RunDigest, SimDuration, SimRng, SimTime, ZipfLike};
 use nesc_storage::BlockOp;
+
+/// Why a scenario could not be compiled or provisioned.
+///
+/// Every spec-level inconsistency is reported before any simulated work
+/// happens, so a bad declaration costs nothing and panics nowhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The spec declares no tenants at all (or only populations of
+    /// count 0).
+    NoTenants,
+    /// More tenants than the 16-bit function space can address (the PF
+    /// and one spare slot are reserved).
+    TooManyTenants {
+        /// Declared tenant count.
+        count: usize,
+        /// Largest supported fleet.
+        max: usize,
+    },
+    /// A population declares zero requests or zero-byte requests.
+    EmptyTenantSpec {
+        /// Index of the offending population in declaration order.
+        population: usize,
+    },
+    /// A population's disk cannot hold even one of its requests.
+    DiskTooSmall {
+        /// Index of the offending population in declaration order.
+        population: usize,
+        /// Declared disk size in bytes.
+        disk_bytes: u64,
+        /// Declared request size in bytes.
+        req_bytes: u64,
+    },
+    /// Provisioning a tenant's VM + image + VF failed.
+    Provision {
+        /// Global tenant index.
+        tenant: usize,
+        /// The underlying system error.
+        source: NescError,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::NoTenants => write!(f, "scenario has no tenants"),
+            ScenarioError::TooManyTenants { count, max } => {
+                write!(f, "{count} tenants exceed the VF space (max {max})")
+            }
+            ScenarioError::EmptyTenantSpec { population } => {
+                write!(f, "tenant population {population} declares no work")
+            }
+            ScenarioError::DiskTooSmall {
+                population,
+                disk_bytes,
+                req_bytes,
+            } => write!(
+                f,
+                "tenant population {population}: {disk_bytes} B disk cannot hold one {req_bytes} B request"
+            ),
+            ScenarioError::Provision { tenant, source } => {
+                write!(f, "provisioning tenant {tenant} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Provision { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Latency and volume outcome for one tenant.
 #[derive(Debug, Clone)]
@@ -138,26 +214,33 @@ impl Scenario {
 
     /// Runs the scenario.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an empty or inconsistent spec (no tenants, requests of
-    /// zero size, a disk smaller than one request, more tenants than the
-    /// VF table can hold).
-    pub fn run(&self) -> ScenarioReport {
-        self.run_with_digest().0
+    /// A [`ScenarioError`] on an empty or inconsistent spec (no tenants,
+    /// requests of zero count or size, a disk smaller than one request,
+    /// more tenants than the VF table can hold) or a provisioning
+    /// failure; nothing is simulated in that case.
+    pub fn run(&self) -> Result<ScenarioReport, ScenarioError> {
+        Ok(self.run_with_digest()?.0)
     }
 
     /// Runs the scenario, also returning the full event digest for
     /// replay diffing ([`nesc_sim::selfcheck::first_divergence`]).
-    pub fn run_with_digest(&self) -> (ScenarioReport, RunDigest) {
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_with_digest(&self) -> Result<(ScenarioReport, RunDigest), ScenarioError> {
         let spec = &self.spec;
-        let flat = self.flatten();
+        let flat = self.flatten()?;
         let n = flat.len();
-        assert!(n > 0, "scenario has no tenants");
-        assert!(n + 2 <= u16::MAX as usize, "tenant count exceeds VF space");
+        let max = u16::MAX as usize - 2;
+        if n > max {
+            return Err(ScenarioError::TooManyTenants { count: n, max });
+        }
 
         let mut sys = self.build_system(&flat);
-        let base = self.provision(&mut sys, &flat);
+        let base = self.provision(&mut sys, &flat)?;
         let (arrivals, tenant_of) = self.generate_tape(&flat, base);
 
         // --- Replay. ---
@@ -221,23 +304,31 @@ impl Scenario {
             slo_violations,
             digest: digest.final_hash(),
         };
-        (report, digest)
+        Ok((report, digest))
     }
 
     /// Tenant populations flattened to one spec per tenant, in VF order.
-    fn flatten(&self) -> Vec<&nesc_hypervisor::TenantSpec> {
+    fn flatten(&self) -> Result<Vec<&nesc_hypervisor::TenantSpec>, ScenarioError> {
         let mut flat = Vec::new();
-        for pop in &self.spec.tenants {
-            assert!(pop.req_bytes > 0 && pop.requests > 0, "empty tenant spec");
-            assert!(
-                pop.disk_bytes >= pop.req_bytes,
-                "tenant disk smaller than one request"
-            );
+        for (population, pop) in self.spec.tenants.iter().enumerate() {
+            if pop.req_bytes == 0 || pop.requests == 0 {
+                return Err(ScenarioError::EmptyTenantSpec { population });
+            }
+            if pop.disk_bytes < pop.req_bytes {
+                return Err(ScenarioError::DiskTooSmall {
+                    population,
+                    disk_bytes: pop.disk_bytes,
+                    req_bytes: pop.req_bytes,
+                });
+            }
             for _ in 0..pop.count {
                 flat.push(pop);
             }
         }
-        flat
+        if flat.is_empty() {
+            return Err(ScenarioError::NoTenants);
+        }
+        Ok(flat)
     }
 
     /// Builds the system: capacity for every image, VF table headroom,
@@ -266,22 +357,27 @@ impl Scenario {
 
     /// Provisions every tenant (VM + preallocated image + VF + priority)
     /// and returns the tape origin time.
-    fn provision(&self, sys: &mut System, flat: &[&nesc_hypervisor::TenantSpec]) -> SimTime {
+    fn provision(
+        &self,
+        sys: &mut System,
+        flat: &[&nesc_hypervisor::TenantSpec],
+    ) -> Result<SimTime, ScenarioError> {
         for (t, s) in flat.iter().enumerate() {
-            let p = sys.quick_disk(
-                self.spec.disk_kind,
-                &format!("tenant_{t:04}.img"),
-                s.disk_bytes,
-            );
+            let p = sys
+                .try_quick_disk(
+                    self.spec.disk_kind,
+                    &format!("tenant_{t:04}.img"),
+                    s.disk_bytes,
+                )
+                .map_err(|source| ScenarioError::Provision { tenant: t, source })?;
             // The SLO rules built above assume disk index == tenant index.
-            assert_eq!(p.disk.0, t, "tenant/disk numbering out of sync");
+            debug_assert_eq!(p.disk.0, t, "tenant/disk numbering out of sync");
             if let Some(FuncId(f)) = sys.disk_vf(p.disk) {
-                sys.device_mut()
-                    .set_priority(FuncId(f), s.priority)
-                    .expect("freshly provisioned VF is live");
+                let set = sys.device_mut().set_priority(FuncId(f), s.priority);
+                debug_assert!(set.is_ok(), "freshly provisioned VF is live");
             }
         }
-        sys.now()
+        Ok(sys.now())
     }
 
     /// Generates and merges the per-tenant arrival tapes.
@@ -393,7 +489,7 @@ mod tests {
 
     #[test]
     fn mixed_scenario_completes_every_request() {
-        let rep = small_mix(7).run();
+        let rep = small_mix(7).run().expect("valid spec");
         assert_eq!(rep.tenants.len(), 18);
         assert_eq!(rep.total_requests, 12 * 10 + 4 * 8 + 2 * 12);
         assert!(rep.tenants.iter().all(|t| t.errors == 0));
@@ -407,15 +503,17 @@ mod tests {
 
     #[test]
     fn same_seed_is_replay_identical() {
-        let hash = self_check(21, |s| small_mix(s).run_with_digest().1)
-            .expect("same spec, same seed: no divergence");
+        let hash = self_check(21, |s| {
+            small_mix(s).run_with_digest().expect("valid spec").1
+        })
+        .expect("same spec, same seed: no divergence");
         assert_ne!(hash, 0);
     }
 
     #[test]
     fn different_seeds_diverge() {
-        let (ra, da) = small_mix(1).run_with_digest();
-        let (rb, db) = small_mix(2).run_with_digest();
+        let (ra, da) = small_mix(1).run_with_digest().expect("valid spec");
+        let (rb, db) = small_mix(2).run_with_digest().expect("valid spec");
         assert_ne!(ra.digest, rb.digest);
         match first_divergence(&da, &db).expect("different tapes must diverge") {
             Divergence::Event { a, .. } => assert_eq!(a.label, "req"),
@@ -436,6 +534,7 @@ mod tests {
                     .tenants(TenantSpec::noisy(4).requests(48).priority(noisy_priority)),
             )
             .run()
+            .expect("valid spec")
         };
         let demoted = run(2).class_worst_p99_ns(TenantClass::Steady);
         let promoted = run(0).class_worst_p99_ns(TenantClass::Steady);
@@ -461,7 +560,8 @@ mod tests {
                         .slo_p99(Some(SimDuration::from_nanos(1))),
                 ),
         )
-        .run();
+        .run()
+        .expect("valid spec");
         assert!(rep.slo_violations > 0, "unmeetable SLO must trip");
     }
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Repo health check: build, test, compile the benches, run the
-# determinism + address-provenance gates (static lint, with an injected-
-# violation self-test, + runtime divergence self-check), and prove the
-# run-batched hot path did not perturb simulated results (the committed
-# figure goldens must regenerate bit-identically).
+# determinism + address-provenance + panic-freedom + layering gates
+# (static lint, with injected-violation self-tests for both the
+# provenance and call-graph passes, + runtime divergence self-check),
+# and prove the refactors did not perturb simulated results (the
+# committed figure goldens must regenerate bit-identically).
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -24,12 +25,20 @@ cargo test -q
 echo "==> cargo bench --no-run (criterion harness compiles; gated offline)"
 cargo bench --no-run -p nesc-bench
 
-echo "==> nesc-lint: determinism + address-provenance rules (D1-D7, T1-T3, A1-A3)"
-if ! cargo run --release -q -p nesc-lint; then
+echo "==> nesc-lint: determinism + provenance + panic-freedom + layering rules"
+echo "    (D1-D7, T1-T3, A1-A3, P1-P3, L1)"
+# The JSON report — every diagnostic including directive-suppressed ones,
+# plus the size of the conservative data-path reachable set — is kept as
+# results/lint.json so CI can publish it as an auditable artifact.
+mkdir -p results
+if ! cargo run --release -q -p nesc-lint -- --format json > results/lint.json; then
+    cargo run --release -q -p nesc-lint || true
     echo "FAIL: nesc-lint found rule violations (rule ids above);" >&2
-    echo "      fix them or add a justified 'nesc-lint::allow(Dx|Tx): <why>' directive" >&2
+    echo "      fix them or add a justified 'nesc-lint::allow(<rule>): <why>' directive" >&2
     exit 1
 fi
+reachable=$(python3 -c 'import json; print(json.load(open("results/lint.json"))["reachable_functions"])')
+echo "OK: workspace lint-clean (results/lint.json written; ${reachable} data-path fns tracked)"
 
 echo "==> nesc-lint self-test: an injected T2 violation must fail the gate"
 # The provenance pass runs before the golden comparisons; prove it is
@@ -46,6 +55,20 @@ if cargo run --release -q -p nesc-lint -- "$inject" >/dev/null 2>&1; then
 fi
 rm -f "$inject"
 echo "OK: injected violation rejected"
+
+echo "==> nesc-lint self-test: an injected P1 violation must fail the gate"
+# Same idea for the panic-freedom pass: a scratch file that defines a
+# data-path entry point and unwraps on it must be rejected, proving the
+# call-graph analyzer arms itself on explicit path arguments too.
+printf 'pub fn process_vf_request(x: Option<u64>) -> u64 {\n    x.unwrap()\n}\n' > "$inject"
+if cargo run --release -q -p nesc-lint -- "$inject" >/dev/null 2>&1; then
+    rm -f "$inject"
+    echo "FAIL: nesc-lint passed a file that unwraps on the data path —" >&2
+    echo "      the panic-freedom pass is not armed" >&2
+    exit 1
+fi
+rm -f "$inject"
+echo "OK: injected P1 violation rejected"
 
 echo "==> divergence self-check: same-seed double run must be identical"
 if ! cargo run --release -q -p nesc-bench --bin divergence_check; then

@@ -20,7 +20,7 @@ fn reduced_mix(seed: u64) -> Scenario {
 
 #[test]
 fn reduced_datacenter_mix_completes_every_request() {
-    let rep = reduced_mix(0xD47A_CE17).run();
+    let rep = reduced_mix(0xD47A_CE17).run().expect("valid spec");
     assert_eq!(rep.tenants.len(), 60);
     assert_eq!(rep.total_requests, 51 * 14 + 6 * 12 + 24 * 3);
     assert_eq!(
@@ -39,14 +39,14 @@ fn reduced_datacenter_mix_completes_every_request() {
 
 #[test]
 fn reduced_mix_is_seed_deterministic() {
-    let (rep_a, dig_a) = reduced_mix(7).run_with_digest();
-    let (rep_b, dig_b) = reduced_mix(7).run_with_digest();
+    let (rep_a, dig_a) = reduced_mix(7).run_with_digest().expect("valid spec");
+    let (rep_b, dig_b) = reduced_mix(7).run_with_digest().expect("valid spec");
     assert_eq!(dig_a.final_hash(), dig_b.final_hash());
     assert_eq!(first_divergence(&dig_a, &dig_b), None);
     assert_eq!(rep_a.digest, rep_b.digest);
     assert_eq!(rep_a.makespan, rep_b.makespan);
 
-    let (_, dig_c) = reduced_mix(8).run_with_digest();
+    let (_, dig_c) = reduced_mix(8).run_with_digest().expect("valid spec");
     assert!(
         first_divergence(&dig_a, &dig_c).is_some(),
         "different seeds must shuffle the tape"
@@ -55,7 +55,7 @@ fn reduced_mix_is_seed_deterministic() {
 
 #[test]
 fn every_class_is_represented_in_the_report() {
-    let rep = reduced_mix(11).run();
+    let rep = reduced_mix(11).run().expect("valid spec");
     for class in [
         TenantClass::Steady,
         TenantClass::Bursty,
@@ -68,4 +68,46 @@ fn every_class_is_represented_in_the_report() {
             class.label()
         );
     }
+}
+
+#[test]
+fn empty_spec_is_a_typed_error_not_a_panic() {
+    let err = Scenario::new(ScenarioSpec::new("empty"))
+        .run()
+        .expect_err("a spec without tenants cannot run");
+    assert_eq!(err, nesc_workloads::ScenarioError::NoTenants);
+    // A population of count 0 flattens to no tenants at all.
+    let err = Scenario::new(ScenarioSpec::new("counted_out").tenants(TenantSpec::steady(0)))
+        .run()
+        .expect_err("zero-count populations leave an empty fleet");
+    assert_eq!(err, nesc_workloads::ScenarioError::NoTenants);
+}
+
+#[test]
+fn zero_rate_tenant_is_a_typed_error_not_a_panic() {
+    let err = Scenario::new(
+        ScenarioSpec::new("idle")
+            .tenants(TenantSpec::steady(2))
+            .tenants(TenantSpec::bursty(1).requests(0)),
+    )
+    .run()
+    .expect_err("a tenant population that never sends cannot be compiled");
+    assert_eq!(
+        err,
+        nesc_workloads::ScenarioError::EmptyTenantSpec { population: 1 }
+    );
+    assert!(err.to_string().contains("population 1"));
+}
+
+#[test]
+fn undersized_disk_is_a_typed_error_not_a_panic() {
+    let err = Scenario::new(
+        ScenarioSpec::new("tiny").tenants(TenantSpec::steady(1).req_bytes((1 << 20) + 1024)),
+    )
+    .run()
+    .expect_err("a disk smaller than one request cannot be compiled");
+    assert!(matches!(
+        err,
+        nesc_workloads::ScenarioError::DiskTooSmall { population: 0, .. }
+    ));
 }
