@@ -128,27 +128,21 @@ fn bench_interfaces(c: &mut Criterion) {
                 .submit_and_process(
                     t,
                     qid,
-                    &[SubmissionEntry {
-                        opcode: NvmeOpcode::Read,
-                        cid: (i % 32) as u16,
-                        nsid: ns,
-                        prp1: buf,
-                        slba: Vlba((i * 4) % 32_000),
-                        nlb: 3,
-                    }],
+                    &[SubmissionEntry::new(
+                        NvmeOpcode::Read,
+                        (i % 32) as u16,
+                        ns,
+                        buf,
+                        Vlba((i * 4) % 32_000),
+                        3,
+                    )],
                 )
                 .unwrap();
             std::hint::black_box(done)
         })
     });
     group.bench_function("ring_descriptor_roundtrip", |b| {
-        let d = RingDescriptor {
-            op: BlockOp::Read,
-            id: RequestId(1),
-            lba: Vlba(42),
-            count: 4,
-            buffer: 0x9000,
-        };
+        let d = RingDescriptor::new(BlockOp::Read, RequestId(1), Vlba(42), 4, 0x9000);
         let _ = DESCRIPTOR_BYTES;
         b.iter(|| std::hint::black_box(RingDescriptor::decode(&d.encode())))
     });

@@ -29,7 +29,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use nesc_extent::{walk_run, Plba, Vlba, WalkOutcome};
+use nesc_extent::{validate_ring_tail, walk_run, Plba, Untrusted, Vlba, WalkOutcome};
 use nesc_pcie::{HostAddr, HostMemory, PcieLink};
 use nesc_sim::{EventQueue, Pipe, ReadyTable, ServiceUnit, SimDuration, SimTime, SpanId, Tracer};
 use nesc_storage::{BlockOp, BlockRequest, BlockStore, Media, RequestId, StoreError, BLOCK_SIZE};
@@ -37,7 +37,7 @@ use nesc_storage::{BlockOp, BlockRequest, BlockStore, Media, RequestId, StoreErr
 use crate::btlb::Btlb;
 use crate::config::NescConfig;
 use crate::function::{FunctionContext, FunctionKind, PendingRequest, StalledRequest};
-use crate::regs::{offsets, FunctionRegisters};
+use crate::regs::{self, offsets, FunctionRegisters};
 use crate::ring::RingState;
 use crate::stats::{DeviceStats, FuncStats};
 use crate::trace::RequestTrace;
@@ -590,7 +590,7 @@ impl NescDevice {
             self.btlb.flush_func(func.0);
         }
         if offset == offsets::RING_TAIL {
-            self.consume_ring(func, value as u32, now);
+            self.consume_ring(func, regs::doorbell(value), now);
         }
         if trigger {
             self.resume_stalled(func, now);
@@ -599,7 +599,13 @@ impl NescDevice {
 
     /// Doorbell handler: DMAs descriptors from the function's command
     /// ring and submits them (paper §V's DMA ring buffer interface).
-    fn consume_ring(&mut self, func: FuncId, tail: u32, now: SimTime) {
+    ///
+    /// The tail is guest-controlled and arrives quarantined; an index
+    /// outside the configured ring is ignored wholesale (a real device's
+    /// bounds-checked doorbell register), and descriptors whose own
+    /// fields fail validation complete with `DeviceError` instead of
+    /// being silently dropped, so drivers never hang waiting on them.
+    fn consume_ring(&mut self, func: FuncId, tail: Untrusted<u32>, now: SimTime) {
         let (descriptors, fetch_done) = {
             let ctx = &mut self.functions[func.0 as usize];
             if !ctx.alive {
@@ -609,6 +615,12 @@ impl NescDevice {
                 base: ctx.regs.ring_base,
                 entries: ctx.regs.ring_entries,
                 head: ctx.ring_head,
+            };
+            if !ring.is_configured() {
+                return;
+            }
+            let Ok(tail) = validate_ring_tail(tail, ctx.regs.ring_entries) else {
+                return;
             };
             let descriptors = ring.consume(&self.mem.borrow(), tail);
             ctx.ring_head = ring.head;
@@ -622,7 +634,15 @@ impl NescDevice {
             (descriptors, fetch_done)
         };
         for d in descriptors {
-            self.submit(fetch_done, func, d.to_request(), d.buffer);
+            match d.to_request() {
+                Ok(req) => self.submit(fetch_done, func, req, d.buffer),
+                Err(_) => self.outputs.push(NescOutput::Completion {
+                    at: fetch_done,
+                    func,
+                    id: d.id,
+                    status: CompletionStatus::DeviceError,
+                }),
+            }
         }
     }
 
@@ -2389,20 +2409,8 @@ mod tests {
         let rbuf = alloc_buf(&mem, 2);
         mem.borrow_mut().write(wbuf, &[0xC4; 2048]);
         let descs = [
-            RingDescriptor {
-                op: BlockOp::Write,
-                id: RequestId(1),
-                lba: Vlba(4),
-                count: 2,
-                buffer: wbuf,
-            },
-            RingDescriptor {
-                op: BlockOp::Read,
-                id: RequestId(2),
-                lba: Vlba(4),
-                count: 2,
-                buffer: rbuf,
-            },
+            RingDescriptor::new(BlockOp::Write, RequestId(1), Vlba(4), 2, wbuf),
+            RingDescriptor::new(BlockOp::Read, RequestId(2), Vlba(4), 2, rbuf),
         ];
         for (i, d) in descs.iter().enumerate() {
             mem.borrow_mut()

@@ -20,8 +20,23 @@
 //! `nesc-hypervisor` crate interact with the device exactly like a real
 //! driver pokes a BAR.
 
+use nesc_extent::Untrusted;
+
 /// Byte size of one function's register window.
 pub const REG_WINDOW_BYTES: u64 = 2048;
+
+/// Quarantines a `RingTail` doorbell write.
+///
+/// The doorbell is the one register a *guest* driver writes on the data
+/// path, so the producer index it carries is attacker-controlled; the
+/// device must prove it against `RingEntries` (via
+/// `nesc_extent::validate_ring_tail`) before any ring arithmetic. The
+/// remaining registers (`RingBase`, `RingEntries`, `ExtentTreeRoot`, …)
+/// are hypervisor-owned control state and stay raw.
+// nesc-lint: guest-input
+pub fn doorbell(value: u64) -> Untrusted<u32> {
+    Untrusted::new(value as u32)
+}
 
 /// Register offsets within a function's window.
 pub mod offsets {

@@ -21,7 +21,7 @@
 //! [32..40] buffer    host address of the data buffer
 //! ```
 
-use nesc_extent::Vlba;
+use nesc_extent::{validate_count, validate_slba, GuestFault, Untrusted, Vlba};
 use nesc_pcie::{HostAddr, HostMemory};
 use nesc_storage::{BlockOp, BlockRequest, RequestId};
 
@@ -29,6 +29,13 @@ use nesc_storage::{BlockOp, BlockRequest, RequestId};
 pub const DESCRIPTOR_BYTES: u64 = 64;
 
 /// One command descriptor.
+///
+/// Descriptors are DMAed out of guest-writable host memory, so the
+/// address and count arrive quarantined in [`Untrusted`];
+/// [`to_request`](RingDescriptor::to_request) is the bounds proof that
+/// releases them. The buffer pointer stays a bare [`HostAddr`] — DMA
+/// targets are policed by the memory model, not the block validators.
+// nesc-lint: guest-input
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RingDescriptor {
     /// The operation.
@@ -36,15 +43,29 @@ pub struct RingDescriptor {
     /// Completion-correlation id.
     pub id: RequestId,
     /// First virtual block. Ring descriptors come from the guest, so the
-    /// address is by definition in the function's virtual space.
-    pub lba: Vlba,
+    /// address is by definition in the function's virtual space — and
+    /// unproven until validated.
+    pub lba: Untrusted<Vlba>,
     /// Block count.
-    pub count: u32,
+    pub count: Untrusted<u32>,
     /// Host data buffer.
     pub buffer: HostAddr,
 }
 
 impl RingDescriptor {
+    /// Builds a descriptor from trusted host-side values (drivers,
+    /// tests, benches), quarantining them exactly as the DMA decode
+    /// would.
+    pub fn new(op: BlockOp, id: RequestId, lba: Vlba, count: u32, buffer: HostAddr) -> Self {
+        RingDescriptor {
+            op,
+            id,
+            lba: Untrusted::new(lba),
+            count: Untrusted::new(count),
+            buffer,
+        }
+    }
+
     /// Encodes to the 64-byte wire form.
     pub fn encode(&self) -> [u8; DESCRIPTOR_BYTES as usize] {
         let mut b = [0u8; DESCRIPTOR_BYTES as usize];
@@ -53,14 +74,15 @@ impl RingDescriptor {
             BlockOp::Write => 2,
         };
         b[8..16].copy_from_slice(&self.id.0.to_le_bytes());
-        b[16..24].copy_from_slice(&self.lba.0.to_le_bytes());
-        b[24..28].copy_from_slice(&self.count.to_le_bytes());
+        b[16..24].copy_from_slice(&self.lba.into_unchecked().0.to_le_bytes());
+        b[24..28].copy_from_slice(&self.count.into_unchecked().to_le_bytes());
         b[32..40].copy_from_slice(&self.buffer.to_le_bytes());
         b
     }
 
     /// Decodes the wire form; `None` on a malformed opcode or zero count.
-    pub fn decode(b: &[u8; DESCRIPTOR_BYTES as usize]) -> Option<Self> {
+    // nesc-lint: guest-input
+    pub fn decode(b: &[u8; DESCRIPTOR_BYTES as usize]) -> Option<RingDescriptor> {
         let op = match b[0] {
             1 => BlockOp::Read,
             2 => BlockOp::Write,
@@ -83,15 +105,28 @@ impl RingDescriptor {
         Some(RingDescriptor {
             op,
             id: RequestId(le64(8)?),
-            lba: Vlba(le64(16)?),
-            count,
+            lba: Untrusted::new(Vlba(le64(16)?)),
+            count: Untrusted::new(count),
             buffer: le64(32)?,
         })
     }
 
-    /// The block request this descriptor describes.
-    pub fn to_request(&self) -> BlockRequest {
-        BlockRequest::new(self.id, self.op, self.lba, self.count as u64)
+    /// The block request this descriptor describes, released through the
+    /// overflow bounds proofs.
+    ///
+    /// The capacity bound here is only "does not wrap the 64-bit virtual
+    /// space" — whether the range is inside the *function's* mapping is
+    /// the translation walk's job, which fails closed with a miss
+    /// interrupt, exactly like the paper's hardware.
+    ///
+    /// # Errors
+    ///
+    /// [`GuestFault::ZeroLength`] / [`GuestFault::SlbaOutOfRange`] on a
+    /// zero count or an `lba + count` that overflows.
+    pub fn to_request(&self) -> Result<BlockRequest, GuestFault> {
+        let count = validate_count(self.count)?;
+        let lba = validate_slba(self.lba, count, u64::MAX)?;
+        Ok(BlockRequest::new(self.id, self.op, lba, count))
     }
 }
 
@@ -142,15 +177,9 @@ mod tests {
 
     #[test]
     fn descriptor_roundtrip() {
-        let d = RingDescriptor {
-            op: BlockOp::Write,
-            id: RequestId(0xDEAD),
-            lba: Vlba(42),
-            count: 8,
-            buffer: 0x1234_5678,
-        };
+        let d = RingDescriptor::new(BlockOp::Write, RequestId(0xDEAD), Vlba(42), 8, 0x1234_5678);
         assert_eq!(RingDescriptor::decode(&d.encode()), Some(d));
-        assert_eq!(d.to_request().block_count, 8);
+        assert_eq!(d.to_request().unwrap().block_count, 8);
     }
 
     #[test]
@@ -165,6 +194,18 @@ mod tests {
     }
 
     #[test]
+    fn to_request_rejects_wrapping_ranges() {
+        // A count that runs past u64::MAX can otherwise overflow the
+        // walk's `vlba + blocks` arithmetic — a guest-triggerable debug
+        // panic before the quarantine types landed.
+        let d = RingDescriptor::new(BlockOp::Read, RequestId(1), Vlba(u64::MAX), 2, 0x8000);
+        assert!(matches!(
+            d.to_request(),
+            Err(GuestFault::SlbaOutOfRange { .. })
+        ));
+    }
+
+    #[test]
     fn ring_consume_wraps() {
         let mut mem = HostMemory::new();
         let base = mem.alloc(4 * DESCRIPTOR_BYTES, 64);
@@ -175,13 +216,7 @@ mod tests {
         };
         assert!(ring.is_configured());
         let write_desc = |mem: &mut HostMemory, slot: u64, id: u64| {
-            let d = RingDescriptor {
-                op: BlockOp::Read,
-                id: RequestId(id),
-                lba: Vlba(id),
-                count: 1,
-                buffer: 0x8000,
-            };
+            let d = RingDescriptor::new(BlockOp::Read, RequestId(id), Vlba(id), 1, 0x8000);
             mem.write(base + slot * DESCRIPTOR_BYTES, &d.encode());
         };
         // Fill slots 0..3, consume to tail=3.
@@ -225,13 +260,13 @@ mod tests {
             buffer in any::<u64>(),
             is_write in any::<bool>(),
         ) {
-            let d = RingDescriptor {
-                op: if is_write { BlockOp::Write } else { BlockOp::Read },
-                id: RequestId(id),
-                lba: Vlba(lba),
+            let d = RingDescriptor::new(
+                if is_write { BlockOp::Write } else { BlockOp::Read },
+                RequestId(id),
+                Vlba(lba),
                 count,
                 buffer,
-            };
+            );
             prop_assert_eq!(RingDescriptor::decode(&d.encode()), Some(d));
         }
     }

@@ -1,0 +1,323 @@
+//! Guest-input quarantine: the [`Untrusted<T>`] wrapper and the
+//! bounds-proving validators that are the only sanctioned way out of it.
+//!
+//! NeSC's isolation claim cuts both ways. The T rules (and the `Vlba`/
+//! `Plba` newtypes) keep *translated* addresses from leaking back toward
+//! the guest; this module covers the opposite direction: raw integers
+//! decoded from guest-controlled memory — SQE fields, ring descriptors,
+//! virtio request headers, doorbell writes — must not reach an extent
+//! walk, a DMA length, or ring-index arithmetic until a validator has
+//! proven them in bounds. The `nesc-lint` G rules enforce the discipline
+//! statically:
+//!
+//! * **G1** — values produced by a `// nesc-lint: guest-input` decode
+//!   boundary travel as `Untrusted<T>`, never as raw integers;
+//! * **G2** — [`Untrusted::into_unchecked`] (the raw escape hatch) is
+//!   confined to the allowlisted boundary modules;
+//! * **G3** — on the data-path call graph, every guest-input source →
+//!   sink path must cross a `validate_*` function first.
+//!
+//! The validators live here — next to the newtypes whose invariants they
+//! prove — so every decoding crate (`nesc-core`, `nesc-nvme`,
+//! `nesc-virtio`, `nesc-hypervisor`) shares one bounds-check vocabulary
+//! and one typed fault enum instead of scattered ad-hoc `if` ranges.
+
+use std::fmt;
+
+use crate::types::Vlba;
+
+/// A value decoded from guest-controlled memory, not yet proven safe.
+///
+/// The inner value is private: the only exits are a validator in this
+/// module (which proves a bound and returns the raw value) or
+/// [`into_unchecked`](Self::into_unchecked), which rule G2 confines to
+/// the wire-serialization boundary modules. Wrapping ([`new`](Self::new))
+/// is free everywhere — quarantining a value is always safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Untrusted<T>(T);
+
+impl<T> Untrusted<T> {
+    /// Quarantines a raw guest-supplied value.
+    pub fn new(v: T) -> Self {
+        Untrusted(v)
+    }
+
+    /// Unwraps without proving anything. Legitimate only where the value
+    /// goes straight back onto the wire (encode paths) or into a lookup
+    /// that is total over the type's domain; everywhere else rule G2
+    /// demands a justified `// nesc-lint::allow(G2)` — prefer a
+    /// validator.
+    pub fn into_unchecked(self) -> T {
+        self.0
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Untrusted<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "untrusted({})", self.0)
+    }
+}
+
+/// Why a guest-supplied value failed validation.
+///
+/// These are *guest-attributable* faults: the device's answer is a typed
+/// error completion (or a dropped doorbell), never a panic and never a
+/// silently clamped address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GuestFault {
+    /// `slba + blocks` wraps the address space or ends past the
+    /// namespace/device capacity.
+    SlbaOutOfRange {
+        /// The starting virtual block the guest asked for.
+        slba: Vlba,
+        /// The validated transfer length in blocks.
+        blocks: u64,
+        /// The virtual capacity the range must fit inside.
+        capacity_blocks: u64,
+    },
+    /// The transfer length alone exceeds the virtual capacity.
+    NlbOutOfRange {
+        /// The requested length in blocks (already 1-based).
+        blocks: u64,
+        /// The virtual capacity in blocks.
+        capacity_blocks: u64,
+    },
+    /// A zero-length transfer, which the descriptor format forbids.
+    ZeroLength,
+    /// A ring-tail doorbell value outside the configured ring.
+    TailOutOfRange {
+        /// The doorbell value the guest wrote.
+        tail: u32,
+        /// The configured ring size.
+        entries: u32,
+    },
+    /// A virtio request sector past the virtual disk.
+    SectorOutOfRange {
+        /// The 512-byte sector index from the request header.
+        sector: u64,
+        /// The virtual disk size in sectors.
+        capacity_sectors: u64,
+    },
+    /// A descriptor chain longer than the device accepts.
+    ChainTooLong {
+        /// The chain length the guest published.
+        len: u32,
+        /// The device's chain-length limit.
+        max: u32,
+    },
+}
+
+impl fmt::Display for GuestFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuestFault::SlbaOutOfRange {
+                slba,
+                blocks,
+                capacity_blocks,
+            } => write!(
+                f,
+                "guest slba {}+{blocks} blocks exceeds capacity {capacity_blocks}",
+                slba.0
+            ),
+            GuestFault::NlbOutOfRange {
+                blocks,
+                capacity_blocks,
+            } => write!(
+                f,
+                "guest transfer of {blocks} blocks exceeds capacity {capacity_blocks}"
+            ),
+            GuestFault::ZeroLength => write!(f, "guest requested a zero-length transfer"),
+            GuestFault::TailOutOfRange { tail, entries } => {
+                write!(f, "guest rang tail {tail} on a {entries}-entry ring")
+            }
+            GuestFault::SectorOutOfRange {
+                sector,
+                capacity_sectors,
+            } => write!(
+                f,
+                "guest sector {sector} beyond virtual disk of {capacity_sectors} sectors"
+            ),
+            GuestFault::ChainTooLong { len, max } => {
+                write!(f, "guest descriptor chain of {len} exceeds limit {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GuestFault {}
+
+/// Proves a guest starting LBA in range: `slba + blocks` must not wrap
+/// and must end at or before `capacity_blocks`.
+///
+/// # Errors
+///
+/// [`GuestFault::SlbaOutOfRange`] on wrap-around or overrun.
+pub fn validate_slba(
+    slba: Untrusted<Vlba>,
+    blocks: u64,
+    capacity_blocks: u64,
+) -> Result<Vlba, GuestFault> {
+    let v = slba.0;
+    match v.checked_add_blocks(blocks) {
+        Some(end) if end <= Vlba(capacity_blocks) => Ok(v),
+        _ => Err(GuestFault::SlbaOutOfRange {
+            slba: v,
+            blocks,
+            capacity_blocks,
+        }),
+    }
+}
+
+/// Proves an NVMe `nlb` field (0-based: `nlb = 0` means one block) fits
+/// the namespace, returning the 1-based block count.
+///
+/// # Errors
+///
+/// [`GuestFault::NlbOutOfRange`] when the length alone exceeds capacity.
+pub fn validate_nlb(nlb: Untrusted<u32>, capacity_blocks: u64) -> Result<u64, GuestFault> {
+    let blocks = nlb.0 as u64 + 1;
+    if blocks <= capacity_blocks {
+        Ok(blocks)
+    } else {
+        Err(GuestFault::NlbOutOfRange {
+            blocks,
+            capacity_blocks,
+        })
+    }
+}
+
+/// Proves a descriptor block count non-zero, returning it widened.
+///
+/// # Errors
+///
+/// [`GuestFault::ZeroLength`] for a zero count.
+pub fn validate_count(count: Untrusted<u32>) -> Result<u64, GuestFault> {
+    if count.0 == 0 {
+        Err(GuestFault::ZeroLength)
+    } else {
+        Ok(count.0 as u64)
+    }
+}
+
+/// Proves a ring-tail doorbell value addresses a slot of the configured
+/// ring (`tail < entries`).
+///
+/// # Errors
+///
+/// [`GuestFault::TailOutOfRange`] otherwise (including `entries == 0`,
+/// i.e. an unconfigured ring).
+pub fn validate_ring_tail(tail: Untrusted<u32>, entries: u32) -> Result<u32, GuestFault> {
+    if tail.0 < entries {
+        Ok(tail.0)
+    } else {
+        Err(GuestFault::TailOutOfRange {
+            tail: tail.0,
+            entries,
+        })
+    }
+}
+
+/// Proves a virtio request sector inside the virtual disk.
+///
+/// # Errors
+///
+/// [`GuestFault::SectorOutOfRange`] when `sector >= capacity_sectors`.
+pub fn validate_sector(sector: Untrusted<u64>, capacity_sectors: u64) -> Result<u64, GuestFault> {
+    if sector.0 < capacity_sectors {
+        Ok(sector.0)
+    } else {
+        Err(GuestFault::SectorOutOfRange {
+            sector: sector.0,
+            capacity_sectors,
+        })
+    }
+}
+
+/// Proves a descriptor-chain length within the device limit.
+///
+/// # Errors
+///
+/// [`GuestFault::ChainTooLong`] when `len > max`.
+pub fn validate_chain_len(len: Untrusted<u32>, max: u32) -> Result<u32, GuestFault> {
+    if len.0 <= max {
+        Ok(len.0)
+    } else {
+        Err(GuestFault::ChainTooLong { len: len.0, max })
+    }
+}
+
+/// Releases a guest command identifier. Total: a cid is only ever echoed
+/// back in the matching completion, so every `u16` is safe — this exists
+/// so the data path can exit the quarantine without an unchecked escape.
+pub fn validate_cid(cid: Untrusted<u16>) -> u16 {
+    cid.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slba_accepts_exact_fit_and_rejects_overrun_and_wrap() {
+        assert_eq!(validate_slba(Untrusted::new(Vlba(10)), 6, 16), Ok(Vlba(10)));
+        assert!(validate_slba(Untrusted::new(Vlba(11)), 6, 16).is_err());
+        assert!(validate_slba(Untrusted::new(Vlba(u64::MAX)), 1, u64::MAX).is_err());
+        // Zero-length ranges never overrun on their own.
+        assert_eq!(validate_slba(Untrusted::new(Vlba(16)), 0, 16), Ok(Vlba(16)));
+    }
+
+    #[test]
+    fn nlb_is_one_based_and_bounded() {
+        assert_eq!(validate_nlb(Untrusted::new(0), 1), Ok(1));
+        assert_eq!(validate_nlb(Untrusted::new(7), 8), Ok(8));
+        assert_eq!(
+            validate_nlb(Untrusted::new(8), 8),
+            Err(GuestFault::NlbOutOfRange {
+                blocks: 9,
+                capacity_blocks: 8
+            })
+        );
+    }
+
+    #[test]
+    fn count_rejects_zero_only() {
+        assert_eq!(
+            validate_count(Untrusted::new(0)),
+            Err(GuestFault::ZeroLength)
+        );
+        assert_eq!(
+            validate_count(Untrusted::new(u32::MAX)),
+            Ok(u32::MAX as u64)
+        );
+    }
+
+    #[test]
+    fn ring_tail_is_strictly_below_entries() {
+        assert_eq!(validate_ring_tail(Untrusted::new(7), 8), Ok(7));
+        assert!(validate_ring_tail(Untrusted::new(8), 8).is_err());
+        assert!(
+            validate_ring_tail(Untrusted::new(0), 0).is_err(),
+            "an unconfigured ring accepts no doorbell"
+        );
+    }
+
+    #[test]
+    fn sector_and_chain_len_bounds() {
+        assert_eq!(validate_sector(Untrusted::new(99), 100), Ok(99));
+        assert!(validate_sector(Untrusted::new(100), 100).is_err());
+        assert_eq!(validate_chain_len(Untrusted::new(3), 3), Ok(3));
+        assert!(validate_chain_len(Untrusted::new(4), 3).is_err());
+    }
+
+    #[test]
+    fn cid_release_is_total() {
+        assert_eq!(validate_cid(Untrusted::new(u16::MAX)), u16::MAX);
+    }
+
+    #[test]
+    fn faults_render_human_readable() {
+        let f = validate_ring_tail(Untrusted::new(9), 8).unwrap_err();
+        assert!(f.to_string().contains("tail 9"));
+        assert!(format!("{}", Untrusted::new(5u32)).contains("untrusted(5)"));
+    }
+}

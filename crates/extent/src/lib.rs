@@ -28,11 +28,16 @@
 //! mark the pruned sections by storing NULL in their respective Next Node
 //! Pointer").
 
+pub mod guest;
 pub mod layout;
 pub mod tree;
 pub mod types;
 pub mod walk;
 
+pub use guest::{
+    validate_chain_len, validate_cid, validate_count, validate_nlb, validate_ring_tail,
+    validate_sector, validate_slba, GuestFault, Untrusted,
+};
 pub use layout::{NodeKind, FANOUT, NODE_SIZE};
 pub use tree::{ExtentTree, InsertError};
 pub use types::{BlockAddr, ExtentMapping, Plba, Vlba, BLOCK_SIZE};

@@ -21,6 +21,10 @@ pub enum NescError {
     /// Device-level failure: corrupt extent tree, a detached disk, or a
     /// request to a dead function.
     Device,
+    /// A guest-supplied value failed its bounds proof at the trust
+    /// boundary (out-of-range LBA, wrapping length, bad doorbell, …). The
+    /// inner fault says exactly which proof failed.
+    Guest(nesc_extent::GuestFault),
 }
 
 impl NescError {
@@ -72,6 +76,12 @@ impl From<nesc_virtio::QueueError> for NescError {
     }
 }
 
+impl From<nesc_extent::GuestFault> for NescError {
+    fn from(e: nesc_extent::GuestFault) -> Self {
+        NescError::Guest(e)
+    }
+}
+
 impl fmt::Display for NescError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -80,6 +90,7 @@ impl fmt::Display for NescError {
             }
             NescError::OutOfRange => write!(f, "request beyond the virtual device size"),
             NescError::Device => write!(f, "device error"),
+            NescError::Guest(fault) => write!(f, "guest input rejected: {fault}"),
         }
     }
 }

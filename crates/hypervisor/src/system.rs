@@ -27,7 +27,7 @@ use std::rc::Rc;
 
 use nesc_core::ring::{RingDescriptor, DESCRIPTOR_BYTES};
 use nesc_core::{CompletionStatus, FuncId, IrqReason, NescConfig, NescDevice, NescOutput};
-use nesc_extent::{Plba, Vlba};
+use nesc_extent::{Plba, Untrusted, Vlba};
 use nesc_fs::{Filesystem, FsError, Ino};
 use nesc_pcie::{HostAddr, HostMemory};
 use nesc_sim::{Metrics, ServiceUnit, SimDuration, SimTime, Span, SpanId, Throughput, Tracer};
@@ -749,13 +749,7 @@ impl System {
         let id = self.fresh_id();
         {
             let d = &mut self.disks[disk_id.0];
-            let desc = RingDescriptor {
-                op,
-                id,
-                lba: Vlba(first_block),
-                count: nblocks as u32,
-                buffer: buf,
-            };
+            let desc = RingDescriptor::new(op, id, Vlba(first_block), nblocks as u32, buf);
             let slot = d.ring_tail % RING_ENTRIES;
             self.mem
                 .borrow_mut()
@@ -894,13 +888,7 @@ impl System {
                 BlockOp::Read => BlkRequestType::In,
                 BlockOp::Write => BlkRequestType::Out,
             };
-            let blkreq = BlkRequest {
-                rtype,
-                sector: offset / 512,
-                data: buf,
-                len: len as u32,
-                status: status_addr,
-            };
+            let blkreq = BlkRequest::new(rtype, offset / 512, buf, len as u32, status_addr);
             let chain = blkreq.build_chain(&mut self.mem.borrow_mut(), hdr);
             let d = &mut self.disks[disk_id.0];
             let Some(vq) = d.vq.as_mut() else {
@@ -952,7 +940,7 @@ impl System {
                 drop(mem);
                 debug_assert!(parsed.is_ok(), "well-formed chain");
                 if let Ok(parsed) = parsed {
-                    debug_assert_eq!(parsed.sector, offset / 512);
+                    debug_assert_eq!(parsed.sector, Untrusted::new(offset / 512));
                     debug_assert_eq!(parsed.start_vlba(), Vlba(offset / BLOCK_SIZE));
                 }
                 let head = chain.head;

@@ -32,6 +32,12 @@
 //! | `module::foo(` | lowercase qualifier → every free function named `foo` |
 //! | `<T as Trait>::foo(` | every workspace function named `foo` |
 //!
+//! Method calls whose name matches no workspace function (`.push(` on a
+//! std `Vec`, `.unwrap(` on an `Option`) resolve to the empty target set
+//! and are *dropped* — but counted: [`Graph::unresolved_calls`] surfaces
+//! the drop count in `--format json`, so a growing blind spot is visible
+//! instead of silent.
+//!
 //! Guaranteed false-negative shapes (documented, accepted): calls made
 //! through operator overloads (`Add`, `Index`, `Deref`) and through
 //! function pointers/closures passed as values are invisible to a token
@@ -114,15 +120,16 @@ const PANIC_MACROS: &[&str] = &[
 ];
 
 /// One call-graph node.
-struct Node {
+pub(crate) struct Node {
     /// Index into the `files` slice.
-    file: usize,
-    def: FnDef,
+    pub(crate) file: usize,
+    /// The function definition this node stands for.
+    pub(crate) def: FnDef,
 }
 
 impl Node {
     /// Display name: `Type::fn` or `fn`.
-    fn label(&self) -> String {
+    pub(crate) fn label(&self) -> String {
         match &self.def.impl_type {
             Some(t) => format!("{t}::{}", self.def.name),
             None => self.def.name.clone(),
@@ -140,74 +147,207 @@ fn in_graph(ctx: &LintContext) -> bool {
         && !ctx.path.starts_with("examples/")
 }
 
-/// The whole-workspace panic-freedom pass. `files` and `raw` are
-/// parallel; P1/P3 diagnostics are appended to the offending file's raw
-/// bucket (pre-suppression, so `allow(P1)` directives apply to them and
-/// count as used). Returns the number of reachable functions.
-pub fn check(files: &[(LintContext, Scan)], raw: &mut [Vec<Diagnostic>]) -> usize {
-    // ---- Harvest nodes. ----
-    let mut nodes: Vec<Node> = Vec::new();
-    for (fi, (ctx, scan)) in files.iter().enumerate() {
-        if !in_graph(ctx) {
-            continue;
-        }
-        let tests = test_regions(&scan.tokens);
-        for def in parse_fns(scan) {
-            if in_regions(&tests, def.line) {
-                continue; // test helpers are not data-path nodes
+/// The conservative whole-workspace call graph, built once per file set
+/// and shared by the panic-freedom pass ([`check`]) and the guest-taint
+/// pass ([`crate::guest::check_graph`]).
+pub(crate) struct Graph {
+    /// All harvested function definitions.
+    pub(crate) nodes: Vec<Node>,
+    /// Caller → callee adjacency, parallel to `nodes`.
+    pub(crate) edges: Vec<BTreeSet<usize>>,
+    /// Per-file node body ranges `(open, close, node)` for nested-fn
+    /// skipping, parallel to the `files` slice the graph was built from.
+    pub(crate) file_bodies: Vec<Vec<(usize, usize, usize)>>,
+    /// Method-shape call sites (`.foo(`) whose name matches no workspace
+    /// function — the calls the resolver *silently drops*. Published in
+    /// `--format json` so the graph's conservatism stays auditable: a
+    /// jump in this count means new code is invisible to P1/P3/G3.
+    pub(crate) unresolved_calls: usize,
+    by_name: BTreeMap<String, Vec<usize>>,
+    free_by_name: BTreeMap<String, Vec<usize>>,
+    by_impl: BTreeMap<(String, String), Vec<usize>>,
+    impl_types: BTreeSet<String>,
+}
+
+impl Graph {
+    /// Harvests nodes, builds the name-resolution indexes, and collects
+    /// the edge set (counting dropped method calls along the way).
+    pub(crate) fn build(files: &[(LintContext, Scan)]) -> Graph {
+        // ---- Harvest nodes. ----
+        let mut nodes: Vec<Node> = Vec::new();
+        for (fi, (ctx, scan)) in files.iter().enumerate() {
+            if !in_graph(ctx) {
+                continue;
             }
-            nodes.push(Node { file: fi, def });
-        }
-    }
-
-    // ---- Name-resolution indexes. ----
-    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-    let mut by_impl: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
-    let mut impl_types: BTreeSet<&str> = BTreeSet::new();
-    for (i, n) in nodes.iter().enumerate() {
-        by_name.entry(&n.def.name).or_default().push(i);
-        match &n.def.impl_type {
-            Some(t) => {
-                by_impl.entry((t, &n.def.name)).or_default().push(i);
-                impl_types.insert(t);
+            let tests = test_regions(&scan.tokens);
+            for def in parse_fns(scan) {
+                if in_regions(&tests, def.line) {
+                    continue; // test helpers are not data-path nodes
+                }
+                nodes.push(Node { file: fi, def });
             }
-            None => free_by_name.entry(&n.def.name).or_default().push(i),
         }
+
+        // ---- Name-resolution indexes. ----
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_impl: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut impl_types: BTreeSet<String> = BTreeSet::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.entry(n.def.name.clone()).or_default().push(i);
+            match &n.def.impl_type {
+                Some(t) => {
+                    by_impl
+                        .entry((t.clone(), n.def.name.clone()))
+                        .or_default()
+                        .push(i);
+                    impl_types.insert(t.clone());
+                }
+                None => free_by_name.entry(n.def.name.clone()).or_default().push(i),
+            }
+        }
+
+        // Per-file list of node body ranges, for nested-fn skipping.
+        let mut file_bodies: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); files.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            if let Some((b, e)) = n.def.body {
+                file_bodies[n.file].push((b, e, i));
+            }
+        }
+
+        let mut g = Graph {
+            edges: vec![BTreeSet::new(); nodes.len()],
+            nodes,
+            file_bodies,
+            unresolved_calls: 0,
+            by_name,
+            free_by_name,
+            by_impl,
+            impl_types,
+        };
+
+        // ---- Collect edges. ----
+        let mut edges = std::mem::take(&mut g.edges);
+        for (i, n) in g.nodes.iter().enumerate() {
+            let Some((b, e)) = n.def.body else { continue };
+            let t = &files[n.file].1.tokens;
+            let nested = g.nested_ranges(i);
+            let mut idx = b + 1;
+            while idx < e {
+                if let Some(&(_, ne)) = nested.iter().find(|&&(nb, _)| nb == idx) {
+                    idx = ne + 1; // a nested fn's calls belong to that fn
+                    continue;
+                }
+                if let Some(targets) = g.resolve_call(t, idx, n) {
+                    if targets.is_empty()
+                        && matches!(
+                            idx.checked_sub(1).map(|p| &t[p].kind),
+                            Some(TokKind::Punct('.'))
+                        )
+                    {
+                        // A method call whose name matches nothing in the
+                        // workspace: dropped, but no longer silently.
+                        g.unresolved_calls += 1;
+                    }
+                    edges[i].extend(targets);
+                }
+                idx += 1;
+            }
+        }
+        g.edges = edges;
+        g
     }
 
-    // Per-file list of node body ranges, for nested-fn skipping.
-    let mut file_bodies: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); files.len()];
-    for (i, n) in nodes.iter().enumerate() {
-        if let Some((b, e)) = n.def.body {
-            file_bodies[n.file].push((b, e, i));
-        }
-    }
-
-    // ---- Collect edges. ----
-    let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
-    for (i, n) in nodes.iter().enumerate() {
-        let Some((b, e)) = n.def.body else { continue };
-        let t = &files[n.file].1.tokens;
-        let nested: Vec<(usize, usize)> = file_bodies[n.file]
+    /// Body ranges of other nodes nested inside node `i`'s body.
+    pub(crate) fn nested_ranges(&self, i: usize) -> Vec<(usize, usize)> {
+        let Some((b, e)) = self.nodes[i].def.body else {
+            return Vec::new();
+        };
+        self.file_bodies[self.nodes[i].file]
             .iter()
             .filter(|&&(nb, ne, ni)| ni != i && nb > b && ne < e)
             .map(|&(nb, ne, _)| (nb, ne))
-            .collect();
-        let mut idx = b + 1;
-        while idx < e {
-            if let Some(&(_, ne)) = nested.iter().find(|&&(nb, _)| nb == idx) {
-                idx = ne + 1; // a nested fn's calls belong to that fn
-                continue;
+            .collect()
+    }
+
+    /// If tokens at `idx` form a call site, returns its resolved targets.
+    pub(crate) fn resolve_call(&self, t: &[Tok], idx: usize, caller: &Node) -> Option<Vec<usize>> {
+        let TokKind::Ident(name) = &t[idx].kind else {
+            return None;
+        };
+        if is_keyword(name) {
+            return None;
+        }
+        if !matches!(t.get(idx + 1).map(|x| &x.kind), Some(TokKind::Punct('('))) {
+            return None;
+        }
+        let prev = idx.checked_sub(1).map(|p| &t[p].kind);
+        match prev {
+            // `.foo(` — method call: every workspace fn named foo (trait
+            // objects resolve to all impls of the name).
+            Some(TokKind::Punct('.')) => {
+                Some(self.by_name.get(name.as_str()).cloned().unwrap_or_default())
             }
-            if let Some(targets) =
-                resolve_call(t, idx, n, &by_name, &free_by_name, &by_impl, &impl_types)
+            // `fn foo(` — a definition, not a call.
+            Some(TokKind::Ident(k)) if k == "fn" => None,
+            // `A::foo(` — path-qualified call.
+            Some(TokKind::Punct(':'))
+                if idx >= 2 && matches!(t[idx - 2].kind, TokKind::Punct(':')) =>
             {
-                edges[i].extend(targets);
+                match idx.checked_sub(3).map(|q| &t[q].kind) {
+                    Some(TokKind::Ident(q)) if q == "Self" => {
+                        let ty = caller.def.impl_type.as_deref()?;
+                        Some(
+                            self.by_impl
+                                .get(&(ty.to_string(), name.clone()))
+                                .cloned()
+                                .unwrap_or_default(),
+                        )
+                    }
+                    Some(TokKind::Ident(q)) if self.impl_types.contains(q.as_str()) => Some(
+                        self.by_impl
+                            .get(&(q.clone(), name.clone()))
+                            .cloned()
+                            .unwrap_or_default(),
+                    ),
+                    // Unknown capitalized qualifier: an external type
+                    // (`Vec::new`) — no workspace edge.
+                    Some(TokKind::Ident(q)) if q.chars().next().is_some_and(char::is_uppercase) => {
+                        Some(Vec::new())
+                    }
+                    // Lowercase qualifier: a module path — free functions.
+                    Some(TokKind::Ident(_)) => Some(
+                        self.free_by_name
+                            .get(name.as_str())
+                            .cloned()
+                            .unwrap_or_default(),
+                    ),
+                    // `<T as Trait>::foo(` and turbofish tails: conservative.
+                    _ => Some(self.by_name.get(name.as_str()).cloned().unwrap_or_default()),
+                }
             }
-            idx += 1;
+            // `foo(` — free call.
+            _ => Some(
+                self.free_by_name
+                    .get(name.as_str())
+                    .cloned()
+                    .unwrap_or_default(),
+            ),
         }
     }
+}
+
+/// The whole-workspace panic-freedom pass over a prebuilt [`Graph`].
+/// `files` and `raw` are parallel; P1/P3 diagnostics are appended to the
+/// offending file's raw bucket (pre-suppression, so `allow(P1)` directives
+/// apply to them and count as used). Returns the number of reachable
+/// functions.
+pub(crate) fn check(
+    graph: &Graph,
+    files: &[(LintContext, Scan)],
+    raw: &mut [Vec<Diagnostic>],
+) -> usize {
+    let nodes = &graph.nodes;
 
     // ---- Reach: BFS from the entry points, tracking one parent each. ----
     let mut parent: Vec<Option<usize>> = vec![None; nodes.len()];
@@ -223,7 +363,7 @@ pub fn check(files: &[(LintContext, Scan)], raw: &mut [Vec<Diagnostic>]) -> usiz
         }
     }
     while let Some(i) = queue.pop_front() {
-        for &j in &edges[i] {
+        for &j in &graph.edges[i] {
             if !reached[j] {
                 reached[j] = true;
                 parent[j] = Some(i);
@@ -238,15 +378,11 @@ pub fn check(files: &[(LintContext, Scan)], raw: &mut [Vec<Diagnostic>]) -> usiz
         if !reached[i] {
             continue;
         }
-        let chain = render_chain(&nodes, &parent, i);
+        let chain = render_chain(nodes, &parent, i);
         let (ctx, scan) = &files[n.file];
         if let Some((b, e)) = n.def.body {
             let t = &scan.tokens;
-            let nested: Vec<(usize, usize)> = file_bodies[n.file]
-                .iter()
-                .filter(|&&(nb, ne, ni)| ni != i && nb > b && ne < e)
-                .map(|&(nb, ne, _)| (nb, ne))
-                .collect();
+            let nested = graph.nested_ranges(i);
             let mut idx = b + 1;
             while idx < e {
                 if let Some(&(_, ne)) = nested.iter().find(|&&(nb, _)| nb == idx) {
@@ -290,68 +426,6 @@ pub fn check(files: &[(LintContext, Scan)], raw: &mut [Vec<Diagnostic>]) -> usiz
     reachable
 }
 
-/// If tokens at `idx` form a call site, returns its resolved targets.
-fn resolve_call(
-    t: &[Tok],
-    idx: usize,
-    caller: &Node,
-    by_name: &BTreeMap<&str, Vec<usize>>,
-    free_by_name: &BTreeMap<&str, Vec<usize>>,
-    by_impl: &BTreeMap<(&str, &str), Vec<usize>>,
-    impl_types: &BTreeSet<&str>,
-) -> Option<Vec<usize>> {
-    let TokKind::Ident(name) = &t[idx].kind else {
-        return None;
-    };
-    if is_keyword(name) {
-        return None;
-    }
-    if !matches!(t.get(idx + 1).map(|x| &x.kind), Some(TokKind::Punct('('))) {
-        return None;
-    }
-    let prev = idx.checked_sub(1).map(|p| &t[p].kind);
-    match prev {
-        // `.foo(` — method call: every workspace fn named foo (trait
-        // objects resolve to all impls of the name).
-        Some(TokKind::Punct('.')) => Some(by_name.get(name.as_str()).cloned().unwrap_or_default()),
-        // `fn foo(` — a definition, not a call.
-        Some(TokKind::Ident(k)) if k == "fn" => None,
-        // `A::foo(` — path-qualified call.
-        Some(TokKind::Punct(':')) if idx >= 2 && matches!(t[idx - 2].kind, TokKind::Punct(':')) => {
-            match idx.checked_sub(3).map(|q| &t[q].kind) {
-                Some(TokKind::Ident(q)) if q == "Self" => {
-                    let ty = caller.def.impl_type.as_deref()?;
-                    Some(
-                        by_impl
-                            .get(&(ty, name.as_str()))
-                            .cloned()
-                            .unwrap_or_default(),
-                    )
-                }
-                Some(TokKind::Ident(q)) if impl_types.contains(q.as_str()) => Some(
-                    by_impl
-                        .get(&(q.as_str(), name.as_str()))
-                        .cloned()
-                        .unwrap_or_default(),
-                ),
-                // Unknown capitalized qualifier: an external type
-                // (`Vec::new`) — no workspace edge.
-                Some(TokKind::Ident(q)) if q.chars().next().is_some_and(char::is_uppercase) => {
-                    Some(Vec::new())
-                }
-                // Lowercase qualifier: a module path — free functions.
-                Some(TokKind::Ident(_)) => {
-                    Some(free_by_name.get(name.as_str()).cloned().unwrap_or_default())
-                }
-                // `<T as Trait>::foo(` and turbofish tails: conservative.
-                _ => Some(by_name.get(name.as_str()).cloned().unwrap_or_default()),
-            }
-        }
-        // `foo(` — free call.
-        _ => Some(free_by_name.get(name.as_str()).cloned().unwrap_or_default()),
-    }
-}
-
 /// If tokens at `idx` are a P1 panic site, returns its rendering.
 fn panic_site(t: &[Tok], idx: usize) -> Option<String> {
     let TokKind::Ident(name) = &t[idx].kind else {
@@ -371,7 +445,7 @@ fn panic_site(t: &[Tok], idx: usize) -> Option<String> {
 }
 
 /// Renders the BFS ancestry `entry → … → node`, eliding long middles.
-fn render_chain(nodes: &[Node], parent: &[Option<usize>], mut i: usize) -> String {
+pub(crate) fn render_chain(nodes: &[Node], parent: &[Option<usize>], mut i: usize) -> String {
     let mut labels = vec![nodes[i].label()];
     while let Some(p) = parent[i] {
         labels.push(nodes[p].label());
@@ -411,7 +485,8 @@ mod tests {
             })
             .collect();
         let mut raw: Vec<Vec<Diagnostic>> = vec![Vec::new(); files.len()];
-        let reachable = check(&files, &mut raw);
+        let graph = Graph::build(&files);
+        let reachable = check(&graph, &files, &mut raw);
         let mut out: Vec<(String, u32, Rule)> = raw
             .into_iter()
             .flatten()

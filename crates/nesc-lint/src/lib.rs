@@ -22,6 +22,9 @@
 //! | T1 | raw `u64` LBAs in public APIs of address-carrying crates |
 //! | T2 | `Plba` minted / newtype `.0` unwrapped outside boundary modules |
 //! | T3 | open-coded `* BLOCK_SIZE` block↔byte conversion on LBA values |
+//! | G1 | `// nesc-lint: guest-input` decode surfaces producing raw integers instead of `Untrusted<T>` |
+//! | G2 | `Untrusted::into_unchecked` escapes outside boundary modules |
+//! | G3 | guest-taint source→sink call-graph paths with no `validate_*` bounds proof |
 //! | A1 | `#[allow(...)]` attributes without an adjacent rationale comment |
 //! | A2 | suppression directives without a justification |
 //! | A3 | suppression directives that suppress nothing |
@@ -35,6 +38,13 @@
 //! are translated to physical LBAs exactly once, inside the allowlisted
 //! boundary modules, and travel as `Vlba`/`Plba` newtypes everywhere
 //! else.
+//!
+//! The G rules are the *guest-taint* family ([`guest`]), the mirror image
+//! of T: values decoded *from* the guest (SQE fields, ring descriptors,
+//! virtio headers, doorbells) travel as `Untrusted<T>` until a
+//! `nesc_extent::validate_*` bounds proof releases them, and the call
+//! graph is walked from every annotated decode surface to the
+//! translation/DMA/indexing sinks to prove a validator sits on the path.
 //!
 //! The P rules are the *panic-freedom* family ([`callgraph`]): a
 //! conservative whole-workspace call graph computes the set of functions
@@ -64,6 +74,7 @@
 //! conservative and suppressible).
 
 pub mod callgraph;
+pub mod guest;
 pub mod lexer;
 pub mod parser;
 pub mod provenance;
@@ -142,15 +153,21 @@ pub fn classify(rel: &Path) -> Option<LintContext> {
         .any(|p| s.starts_with(p)),
         // Where translation/serialization legitimately unwraps the
         // newtypes — see DESIGN.md §8 for the per-module rationale.
+        // `guest.rs` and `blk.rs` joined the allowlist with the G rules:
+        // the quarantine type's own module and the virtio wire parser are
+        // where `into_unchecked` legitimately touches raw representations
+        // (DESIGN.md §13 has the per-module rationale).
         boundary_module: matches!(
             s.as_str(),
             "crates/extent/src/types.rs"
                 | "crates/extent/src/walk.rs"
                 | "crates/extent/src/tree.rs"
                 | "crates/extent/src/layout.rs"
+                | "crates/extent/src/guest.rs"
                 | "crates/fs/src/alloc.rs"
                 | "crates/core/src/ring.rs"
                 | "crates/nvme/src/command.rs"
+                | "crates/virtio/src/blk.rs"
         ),
         crate_name,
     })
@@ -178,6 +195,9 @@ pub struct LintReport {
     /// Functions reachable from the data-path entry points
     /// ([`callgraph::ENTRY_POINTS`]) in the conservative call graph.
     pub reachable_functions: usize,
+    /// Method-shape call sites the call-graph resolver dropped because no
+    /// workspace function bears the name — the graph's audited blind spot.
+    pub unresolved_calls: usize,
 }
 
 /// Lints a set of files *together*: the per-file token/provenance rules
@@ -194,7 +214,9 @@ pub fn lint_files_all(files: &[(LintContext, String)]) -> LintReport {
         .iter()
         .map(|(ctx, scan)| rules::raw_diags(ctx, scan))
         .collect();
-    let reachable_functions = callgraph::check(&scans, &mut raw);
+    let graph = callgraph::Graph::build(&scans);
+    let reachable_functions = callgraph::check(&graph, &scans, &mut raw);
+    guest::check_graph(&graph, &scans, &mut raw);
     let mut diagnostics: Vec<Diagnostic> = scans
         .iter()
         .zip(raw)
@@ -205,6 +227,7 @@ pub fn lint_files_all(files: &[(LintContext, String)]) -> LintReport {
     LintReport {
         diagnostics,
         reachable_functions,
+        unresolved_calls: graph.unresolved_calls,
     }
 }
 
@@ -328,6 +351,14 @@ mod tests {
         assert!(d.address_crate && !d.boundary_module);
         let r = classify(Path::new("crates/core/src/ring.rs")).unwrap();
         assert!(r.boundary_module);
+        // G-rule additions: the quarantine module and the virtio wire
+        // parser are boundary; the engines consuming them are not.
+        let g = classify(Path::new("crates/extent/src/guest.rs")).unwrap();
+        assert!(g.address_crate && g.boundary_module);
+        let v = classify(Path::new("crates/virtio/src/blk.rs")).unwrap();
+        assert!(v.address_crate && v.boundary_module);
+        let h = classify(Path::new("crates/hypervisor/src/system.rs")).unwrap();
+        assert!(h.address_crate && !h.boundary_module);
         // Bench harnesses and the sim core move no addresses.
         let b = classify(Path::new("crates/bench/src/hotpath.rs")).unwrap();
         assert!(!b.address_crate);

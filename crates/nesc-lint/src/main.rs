@@ -5,16 +5,23 @@
 //! lints just those files (classified by their workspace-relative
 //! location).
 //!
-//! `--format json` emits one sorted JSON array of diagnostic objects —
-//! including directive-suppressed ones, flagged `"suppressed": true` —
-//! so downstream tooling can audit the suppression set. Suppressed
+//! `--format json` emits one sorted JSON object (schema_version 2):
+//! per-rule active/suppressed counts, the data-path reachable-set and
+//! unresolved-method-call sizes, and every diagnostic — including
+//! directive-suppressed ones, flagged `"suppressed": true` — so
+//! downstream tooling can audit the suppression set. Suppressed
 //! diagnostics never affect the exit code.
+//!
+//! `--explain <RULE>` prints one rule's rationale plus a minimal
+//! violating and conforming example; the G-family examples are the
+//! fixture corpus itself, compiled in, so they cannot drift from what
+//! the tests pin.
 
 use std::env;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use nesc_lint::Diagnostic;
+use nesc_lint::{Diagnostic, Rule};
 
 const HELP: &str = "\
 nesc-lint — NeSC workspace determinism + address-provenance linter
@@ -26,9 +33,13 @@ With no PATHS, lints every in-scope .rs file of the enclosing workspace.
 
 OPTIONS:
     --format text    human-readable lines (default)
-    --format json    sorted JSON array of all diagnostics, including
-                     directive-suppressed ones (\"suppressed\": true);
-                     suppressed entries do not affect the exit code
+    --format json    one sorted JSON object (schema_version 2): per-rule
+                     active/suppressed counts plus all diagnostics,
+                     including directive-suppressed ones
+                     (\"suppressed\": true); suppressed entries do not
+                     affect the exit code
+    --explain RULE   print RULE's rationale and a minimal violating +
+                     conforming example, then exit (e.g. --explain G3)
     -h, --help       print this help
 
 RULES:
@@ -36,6 +47,10 @@ RULES:
            intervals, hot-region allocations)
     T1-T3  address provenance (raw u64 LBAs, newtype unwraps, BLOCK_SIZE
            arithmetic outside boundary modules)
+    G1-G3  guest-taint quarantine (annotated decode surfaces produce
+           Untrusted<T>, into_unchecked stays in boundary modules, and
+           every source→sink call-graph path crosses a validate_*
+           bounds proof)
     A1-A3  suppression hygiene
     P1-P3  panic freedom on the conservative data-path call graph
            (no unwrap/expect/panic!/assert!, no hot-region slice
@@ -52,6 +67,173 @@ EXIT CODES:
 enum Format {
     Text,
     Json,
+}
+
+/// One rule's `--explain` entry: `(rationale, violating, conforming)`.
+/// The G-family examples are `include_str!`s of the fixture corpus under
+/// `tests/fixtures/`, so the explanation is exactly the code the pin
+/// tests lint; the rest are minimal inline sketches.
+fn explain(rule: Rule) -> (&'static str, &'static str, &'static str) {
+    match rule {
+        Rule::D1 => (
+            "Simulated code must read the engine's clock. A wall-clock read\n\
+             (Instant/SystemTime) makes same-seed runs diverge and breaks every\n\
+             byte-stable golden.",
+            "let started = std::time::Instant::now();",
+            "let started = ctx.now; // simulated Time owned by the engine",
+        ),
+        Rule::D2 => (
+            "Ambient randomness (thread_rng, RandomState, OS entropy) cannot be\n\
+             replayed from a seed; all randomness flows from the scenario's\n\
+             seeded SimRng.",
+            "let jitter = rand::thread_rng().gen_range(0..10);",
+            "let jitter = rng.next_u64() % 10; // SimRng seeded by the scenario",
+        ),
+        Rule::D3 => (
+            "The default SipHash hasher is randomly keyed per process, so\n\
+             HashMap/HashSet iteration order differs between runs; ordered maps\n\
+             keep event order reproducible.",
+            "let mut vfs: HashMap<u16, VfState> = HashMap::new();",
+            "let mut vfs: BTreeMap<u16, VfState> = BTreeMap::new();",
+        ),
+        Rule::D4 => (
+            "Floats accumulate platform- and ordering-dependent rounding in\n\
+             timestamps and scheduling state; fixed-point integers replay\n\
+             bit-identically.",
+            "pub service_credit: f64,",
+            "pub service_credit_micros: u64,",
+        ),
+        Rule::D5 => (
+            "A Span/SpanId fabricated outside the Tracer breaks the parent\n\
+             links that let the span tree exactly partition end-to-end latency.",
+            "let span = Span { id: SpanId(7), parent: SpanId::NONE, .. };",
+            "let span = tracer.start_span(parent); // ids allocated by the Tracer",
+        ),
+        Rule::D6 => (
+            "A bare integer where a sampling interval is expected hides its\n\
+             unit; SimDuration makes the nanoseconds explicit and conversions\n\
+             checked.",
+            "sampler.set_interval(50_000);",
+            "sampler.set_interval(SimDuration::from_micros(50));",
+        ),
+        Rule::D7 => (
+            "Allocations inside a `// nesc-lint: hot` region stall the device\n\
+             loop the throughput gate measures; buffers are sized once at\n\
+             setup and reused.",
+            "// nesc-lint: hot\npub fn drain(&mut self) {\n    self.scratch = Vec::new();\n}",
+            "pub fn drain(&mut self) {\n    self.scratch.clear(); // reuses the setup-time allocation\n}",
+        ),
+        Rule::T1 => (
+            "A raw u64 LBA in a public API erases whether the address is\n\
+             guest-virtual or physical — the exact confusion NeSC's per-VF\n\
+             translation exists to prevent.",
+            "pub fn submit(&mut self, slba: u64, blocks: u64) { /* .. */ }",
+            "pub fn submit(&mut self, slba: Vlba, blocks: u64) { /* .. */ }",
+        ),
+        Rule::T2 => (
+            "Minting a Plba or unwrapping a newtype outside a boundary module\n\
+             lets an address skip the single translation step; boundary modules\n\
+             are where wire forms legitimately live.",
+            "let p = Plba(slab_base + off); // hand-translated",
+            "let p = table.translate(vlba)?; // the one translation site",
+        ),
+        Rule::T3 => (
+            "Open-coded `* BLOCK_SIZE` scatters the block↔byte convention\n\
+             across the workspace; the newtype helpers keep the conversion in\n\
+             one audited place.",
+            "let byte = lba.0 * BLOCK_SIZE;",
+            "let byte = lba.byte_offset();",
+        ),
+        Rule::G1 => (
+            "A decode surface annotated `// nesc-lint: guest-input` reads\n\
+             attacker-controlled bytes; G1 makes it produce Untrusted<T>-\n\
+             quarantined values so nothing downstream can consume them without\n\
+             a validate_* bounds proof. In the paper the controller's private\n\
+             mapping table makes out-of-range guest addresses unrepresentable;\n\
+             here the type system plays that role.",
+            include_str!("../tests/fixtures/g1/raw_decode.rs"),
+            include_str!("../tests/fixtures/g1/wrapped_ok.rs"),
+        ),
+        Rule::G2 => (
+            "`into_unchecked` releases a quarantined value without a bounds\n\
+             proof, so it is confined to the allowlisted boundary modules (wire\n\
+             encode/decode and the validators themselves); anywhere else needs\n\
+             a justified `// nesc-lint::allow(G2): <why>`, and directives that\n\
+             stop suppressing rot into A3s.",
+            include_str!("../tests/fixtures/g2/unwrap_escape.rs"),
+            "let blocks = validate_nlb(sqe.nlb, ns.size_blocks)?; // proof, not escape",
+        ),
+        Rule::G3 => (
+            "Typing alone cannot catch a raw value routed around the wrappers,\n\
+             so G3 walks the same conservative call graph P1 uses, from every\n\
+             guest-input source to the translation/DMA/indexing sinks, and\n\
+             demands a validate_* call on the path — reporting the full taint\n\
+             chain when one is missing.",
+            include_str!("../tests/fixtures/g3/multi_hop.rs"),
+            include_str!("../tests/fixtures/g3/validated_ok.rs"),
+        ),
+        Rule::A1 => (
+            "An #[allow] without an adjacent rationale comment hides why a\n\
+             compiler lint was waived.",
+            "#[allow(dead_code)]\nfn staged() {}",
+            "// Kept until the B-side path lands.\n#[allow(dead_code)]\nfn staged() {}",
+        ),
+        Rule::A2 => (
+            "A suppression directive with no justification defeats the audit\n\
+             trail the directive system exists to provide.",
+            "// nesc-lint::allow(T2)\nlet raw = vlba.0;",
+            "// nesc-lint::allow(T2): wire encode needs the raw form.\nlet raw = vlba.0;",
+        ),
+        Rule::A3 => (
+            "A directive that no longer suppresses anything is stale\n\
+             documentation; deleting it keeps the suppression inventory honest.",
+            "// nesc-lint::allow(D1): overhead probe. (nothing below reads a clock)",
+            "(delete the directive once the violation it excused is gone)",
+        ),
+        Rule::P1 => (
+            "An unwrap/panic on the data path means one malformed request kills\n\
+             the whole simulated device instead of failing that request; faults\n\
+             must travel as typed errors to the completion path.",
+            "pub fn process_vf_request(x: Option<u64>) -> u64 {\n    x.unwrap()\n}",
+            "pub fn process_vf_request(x: Option<u64>) -> Result<u64, DeviceError> {\n    x.ok_or(DeviceError::MissingPayload)\n}",
+        ),
+        Rule::P2 => (
+            "Direct indexing in a hot region is a latent panic on the busiest\n\
+             loop; get()/iterators make the miss case explicit.",
+            "// nesc-lint: hot\nfn fold(&self, xs: &[u64]) -> u64 {\n    xs[self.cursor]\n}",
+            "fn fold(&self, xs: &[u64]) -> u64 {\n    xs.get(self.cursor).copied().unwrap_or(0)\n}",
+        ),
+        Rule::P3 => (
+            "A reachable pub fn returning Result<_, String> (or unit/opaque\n\
+             Option) gives callers nothing to match on; per-crate error enums\n\
+             keep fault handling total.",
+            "pub fn translate(&self, v: Vlba) -> Result<Plba, String> { /* .. */ }",
+            "pub fn translate(&self, v: Vlba) -> Result<Plba, ExtentError> { /* .. */ }",
+        ),
+        Rule::L1 => (
+            "Crate imports must follow the declared layering DAG so low layers\n\
+             never reach upward; one stray `use` makes the layering\n\
+             unenforceable.",
+            "use nesc_hypervisor::NescError; // from inside nesc-core",
+            "// convert at the boundary instead:\nimpl From<CoreError> for NescError { /* .. */ }",
+        ),
+    }
+}
+
+fn print_explain(rule: Rule) {
+    let (why, bad, good) = explain(rule);
+    println!("{}", rule.id());
+    for line in why.lines() {
+        println!("  {}", line.trim_start());
+    }
+    println!("\nVIOLATES:");
+    for line in bad.lines() {
+        println!("    {line}");
+    }
+    println!("\nCONFORMS:");
+    for line in good.lines() {
+        println!("    {line}");
+    }
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars) —
@@ -75,7 +257,23 @@ fn esc(s: &str) -> String {
 fn print_json(report: &nesc_lint::LintReport) {
     let diags = &report.diagnostics;
     println!("{{");
+    println!("  \"schema_version\": 2,");
     println!("  \"reachable_functions\": {},", report.reachable_functions);
+    println!("  \"unresolved_calls\": {},", report.unresolved_calls);
+    println!("  \"rule_counts\": {{");
+    for (i, r) in Rule::ALL.into_iter().enumerate() {
+        let active = diags
+            .iter()
+            .filter(|d| d.rule == r && !d.suppressed)
+            .count();
+        let suppressed = diags.iter().filter(|d| d.rule == r && d.suppressed).count();
+        let comma = if i + 1 == Rule::ALL.len() { "" } else { "," };
+        println!(
+            "    \"{}\": {{\"active\": {active}, \"suppressed\": {suppressed}}}{comma}",
+            r.id()
+        );
+    }
+    println!("  }},");
     println!("  \"diagnostics\": [");
     for (i, d) in diags.iter().enumerate() {
         let comma = if i + 1 == diags.len() { "" } else { "," };
@@ -111,6 +309,19 @@ fn main() -> ExitCode {
                     eprintln!(
                         "nesc-lint: --format expects `text` or `json`, got {:?}",
                         other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => match args.next().as_deref().and_then(Rule::parse) {
+                Some(rule) => {
+                    print_explain(rule);
+                    return ExitCode::SUCCESS;
+                }
+                None => {
+                    eprintln!(
+                        "nesc-lint: --explain expects a rule id ({})",
+                        Rule::ALL.map(Rule::id).join(", ")
                     );
                     return ExitCode::from(2);
                 }
@@ -173,7 +384,7 @@ fn main() -> ExitCode {
             }
             if active.is_empty() {
                 println!(
-                    "nesc-lint: clean (rules D1-D7, T1-T3, A1-A3, P1-P3, L1; {} data-path fns)",
+                    "nesc-lint: clean (rules D1-D7, T1-T3, G1-G3, A1-A3, P1-P3, L1; {} data-path fns)",
                     report.reachable_functions
                 );
             } else {

@@ -82,6 +82,11 @@ pub struct FnDef {
     pub fn_tok: usize,
     /// Rendered return type (`""` for unit).
     pub ret: String,
+    /// Parameters, in order; `self` receivers are omitted. The guest-taint
+    /// pass ([`crate::guest`]) reads these to decide whether a function's
+    /// signature imports taint (`Untrusted<_>`/marked-struct/guest-named
+    /// raw-integer parameters).
+    pub params: Vec<PubFnParam>,
     /// Token indices of the body's `{` and its matching `}`; `None` for
     /// bodyless trait-method declarations.
     pub body: Option<(usize, usize)>,
@@ -277,6 +282,7 @@ pub fn parse_fns(scan: &Scan) -> Vec<FnDef> {
             line,
             fn_tok,
             ret,
+            params: parse_params(&t[k + 1..after_params.saturating_sub(1)]),
             body,
         });
         // Keep scanning from just past the parameter list so functions

@@ -62,6 +62,16 @@ pub enum Rule {
     /// Byte/block arithmetic mixing (`* BLOCK_SIZE` on an LBA) outside the
     /// conversion helpers.
     T3,
+    /// A `// nesc-lint: guest-input` decode surface producing raw integers
+    /// (or bare `Vlba`s) instead of `Untrusted<T>`-quarantined values.
+    G1,
+    /// `Untrusted::into_unchecked` escaping the quarantine outside a
+    /// boundary module (the sanctioned exits are the `validate_*` proofs).
+    G2,
+    /// A guest-tainted value reaching a translation/DMA/indexing sink with
+    /// no bounds-proving validator on the interprocedural path
+    /// ([`crate::guest`]).
+    G3,
     /// `#[allow(...)]` attribute without an adjacent `// allow:` rationale.
     A1,
     /// `nesc-lint::allow` directive without a justification.
@@ -88,7 +98,7 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, for iteration and parsing.
-    pub const ALL: [Rule; 17] = [
+    pub const ALL: [Rule; 20] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
@@ -99,6 +109,9 @@ impl Rule {
         Rule::T1,
         Rule::T2,
         Rule::T3,
+        Rule::G1,
+        Rule::G2,
+        Rule::G3,
         Rule::A1,
         Rule::A2,
         Rule::A3,
@@ -121,6 +134,9 @@ impl Rule {
             Rule::T1 => "T1",
             Rule::T2 => "T2",
             Rule::T3 => "T3",
+            Rule::G1 => "G1",
+            Rule::G2 => "G2",
+            Rule::G3 => "G3",
             Rule::A1 => "A1",
             Rule::A2 => "A2",
             Rule::A3 => "A3",
@@ -369,15 +385,21 @@ const DIRECTIVE: &str = "nesc-lint::allow(";
 /// — the same coverage rule suppression directives use.
 const HOT_MARKER: &str = "nesc-lint: hot";
 
-/// Line ranges `(first, last)` pinned allocation-free by `// nesc-lint:
-/// hot` markers. Doc comments never open a region, so documentation
-/// *showing* the marker does not arm D7.
-fn hot_regions(comments: &[Comment], tokens: &[Tok]) -> Vec<(u32, u32)> {
+/// Line ranges `(first, last)` governed by a plain-comment marker whose
+/// whole text is exactly `marker` — the region-pinning machinery shared
+/// by `// nesc-lint: hot` (D7/P2) and `// nesc-lint: guest-input` (the G
+/// rules, [`crate::guest`]). Doc comments never open a region, so
+/// documentation *showing* a marker does not arm anything.
+pub(crate) fn marker_regions(
+    comments: &[Comment],
+    tokens: &[Tok],
+    marker: &str,
+) -> Vec<(u32, u32)> {
     let mut code_lines: Vec<u32> = tokens.iter().map(|t| t.line).collect();
     code_lines.dedup();
     let mut out = Vec::new();
     for c in comments {
-        if c.doc || c.text != HOT_MARKER {
+        if c.doc || c.text != marker {
             continue;
         }
         let start = match code_lines.binary_search(&(c.line + 1)) {
@@ -390,6 +412,11 @@ fn hot_regions(comments: &[Comment], tokens: &[Tok]) -> Vec<(u32, u32)> {
         out.push((start, item_end_line(tokens, start)));
     }
     out
+}
+
+/// Line ranges pinned allocation-free by `// nesc-lint: hot` markers.
+fn hot_regions(comments: &[Comment], tokens: &[Tok]) -> Vec<(u32, u32)> {
+    marker_regions(comments, tokens, HOT_MARKER)
 }
 
 /// Parses suppression directives out of the comment list. `line_has_code`
@@ -532,6 +559,44 @@ fn is_attr_start(tokens: &[Tok], i: usize, pat: &[&str]) -> bool {
 
 pub(crate) fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
     regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Keywords that, directly before a `[`, make it a non-expression context
+/// (array literal, type, slice pattern) rather than an index — shared by
+/// the P2 hot-indexing rule and the G3 guest-index sink.
+pub(crate) fn nonindex_keyword(base: &str) -> bool {
+    matches!(
+        base,
+        "let"
+            | "return"
+            | "break"
+            | "in"
+            | "if"
+            | "else"
+            | "match"
+            | "mut"
+            | "ref"
+            | "as"
+            | "move"
+            | "for"
+            | "while"
+            | "loop"
+            | "dyn"
+            | "impl"
+            | "fn"
+            | "use"
+            | "pub"
+            | "const"
+            | "static"
+            | "type"
+            | "enum"
+            | "struct"
+            | "trait"
+            | "mod"
+            | "unsafe"
+            | "where"
+            | "box"
+    )
 }
 
 /// Counts top-level generic arguments after an opening `<` at `tokens[i]`.
@@ -887,38 +952,7 @@ pub(crate) fn raw_diags(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
                     && i > 0
                     && match &tokens[i - 1].kind {
                         TokKind::Punct(')') | TokKind::Punct(']') => true,
-                        TokKind::Ident(base) => !matches!(
-                            base.as_str(),
-                            "let"
-                                | "return"
-                                | "break"
-                                | "in"
-                                | "if"
-                                | "else"
-                                | "match"
-                                | "mut"
-                                | "ref"
-                                | "as"
-                                | "move"
-                                | "for"
-                                | "while"
-                                | "loop"
-                                | "dyn"
-                                | "impl"
-                                | "fn"
-                                | "use"
-                                | "pub"
-                                | "const"
-                                | "static"
-                                | "type"
-                                | "enum"
-                                | "struct"
-                                | "trait"
-                                | "mod"
-                                | "unsafe"
-                                | "where"
-                                | "box"
-                        ),
+                        TokKind::Ident(base) => !nonindex_keyword(base),
                         _ => false,
                     } =>
             {
@@ -952,10 +986,13 @@ pub(crate) fn raw_diags(ctx: &LintContext, scan: &Scan) -> Vec<Diagnostic> {
         }
     }
 
-    // The provenance pass (T1-T3) contributes raw diagnostics *before*
-    // suppression is applied, so boundary-justified `allow(T2)` directives
-    // both suppress them and count as used.
+    // The provenance (T1-T3) and guest-taint (G1/G2) passes contribute raw
+    // diagnostics *before* suppression is applied, so boundary-justified
+    // `allow(T2)` / `allow(G2)` directives both suppress them and count as
+    // used. (G3 is interprocedural and joins through the workspace driver,
+    // like P1/P3.)
     crate::provenance::check(ctx, scan, &tests, &mut raw);
+    crate::guest::check_file(ctx, scan, &tests, &mut raw);
     raw
 }
 

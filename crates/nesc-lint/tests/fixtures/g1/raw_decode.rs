@@ -1,0 +1,18 @@
+//! G1 fixture: marked guest-decode surfaces leaking raw values.
+//!
+//! The struct leaks a raw integer (`nlb`) and a bare virtual address
+//! (`slba`); the host-pointer field (`prp1`) is exempt — PRP/buffer
+//! addresses are policed by the DMA layer, not the extent walk. The
+//! decode fn returns a raw integer instead of quarantining.
+
+// nesc-lint: guest-input
+pub struct WireSqe {
+    pub nlb: u32,
+    pub slba: Vlba,
+    pub prp1: HostAddr,
+}
+
+// nesc-lint: guest-input
+pub fn read_doorbell(value: u64) -> u32 {
+    value as u32
+}

@@ -1,0 +1,16 @@
+//! G1 conforming example: the decode surface quarantines every
+//! guest-controlled value in `Untrusted<T>`; only a bounds-proving
+//! `validate_*` (or an allowlisted boundary `into_unchecked`) can
+//! release them. The host-pointer field stays bare by design.
+
+// nesc-lint: guest-input
+pub struct WireSqe {
+    pub nlb: Untrusted<u32>,
+    pub slba: Untrusted<Vlba>,
+    pub prp1: HostAddr,
+}
+
+// nesc-lint: guest-input
+pub fn read_doorbell(value: u64) -> Untrusted<u32> {
+    Untrusted::new(value as u32)
+}

@@ -1,0 +1,19 @@
+//! G2 fixture: quarantine escapes outside a boundary module.
+//!
+//! The bare escape fires; the justified directive suppresses its
+//! escape without going stale; the dead directive (nothing below it
+//! escapes) earns an A3.
+
+pub fn escape(nlb: Untrusted<u32>) -> u32 {
+    nlb.into_unchecked()
+}
+
+// nesc-lint::allow(G2): wire re-encode keeps the raw form next to its decode.
+pub fn reencode(nlb: Untrusted<u32>) -> u32 {
+    nlb.into_unchecked()
+}
+
+// nesc-lint::allow(G2): stale justification — nothing below escapes.
+pub fn quarantined(nlb: Untrusted<u32>) -> Untrusted<u32> {
+    nlb
+}

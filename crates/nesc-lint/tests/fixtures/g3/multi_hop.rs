@@ -1,0 +1,34 @@
+//! G3 fixture: guest taint reaching sinks with no bounds proof.
+//!
+//! `pump` reads a marked source and hands the value down two hops;
+//! `consume` unwraps it (a G2 as well — strict context is not a
+//! boundary module) and drives a DMA read with it, so G3 reports the
+//! full chain pump → advance → consume. The two signature-tainted
+//! helpers exercise the indexing and ring-arithmetic sinks.
+
+// nesc-lint: guest-input
+fn read_doorbell() -> Untrusted<u32> {
+    Untrusted::new(7)
+}
+
+pub fn pump(mem: &HostMemory) {
+    let tail = read_doorbell();
+    advance(mem, tail);
+}
+
+fn advance(mem: &HostMemory, ring_tail: Untrusted<u32>) {
+    consume(mem, ring_tail);
+}
+
+fn consume(mem: &HostMemory, ring_tail: Untrusted<u32>) {
+    let raw = ring_tail.into_unchecked();
+    mem.dma_read(u64::from(raw), 16);
+}
+
+pub fn index_queue(heads: &[u64], ring_tail: u32) -> u64 {
+    heads[ring_tail as usize]
+}
+
+pub fn head_math(ring_tail: u32, entries: u32) -> u32 {
+    ring_tail % entries
+}

@@ -1,0 +1,29 @@
+//! G3 conforming example: the bounds proof precedes the sink.
+//!
+//! `pump` launders the guest-read tail through `validate_tail` before
+//! the DMA sink, so the taint is cleared on every path; the validator
+//! itself unwraps under a justified directive (in the real workspace
+//! validators live in an allowlisted boundary module instead).
+
+// nesc-lint: guest-input
+fn read_doorbell() -> Untrusted<u32> {
+    Untrusted::new(7)
+}
+
+// nesc-lint::allow(G2): the comparison IS the bounds proof; the raw value dies here.
+fn validate_tail(tail: Untrusted<u32>, entries: u32) -> Result<u32, GuestFault> {
+    let t = tail.into_unchecked();
+    if t < entries {
+        Ok(t)
+    } else {
+        Err(GuestFault::TailOutOfRange { tail: t, entries })
+    }
+}
+
+pub fn pump(mem: &HostMemory, entries: u32) {
+    let tail = read_doorbell();
+    let Ok(tail) = validate_tail(tail, entries) else {
+        return;
+    };
+    mem.dma_read(u64::from(tail), 16);
+}

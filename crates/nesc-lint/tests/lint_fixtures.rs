@@ -283,6 +283,88 @@ fn p3_flags_stringly_errors_on_reachable_public_api() {
 }
 
 #[test]
+fn g1_flags_raw_values_on_marked_decode_surfaces() {
+    // The marked struct's raw integer (line 10) and bare Vlba (line 11)
+    // fire; the HostAddr field (line 12) is exempt; the marked fn's raw
+    // return (line 16) fires. `slba: Vlba` is not a T1 (not `u64`).
+    assert_eq!(
+        lint_fixture("g1/raw_decode.rs"),
+        vec![(10, Rule::G1), (11, Rule::G1), (16, Rule::G1)]
+    );
+}
+
+#[test]
+fn g1_accepts_quarantined_decode_surfaces() {
+    assert_eq!(lint_fixture("g1/wrapped_ok.rs"), vec![]);
+}
+
+#[test]
+fn g2_flags_unjustified_quarantine_escapes() {
+    // The bare escape (line 8) fires; the justified directive (line 11)
+    // suppresses its escape (line 13) without going stale; the dead
+    // directive (line 16) earns an A3.
+    assert_eq!(
+        lint_fixture("g2/unwrap_escape.rs"),
+        vec![(8, Rule::G2), (16, Rule::A3)]
+    );
+}
+
+#[test]
+fn g3_reports_the_full_multi_hop_taint_chain() {
+    // `consume`'s unwrap (line 24, G2 in a non-boundary context) and DMA
+    // sink (line 25) fire — the G3 message must carry the whole
+    // pump → advance → consume chain; the signature-tainted indexing
+    // (line 29) and ring-arithmetic (line 33) sinks fire standalone.
+    let p = "g3/multi_hop.rs".to_string();
+    assert_eq!(
+        lint_fixture_set(&["g3/multi_hop.rs"]),
+        vec![
+            (p.clone(), 24, Rule::G2),
+            (p.clone(), 25, Rule::G3),
+            (p.clone(), 29, Rule::G3),
+            (p, 33, Rule::G3),
+        ]
+    );
+}
+
+#[test]
+fn g3_chain_rendering_names_every_hop() {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src = std::fs::read_to_string(base.join("g3/multi_hop.rs")).expect("fixture");
+    let report = nesc_lint::lint_files_all(&[(LintContext::strict("g3/multi_hop.rs"), src)]);
+    let g3 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == Rule::G3 && d.line == 25)
+        .expect("the dma_read sink");
+    assert!(
+        g3.message.contains("pump → advance → consume"),
+        "chain missing from: {}",
+        g3.message
+    );
+}
+
+#[test]
+fn g3_accepts_a_validator_on_the_path() {
+    // The validate_tail call between the guest-input source and the DMA
+    // sink clears the taint; the validator's own unwrap is justified.
+    assert_eq!(lint_fixture_set(&["g3/validated_ok.rs"]), vec![]);
+}
+
+#[test]
+fn unresolved_method_calls_are_counted_not_dropped() {
+    // The p1 fixture's method calls (`x.unwrap()`, `v.checked_add(1)`,
+    // two `.expect(..)`s) resolve to no harvested fn, so the graph must
+    // *count* them instead of silently dropping the edges. Exact pin:
+    // growth here means the conservative analysis got blinder and
+    // someone should look.
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src = std::fs::read_to_string(base.join("p1/data_path.rs")).expect("fixture");
+    let report = nesc_lint::lint_files_all(&[(LintContext::strict("p1/data_path.rs"), src)]);
+    assert_eq!(report.unresolved_calls, 4);
+}
+
+#[test]
 fn l1_flags_upward_imports_and_inline_paths() {
     // The strict context places the file in `nesc_sim`, the bottom layer
     // with no dependencies: both `use` imports (lines 3-4) and the

@@ -13,7 +13,8 @@
 //!      [48..52] NLB (0-based)
 //! ```
 
-use nesc_extent::Vlba;
+use nesc_extent::{Untrusted, Vlba};
+use nesc_pcie::HostAddr;
 
 /// Supported opcodes (NVM command set subset).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,45 +103,82 @@ pub const SQE_BYTES: u64 = 64;
 pub const CQE_BYTES: u64 = 16;
 
 /// One submission-queue entry.
+///
+/// Every field the guest controls arrives quarantined in
+/// [`Untrusted`]: the controller's dispatch path must run it through a
+/// `nesc_extent::validate_*` bounds proof before it can drive an extent
+/// walk or a DMA transfer. `prp1` stays a bare [`HostAddr`] — buffer
+/// pointers are policed by the DMA layer's address-space checks, not
+/// the block-address validators.
+// nesc-lint: guest-input
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SubmissionEntry {
     /// Command opcode.
     pub opcode: NvmeOpcode,
     /// Command identifier, echoed in the completion.
-    pub cid: u16,
+    pub cid: Untrusted<u16>,
     /// Target namespace (1-based, NVMe convention).
-    pub nsid: u32,
+    pub nsid: Untrusted<u32>,
     /// Data buffer (PRP1) in host memory.
-    pub prp1: u64,
+    pub prp1: HostAddr,
     /// Starting logical block (in the namespace's 1 KiB blocks). A
     /// namespace is a guest-visible virtual disk, so the address is
-    /// virtual by construction.
-    pub slba: Vlba,
+    /// virtual by construction — and unproven until validated.
+    pub slba: Untrusted<Vlba>,
     /// Number of logical blocks, **0-based** per the NVMe convention
     /// (`0` means one block).
-    pub nlb: u32,
+    pub nlb: Untrusted<u32>,
 }
 
 impl SubmissionEntry {
-    /// Number of blocks (1-based).
+    /// Builds an entry from trusted host-side values (drivers, tests,
+    /// benches), quarantining them exactly as a wire decode would.
+    pub fn new(
+        opcode: NvmeOpcode,
+        cid: u16,
+        nsid: u32,
+        prp1: HostAddr,
+        slba: Vlba,
+        nlb: u32,
+    ) -> Self {
+        SubmissionEntry {
+            opcode,
+            cid: Untrusted::new(cid),
+            nsid: Untrusted::new(nsid),
+            prp1,
+            slba: Untrusted::new(slba),
+            nlb: Untrusted::new(nlb),
+        }
+    }
+
+    /// The target namespace id. Releasing it raw is a *total*
+    /// validation: the value is only ever used as a lookup key, and an
+    /// unknown nsid fails closed with `InvalidNamespace`.
+    pub fn nsid(&self) -> u32 {
+        self.nsid.into_unchecked()
+    }
+
+    /// Number of blocks (1-based), for sizing host-side buffers. The
+    /// device-side bound check happens in dispatch via `validate_nlb`.
     pub fn blocks(&self) -> u64 {
-        self.nlb as u64 + 1
+        self.nlb.into_unchecked() as u64 + 1
     }
 
     /// Encodes into the 64-byte wire form.
     pub fn encode(&self) -> [u8; SQE_BYTES as usize] {
         let mut b = [0u8; SQE_BYTES as usize];
         b[0] = self.opcode.byte();
-        b[2..4].copy_from_slice(&self.cid.to_le_bytes());
-        b[4..8].copy_from_slice(&self.nsid.to_le_bytes());
+        b[2..4].copy_from_slice(&self.cid.into_unchecked().to_le_bytes());
+        b[4..8].copy_from_slice(&self.nsid.into_unchecked().to_le_bytes());
         b[24..32].copy_from_slice(&self.prp1.to_le_bytes());
-        b[40..48].copy_from_slice(&self.slba.0.to_le_bytes());
-        b[48..52].copy_from_slice(&self.nlb.to_le_bytes());
+        b[40..48].copy_from_slice(&self.slba.into_unchecked().0.to_le_bytes());
+        b[48..52].copy_from_slice(&self.nlb.into_unchecked().to_le_bytes());
         b
     }
 
     /// Decodes the wire form; `None` for unknown opcodes.
-    pub fn decode(b: &[u8; SQE_BYTES as usize]) -> Option<Self> {
+    // nesc-lint: guest-input
+    pub fn decode(b: &[u8; SQE_BYTES as usize]) -> Option<SubmissionEntry> {
         let le32 = |off: usize| {
             b.get(off..off + 4)
                 .and_then(|s| s.try_into().ok())
@@ -153,11 +191,11 @@ impl SubmissionEntry {
         };
         Some(SubmissionEntry {
             opcode: NvmeOpcode::from_byte(b[0])?,
-            cid: u16::from_le_bytes([b[2], b[3]]),
-            nsid: le32(4)?,
+            cid: Untrusted::new(u16::from_le_bytes([b[2], b[3]])),
+            nsid: Untrusted::new(le32(4)?),
             prp1: le64(24)?,
-            slba: Vlba(le64(40)?),
-            nlb: le32(48)?,
+            slba: Untrusted::new(Vlba(le64(40)?)),
+            nlb: Untrusted::new(le32(48)?),
         })
     }
 }
@@ -230,14 +268,7 @@ mod tests {
 
     #[test]
     fn nlb_is_zero_based() {
-        let sqe = SubmissionEntry {
-            opcode: NvmeOpcode::Read,
-            cid: 1,
-            nsid: 1,
-            prp1: 0,
-            slba: Vlba(0),
-            nlb: 0,
-        };
+        let sqe = SubmissionEntry::new(NvmeOpcode::Read, 1, 1, 0, Vlba(0), 0);
         assert_eq!(sqe.blocks(), 1);
     }
 
@@ -251,14 +282,14 @@ mod tests {
             nlb in any::<u32>(),
             op in 0u8..3,
         ) {
-            let sqe = SubmissionEntry {
-                opcode: NvmeOpcode::from_byte(op).unwrap(),
+            let sqe = SubmissionEntry::new(
+                NvmeOpcode::from_byte(op).unwrap(),
                 cid,
                 nsid,
                 prp1,
-                slba: Vlba(slba),
+                Vlba(slba),
                 nlb,
-            };
+            );
             prop_assert_eq!(SubmissionEntry::decode(&sqe.encode()), Some(sqe));
         }
 

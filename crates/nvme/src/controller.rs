@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use nesc_core::{CompletionStatus, FuncId, IrqReason, NescConfig, NescDevice, NescOutput};
-use nesc_extent::Vlba;
+use nesc_extent::{validate_cid, validate_nlb, validate_slba};
 use nesc_pcie::{HostAddr, HostMemory};
 use nesc_sim::{SimDuration, SimTime};
 use nesc_storage::{BlockOp, BlockRequest, RequestId};
@@ -97,9 +97,8 @@ struct QueuePair {
 ///
 /// let buf = mem.borrow_mut().alloc(1024, 4096);
 /// mem.borrow_mut().write(buf, &[0x42; 1024]);
-/// let done = ctrl.submit_and_process(SimTime::ZERO, qid, &[SubmissionEntry {
-///     opcode: NvmeOpcode::Write, cid: 1, nsid: ns, prp1: buf, slba: Vlba(0), nlb: 0,
-/// }]).unwrap();
+/// let sqe = SubmissionEntry::new(NvmeOpcode::Write, 1, ns, buf, Vlba(0), 0);
+/// let done = ctrl.submit_and_process(SimTime::ZERO, qid, &[sqe]).unwrap();
 /// assert_eq!(done[0].0.status, NvmeStatus::Success);
 /// // The bytes landed on the namespace's *file* blocks (pLBA 64).
 /// assert_eq!(ctrl.device().store().read_block(Plba(64)).unwrap(), vec![0x42; 1024]);
@@ -269,27 +268,31 @@ impl NvmeController {
     }
 
     fn dispatch(&mut self, qid: u16, sqe: SubmissionEntry, sq_head: u16, t: SimTime) {
-        let Some(ns) = self.namespaces.get(&sqe.nsid).copied() else {
-            self.post_now(qid, sqe.cid, sq_head, NvmeStatus::InvalidNamespace);
+        // The cid only flows back into the completion entry (total
+        // validation); the nsid is a lookup key that fails closed.
+        let cid = validate_cid(sqe.cid);
+        let Some(ns) = self.namespaces.get(&sqe.nsid()).copied() else {
+            self.post_now(qid, cid, sq_head, NvmeStatus::InvalidNamespace);
             return;
         };
         match sqe.opcode {
             NvmeOpcode::Flush => {
                 // Completes once prior writes to the namespace are durable;
                 // with the in-order pump this is immediate at reap time.
-                self.post_now(qid, sqe.cid, sq_head, NvmeStatus::Success);
+                self.post_now(qid, cid, sq_head, NvmeStatus::Success);
             }
             NvmeOpcode::Read | NvmeOpcode::Write => {
-                // Wire-decoded SLBAs are untrusted: the checked add also
+                // Wire-decoded SLBA/NLB are untrusted until the bounds
+                // proofs release them; validate_slba's checked add also
                 // rejects ranges that wrap the address space.
-                let in_range = sqe
-                    .slba
-                    .checked_add_blocks(sqe.blocks())
-                    .is_some_and(|end| end <= Vlba(ns.size_blocks));
-                if !in_range {
-                    self.post_now(qid, sqe.cid, sq_head, NvmeStatus::LbaOutOfRange);
+                let Ok(blocks) = validate_nlb(sqe.nlb, ns.size_blocks) else {
+                    self.post_now(qid, cid, sq_head, NvmeStatus::LbaOutOfRange);
                     return;
-                }
+                };
+                let Ok(slba) = validate_slba(sqe.slba, blocks, ns.size_blocks) else {
+                    self.post_now(qid, cid, sq_head, NvmeStatus::LbaOutOfRange);
+                    return;
+                };
                 let op = if sqe.opcode == NvmeOpcode::Read {
                     BlockOp::Read
                 } else {
@@ -297,11 +300,11 @@ impl NvmeController {
                 };
                 self.next_req += 1;
                 let id = RequestId(self.next_req);
-                self.inflight.insert(id, (qid, sqe.cid, sq_head));
+                self.inflight.insert(id, (qid, cid, sq_head));
                 self.dev.submit(
                     t,
                     ns.func,
-                    BlockRequest::new(id, op, sqe.slba, sqe.blocks()),
+                    BlockRequest::new(id, op, slba, blocks),
                     sqe.prp1,
                 );
             }
@@ -446,14 +449,14 @@ mod tests {
             .submit_and_process(
                 SimTime::ZERO,
                 qid,
-                &[SubmissionEntry {
-                    opcode: NvmeOpcode::Write,
-                    cid: 1,
-                    nsid: ns,
-                    prp1: wbuf,
-                    slba: Vlba(8),
-                    nlb: 3,
-                }],
+                &[SubmissionEntry::new(
+                    NvmeOpcode::Write,
+                    1,
+                    ns,
+                    wbuf,
+                    Vlba(8),
+                    3,
+                )],
             )
             .unwrap();
         assert_eq!(done.len(), 1);
@@ -465,14 +468,14 @@ mod tests {
             .submit_and_process(
                 done[0].1,
                 qid,
-                &[SubmissionEntry {
-                    opcode: NvmeOpcode::Read,
-                    cid: 2,
-                    nsid: ns,
-                    prp1: rbuf,
-                    slba: Vlba(8),
-                    nlb: 3,
-                }],
+                &[SubmissionEntry::new(
+                    NvmeOpcode::Read,
+                    2,
+                    ns,
+                    rbuf,
+                    Vlba(8),
+                    3,
+                )],
             )
             .unwrap();
         assert!(done[0].0.status.is_success());
@@ -488,22 +491,9 @@ mod tests {
                 SimTime::ZERO,
                 qid,
                 &[
-                    SubmissionEntry {
-                        opcode: NvmeOpcode::Read,
-                        cid: 1,
-                        nsid: 99,
-                        prp1: buf,
-                        slba: Vlba(0),
-                        nlb: 0,
-                    },
-                    SubmissionEntry {
-                        opcode: NvmeOpcode::Read,
-                        cid: 2,
-                        nsid: ns,
-                        prp1: buf,
-                        slba: Vlba(63),
-                        nlb: 1, // two blocks: 63,64 — past the 64-block ns
-                    },
+                    SubmissionEntry::new(NvmeOpcode::Read, 1, 99, buf, Vlba(0), 0),
+                    // two blocks: 63,64 — past the 64-block ns
+                    SubmissionEntry::new(NvmeOpcode::Read, 2, ns, buf, Vlba(63), 1),
                 ],
             )
             .unwrap();
@@ -519,14 +509,14 @@ mod tests {
             .submit_and_process(
                 SimTime::ZERO,
                 qid,
-                &[SubmissionEntry {
-                    opcode: NvmeOpcode::Flush,
-                    cid: 5,
-                    nsid: ns,
-                    prp1: 0,
-                    slba: Vlba(0),
-                    nlb: 0,
-                }],
+                &[SubmissionEntry::new(
+                    NvmeOpcode::Flush,
+                    5,
+                    ns,
+                    0,
+                    Vlba(0),
+                    0,
+                )],
             )
             .unwrap();
         assert_eq!(done[0].0.cid, 5);
@@ -547,28 +537,28 @@ mod tests {
         ctrl.submit_and_process(
             SimTime::ZERO,
             qid,
-            &[SubmissionEntry {
-                opcode: NvmeOpcode::Write,
-                cid: 1,
-                nsid: ns_a,
-                prp1: buf,
-                slba: Vlba(0),
-                nlb: 0,
-            }],
+            &[SubmissionEntry::new(
+                NvmeOpcode::Write,
+                1,
+                ns_a,
+                buf,
+                Vlba(0),
+                0,
+            )],
         )
         .unwrap();
         mem.borrow_mut().write(buf, &[0xB0; 1024]);
         ctrl.submit_and_process(
             SimTime::from_nanos(1_000_000),
             qid,
-            &[SubmissionEntry {
-                opcode: NvmeOpcode::Write,
-                cid: 2,
-                nsid: ns_b,
-                prp1: buf,
-                slba: Vlba(0),
-                nlb: 0,
-            }],
+            &[SubmissionEntry::new(
+                NvmeOpcode::Write,
+                2,
+                ns_b,
+                buf,
+                Vlba(0),
+                0,
+            )],
         )
         .unwrap();
         assert_eq!(
@@ -597,14 +587,14 @@ mod tests {
             .submit_and_process(
                 SimTime::ZERO,
                 qid,
-                &[SubmissionEntry {
-                    opcode: NvmeOpcode::Read,
-                    cid: 1,
-                    nsid: ns,
-                    prp1: buf,
-                    slba: Vlba(0),
-                    nlb: 0,
-                }],
+                &[SubmissionEntry::new(
+                    NvmeOpcode::Read,
+                    1,
+                    ns,
+                    buf,
+                    Vlba(0),
+                    0,
+                )],
             )
             .unwrap();
         assert_eq!(done[0].0.status, NvmeStatus::InvalidNamespace);
@@ -623,14 +613,7 @@ mod tests {
         mem.borrow_mut().write(buf, &[0x7E; 1024]);
         ctrl.push(
             qid,
-            SubmissionEntry {
-                opcode: NvmeOpcode::Write,
-                cid: 9,
-                nsid: ns,
-                prp1: buf,
-                slba: Vlba(4),
-                nlb: 0,
-            },
+            SubmissionEntry::new(NvmeOpcode::Write, 9, ns, buf, Vlba(4), 0),
         )
         .unwrap();
         ctrl.ring_doorbell(qid, SimTime::ZERO).unwrap();
@@ -676,14 +659,7 @@ mod tests {
         for cid in 0..4 {
             ctrl.push(
                 qid,
-                SubmissionEntry {
-                    opcode: NvmeOpcode::Read,
-                    cid,
-                    nsid: ns,
-                    prp1: buf,
-                    slba: Vlba(cid as u64),
-                    nlb: 0,
-                },
+                SubmissionEntry::new(NvmeOpcode::Read, cid, ns, buf, Vlba(cid as u64), 0),
             )
             .unwrap();
         }
@@ -720,14 +696,7 @@ mod tests {
         let (mem, mut ctrl, ns, _) = setup();
         let qid = ctrl.create_queue_pair(2); // capacity 1
         let buf = mem.borrow_mut().alloc(1024, 4096);
-        let sqe = SubmissionEntry {
-            opcode: NvmeOpcode::Read,
-            cid: 1,
-            nsid: ns,
-            prp1: buf,
-            slba: Vlba(0),
-            nlb: 0,
-        };
+        let sqe = SubmissionEntry::new(NvmeOpcode::Read, 1, ns, buf, Vlba(0), 0);
         ctrl.push(qid, sqe).unwrap();
         assert!(matches!(ctrl.push(qid, sqe), Err(NvmeError::Full(_))));
         assert!(matches!(

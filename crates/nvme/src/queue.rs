@@ -39,9 +39,7 @@ impl std::error::Error for QueueFull {}
 ///
 /// let mut mem = HostMemory::new();
 /// let mut sq = SubmissionQueue::new(&mut mem, 4);
-/// let sqe = SubmissionEntry {
-///     opcode: NvmeOpcode::Read, cid: 7, nsid: 1, prp1: 0x9000, slba: Vlba(0), nlb: 3,
-/// };
+/// let sqe = SubmissionEntry::new(NvmeOpcode::Read, 7, 1, 0x9000, Vlba(0), 3);
 /// sq.push(&mut mem, sqe).unwrap();
 /// // Controller side:
 /// assert_eq!(sq.pop(&mem), Some(sqe));
@@ -225,17 +223,10 @@ impl CompletionQueue {
 mod tests {
     use super::*;
     use crate::command::{NvmeOpcode, NvmeStatus};
-    use nesc_extent::Vlba;
+    use nesc_extent::{Untrusted, Vlba};
 
     fn sqe(cid: u16) -> SubmissionEntry {
-        SubmissionEntry {
-            opcode: NvmeOpcode::Write,
-            cid,
-            nsid: 1,
-            prp1: 0x4000,
-            slba: Vlba(cid as u64),
-            nlb: 0,
-        }
+        SubmissionEntry::new(NvmeOpcode::Write, cid, 1, 0x4000, Vlba(cid as u64), 0)
     }
 
     #[test]
@@ -248,7 +239,7 @@ mod tests {
         }
         assert_eq!(sq.push(&mut mem, sqe(9)), Err(QueueFull { entries: 4 }));
         for i in 0..3 {
-            assert_eq!(sq.pop(&mem).unwrap().cid, i);
+            assert_eq!(sq.pop(&mem).unwrap().cid, Untrusted::new(i));
         }
         assert!(sq.pop(&mem).is_none());
         // Freed slots are reusable across the wrap.
@@ -298,7 +289,7 @@ mod tests {
         mem.write(sq.base, &[0xFFu8]);
         sq.push(&mut mem, sqe(2)).unwrap();
         // pop() skips the corrupt entry and yields the good one.
-        assert_eq!(sq.pop(&mem).unwrap().cid, 2);
+        assert_eq!(sq.pop(&mem).unwrap().cid, Untrusted::new(2));
     }
 
     #[test]

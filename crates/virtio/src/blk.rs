@@ -7,7 +7,7 @@
 //! backend-side decode, with real header bytes moving through
 //! [`HostMemory`].
 
-use nesc_extent::Vlba;
+use nesc_extent::{validate_sector, GuestFault, Untrusted, Vlba};
 use nesc_pcie::{HostAddr, HostMemory};
 
 use crate::queue::Descriptor;
@@ -79,17 +79,25 @@ impl BlkStatus {
 }
 
 /// A decoded virtio-blk request.
+///
+/// The header a backend decodes lives in guest-writable memory, so the
+/// sector and length arrive quarantined in [`Untrusted`]; a backend
+/// releases the sector through [`validated_sector`](Self::validated_sector)
+/// (or the raw boundary accessors below, which live in this module by
+/// design). The buffer addresses stay bare [`HostAddr`]s — DMA targets are
+/// policed by the memory model, not the block validators.
+// nesc-lint: guest-input
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlkRequest {
     /// Command.
     pub rtype: BlkRequestType,
     /// First 512-byte sector (virtio-blk addresses in sectors regardless of
-    /// the backing block size).
-    pub sector: u64,
+    /// the backing block size). Guest-chosen and unproven until validated.
+    pub sector: Untrusted<u64>,
     /// Guest data buffer.
     pub data: HostAddr,
-    /// Data length in bytes.
-    pub len: u32,
+    /// Data length in bytes. Guest-chosen and unproven until validated.
+    pub len: Untrusted<u32>,
     /// Where the device writes the status byte.
     pub status: HostAddr,
 }
@@ -118,9 +126,43 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 impl BlkRequest {
+    /// Builds a request from trusted driver-side values (drivers, tests,
+    /// benches), quarantining them exactly as [`parse_chain`](Self::parse_chain)
+    /// would.
+    pub fn new(
+        rtype: BlkRequestType,
+        sector: u64,
+        data: HostAddr,
+        len: u32,
+        status: HostAddr,
+    ) -> Self {
+        BlkRequest {
+            rtype,
+            sector: Untrusted::new(sector),
+            data,
+            len: Untrusted::new(len),
+            status,
+        }
+    }
+
+    /// Proves the starting sector against a device capacity, releasing it
+    /// from quarantine.
+    ///
+    /// # Errors
+    ///
+    /// [`GuestFault::SectorOutOfRange`] if the sector does not fit the
+    /// device.
+    pub fn validated_sector(&self, capacity_sectors: u64) -> Result<u64, GuestFault> {
+        validate_sector(self.sector, capacity_sectors)
+    }
+
     /// The request's starting byte offset in the guest's virtual disk.
+    ///
+    /// Boundary accessor: the offset is still guest-derived; callers
+    /// outside this module should prefer
+    /// [`validated_sector`](Self::validated_sector).
     pub fn byte_offset(&self) -> u64 {
-        self.sector * SECTOR_BYTES
+        self.sector.into_unchecked() * SECTOR_BYTES
     }
 
     /// The virtual block containing the request's first sector.
@@ -140,7 +182,7 @@ impl BlkRequest {
     pub fn build_chain(&self, mem: &mut HostMemory, header_addr: HostAddr) -> Vec<Descriptor> {
         let mut header = [0u8; 16];
         header[0..4].copy_from_slice(&self.rtype.code().to_le_bytes());
-        header[8..16].copy_from_slice(&self.sector.to_le_bytes());
+        header[8..16].copy_from_slice(&self.sector.into_unchecked().to_le_bytes());
         mem.write(header_addr, &header);
         let mut chain = vec![Descriptor {
             addr: header_addr,
@@ -150,7 +192,7 @@ impl BlkRequest {
         if self.rtype != BlkRequestType::Flush {
             chain.push(Descriptor {
                 addr: self.data,
-                len: self.len,
+                len: self.len.into_unchecked(),
                 device_writes: self.rtype == BlkRequestType::In,
             });
         }
@@ -168,6 +210,7 @@ impl BlkRequest {
     /// # Errors
     ///
     /// [`ParseError`] if the chain layout or type code is invalid.
+    // nesc-lint: guest-input
     pub fn parse_chain(
         mem: &HostMemory,
         descriptors: &[Descriptor],
@@ -192,9 +235,9 @@ impl BlkRequest {
             (BlkRequestType::Flush, [status]) if status.device_writes && status.len == 1 => {
                 Ok(BlkRequest {
                     rtype,
-                    sector,
+                    sector: Untrusted::new(sector),
                     data: 0,
-                    len: 0,
+                    len: Untrusted::new(0),
                     status: status.addr,
                 })
             }
@@ -205,9 +248,9 @@ impl BlkRequest {
                 }
                 Ok(BlkRequest {
                     rtype,
-                    sector,
+                    sector: Untrusted::new(sector),
                     data: data.addr,
-                    len: data.len,
+                    len: Untrusted::new(data.len),
                     status: status.addr,
                 })
             }
@@ -228,13 +271,7 @@ mod tests {
     #[test]
     fn in_request_roundtrip() {
         let mut mem = HostMemory::new();
-        let req = BlkRequest {
-            rtype: BlkRequestType::In,
-            sector: 128,
-            data: 0x4000,
-            len: 4096,
-            status: 0x5000,
-        };
+        let req = BlkRequest::new(BlkRequestType::In, 128, 0x4000, 4096, 0x5000);
         let chain = req.build_chain(&mut mem, 0x3000);
         assert_eq!(chain.len(), 3);
         assert!(chain[1].device_writes, "IN data is device-written");
@@ -245,13 +282,7 @@ mod tests {
     #[test]
     fn out_request_roundtrip() {
         let mut mem = HostMemory::new();
-        let req = BlkRequest {
-            rtype: BlkRequestType::Out,
-            sector: 7,
-            data: 0x4000,
-            len: 512,
-            status: 0x5000,
-        };
+        let req = BlkRequest::new(BlkRequestType::Out, 7, 0x4000, 512, 0x5000);
         let chain = req.build_chain(&mut mem, 0x3000);
         assert!(!chain[1].device_writes, "OUT data is device-read");
         assert_eq!(BlkRequest::parse_chain(&mem, &chain).unwrap(), req);
@@ -260,13 +291,7 @@ mod tests {
     #[test]
     fn flush_has_no_data_descriptor() {
         let mut mem = HostMemory::new();
-        let req = BlkRequest {
-            rtype: BlkRequestType::Flush,
-            sector: 0,
-            data: 0,
-            len: 0,
-            status: 0x5000,
-        };
+        let req = BlkRequest::new(BlkRequestType::Flush, 0, 0, 0, 0x5000);
         let chain = req.build_chain(&mut mem, 0x3000);
         assert_eq!(chain.len(), 2);
         let parsed = BlkRequest::parse_chain(&mem, &chain).unwrap();
@@ -276,13 +301,7 @@ mod tests {
     #[test]
     fn status_byte_lands_in_memory() {
         let mut mem = HostMemory::new();
-        let req = BlkRequest {
-            rtype: BlkRequestType::Out,
-            sector: 0,
-            data: 0x4000,
-            len: 512,
-            status: 0x5000,
-        };
+        let req = BlkRequest::new(BlkRequestType::Out, 0, 0x4000, 512, 0x5000);
         req.complete(&mut mem, BlkStatus::IoErr);
         assert_eq!(
             BlkStatus::from_byte(mem.read_vec(0x5000, 1)[0]),
@@ -292,13 +311,8 @@ mod tests {
 
     #[test]
     fn sector_maps_to_containing_virtual_block() {
-        let req = BlkRequest {
-            rtype: BlkRequestType::In,
-            sector: 3, // 1536 bytes in: mid-block for 1 KiB blocks
-            data: 0,
-            len: 512,
-            status: 0,
-        };
+        // Sector 3 is 1536 bytes in: mid-block for 1 KiB blocks.
+        let req = BlkRequest::new(BlkRequestType::In, 3, 0, 512, 0);
         assert_eq!(req.byte_offset(), 1536);
         assert_eq!(req.start_vlba(), Vlba(1));
     }

@@ -50,30 +50,10 @@ fn main() {
     mem.borrow_mut().write(dbuf, &vec![0xDB; 16 * 1024]);
     mem.borrow_mut().write(lbuf, &vec![0x10; 4 * 1024]);
     let batch = [
-        SubmissionEntry {
-            opcode: NvmeOpcode::Write,
-            cid: 1,
-            nsid: ns_db,
-            prp1: dbuf,
-            slba: Vlba(0),
-            nlb: 15, // 16 blocks, NVMe 0-based
-        },
-        SubmissionEntry {
-            opcode: NvmeOpcode::Write,
-            cid: 2,
-            nsid: ns_log,
-            prp1: lbuf,
-            slba: Vlba(0),
-            nlb: 3,
-        },
-        SubmissionEntry {
-            opcode: NvmeOpcode::Flush,
-            cid: 3,
-            nsid: ns_log,
-            prp1: 0,
-            slba: Vlba(0),
-            nlb: 0,
-        },
+        // 16 blocks, NVMe 0-based
+        SubmissionEntry::new(NvmeOpcode::Write, 1, ns_db, dbuf, Vlba(0), 15),
+        SubmissionEntry::new(NvmeOpcode::Write, 2, ns_log, lbuf, Vlba(0), 3),
+        SubmissionEntry::new(NvmeOpcode::Flush, 3, ns_log, 0, Vlba(0), 0),
     ];
     let done = ctrl
         .submit_and_process(SimTime::ZERO, qid, &batch)

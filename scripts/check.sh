@@ -25,8 +25,8 @@ cargo test -q
 echo "==> cargo bench --no-run (criterion harness compiles; gated offline)"
 cargo bench --no-run -p nesc-bench
 
-echo "==> nesc-lint: determinism + provenance + panic-freedom + layering rules"
-echo "    (D1-D7, T1-T3, A1-A3, P1-P3, L1)"
+echo "==> nesc-lint: determinism + provenance + guest-taint + panic-freedom + layering rules"
+echo "    (D1-D7, T1-T3, G1-G3, A1-A3, P1-P3, L1)"
 # The JSON report — every diagnostic including directive-suppressed ones,
 # plus the size of the conservative data-path reachable set — is kept as
 # results/lint.json so CI can publish it as an auditable artifact.
@@ -69,6 +69,28 @@ if cargo run --release -q -p nesc-lint -- "$inject" >/dev/null 2>&1; then
 fi
 rm -f "$inject"
 echo "OK: injected P1 violation rejected"
+
+echo "==> nesc-lint self-test: an injected G3 taint violation must fail the gate"
+# And for the guest-taint pass: a scratch file where a guest-input source
+# feeds the translation walk with no validator on the path must be
+# rejected, proving the interprocedural taint analysis is armed.
+printf '%s\n' \
+    '// nesc-lint: guest-input' \
+    'fn guest_slba() -> Untrusted<u64> {' \
+    '    Untrusted::new(9)' \
+    '}' \
+    'pub fn process_vf_request(mem: &HostMemory, root: u64) -> u64 {' \
+    '    let slba = guest_slba();' \
+    '    walk_run(mem, root, slba, 1)' \
+    '}' > "$inject"
+if cargo run --release -q -p nesc-lint -- "$inject" >/dev/null 2>&1; then
+    rm -f "$inject"
+    echo "FAIL: nesc-lint passed a file where guest input reaches the walk —" >&2
+    echo "      the guest-taint pass is not armed" >&2
+    exit 1
+fi
+rm -f "$inject"
+echo "OK: injected G3 violation rejected"
 
 echo "==> divergence self-check: same-seed double run must be identical"
 if ! cargo run --release -q -p nesc-bench --bin divergence_check; then

@@ -45,14 +45,14 @@ fn sustained_load_wraps_the_rings_many_times() {
             .submit_and_process(
                 t,
                 qid,
-                &[SubmissionEntry {
-                    opcode: NvmeOpcode::Write,
-                    cid: (i % 32) as u16,
-                    nsid: ns,
-                    prp1: buf,
-                    slba: Vlba(i % 1024),
-                    nlb: 0,
-                }],
+                &[SubmissionEntry::new(
+                    NvmeOpcode::Write,
+                    (i % 32) as u16,
+                    ns,
+                    buf,
+                    Vlba(i % 1024),
+                    0,
+                )],
             )
             .unwrap();
         assert_eq!(done.len(), 1, "iteration {i}");
@@ -87,14 +87,7 @@ fn interleaved_queues_complete_independently() {
     for (q, cid) in [(q_a, 1u16), (q_b, 2), (q_a, 3), (q_b, 4)] {
         ctrl.push(
             q,
-            SubmissionEntry {
-                opcode: NvmeOpcode::Read,
-                cid,
-                nsid: ns,
-                prp1: buf,
-                slba: Vlba(cid as u64 * 4),
-                nlb: 3,
-            },
+            SubmissionEntry::new(NvmeOpcode::Read, cid, ns, buf, Vlba(cid as u64 * 4), 3),
         )
         .unwrap();
     }
@@ -141,14 +134,7 @@ proptest! {
                 .submit_and_process(
                     t,
                     qid,
-                    &[SubmissionEntry {
-                        opcode: op,
-                        cid: i as u16,
-                        nsid: ns,
-                        prp1: buf,
-                        slba: Vlba(slba),
-                        nlb,
-                    }],
+                    &[SubmissionEntry::new(op, i as u16, ns, buf, Vlba(slba), nlb)],
                 )
                 .unwrap();
             prop_assert!(done[0].0.status.is_success());
