@@ -1,0 +1,153 @@
+//! Forensics — anomaly-triggered flight-recorder dump (observability).
+//!
+//! Re-runs the pruning-pressure ablation (fragmented image, prune every
+//! 4 ops — the configuration whose miss-interrupt storm trips the SLO
+//! watchdog) with span tracing and the flight recorder enabled. When the
+//! watchdog first fires, the telemetry layer snapshots the flight ring,
+//! the worst-K exemplar span trees, and the active window series into a
+//! forensic dump.
+//!
+//! The harness runs the scenario **twice** with the same seed and
+//! asserts the two serialized dumps are byte-identical — the recorder is
+//! part of the deterministic surface — then writes:
+//!
+//! * `results/forensic_dump.json` — the dump (byte-gated golden)
+//! * `results/forensic_window_trace.json` — the dump re-exported as a
+//!   Chrome/Perfetto trace: exemplar span swimlanes merged with one
+//!   counter track per telemetry series.
+
+use nesc_bench::forensic::ForensicDump;
+use nesc_bench::{emit_json, fmt, print_table};
+use nesc_core::NescConfig;
+use nesc_extent::Vlba;
+use nesc_hypervisor::prelude::*;
+use nesc_sim::{validate_chrome_trace, SimRng};
+
+/// The pruning-pressure trigger (same image layout, seed, and prune
+/// cadence as `ablation_prune_pressure` / `nesc_report`), with tracing
+/// and the flight recorder on.
+fn run_forensic_trigger() -> System {
+    let tel = TelemetryConfig::windowed(SimDuration::from_micros(100))
+        .capacity(4096)
+        .rule_text("core.miss_interrupts above 0 for 3")
+        .rule_text("hv.rewalk_p99_ns above 0 for 3 while core.miss_interrupts above 0");
+    let mut cfg = NescConfig::prototype();
+    cfg.capacity_blocks = 256 * 1024;
+    let mut sys = SystemBuilder::new()
+        .config(cfg)
+        .tracing(true)
+        .telemetry(tel)
+        .flight(FlightConfig::default().capacity(16384))
+        .build();
+    let vm = sys.create_vm();
+    let img = sys.create_image("hot.img", 8 << 20, false).unwrap();
+    let other = sys.create_image("interleave.img", 8 << 20, false).unwrap();
+    for b in 0..4096u64 {
+        sys.host_fs_mut().allocate_range(img, Vlba(b), 1).unwrap();
+        sys.host_fs_mut().allocate_range(other, Vlba(b), 1).unwrap();
+    }
+    let disk = sys.attach(vm, DiskKind::NescDirect, Some(img));
+    let mut rng = SimRng::seed(99);
+    let mut buf = vec![0u8; 4096];
+    for i in 0..256u64 {
+        if i % 4 == 0 {
+            let victim = Vlba(rng.range(0, 252));
+            sys.prune_image_mapping(disk, victim);
+        }
+        let offset = (rng.range(0, 252) / 4) * 4 * 1024;
+        sys.read(disk, offset, &mut buf);
+    }
+    sys.think(SimDuration::from_micros(200));
+    sys.telemetry_finish();
+    sys
+}
+
+/// One run's forensic dump, pretty-serialized (the golden's byte form).
+fn dump_string() -> String {
+    let sys = run_forensic_trigger();
+    let tel = sys.telemetry().expect("telemetry enabled");
+    let dump = tel
+        .forensic_dump()
+        .expect("the prune storm must trip the watchdog");
+    serde_json::to_string_pretty(dump).expect("dump serializes")
+}
+
+fn main() {
+    println!("Forensics: anomaly-triggered flight-recorder dump");
+    println!("(prune-pressure trigger, tracing + flight recorder on, same-seed double run)");
+
+    let first = dump_string();
+    let second = dump_string();
+    assert_eq!(
+        first, second,
+        "same-seed forensic dumps must be byte-identical"
+    );
+    println!(
+        "\n  double-run check: {} bytes, byte-identical",
+        first.len()
+    );
+
+    let dump = ForensicDump::parse(&first).expect("dump parses");
+    println!(
+        "  anomaly: {} (series {}, window {})",
+        dump.anomaly_text, dump.anomaly_series, dump.anomaly_window
+    );
+    println!(
+        "  flight ring: {} events retained ({} appended, {} dropped), {} exemplars",
+        dump.events.len(),
+        dump.total,
+        dump.dropped,
+        dump.exemplars.len()
+    );
+
+    let worst = dump.worst_exemplar().expect("dump has exemplars");
+    let from_events = dump
+        .breakdown_from_events(worst.seq)
+        .expect("worst request's anchors are in the ring");
+    let from_spans = ForensicDump::breakdown_from_spans(worst);
+    let mut rows = Vec::new();
+    for (name, ev_ns) in &from_events {
+        let sp_ns = from_spans
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or(0);
+        assert_eq!(
+            *ev_ns, sp_ns,
+            "phase `{name}`: event-derived {ev_ns} ns != span-derived {sp_ns} ns"
+        );
+        rows.push(vec![
+            name.to_string(),
+            fmt(*ev_ns as f64 / 1000.0),
+            fmt(sp_ns as f64 / 1000.0),
+        ]);
+    }
+    let total: u64 = from_events.iter().map(|(_, ns)| ns).sum();
+    assert_eq!(
+        total, worst.latency_ns,
+        "phases must tile the request's latency"
+    );
+    print_table(
+        &format!(
+            "Worst request: seq {} on disk {} ({} us end-to-end)",
+            worst.seq,
+            worst.disk,
+            fmt(worst.latency_ns as f64 / 1000.0)
+        ),
+        &["phase", "events us", "spans us"],
+        &rows,
+    );
+    println!("\n  event-derived and span-derived breakdowns agree exactly.");
+
+    let trace = dump.perfetto_json();
+    validate_chrome_trace(&trace).expect("merged trace is well-formed");
+
+    // Write the dump verbatim (its bytes are the golden surface) and the
+    // merged Perfetto view beside it.
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results/");
+    let path = dir.join("forensic_dump.json");
+    std::fs::write(&path, &first).expect("write dump");
+    println!("\n[results written to {}]", path.display());
+    emit_json("forensic_window_trace", &trace);
+}

@@ -133,6 +133,8 @@ fn anomalies_json(events: &[AnomalyEvent]) -> serde_json::Value {
             .map(|a| {
                 serde_json::json!({
                     "rule": a.rule.clone(),
+                    "rule_index": a.rule_index,
+                    "text": a.text.clone(),
                     "series": a.series.clone(),
                     "window": a.window,
                     "at_ns": a.at.as_nanos(),
@@ -152,12 +154,13 @@ fn print_anomalies(title: &str, events: &[AnomalyEvent]) {
     }
     for a in events.iter().take(5) {
         println!(
-            "  window {:>4} @ {:>8} us  {} = {}  [{}]",
+            "  window {:>4} @ {:>8} us  {} = {}  [rule {}: {}]",
             a.window,
             a.at.as_nanos() / 1_000,
             a.series,
             a.value,
-            a.rule
+            a.rule_index,
+            a.text
         );
     }
 }

@@ -22,6 +22,7 @@
 //! Each binary prints a human-readable table and writes machine-readable
 //! JSON under `results/`.
 
+pub mod forensic;
 pub mod hotpath;
 
 use std::fs;

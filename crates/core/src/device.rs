@@ -31,7 +31,10 @@ use std::rc::Rc;
 
 use nesc_extent::{validate_ring_tail, walk_run, Plba, Untrusted, Vlba, WalkOutcome};
 use nesc_pcie::{HostAddr, HostMemory, PcieLink};
-use nesc_sim::{EventQueue, Pipe, ReadyTable, ServiceUnit, SimDuration, SimTime, SpanId, Tracer};
+use nesc_sim::{
+    EventQueue, FlightEventKind, FlightHandle, Pipe, ReadyTable, ServiceUnit, SimDuration, SimTime,
+    SpanId, Tracer,
+};
 use nesc_storage::{BlockOp, BlockRequest, BlockStore, Media, RequestId, StoreError, BLOCK_SIZE};
 
 use crate::btlb::Btlb;
@@ -246,6 +249,11 @@ pub struct NescDevice {
     /// Device span of the request currently in the pipeline; translation,
     /// walk, media and link spans attach under it.
     cur_span: SpanId,
+    /// Flight recorder shared with the hypervisor (no-op unless enabled).
+    flight: FlightHandle,
+    /// Function of the request currently in the pipeline — the `func` the
+    /// media/link flight events are attributed to.
+    cur_func: u32,
     /// Reusable record of the nesting levels visited by one translation:
     /// `(func, vlba at that level, plba it translated to)`.
     chain_scratch: Vec<(u16, Vlba, Plba)>,
@@ -313,6 +321,8 @@ impl NescDevice {
             traces: Vec::new(),
             tracer: Tracer::disabled(),
             cur_span: SpanId::NONE,
+            flight: FlightHandle::disabled(),
+            cur_func: 0,
             chain_scratch: Vec::new(),
             time_scratch: Vec::new(),
         }
@@ -374,6 +384,14 @@ impl NescDevice {
         self.link.set_tracer(tracer.clone());
         self.tracer = tracer;
         self.instrumented = self.tracing || self.tracer.is_enabled();
+    }
+
+    /// Attaches a flight recorder: queue, scheduler, BTLB, media and link
+    /// events are appended into its ring as the pipeline processes
+    /// requests. Independent of span tracing — the ring records even when
+    /// no tracer is attached.
+    pub fn set_flight(&mut self, flight: FlightHandle) {
+        self.flight = flight;
     }
 
     /// Throttles the storage medium (Fig. 2's emulated device speeds).
@@ -687,7 +705,18 @@ impl NescDevice {
             self.stats.oob_requests += 1;
             self.process_pf_request(svc.end, pending);
         } else {
+            let rid = pending.req.id;
             self.functions[func.0 as usize].queue.push_back(pending);
+            if self.flight.is_enabled() {
+                let depth = self.functions[func.0 as usize].queue.len() as u64;
+                self.flight.append(
+                    now,
+                    FlightEventKind::QueueEnter,
+                    u32::from(func.0),
+                    rid.0,
+                    depth,
+                );
+            }
             self.refresh_ready(func.0 as usize);
             self.schedule_mux(now);
         }
@@ -849,6 +878,22 @@ impl NescDevice {
         };
         let cost = self.cfg.mux_per_request + self.cfg.split_per_block * pending.req.block_count;
         let svc = self.mux.serve(now, cost);
+        if self.flight.is_enabled() {
+            self.flight.append(
+                now,
+                FlightEventKind::QueueExit,
+                pick as u32,
+                pending.req.id.0,
+                pending.arrived.as_nanos(),
+            );
+            self.flight.append(
+                svc.start,
+                FlightEventKind::SchedDispatch,
+                pick as u32,
+                pending.req.id.0,
+                pending.req.block_count,
+            );
+        }
         self.process_vf_request(svc.end, FuncId(pick as u16), pending, 0, false);
         self.refresh_ready(pick);
         self.schedule_mux(svc.end);
@@ -922,6 +967,7 @@ impl NescDevice {
     }
 
     fn process_pf_request_inner(&mut self, start: SimTime, pending: PendingRequest) {
+        self.cur_func = 0;
         let req = pending.req;
         if req.end_lba() > Vlba(self.cfg.capacity_blocks) {
             self.complete(start, self.pf(), req.id, CompletionStatus::OutOfRange);
@@ -1052,6 +1098,7 @@ impl NescDevice {
         pending: PendingRequest,
         from_block: u64,
     ) {
+        self.cur_func = u32::from(func.0);
         let req = pending.req;
         let regs_size = self.functions[func.0 as usize].regs.device_size_blocks;
         if req.end_lba() > Vlba(regs_size) {
@@ -1280,6 +1327,15 @@ impl NescDevice {
                     self.stats.walks += 1;
                     self.stats.walk_levels += wr.result.levels as u64;
                     let t_walk = self.run_walk_dmas(lookup.end, wr.result.levels);
+                    if self.flight.is_enabled() {
+                        self.flight.append(
+                            t_walk,
+                            FlightEventKind::BtlbMiss,
+                            u32::from(level.0),
+                            lba.byte_offset(),
+                            wr.result.levels as u64,
+                        );
+                    }
                     match wr.result.outcome {
                         WalkOutcome::Mapped(e) => {
                             self.btlb.insert(level.0, e);
@@ -1522,13 +1578,13 @@ impl NescDevice {
     /// interleaving — while paying each unit's fixed costs once per run
     /// instead of once per block.
     fn transfer_run_timing(&mut self, op: BlockOp, plba: Plba, times: &mut [SimTime]) {
+        // One flag for both observers: the span emission stays gated on
+        // `cur_span` exactly as before, the flight events on the recorder,
+        // and with both off the hot path pays only these tests.
+        let record = self.cur_span.is_some() || self.flight.is_enabled();
         match op {
             BlockOp::Read => {
-                let t0 = if self.cur_span.is_some() {
-                    times.first().copied()
-                } else {
-                    None
-                };
+                let t0 = if record { times.first().copied() } else { None };
                 self.media.access_run(
                     BlockOp::Read,
                     plba.byte_offset(),
@@ -1537,19 +1593,34 @@ impl NescDevice {
                     times,
                 );
                 if t0.is_some() {
-                    self.media_span(t0, times);
+                    if self.cur_span.is_some() {
+                        self.media_span(t0, times);
+                    }
+                    self.flight_service(FlightEventKind::MediaService, t0, times);
                 }
                 self.engine_read.transfer_run(BLOCK_SIZE, times);
-                self.link.dma_write_run(BLOCK_SIZE, times);
-            }
-            BlockOp::Write => {
-                self.link.dma_read_run(BLOCK_SIZE, times);
-                self.engine_write.transfer_run(BLOCK_SIZE, times);
-                let t0 = if self.cur_span.is_some() {
+                let l0 = if self.flight.is_enabled() {
                     times.first().copied()
                 } else {
                     None
                 };
+                self.link.dma_write_run(BLOCK_SIZE, times);
+                if l0.is_some() {
+                    self.flight_service(FlightEventKind::LinkService, l0, times);
+                }
+            }
+            BlockOp::Write => {
+                let l0 = if self.flight.is_enabled() {
+                    times.first().copied()
+                } else {
+                    None
+                };
+                self.link.dma_read_run(BLOCK_SIZE, times);
+                if l0.is_some() {
+                    self.flight_service(FlightEventKind::LinkService, l0, times);
+                }
+                self.engine_write.transfer_run(BLOCK_SIZE, times);
+                let t0 = if record { times.first().copied() } else { None };
                 self.media.access_run(
                     BlockOp::Write,
                     plba.byte_offset(),
@@ -1558,9 +1629,33 @@ impl NescDevice {
                     times,
                 );
                 if t0.is_some() {
-                    self.media_span(t0, times);
+                    if self.cur_span.is_some() {
+                        self.media_span(t0, times);
+                    }
+                    self.flight_service(FlightEventKind::MediaService, t0, times);
                 }
             }
+        }
+    }
+
+    /// Appends one flight event for a batched media/link pass: `t0` is the
+    /// first block's entry into the unit, `times` holds the per-block
+    /// completion times (the event lands at the last one). Call sites gate
+    /// on `t0.is_some()`, so the recorder-disabled hot path never reaches
+    /// this (and unlike [`media_span`](Self::media_span) it is *not*
+    /// `#[cold]`: when the recorder is on it runs twice per transfer run).
+    fn flight_service(&self, kind: FlightEventKind, t0: Option<SimTime>, times: &[SimTime]) {
+        if !self.flight.is_enabled() {
+            return;
+        }
+        if let (Some(start), Some(&end)) = (t0, times.last()) {
+            self.flight.append(
+                end,
+                kind,
+                self.cur_func,
+                start.as_nanos(),
+                times.len() as u64,
+            );
         }
     }
 

@@ -22,7 +22,7 @@
 
 use nesc_core::NescConfig;
 use nesc_pcie::LinkParams;
-use nesc_sim::SimDuration;
+use nesc_sim::{FlightConfig, SimDuration};
 use nesc_storage::Media;
 
 use crate::costs::SoftwareCosts;
@@ -169,6 +169,22 @@ impl SystemBuilder {
         for r in rules {
             self = self.slo_rule(r.as_ref());
         }
+        self
+    }
+
+    /// Enables the deterministic flight recorder: a bounded ring of
+    /// queue/scheduler/BTLB/media/link events plus worst-K exemplar span
+    /// trees per telemetry window, snapshotted into a forensic dump when
+    /// the SLO watchdog first fires. Enables telemetry with the default
+    /// 50 µs window if [`telemetry`](Self::telemetry) was not called
+    /// first. Does *not* enable span tracing — without a tracer the
+    /// exemplars carry timing and identity but empty span lists.
+    pub fn flight(mut self, cfg: FlightConfig) -> Self {
+        let tel = self
+            .telemetry
+            .take()
+            .unwrap_or_else(|| TelemetryConfig::windowed(SimDuration::from_micros(50)));
+        self.telemetry = Some(tel.flight(cfg));
         self
     }
 

@@ -78,8 +78,9 @@ pub mod prelude {
     };
     pub use nesc_core::NescConfig;
     pub use nesc_sim::{
-        chrome_trace_json, AnomalyEvent, Metrics, Sampler, SimDuration, SimTime, SloRule,
-        SloWatchdog, Span, SpanId, SpanTree, Tracer,
+        chrome_trace_json, AnomalyEvent, Exemplar, FlightConfig, FlightEvent, FlightEventKind,
+        FlightHandle, Metrics, Sampler, SimDuration, SimTime, SloRule, SloWatchdog, Span, SpanId,
+        SpanTree, Tracer,
     };
     pub use nesc_storage::BlockOp;
 }

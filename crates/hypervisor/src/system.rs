@@ -30,7 +30,10 @@ use nesc_core::{CompletionStatus, FuncId, IrqReason, NescConfig, NescDevice, Nes
 use nesc_extent::{Plba, Untrusted, Vlba};
 use nesc_fs::{Filesystem, FsError, Ino};
 use nesc_pcie::{HostAddr, HostMemory};
-use nesc_sim::{Metrics, ServiceUnit, SimDuration, SimTime, Span, SpanId, Throughput, Tracer};
+use nesc_sim::{
+    FlightEventKind, FlightHandle, Metrics, ServiceUnit, SimDuration, SimTime, Span, SpanId,
+    Throughput, Tracer,
+};
 use nesc_storage::{BlockOp, BlockRequest, RequestId, BLOCK_SIZE};
 use nesc_virtio::{BlkRequest, BlkRequestType, BlkStatus, Virtqueue};
 
@@ -181,6 +184,10 @@ pub struct System {
     /// Deterministic time-series sampling + SLO watchdog (None = off; the
     /// request path pays one `Option` check when disabled).
     telemetry: Option<Telemetry>,
+    /// Flight recorder handle cloned from the telemetry subsystem
+    /// (disabled unless configured there); the issue path appends
+    /// request lifecycle events through it.
+    flight: FlightHandle,
 }
 
 impl std::fmt::Debug for System {
@@ -215,6 +222,7 @@ impl System {
             tracer: Tracer::disabled(),
             metrics: Metrics::new(),
             telemetry: None,
+            flight: FlightHandle::disabled(),
         }
     }
 
@@ -268,7 +276,17 @@ impl System {
         for (i, d) in self.disks.iter().enumerate() {
             tel.register_disk(DiskId(i), d.vf);
         }
+        // One recorder, every layer: the device appends queue/scheduler/
+        // BTLB/media/link events, the issue path the request lifecycle.
+        self.flight = tel.flight().clone();
+        self.dev.set_flight(self.flight.clone());
         self.telemetry = Some(tel);
+    }
+
+    /// The flight-recorder handle (disabled unless telemetry configured
+    /// it).
+    pub fn flight(&self) -> &FlightHandle {
+        &self.flight
     }
 
     /// The telemetry subsystem, if enabled.
@@ -552,6 +570,15 @@ impl System {
         if let Some(tel) = self.telemetry.as_mut() {
             tel.record_rewalk(t - at);
         }
+        if self.flight.is_enabled() {
+            self.flight.append(
+                t,
+                FlightEventKind::Rewalk,
+                u32::from(func.0),
+                at.as_nanos(),
+                disk_id.0 as u64,
+            );
+        }
         match reason {
             IrqReason::WriteMiss {
                 miss_vlba,
@@ -671,6 +698,9 @@ impl System {
         } else {
             SpanId::NONE
         };
+        // The id the engine below will mint first — what the flight
+        // recorder's exemplar notes and ring events join on.
+        let seq = self.next_req;
         let (done, status) = match kind {
             DiskKind::NescDirect => self.direct_io(disk_id, op, offset, len, issue, data, root),
             DiskKind::HostRaw => self.host_io(disk_id, op, offset, len, issue, data, root),
@@ -697,6 +727,13 @@ impl System {
         // poll folds records into windows by timestamp, so the observation
         // lands in the window containing its completion time exactly as
         // the historical poll-then-record sequence did.
+        // nesc-lint: hot
+        if self.flight.is_enabled() {
+            // Note the completion for exemplar selection *before* the
+            // poll below, so a window closing at `done` folds it in.
+            self.flight
+                .note_request(done, seq, disk_id.0 as u32, (done - issue).as_nanos(), root);
+        }
         // nesc-lint: hot
         if let Some(tel) = self.telemetry.as_mut() {
             tel.record_request(done, disk_id, len, done - issue);
@@ -757,6 +794,22 @@ impl System {
             d.ring_tail = (d.ring_tail + 1) % RING_ENTRIES;
         }
         let t_db = self.dev.ring_doorbell(t);
+        if self.flight.is_enabled() {
+            self.flight.append(
+                issue,
+                FlightEventKind::RequestStart,
+                u32::from(vf.0),
+                id.0,
+                disk_id.0 as u64,
+            );
+            self.flight.append(
+                t_db,
+                FlightEventKind::Doorbell,
+                u32::from(vf.0),
+                id.0,
+                t.as_nanos(),
+            );
+        }
         let traced = root.is_some();
         let dev_wait = if traced {
             self.tracer.span(root, "guest", "guest_submit", issue, t);
@@ -791,6 +844,15 @@ impl System {
             };
         if traced {
             self.tracer.span(root, "guest", "guest_complete", tc, done);
+        }
+        if self.flight.is_enabled() {
+            self.flight.append(
+                done,
+                FlightEventKind::RequestComplete,
+                u32::from(vf.0),
+                id.0,
+                tc.as_nanos(),
+            );
         }
         (done, status)
     }

@@ -46,9 +46,9 @@
 //! ```
 
 use nesc_core::{FuncId, NescDevice};
-use nesc_sim::perfmon::{utilization_ppm, SeriesKind};
+use nesc_sim::perfmon::{series_json, utilization_ppm, SeriesKind};
 use nesc_sim::{AnomalyEvent, Histogram, Sampler, SeriesId, SimDuration, SloRule, SloWatchdog};
-use nesc_sim::{SimTime, Tracer};
+use nesc_sim::{FlightConfig, FlightEventKind, FlightHandle, SimTime, Tracer};
 
 use crate::system::DiskId;
 
@@ -62,6 +62,9 @@ pub struct TelemetryConfig {
     pub capacity: usize,
     /// Declarative SLO rules evaluated at every window close.
     pub rules: Vec<SloRule>,
+    /// Flight-recorder configuration; `None` (the default) leaves the
+    /// recorder disabled and the hot path untouched.
+    pub flight: Option<FlightConfig>,
 }
 
 impl TelemetryConfig {
@@ -75,6 +78,7 @@ impl TelemetryConfig {
             interval,
             capacity: 256,
             rules: Vec::new(),
+            flight: None,
         }
     }
 
@@ -101,6 +105,14 @@ impl TelemetryConfig {
     // get the typed RuleParseError.
     pub fn rule_text(self, text: &str) -> Self {
         self.rule(SloRule::parse(text).expect("valid SLO rule"))
+    }
+
+    /// Enables the flight recorder: queue/scheduler/BTLB/media/link
+    /// events stream into its ring, worst-K exemplars are retained per
+    /// window, and the first watchdog anomaly snapshots a forensic dump.
+    pub fn flight(mut self, cfg: FlightConfig) -> Self {
+        self.flight = Some(cfg);
+        self
     }
 }
 
@@ -172,6 +184,13 @@ pub struct Telemetry {
     prev_media_busy: SimDuration,
     prev_link_up: SimDuration,
     prev_link_down: SimDuration,
+    /// The flight recorder (disabled unless configured). The same handle
+    /// is cloned into the device and the system's issue path.
+    flight: FlightHandle,
+    /// Anomalies already mirrored into the flight ring / forensic dump.
+    anomaly_seen: usize,
+    /// The forensic dump captured when the watchdog first fired, if any.
+    forensic: Option<serde_json::Value>,
 }
 
 /// Growth of a monotonic busy-time counter since the previous window.
@@ -186,6 +205,10 @@ impl Telemetry {
     pub fn new(cfg: TelemetryConfig) -> Self {
         let mut sampler = Sampler::new(cfg.interval, cfg.capacity);
         let mut watchdog = SloWatchdog::new();
+        let flight = match cfg.flight {
+            Some(fc) => FlightHandle::enabled(fc),
+            None => FlightHandle::disabled(),
+        };
         for rule in cfg.rules {
             watchdog.add_rule(rule);
         }
@@ -216,6 +239,9 @@ impl Telemetry {
             prev_media_busy: SimDuration::ZERO,
             prev_link_up: SimDuration::ZERO,
             prev_link_down: SimDuration::ZERO,
+            flight,
+            anomaly_seen: 0,
+            forensic: None,
         }
     }
 
@@ -392,11 +418,65 @@ impl Telemetry {
                 }
             }
             self.watchdog.evaluate(&self.sampler, tracer);
+            if self.flight.is_enabled() {
+                let window = self.sampler.closed_windows().saturating_sub(1);
+                self.flight.close_window(end.as_nanos(), window, tracer);
+                self.note_anomalies(end);
+            }
         }
         self.next_due_ns = self
             .sampler
             .window_end(self.sampler.closed_windows())
             .as_nanos();
+    }
+
+    /// Mirrors watchdog anomalies the recorder has not seen yet into the
+    /// flight ring, and snapshots the forensic dump when the first one
+    /// fires — after the window's exemplar fold, so the dump holds the
+    /// breaching window's worst requests.
+    fn note_anomalies(&mut self, end: SimTime) {
+        let anomalies = self.watchdog.anomalies();
+        if anomalies.len() <= self.anomaly_seen {
+            return;
+        }
+        let first_new = self.anomaly_seen;
+        for a in &anomalies[self.anomaly_seen..] {
+            self.flight.append(
+                end,
+                FlightEventKind::Anomaly,
+                0,
+                a.rule_index as u64,
+                a.window,
+            );
+        }
+        self.anomaly_seen = anomalies.len();
+        if self.forensic.is_none() {
+            if let Some(first) = self.watchdog.anomalies().get(first_new) {
+                let first = first.clone();
+                let dump = self.forensic_json(&first);
+                self.forensic = Some(dump);
+            }
+        }
+    }
+
+    /// Assembles the deterministic forensic dump: the triggering anomaly,
+    /// the active window series, and the flight ring + exemplars as of
+    /// the breach.
+    fn forensic_json(&self, a: &AnomalyEvent) -> serde_json::Value {
+        serde_json::json!({
+            "anomaly": {
+                "rule": a.rule.clone(),
+                "rule_index": a.rule_index,
+                "text": a.text.clone(),
+                "series": a.series.clone(),
+                "window": a.window,
+                "at_ns": a.at.as_nanos(),
+                "value": a.value,
+                "consecutive": a.consecutive,
+            },
+            "series": series_json(&self.sampler),
+            "flight": self.flight.snapshot_json(),
+        })
     }
 
     /// The sampler (series, windows, exporters).
@@ -412,6 +492,18 @@ impl Telemetry {
     /// All anomalies recorded so far, in emission order.
     pub fn anomalies(&self) -> &[AnomalyEvent] {
         self.watchdog.anomalies()
+    }
+
+    /// The flight-recorder handle (disabled unless configured). The
+    /// system clones this into the device so every layer records into
+    /// one ring.
+    pub fn flight(&self) -> &FlightHandle {
+        &self.flight
+    }
+
+    /// The forensic dump captured when the watchdog first fired, if any.
+    pub fn forensic_dump(&self) -> Option<&serde_json::Value> {
+        self.forensic.as_ref()
     }
 }
 
@@ -543,6 +635,64 @@ mod tests {
         );
         assert_eq!(anomalies[0].consecutive, 3);
         assert_eq!(anomalies[0].series, "hv.vf0.requests");
+    }
+
+    #[test]
+    fn flight_recorder_captures_events_exemplars_and_a_dump() {
+        let cfg = TelemetryConfig::windowed(SimDuration::from_micros(25))
+            .rule_text("hv.vf0.requests above 0 for 3")
+            .flight(FlightConfig::default());
+        let mut sys = SystemBuilder::new()
+            .capacity_blocks(64 * 1024)
+            .tracing(true)
+            .telemetry(cfg)
+            .build();
+        let d = sys.quick_disk(DiskKind::NescDirect, "a.img", 1 << 20).disk;
+        for i in 0..40u64 {
+            sys.write(d, (i % 16) * 4096, &[1u8; 4096]);
+            sys.think(SimDuration::from_micros(10));
+        }
+        sys.telemetry_finish();
+        let tel = sys.telemetry().unwrap();
+        assert!(!tel.anomalies().is_empty(), "rule must fire");
+        let fl = tel.flight();
+        assert!(fl.is_enabled());
+        assert!(fl.with(|r| r.total()).unwrap() > 0, "ring recorded events");
+        let exemplars_with_spans = fl
+            .with(|r| r.exemplars().iter().filter(|e| !e.spans.is_empty()).count())
+            .unwrap();
+        assert!(
+            exemplars_with_spans > 0,
+            "tracing is on, so exemplars keep span trees"
+        );
+        let dump = tel.forensic_dump().expect("first anomaly captured a dump");
+        for key in ["anomaly", "series", "flight"] {
+            assert!(dump.get(key).is_some(), "dump missing {key}");
+        }
+    }
+
+    #[test]
+    fn flight_recorder_does_not_perturb_timing() {
+        let mut plain = telemetry_system();
+        let mut instr = SystemBuilder::new()
+            .capacity_blocks(64 * 1024)
+            .telemetry(
+                TelemetryConfig::windowed(SimDuration::from_micros(25))
+                    .capacity(4096)
+                    .flight(FlightConfig::default()),
+            )
+            .build();
+        let dp = plain
+            .quick_disk(DiskKind::NescDirect, "a.img", 1 << 20)
+            .disk;
+        let di = instr
+            .quick_disk(DiskKind::NescDirect, "a.img", 1 << 20)
+            .disk;
+        for i in 0..16u64 {
+            let lp = plain.write(dp, i * 4096, &[3u8; 4096]);
+            let li = instr.write(di, i * 4096, &[3u8; 4096]);
+            assert_eq!(lp, li, "the recorder must be timing-invisible");
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! engine (see `nesc_workloads::scenario`) turns into arrivals. Both are
 //! plain data: scenarios are declared, not coded.
 
-use nesc_sim::{Histogram, SimDuration};
+use nesc_sim::{FlightConfig, Histogram, SimDuration};
 
 use crate::guestfs::GuestFilesystem;
 use crate::system::{DiskId, DiskKind, System, VmId};
@@ -345,6 +345,9 @@ pub struct ScenarioSpec {
     pub telemetry_interval: SimDuration,
     /// Ring capacity per telemetry series (windows retained).
     pub telemetry_capacity: usize,
+    /// Flight recorder configuration; `None` (the default) leaves the
+    /// recorder off so baseline scenarios pay nothing on the hot path.
+    pub flight: Option<FlightConfig>,
 }
 
 impl ScenarioSpec {
@@ -358,6 +361,7 @@ impl ScenarioSpec {
             disk_kind: DiskKind::NescDirect,
             telemetry_interval: SimDuration::from_micros(200),
             telemetry_capacity: 64,
+            flight: None,
         }
     }
 
@@ -383,6 +387,13 @@ impl ScenarioSpec {
     pub fn telemetry(mut self, interval: SimDuration, capacity: usize) -> Self {
         self.telemetry_interval = interval;
         self.telemetry_capacity = capacity;
+        self
+    }
+
+    /// Enables the flight recorder for the scenario run (forensic ring +
+    /// worst-K exemplars; see [`FlightConfig`]).
+    pub fn flight(mut self, cfg: FlightConfig) -> Self {
+        self.flight = Some(cfg);
         self
     }
 

@@ -129,6 +129,7 @@ pub fn classify(rel: &Path) -> Option<LintContext> {
                 | "crates/core/src/btlb.rs"
                 | "crates/core/src/function.rs"
                 | "crates/sim/src/queue.rs"
+                | "crates/sim/src/flight.rs"
                 | "crates/hypervisor/src/system.rs"
                 | "crates/hypervisor/src/telemetry.rs"
         ),
@@ -337,6 +338,8 @@ mod tests {
         assert!(ti.time_impl && ti.scheduling_core);
         let dev = classify(Path::new("crates/core/src/device.rs")).unwrap();
         assert!(dev.device_loop);
+        let fl = classify(Path::new("crates/sim/src/flight.rs")).unwrap();
+        assert!(fl.device_loop && !fl.scheduling_core);
         let rep = classify(Path::new("crates/hypervisor/src/report.rs"));
         assert!(rep.is_none_or(|c| !c.device_loop));
         let it = classify(Path::new("tests/tests/determinism.rs")).unwrap();

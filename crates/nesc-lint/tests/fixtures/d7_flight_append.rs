@@ -1,0 +1,20 @@
+//! D7/P2 fixture: a flight-recorder append path that allocates and
+//! indexes per event instead of writing a fixed-size slot.
+
+// nesc-lint: hot
+pub fn append(&mut self, t_ns: u64, kind: u8, a: u64, b: u64) {
+    let row = vec![t_ns, a, b];
+    self.labels.push(kind.to_string());
+    self.ring[self.head] = row;
+    self.head = self.head.wrapping_add(1);
+}
+
+// The fixed-size contract the real recorder keeps: no allocation, no
+// indexing, one `Cell` store into the preallocated ring.
+// nesc-lint: hot
+#[inline]
+pub fn append_fixed(&self, ev: Event) {
+    if let Some(slot) = self.buf.get(self.head.get()) {
+        slot.set(ev);
+    }
+}

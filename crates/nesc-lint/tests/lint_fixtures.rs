@@ -108,6 +108,18 @@ fn d7_flags_hot_region_allocations_only() {
 }
 
 #[test]
+fn d7_flags_allocating_flight_append_but_not_fixed_slot() {
+    // The bad `append` allocates a fresh row (line 6), stringifies the
+    // kind (line 7) and indexes the ring (line 8 — P2, the latent
+    // panic); the fixed-slot `append_fixed` below it — the contract the
+    // real recorder keeps — stays completely clean.
+    assert_eq!(
+        lint_fixture("d7_flight_append.rs"),
+        vec![(6, Rule::D7), (7, Rule::D7), (8, Rule::P2)]
+    );
+}
+
+#[test]
 fn d7_applies_only_in_device_loop_modules() {
     let src = "// nesc-lint: hot\npub fn f(out: &mut O) { out.v = Vec::new(); }\n";
     let mut ctx = LintContext::strict("x.rs");

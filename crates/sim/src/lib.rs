@@ -25,6 +25,10 @@
 //!   simulated time (gauge/counter-delta series in ring buffers), the SLO
 //!   watchdog with declarative threshold rules, and the JSON/CSV/Perfetto
 //!   counter-track exporters.
+//! * [`flight`] — the deterministic flight recorder: a bounded,
+//!   preallocated ring of compact integer-only events appended on the hot
+//!   path, plus per-window worst-K exemplar retention of full request
+//!   span trees — the forensic substrate the anomaly dumps snapshot.
 //! * [`rng`] — a small deterministic RNG facade plus the distributions the
 //!   workloads need (uniform, exponential, Zipf, Pareto).
 //! * [`gen`] — integer-only traffic generators for scale-out scenarios:
@@ -56,6 +60,7 @@
 //! assert_eq!(t.as_nanos(), 1_000);
 //! ```
 
+pub mod flight;
 pub mod gen;
 pub mod hash;
 pub mod metrics;
@@ -69,6 +74,9 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use flight::{
+    Exemplar, FlightConfig, FlightEvent, FlightEventKind, FlightHandle, FlightRecorder,
+};
 pub use gen::{BurstyArrivals, ZipfLike};
 pub use hash::{IntHashBuilder, IntHasher};
 pub use metrics::Metrics;

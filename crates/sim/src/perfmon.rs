@@ -552,6 +552,14 @@ impl fmt::Display for SloRule {
 pub struct AnomalyEvent {
     /// Name of the firing rule.
     pub rule: String,
+    /// Index of the firing rule in the watchdog's registration order —
+    /// joins against the `rule` attribute on the `telemetry:anomaly` span
+    /// and the flight ring's anomaly marker.
+    pub rule_index: usize,
+    /// The firing rule's canonical source text
+    /// (`<series> above|below <N> for <K> [while ...]`), so consumers
+    /// don't have to re-derive which rule fired.
+    pub text: String,
     /// The primary series that breached.
     pub series: String,
     /// Index of the window that completed the streak.
@@ -613,8 +621,12 @@ impl SloWatchdog {
                 Some(v) => {
                     self.streaks[i] += 1;
                     if self.streaks[i] == rule.consecutive {
+                        let text = rule.to_string();
+                        let text_hash = fnv1a(text.as_bytes());
                         self.anomalies.push(AnomalyEvent {
                             rule: rule.name.clone(),
+                            rule_index: i,
+                            text,
                             series: rule.primary.series.clone(),
                             window,
                             at,
@@ -624,6 +636,7 @@ impl SloWatchdog {
                         let start = sampler.window_start(window + 1 - u64::from(rule.consecutive));
                         let span = tracer.span(SpanId::NONE, "telemetry", "anomaly", start, at);
                         tracer.attr(span, "rule", i as u64);
+                        tracer.attr(span, "rule_text_hash", text_hash);
                         tracer.attr(span, "window", window);
                         tracer.attr(span, "value", v);
                         tracer.attr(span, "threshold", rule.primary.threshold);

@@ -274,6 +274,44 @@ impl Tracer {
             None => Vec::new(),
         }
     }
+
+    /// Clones the subtree rooted at `root` — the root span plus every
+    /// not-yet-drained descendant, in creation (id) order — *without*
+    /// draining the log. This is what the flight recorder's exemplar
+    /// capture uses: the worst-K requests get their full trees copied out
+    /// while the log keeps recording (and a later [`take_spans`]
+    /// (Self::take_spans) still returns everything).
+    ///
+    /// Returns an empty vector when disabled, when `root` is
+    /// [`SpanId::NONE`], or when the root was already drained.
+    pub fn subtree(&self, root: SpanId) -> Vec<Span> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let log = inner.borrow();
+        if !root.is_some() || root.0 <= log.drained {
+            return Vec::new();
+        }
+        // Spans are stored in id order and parents always precede their
+        // children, so one forward pass over the undrained window finds
+        // the whole subtree.
+        let mut keep = vec![false; log.spans.len()];
+        let mut out = Vec::new();
+        for (i, s) in log.spans.iter().enumerate() {
+            let parent_kept = s.parent.0 > log.drained
+                && keep
+                    .get((s.parent.0 - log.drained - 1) as usize)
+                    .copied()
+                    .unwrap_or(false);
+            if s.id == root || parent_kept {
+                if let Some(slot) = keep.get_mut(i) {
+                    *slot = true;
+                }
+                out.push(s.clone());
+            }
+        }
+        out
+    }
 }
 
 /// An index over a drained span list: children per parent, roots, and the

@@ -344,13 +344,15 @@ impl Scenario {
                     .map(|bound| format!("hv.vf{t}.p99_ns above {} for 2", bound.as_nanos()))
             })
             .collect();
+        let mut tel =
+            TelemetryConfig::windowed(spec.telemetry_interval).capacity(spec.telemetry_capacity);
+        if let Some(fc) = spec.flight {
+            tel = tel.flight(fc);
+        }
         SystemBuilder::new()
             .capacity_blocks(image_blocks * 2 + 64 * 1024)
             .max_vfs((flat.len() + 2) as u16)
-            .telemetry(
-                TelemetryConfig::windowed(spec.telemetry_interval)
-                    .capacity(spec.telemetry_capacity),
-            )
+            .telemetry(tel)
             .slo_rules(rules)
             .build()
     }

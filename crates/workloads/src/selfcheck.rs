@@ -16,7 +16,7 @@
 
 use nesc_hypervisor::{DiskId, DiskKind, System, SystemBuilder, TelemetryConfig};
 use nesc_sim::selfcheck::{fnv1a, RunDigest};
-use nesc_sim::{perfmon, SimDuration, SimRng};
+use nesc_sim::{perfmon, FlightConfig, SimDuration, SimRng};
 use nesc_storage::BlockOp;
 
 /// Configuration for the mixed multi-VF self-check run.
@@ -60,7 +60,12 @@ impl MixedVfSelfCheck {
             .capacity_blocks((self.disk_bytes / 512) * (self.vfs as u64 + 1))
             .max_vfs(self.vfs as u16 + 2)
             .tracing(true)
-            .telemetry(TelemetryConfig::windowed(SimDuration::from_micros(50)).capacity(4096))
+            .telemetry(
+                TelemetryConfig::windowed(SimDuration::from_micros(50))
+                    .capacity(4096)
+                    .rule_text("hv.vf0.requests above 0 for 3")
+                    .flight(FlightConfig::default()),
+            )
             .build();
         let disks: Vec<DiskId> = (0..self.vfs)
             .map(|i| {
@@ -96,13 +101,22 @@ impl MixedVfSelfCheck {
             digest.record(sys.now(), format!("vf{vf}:{op}"), p);
         }
 
+        // Close the final telemetry window (and fold the flight recorder's
+        // pending exemplars, which capture span subtrees) BEFORE draining
+        // the tracer: `take_spans` is destructive.
+        sys.telemetry_finish();
+        digest.section("flight", sys.flight().digest_hash());
+        let tel = sys.telemetry().expect("telemetry enabled");
+        let forensic = tel
+            .forensic_dump()
+            .map(|d| fnv1a(serde_json::to_string(d).unwrap_or_default().as_bytes()))
+            .unwrap_or(0);
+        digest.section("forensic", forensic);
+        digest.section("telemetry", perfmon::digest_hash(tel.sampler()));
         let spans = system_spans(&mut sys);
         digest.record_spans(&spans);
         digest.span_tree_section(&spans);
         digest.metrics_section(sys.metrics());
-        sys.telemetry_finish();
-        let sampler = sys.telemetry().expect("telemetry enabled").sampler();
-        digest.section("telemetry", perfmon::digest_hash(sampler));
         digest
     }
 }

@@ -114,6 +114,33 @@ else
     exit 1
 fi
 
+echo "==> golden check: the forensic dump must be bit-identical"
+# The forensics harness replays the watchdog-tripping prune-pressure
+# scenario twice in-process (asserting the two dumps byte-identical),
+# verifies the worst request's event-derived latency breakdown against
+# its span tree phase by phase, and regenerates the dump golden plus the
+# merged Perfetto trace.
+forensic_golden="results/forensic_dump.json"
+[ -f "$forensic_golden" ] || { echo "missing golden $forensic_golden" >&2; exit 1; }
+cp "$forensic_golden" "$tmp/forensic_dump.json"
+cargo run --release -q -p nesc-bench --bin forensics >/dev/null
+if cmp -s "$tmp/forensic_dump.json" "$forensic_golden"; then
+    echo "OK: forensic_dump.json regenerated bit-identical (anomaly dump is deterministic)"
+else
+    echo "FAIL: forensic_dump.json changed after regeneration" >&2
+    diff "$tmp/forensic_dump.json" "$forensic_golden" >&2 || true
+    exit 1
+fi
+
+echo "==> nesc-inspect: worst-request breakdown must match its span tree"
+# `why` exits non-zero if the latency breakdown reconstructed from ring
+# events disagrees with the one derived from the exemplar's span tree.
+if ! cargo run --release -q -p nesc-bench --bin nesc-inspect -- why >/dev/null; then
+    echo "FAIL: nesc-inspect why found an event/span breakdown mismatch" >&2
+    exit 1
+fi
+echo "OK: event-derived breakdown matches the span-derived one"
+
 echo "==> golden check: fig10_bandwidth must be bit-identical"
 golden="results/fig10_bandwidth.json"
 [ -f "$golden" ] || { echo "missing golden $golden" >&2; exit 1; }
@@ -203,20 +230,43 @@ if fail:
 print("OK: all series within speedup floors")
 PY
 
-echo "==> telemetry gate: enabled-sampler overhead ceiling at the 50 us interval"
+echo "==> telemetry gate: sampler + flight-recorder overhead ceilings at the 50 us interval"
 #   NESC_GATE_TELEMETRY_PCT — max % host overhead with telemetry on at 50 us
-cargo run --release -q -p nesc-bench --bin telemetry_overhead >/dev/null
-NESC_GATE_TELEMETRY_PCT="${NESC_GATE_TELEMETRY_PCT:-20}" \
-python3 - <<'PY'
+#   NESC_GATE_FLIGHT_PCT    — max % marginal cost of the flight recorder
+#                             over telemetry alone at the same interval
+# The harness interleaves 200 short rounds per mode and compares
+# quiet-decile costs, but a busy host can still poison one measurement;
+# one full re-measurement is allowed before the gate fails.
+for attempt in 1 2; do
+    cargo run --release -q -p nesc-bench --bin telemetry_overhead >/dev/null
+    if NESC_GATE_TELEMETRY_PCT="${NESC_GATE_TELEMETRY_PCT:-20}" \
+       NESC_GATE_FLIGHT_PCT="${NESC_GATE_FLIGHT_PCT:-5}" \
+       python3 - <<'PY'
 import json, os, sys
 data = json.load(open("results/BENCH_telemetry.json"))
-ceiling = float(os.environ["NESC_GATE_TELEMETRY_PCT"])
-pct = data["overhead_50us_percent"]
-if pct > ceiling:
-    print(f"FAIL: telemetry overhead at 50 us is {pct:.1f}% > ceiling {ceiling}%",
-          file=sys.stderr)
+tel_ceiling = float(os.environ["NESC_GATE_TELEMETRY_PCT"])
+fl_ceiling = float(os.environ["NESC_GATE_FLIGHT_PCT"])
+tel = data["overhead_50us_percent"]
+fl = data["overhead_flight_percent"]
+fail = []
+if tel > tel_ceiling:
+    fail.append(f"telemetry overhead at 50 us is {tel:.1f}% > ceiling {tel_ceiling}%")
+if fl > fl_ceiling:
+    fail.append(f"flight recorder marginal cost is {fl:.1f}% > ceiling {fl_ceiling}%")
+if fail:
+    print("FAIL: " + "; ".join(fail), file=sys.stderr)
     sys.exit(1)
-print(f"OK: telemetry overhead at 50 us is {pct:.1f}% (ceiling {ceiling}%)")
+print(f"OK: telemetry overhead {tel:.1f}% (ceiling {tel_ceiling}%), "
+      f"flight recorder marginal {fl:.1f}% (ceiling {fl_ceiling}%)")
 PY
+    then
+        break
+    elif [ "$attempt" -eq 2 ]; then
+        echo "FAIL: overhead gate failed on both measurements" >&2
+        exit 1
+    else
+        echo "    overhead gate missed once; re-measuring (noisy host?)"
+    fi
+done
 
 echo "==> all checks passed"
